@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary prints the same rows/series its paper figure reports:
+// throughput normalized to the 1-thread GIL configuration, per thread count
+// and engine configuration. `--csv` switches to machine-readable output;
+// `--scale` grows the problem size (Fig. 6b's "class W" effect);
+// `--quick` shrinks thread sweeps for smoke runs.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "htm/profile.hpp"
+#include "runtime/engine.hpp"
+#include "workloads/runner.hpp"
+
+namespace gilfree::bench {
+
+/// The engine configurations of Fig. 5/7: GIL, HTM-1/-16/-256, HTM-dynamic.
+struct NamedConfig {
+  std::string name;
+  i32 fixed_length;  ///< 0 = GIL, -1 = dynamic, else the fixed length.
+};
+
+inline std::vector<NamedConfig> paper_configs() {
+  return {{"GIL", 0},
+          {"HTM-1", 1},
+          {"HTM-16", 16},
+          {"HTM-256", 256},
+          {"HTM-dynamic", -1}};
+}
+
+inline runtime::EngineConfig make_config(const htm::SystemProfile& profile,
+                                         const NamedConfig& nc) {
+  if (nc.fixed_length == 0) return runtime::EngineConfig::gil(profile);
+  if (nc.fixed_length < 0)
+    return runtime::EngineConfig::htm_dynamic(profile);
+  return runtime::EngineConfig::htm_fixed(profile, nc.fixed_length);
+}
+
+/// Thread counts per machine, as in Fig. 5 (zEC12 up to 12, Xeon up to 8).
+inline std::vector<unsigned> thread_counts(const htm::SystemProfile& p,
+                                           bool quick) {
+  if (quick) return {1, p.machine.num_cpus()};
+  if (p.machine.num_cpus() >= 12) return {1, 2, 4, 6, 8, 12};
+  return {1, 2, 3, 4, 5, 6, 7, 8};
+}
+
+inline void emit(const TablePrinter& table, bool csv) {
+  if (csv) {
+    std::cout << table.to_csv();
+  } else {
+    std::cout << table.to_string();
+  }
+}
+
+}  // namespace gilfree::bench

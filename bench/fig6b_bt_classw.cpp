@@ -1,0 +1,42 @@
+// Fig. 6b: BT with the larger class-W-like size on the Xeon — given a run
+// long enough for both the TSX learning machinery and the dynamic length
+// adjustment to reach steady state, HTM-dynamic catches and passes the
+// fixed-length configurations.
+#include "bench/bench_common.hpp"
+
+using namespace gilfree;
+using namespace gilfree::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  const bool quick = flags.get_bool("quick", false);
+  const auto scale =
+      static_cast<unsigned>(flags.get_int("scale", quick ? 2 : 4));
+  flags.reject_unknown();
+
+  const auto profile = htm::SystemProfile::xeon_e3();
+  const workloads::Workload& w = workloads::npb("BT");
+
+  std::cout << "== Fig.6b BT class-W-like (scale=" << scale << ") on "
+            << profile.machine.name << " ==\n";
+  std::vector<std::string> headers = {"threads"};
+  for (const auto& nc : paper_configs()) headers.push_back(nc.name);
+  TablePrinter table(headers);
+
+  const auto base =
+      workloads::run_workload(make_config(profile, {"GIL", 0}), w, 1, scale);
+
+  for (unsigned threads : thread_counts(profile, quick)) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    for (const auto& nc : paper_configs()) {
+      const auto p =
+          workloads::run_workload(make_config(profile, nc), w, threads,
+                                  scale);
+      row.push_back(TablePrinter::num(base.elapsed_us / p.elapsed_us, 2));
+    }
+    table.add_row(row);
+  }
+  emit(table, csv);
+  return 0;
+}

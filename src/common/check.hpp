@@ -1,0 +1,48 @@
+// Checked assertions that stay enabled in release builds.
+//
+// The simulator is deterministic, so a violated invariant is always
+// reproducible; failing loudly (with a message) is far more useful than the
+// undefined behaviour a disabled assert would permit.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gilfree {
+
+/// Thrown when an internal invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GILFREE_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace gilfree
+
+/// Always-on invariant check. Throws gilfree::CheckFailure on violation.
+#define GILFREE_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::gilfree::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Invariant check with a streamed message: GILFREE_CHECK_MSG(x > 0, "x=" << x)
+#define GILFREE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::gilfree::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                      os_.str());                        \
+    }                                                                    \
+  } while (0)

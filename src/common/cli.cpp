@@ -1,0 +1,68 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/strutil.hpp"
+
+namespace gilfree {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (starts_with(arg, "--")) {
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.insert(arg);
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  consumed_.insert(name);
+  return flags_.count(name) > 0;
+}
+
+std::string CliFlags::get(const std::string& name,
+                          const std::string& def) const {
+  consumed_.insert(name);
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+long CliFlags::get_int(const std::string& name, long def) const {
+  consumed_.insert(name);
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double CliFlags::get_double(const std::string& name, double def) const {
+  consumed_.insert(name);
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) const {
+  consumed_.insert(name);
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+void CliFlags::reject_unknown() const {
+  for (const auto& [k, v] : flags_) {
+    (void)v;
+    if (consumed_.count(k) == 0)
+      throw std::invalid_argument("unknown flag: --" + k);
+  }
+}
+
+}  // namespace gilfree

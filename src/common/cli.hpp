@@ -1,0 +1,35 @@
+// Minimal --key=value command-line parsing for the bench and example
+// binaries. No external dependency; unknown flags are an error so typos in
+// sweep scripts fail fast.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace gilfree {
+
+class CliFlags {
+ public:
+  /// Parses argv of the form: --name=value or bare --name (value "true").
+  /// Positional arguments are collected separately.
+  CliFlags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  long get_int(const std::string& name, long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::set<std::string>& positional() const { return positional_; }
+
+  /// Call after all get()s: throws if the user passed a flag nobody read.
+  void reject_unknown() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::set<std::string> positional_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace gilfree

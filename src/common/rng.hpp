@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we use
+// our own xoshiro256** implementation (public-domain algorithm by Blackman &
+// Vigna) instead of std::mt19937 + distributions, whose outputs are not
+// specified identically across standard libraries.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gilfree {
+
+/// SplitMix64: used to seed the main generator and as a cheap standalone
+/// mixer for hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Stateless 64-bit mix, usable as a hash finalizer.
+u64 mix64(u64 x);
+
+/// xoshiro256**: fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eed5eed5eedULL);
+
+  /// Uniform u64.
+  u64 next_u64();
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u64 next_below(u64 bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Jump to an independent stream; used to derive per-CPU generators.
+  Rng split();
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace gilfree

@@ -1,0 +1,114 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gilfree {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  GILFREE_CHECK(hi > lo);
+  GILFREE_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x, u64 weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // float edge case
+  counts_[idx] += weight;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  GILFREE_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_rows) const {
+  std::ostringstream os;
+  const std::size_t step = std::max<std::size_t>(1, counts_.size() / max_rows);
+  for (std::size_t i = 0; i < counts_.size(); i += step) {
+    u64 sum = 0;
+    for (std::size_t j = i; j < std::min(i + step, counts_.size()); ++j)
+      sum += counts_[j];
+    os << "[" << bucket_lo(i) << ", "
+       << bucket_hi(std::min(i + step, counts_.size()) - 1) << "): " << sum
+       << "\n";
+  }
+  if (underflow_) os << "underflow: " << underflow_ << "\n";
+  if (overflow_) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+u64 CounterMap::get(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second;
+}
+
+u64 CounterMap::total() const {
+  u64 t = 0;
+  for (const auto& [k, v] : map_) t += v;
+  return t;
+}
+
+std::string CounterMap::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : map_) os << k << ": " << v << "\n";
+  return os.str();
+}
+
+}  // namespace gilfree

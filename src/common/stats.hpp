@@ -1,0 +1,73 @@
+// Small statistics helpers used by the benchmark harness and the TLE runtime
+// statistics: running mean/variance, fixed-bucket histograms, and named
+// counters.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gilfree {
+
+/// Welford running mean / variance / min / max.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Histogram over [lo, hi) with uniform buckets plus under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, u64 weight = 1);
+  u64 total() const { return total_; }
+  u64 bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  u64 underflow() const { return underflow_; }
+  u64 overflow() const { return overflow_; }
+  /// Linear-interpolated quantile (q in [0,1]) over the bucketed range.
+  double quantile(double q) const;
+  std::string to_string(std::size_t max_rows = 16) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<u64> counts_;
+  u64 underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Ordered string-keyed counters; used for abort-reason breakdowns.
+class CounterMap {
+ public:
+  void add(const std::string& key, u64 delta = 1) { map_[key] += delta; }
+  u64 get(const std::string& key) const;
+  u64 total() const;
+  const std::map<std::string, u64>& entries() const { return map_; }
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, u64> map_;
+};
+
+}  // namespace gilfree

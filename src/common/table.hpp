@@ -1,0 +1,36 @@
+// Console table / CSV emission for the benchmark harness.
+//
+// Every bench binary prints the same rows/series the paper's figure or table
+// reports; TablePrinter keeps that output aligned and machine-parsable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gilfree {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Renders comma-separated values (header + rows).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gilfree

@@ -1,0 +1,32 @@
+// Fundamental scalar aliases shared across all gilfree libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gilfree {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Virtual time unit of the simulated machine. All throughput numbers in the
+/// benchmark harness are derived from cycles at the machine's configured
+/// clock frequency, never from wall-clock time.
+using Cycles = std::uint64_t;
+
+/// Identifies one hardware thread (a "CPU") of the simulated machine.
+/// With SMT, two CpuIds map to the same physical core.
+using CpuId = std::uint32_t;
+
+/// Identifies a cache line: address >> log2(line_size).
+using LineId = std::uint64_t;
+
+inline constexpr CpuId kInvalidCpu = ~CpuId{0};
+
+}  // namespace gilfree

@@ -1,0 +1,62 @@
+#include "gil/gil.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gilfree::gil {
+
+Gil::Gil(u64* word, htm::HtmFacility* htm) : word_(word), htm_(htm) {
+  GILFREE_CHECK(word_ != nullptr);
+  *word_ = 0;
+}
+
+bool Gil::try_acquire(CpuId cpu, u32 tid, Cycles now) {
+  if (is_acquired()) return false;
+  if (htm_ != nullptr) {
+    // The non-transactional store invalidates every transaction that holds
+    // the GIL line in its read set — all of them.
+    htm_->nontx_store(cpu, word_, 1);
+  } else {
+    *word_ = 1;
+  }
+  owner_ = static_cast<i32>(tid);
+  acquired_at_ = now;
+  ++stats_.acquisitions;
+  return true;
+}
+
+i32 Gil::release(CpuId cpu, u32 tid, Cycles now) {
+  GILFREE_CHECK_MSG(owner_ == static_cast<i32>(tid),
+                    "GIL released by non-owner thread " << tid);
+  if (htm_ != nullptr) {
+    htm_->nontx_store(cpu, word_, 0);
+  } else {
+    *word_ = 0;
+  }
+  owner_ = -1;
+  stats_.held_cycles += now > acquired_at_ ? now - acquired_at_ : 0;
+  return head_waiter();
+}
+
+void Gil::enqueue_waiter(u32 tid) {
+  if (!is_waiting(tid)) {
+    waiters_.push_back(tid);
+    ++stats_.contended_acquisitions;
+  }
+}
+
+bool Gil::is_waiting(u32 tid) const {
+  return std::find(waiters_.begin(), waiters_.end(), tid) != waiters_.end();
+}
+
+void Gil::remove_waiter(u32 tid) {
+  auto it = std::find(waiters_.begin(), waiters_.end(), tid);
+  if (it != waiters_.end()) waiters_.erase(it);
+}
+
+i32 Gil::head_waiter() const {
+  return waiters_.empty() ? -1 : static_cast<i32>(waiters_.front());
+}
+
+}  // namespace gilfree::gil

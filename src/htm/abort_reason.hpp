@@ -1,0 +1,61 @@
+// Transaction abort reasons, mirroring the condition-code / EAX reporting of
+// zEC12 and Intel TSX (§2.1): the hardware tells software whether an abort is
+// transient (worth retrying) or persistent (retrying cannot succeed).
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace gilfree::htm {
+
+enum class AbortReason : u8 {
+  kNone = 0,        ///< No abort (successful TBEGIN/TEND).
+  kConflict,        ///< Coherency conflict with another CPU — transient.
+  kOverflowRead,    ///< Read-set capacity exceeded — persistent.
+  kOverflowWrite,   ///< Write-set (store-buffer) capacity exceeded — persistent.
+  kExplicit,        ///< TABORT/XABORT issued by software — treated persistent
+                    ///< by the TLE layer only when the GIL is not the cause.
+  kInterrupt,       ///< External interrupt / TLB miss etc. — transient.
+  kUnsupported,     ///< Restricted instruction (e.g. syscall) — persistent.
+};
+
+/// Hardware-style transient/persistent classification (§2.1). The TLE layer
+/// retries transient aborts up to TRANSIENT_RETRY_MAX times and falls back to
+/// the GIL immediately on persistent ones (Fig. 1 lines 28-35).
+constexpr bool is_persistent(AbortReason r) {
+  switch (r) {
+    case AbortReason::kOverflowRead:
+    case AbortReason::kOverflowWrite:
+    case AbortReason::kUnsupported:
+      return true;
+    case AbortReason::kNone:
+    case AbortReason::kConflict:
+    case AbortReason::kExplicit:
+    case AbortReason::kInterrupt:
+      return false;
+  }
+  return false;
+}
+
+constexpr std::string_view abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kConflict: return "conflict";
+    case AbortReason::kOverflowRead: return "overflow-read";
+    case AbortReason::kOverflowWrite: return "overflow-write";
+    case AbortReason::kExplicit: return "explicit";
+    case AbortReason::kInterrupt: return "interrupt";
+    case AbortReason::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+/// Thrown by transactional memory accessors when the running transaction
+/// aborts mid-bytecode; the engine catches it, restores the interpreter
+/// snapshot taken at TBEGIN, and runs the Fig. 1 abort path.
+struct TxAbort {
+  AbortReason reason;
+};
+
+}  // namespace gilfree::htm

@@ -1,0 +1,42 @@
+#include "htm/conflict_table.hpp"
+
+namespace gilfree::htm {
+
+namespace {
+constexpr u64 bit(CpuId cpu) { return u64{1} << cpu; }
+}  // namespace
+
+u64 ConflictTable::add_reader(LineId line, CpuId cpu) {
+  LineState& s = map_[line];
+  s.readers |= bit(cpu);
+  return s.writers & ~bit(cpu);
+}
+
+u64 ConflictTable::add_writer(LineId line, CpuId cpu) {
+  LineState& s = map_[line];
+  const u64 others = (s.readers | s.writers) & ~bit(cpu);
+  s.writers |= bit(cpu);
+  return others;
+}
+
+u64 ConflictTable::holders_excluding(LineId line, CpuId cpu) const {
+  auto it = map_.find(line);
+  if (it == map_.end()) return 0;
+  return (it->second.readers | it->second.writers) & ~bit(cpu);
+}
+
+u64 ConflictTable::writer_excluding(LineId line, CpuId cpu) const {
+  auto it = map_.find(line);
+  if (it == map_.end()) return 0;
+  return it->second.writers & ~bit(cpu);
+}
+
+void ConflictTable::remove(LineId line, CpuId cpu) {
+  auto it = map_.find(line);
+  if (it == map_.end()) return;
+  it->second.readers &= ~bit(cpu);
+  it->second.writers &= ~bit(cpu);
+  if (it->second.readers == 0 && it->second.writers == 0) map_.erase(it);
+}
+
+}  // namespace gilfree::htm

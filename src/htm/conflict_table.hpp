@@ -1,0 +1,47 @@
+// Global cache-line ownership table used for eager conflict detection among
+// in-flight transactions, modeling the tx-read/tx-dirty bits zEC12 attaches
+// to L1 lines (§2.2).
+//
+// Up to 64 hardware threads are supported (reader sets are u64 bitmasks);
+// both machines in the paper are far below that.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gilfree::htm {
+
+class ConflictTable {
+ public:
+  /// Marks `cpu` as a transactional reader of `line`. Returns the bitmask of
+  /// *other* CPUs transactionally writing the line (0 or one bit).
+  u64 add_reader(LineId line, CpuId cpu);
+
+  /// Marks `cpu` as a transactional writer of `line`. Returns the bitmask of
+  /// other CPUs that transactionally read or write the line.
+  u64 add_writer(LineId line, CpuId cpu);
+
+  /// Other-CPU transactional readers/writers of `line` that a
+  /// non-transactional store by `cpu` would invalidate.
+  u64 holders_excluding(LineId line, CpuId cpu) const;
+
+  /// Other-CPU transactional *writer* of `line` (non-transactional loads only
+  /// conflict with dirty lines).
+  u64 writer_excluding(LineId line, CpuId cpu) const;
+
+  /// Removes every mark `cpu` holds on `line` (called during detach).
+  void remove(LineId line, CpuId cpu);
+
+  std::size_t tracked_lines() const { return map_.size(); }
+
+ private:
+  struct LineState {
+    u64 readers = 0;   ///< Bitmask of transactional readers.
+    u64 writers = 0;   ///< Bitmask of transactional writers (buffered).
+  };
+  std::unordered_map<LineId, LineState> map_;
+};
+
+}  // namespace gilfree::htm

@@ -1,0 +1,257 @@
+#include "htm/htm.hpp"
+
+#include "common/check.hpp"
+
+namespace gilfree::htm {
+
+void HtmStats::merge(const HtmStats& o) {
+  begins += o.begins;
+  commits += o.commits;
+  eager_aborts += o.eager_aborts;
+  for (std::size_t i = 0; i < aborts_by_reason.size(); ++i)
+    aborts_by_reason[i] += o.aborts_by_reason[i];
+}
+
+HtmFacility::HtmFacility(const HtmConfig& config, sim::Machine* machine)
+    : config_(config), machine_(machine) {
+  GILFREE_CHECK(machine_ != nullptr);
+  GILFREE_CHECK_MSG(machine_->num_cpus() <= 64,
+                    "conflict table reader masks are 64-bit");
+  GILFREE_CHECK(config_.line_bytes == machine_->config().line_bytes);
+  tx_.resize(machine_->num_cpus());
+  stats_.resize(machine_->num_cpus());
+  Rng seeder(config_.seed);
+  for (u32 i = 0; i < machine_->num_cpus(); ++i) rng_.push_back(seeder.split());
+  if (config_.learning) {
+    learning_.emplace(machine_->num_cpus(), config_.learning_up,
+                      config_.learning_decay_txns, seeder.next_u64());
+  }
+}
+
+AbortReason HtmFacility::tx_begin(CpuId cpu) {
+  TxState& t = tx_.at(cpu);
+  GILFREE_CHECK_MSG(!t.active, "nested transactions are not supported");
+  ++stats_.at(cpu).begins;
+
+  if (learning_ && learning_->eager_abort(cpu)) {
+    // The core refuses to speculate: reported as a capacity abort, just like
+    // the real hardware reports it without the retry hint.
+    ++stats_.at(cpu).eager_aborts;
+    ++stats_.at(cpu).aborts_by_reason[static_cast<int>(
+        AbortReason::kOverflowWrite)];
+    learning_->on_non_overflow(cpu);  // no *new* overflow evidence
+    return AbortReason::kOverflowWrite;
+  }
+
+  t.active = true;
+  t.detached = false;
+  t.doom = AbortReason::kNone;
+  t.read_lines.clear();
+  t.write_lines.clear();
+  t.redo.clear();
+
+  const Cycles now = machine_->clock(cpu);
+  if (t.next_interrupt <= now) {
+    t.next_interrupt =
+        now + static_cast<Cycles>(rng_.at(cpu).next_exponential(
+                  static_cast<double>(config_.interrupt_mean_cycles)));
+  }
+  return AbortReason::kNone;
+}
+
+AbortReason HtmFacility::tx_commit(CpuId cpu) {
+  TxState& t = tx_.at(cpu);
+  GILFREE_CHECK(t.active);
+  if (t.doom != AbortReason::kNone) {
+    const AbortReason reason = t.doom;
+    rollback(cpu, reason);
+    return reason;
+  }
+  // Commit: drain the store buffer to memory in one atomic step.
+  for (const auto& [addr, value] : t.redo) *const_cast<u64*>(addr) = value;
+  detach(cpu);
+  t.active = false;
+  t.redo.clear();
+  ++stats_.at(cpu).commits;
+  if (learning_) learning_->on_non_overflow(cpu);
+  return AbortReason::kNone;
+}
+
+void HtmFacility::tx_abort(CpuId cpu, AbortReason reason) {
+  GILFREE_CHECK(tx_.at(cpu).active);
+  GILFREE_CHECK(reason != AbortReason::kNone);
+  rollback(cpu, reason);
+}
+
+void HtmFacility::force_abort(CpuId cpu, AbortReason reason) {
+  if (tx_.at(cpu).active) rollback(cpu, reason);
+}
+
+void HtmFacility::doom_all(CpuId except, AbortReason reason) {
+  for (CpuId c = 0; c < tx_.size(); ++c) {
+    if (c == except) continue;
+    TxState& t = tx_[c];
+    if (t.active && t.doom == AbortReason::kNone) {
+      t.doom = reason;
+      detach(c);
+    }
+  }
+}
+
+u64 HtmFacility::tx_load(CpuId cpu, const u64* addr, bool shared) {
+  TxState& t = tx_.at(cpu);
+  GILFREE_CHECK(t.active);
+  if (t.doom != AbortReason::kNone) abort_self(cpu, t.doom);
+  maybe_interrupt(cpu);
+
+  // Read own speculative writes.
+  if (auto it = t.redo.find(addr); it != t.redo.end()) return it->second;
+
+  const LineId line = line_of(addr);
+  if (t.read_lines.insert(line).second) {
+    if (t.read_lines.size() > effective_max_read(cpu)) {
+      if (learning_) learning_->on_overflow(cpu);
+      abort_self(cpu, AbortReason::kOverflowRead);
+    }
+    if (shared) {
+      // Requester wins: a transactional writer elsewhere is invalidated.
+      const u64 victims = table_.add_reader(line, cpu);
+      if (victims) {
+        if (collect_conflicts_) ++conflict_lines_[line];
+        doom_mask(victims, AbortReason::kConflict);
+      }
+    }
+  }
+  return *addr;
+}
+
+void HtmFacility::tx_store(CpuId cpu, u64* addr, u64 value, bool shared) {
+  TxState& t = tx_.at(cpu);
+  GILFREE_CHECK(t.active);
+  if (t.doom != AbortReason::kNone) abort_self(cpu, t.doom);
+  maybe_interrupt(cpu);
+
+  const LineId line = line_of(addr);
+  if (t.write_lines.insert(line).second) {
+    if (t.write_lines.size() > effective_max_write(cpu)) {
+      if (learning_) learning_->on_overflow(cpu);
+      abort_self(cpu, AbortReason::kOverflowWrite);
+    }
+    if (shared) {
+      const u64 victims = table_.add_writer(line, cpu);
+      if (victims) {
+        if (collect_conflicts_) ++conflict_lines_[line];
+        doom_mask(victims, AbortReason::kConflict);
+      }
+    }
+  }
+  t.redo[addr] = value;
+}
+
+u64 HtmFacility::nontx_load(CpuId cpu, const u64* addr) {
+  GILFREE_CHECK(!tx_.at(cpu).active);
+  const u64 writers = table_.writer_excluding(line_of(addr), cpu);
+  if (writers) {
+    if (collect_conflicts_) ++conflict_lines_[line_of(addr)];
+    doom_mask(writers, AbortReason::kConflict);
+  }
+  return *addr;
+}
+
+void HtmFacility::nontx_store(CpuId cpu, u64* addr, u64 value) {
+  GILFREE_CHECK(!tx_.at(cpu).active);
+  const u64 holders = table_.holders_excluding(line_of(addr), cpu);
+  if (holders) {
+    if (collect_conflicts_) ++conflict_lines_[line_of(addr)];
+    doom_mask(holders, AbortReason::kConflict);
+  }
+  *addr = value;
+}
+
+void HtmFacility::check_doom(CpuId cpu) {
+  TxState& t = tx_.at(cpu);
+  if (t.active && t.doom != AbortReason::kNone) abort_self(cpu, t.doom);
+}
+
+u32 HtmFacility::read_line_count(CpuId cpu) const {
+  return static_cast<u32>(tx_.at(cpu).read_lines.size());
+}
+
+u32 HtmFacility::write_line_count(CpuId cpu) const {
+  return static_cast<u32>(tx_.at(cpu).write_lines.size());
+}
+
+u32 HtmFacility::effective_max_read(CpuId cpu) const {
+  u32 max = config_.max_read_lines;
+  if (config_.smt_shares_capacity && machine_->smt_contended(cpu)) max /= 2;
+  return max;
+}
+
+u32 HtmFacility::effective_max_write(CpuId cpu) const {
+  u32 max = config_.max_write_lines;
+  if (config_.smt_shares_capacity && machine_->smt_contended(cpu)) max /= 2;
+  return max;
+}
+
+HtmStats HtmFacility::total_stats() const {
+  HtmStats total;
+  for (const HtmStats& s : stats_) total.merge(s);
+  return total;
+}
+
+void HtmFacility::doom_mask(u64 mask, AbortReason reason) {
+  while (mask) {
+    const CpuId victim = static_cast<CpuId>(__builtin_ctzll(mask));
+    mask &= mask - 1;
+    TxState& t = tx_.at(victim);
+    if (!t.active || t.doom != AbortReason::kNone) continue;
+    t.doom = reason;
+    // Detach immediately: the coherency request has invalidated the victim's
+    // speculative lines, so they no longer participate in detection. The
+    // victim notices the doom at its next access / commit.
+    detach(victim);
+  }
+}
+
+void HtmFacility::detach(CpuId cpu) {
+  TxState& t = tx_.at(cpu);
+  if (t.detached) return;
+  for (LineId line : t.read_lines) table_.remove(line, cpu);
+  for (LineId line : t.write_lines) table_.remove(line, cpu);
+  t.detached = true;
+}
+
+void HtmFacility::rollback(CpuId cpu, AbortReason reason) {
+  TxState& t = tx_.at(cpu);
+  detach(cpu);
+  t.active = false;
+  t.doom = AbortReason::kNone;
+  t.redo.clear();
+  ++stats_.at(cpu).aborts_by_reason[static_cast<int>(reason)];
+  if (learning_ && reason != AbortReason::kOverflowRead &&
+      reason != AbortReason::kOverflowWrite) {
+    learning_->on_non_overflow(cpu);
+  }
+}
+
+void HtmFacility::maybe_interrupt(CpuId cpu) {
+  TxState& t = tx_.at(cpu);
+  if (machine_->clock(cpu) >= t.next_interrupt) {
+    t.next_interrupt = 0;  // resampled at next tx_begin
+    abort_self(cpu, AbortReason::kInterrupt);
+  }
+}
+
+void HtmFacility::abort_self(CpuId cpu, AbortReason reason) {
+  rollback(cpu, reason);
+  throw TxAbort{reason};
+}
+
+void HtmFacility::reset() {
+  for (auto& t : tx_) t = TxState{};
+  for (auto& s : stats_) s = HtmStats{};
+  table_ = ConflictTable{};
+  if (learning_) learning_->reset();
+}
+
+}  // namespace gilfree::htm

@@ -1,0 +1,47 @@
+// Capacity and behaviour parameters of one HTM implementation.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gilfree::htm {
+
+struct HtmConfig {
+  u32 line_bytes = 64;
+
+  /// Maximum distinct cache lines in the read set before kOverflowRead.
+  /// zEC12: ~1 MB (L2-backed LRU-extension vector) at 256 B lines = 4096.
+  /// Xeon E3-1275 v3: ~6 MB measured (§2.2) at 64 B lines = 98304.
+  u32 max_read_lines = 98304;
+
+  /// Maximum distinct cache lines in the write set before kOverflowWrite.
+  /// zEC12: 8 KB Gathering Store Cache at 256 B lines = 32.
+  /// Xeon: ~19 KB measured at 64 B lines = 304.
+  u32 max_write_lines = 304;
+
+  /// With SMT, the two hardware threads of a core share the L1/store buffer,
+  /// halving each transaction's effective capacity when both are busy (§5.4).
+  bool smt_shares_capacity = true;
+
+  /// Models the learning mechanism observed on the Xeon E3-1275 v3 (§5.4,
+  /// Fig. 6a): the core eagerly aborts transactions that recently suffered
+  /// capacity overflows, and only gradually becomes optimistic again.
+  bool learning = false;
+
+  /// Pessimism increment applied on a genuine capacity overflow.
+  double learning_up = 0.2;
+
+  /// Number of non-overflowing transactions over which pessimism decays by
+  /// a factor of e (Fig. 6a shows ~5000 iterations to reach steady state).
+  double learning_decay_txns = 1800;
+
+  /// Mean cycles between external interrupts per CPU (timer ticks, TLB
+  /// shootdowns...). A transaction spanning an interrupt aborts with
+  /// kInterrupt; this is why even single-threaded HTM runs see aborts
+  /// (§5.6). Exponentially distributed.
+  Cycles interrupt_mean_cycles = 3'000'000;
+
+  /// PRNG seed for interrupt arrival sampling.
+  u64 seed = 0x7311c2812425cfa6ULL;
+};
+
+}  // namespace gilfree::htm

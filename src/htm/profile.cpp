@@ -1,0 +1,43 @@
+#include "htm/profile.hpp"
+
+#include <stdexcept>
+
+namespace gilfree::htm {
+
+SystemProfile SystemProfile::zec12() {
+  SystemProfile p;
+  p.machine = sim::zec12_machine();
+  p.htm.line_bytes = 256;
+  p.htm.max_write_lines = 8 * 1024 / 256;          // 8 KB Gathering Store Cache
+  p.htm.max_read_lines = 1024 * 1024 / 256;        // ~L2-sized read set
+  p.htm.smt_shares_capacity = false;               // single-threaded cores
+  p.htm.learning = false;
+  // zEC12 aborts are cheap relative to Xeon (µ-arch refetch only), which is
+  // why the paper tolerates only a 1% abort ratio before shortening.
+  p.target_abort_ratio = 0.01;
+  // z/OS malloc with HEAPPOOLS: thread-local caching exists but refills are
+  // small and the shared heap keeps causing conflicts (§5.5).
+  p.malloc_refill_chunks = 2;
+  return p;
+}
+
+SystemProfile SystemProfile::xeon_e3() {
+  SystemProfile p;
+  p.machine = sim::xeon_e3_machine();
+  p.htm.line_bytes = 64;
+  p.htm.max_write_lines = 19 * 1024 / 64;          // ~19 KB measured (§2.2)
+  p.htm.max_read_lines = 6 * 1024 * 1024 / 64;     // ~6 MB measured (§2.2)
+  p.htm.smt_shares_capacity = true;
+  p.htm.learning = true;
+  p.target_abort_ratio = 0.06;
+  return p;
+}
+
+SystemProfile SystemProfile::by_name(const std::string& name) {
+  if (name == "zec12" || name == "zEC12") return zec12();
+  if (name == "xeon" || name == "xeon_e3" || name == "XeonE3-1275v3")
+    return xeon_e3();
+  throw std::invalid_argument("unknown system profile: " + name);
+}
+
+}  // namespace gilfree::htm

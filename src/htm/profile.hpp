@@ -1,0 +1,37 @@
+// Combined machine + HTM profiles of the two systems evaluated in the paper.
+#pragma once
+
+#include <string>
+
+#include "htm/htm_config.hpp"
+#include "sim/machine.hpp"
+
+namespace gilfree::htm {
+
+struct SystemProfile {
+  sim::MachineConfig machine;
+  HtmConfig htm;
+
+  /// IBM zEnterprise EC12 LPAR: 12 cores, no SMT, 256 B lines, 8 KB write /
+  /// ~1 MB read footprint, no learning quirk, 1% target abort ratio (§5.1).
+  static SystemProfile zec12();
+
+  /// Intel Xeon E3-1275 v3: 4 cores x 2 SMT, 64 B lines, ~19 KB write /
+  /// ~6 MB read footprint, learning quirk, 6% target abort ratio (§5.1).
+  static SystemProfile xeon_e3();
+
+  /// Look up by name ("zec12" / "xeon"); throws on unknown names.
+  static SystemProfile by_name(const std::string& name);
+
+  /// The per-machine target abort ratio for HTM-dynamic (§5.1): depends on
+  /// the abort cost of the HTM implementation, not the application.
+  double target_abort_ratio = 0.01;
+
+  /// Bulk size of per-thread malloc-cache refills. Models how thread-local
+  /// the C allocator is: glibc malloc refills generously; z/OS HEAPPOOLS
+  /// still leaves shared conflict points (§5.2/§5.5 — WEBrick's zEC12
+  /// conflicts happened in malloc).
+  u32 malloc_refill_chunks = 32;
+};
+
+}  // namespace gilfree::htm

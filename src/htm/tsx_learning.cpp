@@ -1,0 +1,32 @@
+#include "htm/tsx_learning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gilfree::htm {
+
+TsxLearningModel::TsxLearningModel(u32 num_cpus, double up, double decay_txns,
+                                   u64 seed)
+    : up_(up),
+      decay_factor_(std::exp(-1.0 / std::max(1.0, decay_txns))),
+      pessimism_(num_cpus, 0.0),
+      rng_(seed) {}
+
+bool TsxLearningModel::eager_abort(CpuId cpu) {
+  return rng_.next_bool(pessimism_.at(cpu));
+}
+
+void TsxLearningModel::on_overflow(CpuId cpu) {
+  double& p = pessimism_.at(cpu);
+  p = std::min(1.0, p + up_ * (1.0 - p) + 0.02);
+}
+
+void TsxLearningModel::on_non_overflow(CpuId cpu) {
+  pessimism_.at(cpu) *= decay_factor_;
+}
+
+void TsxLearningModel::reset() {
+  std::fill(pessimism_.begin(), pessimism_.end(), 0.0);
+}
+
+}  // namespace gilfree::htm

@@ -1,0 +1,44 @@
+// Model of the undocumented "learning" behaviour the paper measured on the
+// Xeon E3-1275 v3 (§5.4, Fig. 6a): after a burst of capacity overflows the
+// core eagerly aborts subsequent transactions, and its optimism recovers only
+// gradually (~5000 iterations) once the footprint shrinks below capacity.
+//
+// We model per-CPU "pessimism" in [0,1]: the probability that a freshly
+// started transaction is aborted eagerly with a capacity code. Genuine
+// overflows raise it multiplicatively toward 1; every transaction attempt
+// that does not overflow decays it exponentially.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace gilfree::htm {
+
+class TsxLearningModel {
+ public:
+  TsxLearningModel(u32 num_cpus, double up, double decay_txns, u64 seed);
+
+  /// Called at transaction begin; true means the hardware aborts the
+  /// transaction immediately (reported as a capacity overflow).
+  bool eager_abort(CpuId cpu);
+
+  /// Called when a transaction genuinely overflows its footprint.
+  void on_overflow(CpuId cpu);
+
+  /// Called on any transaction outcome that is not an overflow (commit or
+  /// a non-capacity abort): evidence that the footprint fits again.
+  void on_non_overflow(CpuId cpu);
+
+  double pessimism(CpuId cpu) const { return pessimism_.at(cpu); }
+  void reset();
+
+ private:
+  double up_;
+  double decay_factor_;
+  std::vector<double> pessimism_;
+  Rng rng_;
+};
+
+}  // namespace gilfree::htm

@@ -1,0 +1,28 @@
+#include "httpsim/bench_server.hpp"
+
+#include "common/check.hpp"
+
+namespace gilfree::httpsim {
+
+ServerRunResult run_server(runtime::EngineConfig cfg,
+                           const std::string& program_source,
+                           const DriverConfig& driver_config) {
+  // One VM thread per request plus acceptor/main.
+  cfg.heap.max_threads = driver_config.total_requests + 8;
+  ClosedLoopDriver driver(driver_config);
+  runtime::Engine engine(std::move(cfg));
+  engine.load_program({program_source});
+  engine.attach_server(&driver);
+
+  ServerRunResult result;
+  result.stats = engine.run();
+  result.completed = driver.completed();
+  GILFREE_CHECK_MSG(result.completed == driver_config.total_requests,
+                    "server completed " << result.completed << " of "
+                                        << driver_config.total_requests);
+  result.throughput_rps =
+      driver.throughput_rps(engine.config().profile.machine.ghz);
+  return result;
+}
+
+}  // namespace gilfree::httpsim

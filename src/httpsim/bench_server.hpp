@@ -1,0 +1,23 @@
+// Runner for the WEBrick / Rails throughput experiments (Fig. 7).
+#pragma once
+
+#include <string>
+
+#include "httpsim/client_driver.hpp"
+#include "runtime/engine.hpp"
+
+namespace gilfree::httpsim {
+
+struct ServerRunResult {
+  double throughput_rps = 0.0;  ///< Requests per virtual second.
+  u32 completed = 0;
+  runtime::RunStats stats;
+};
+
+/// Runs `program_source` (webrick_source()/rails_source()) against a
+/// closed-loop driver with `driver_config` on the given engine config.
+ServerRunResult run_server(runtime::EngineConfig cfg,
+                           const std::string& program_source,
+                           const DriverConfig& driver_config);
+
+}  // namespace gilfree::httpsim

@@ -1,0 +1,70 @@
+#include "httpsim/client_driver.hpp"
+
+#include "common/check.hpp"
+
+namespace gilfree::httpsim {
+
+ClosedLoopDriver::ClosedLoopDriver(DriverConfig config)
+    : config_(std::move(config)) {
+  GILFREE_CHECK(config_.clients >= 1);
+  GILFREE_CHECK(!config_.paths.empty());
+  // Each client issues its first request at time ~0 (staggered slightly so
+  // arrival order is deterministic and distinct).
+  const u32 first_wave =
+      std::min(config_.clients, config_.total_requests);
+  for (u32 c = 0; c < first_wave; ++c) issue(c * 100);
+}
+
+void ClosedLoopDriver::issue(Cycles at) {
+  GILFREE_CHECK(issued_ < config_.total_requests);
+  const i64 id = static_cast<i64>(issued_);
+  const std::string& path = config_.paths[issued_ % config_.paths.size()];
+  payloads_.push_back("GET " + path +
+                      " HTTP/1.1\r\n"
+                      "Host: sim.example.com\r\n"
+                      "User-Agent: gilfree-driver/1.0\r\n"
+                      "Accept: text/html\r\n"
+                      "Connection: keep-alive\r\n\r\n");
+  ++issued_;
+  ++in_flight_;
+  arrivals_.push(Pending{at, id});
+}
+
+i64 ClosedLoopDriver::accept(Cycles now) {
+  if (arrivals_.empty() || arrivals_.top().at > now) return -1;
+  const i64 id = arrivals_.top().id;
+  arrivals_.pop();
+  return id;
+}
+
+std::string ClosedLoopDriver::payload(i64 request_id) {
+  return payloads_.at(static_cast<std::size_t>(request_id));
+}
+
+void ClosedLoopDriver::respond(i64 request_id, std::string_view body,
+                               Cycles now) {
+  (void)request_id;
+  ++completed_;
+  GILFREE_CHECK(in_flight_ > 0);
+  --in_flight_;
+  last_response_ = std::max(last_response_, now);
+  response_bytes_ += body.size();
+  if (issued_ < config_.total_requests) {
+    issue(now + config_.client_turnaround);
+  }
+}
+
+bool ClosedLoopDriver::shutdown(Cycles now) {
+  (void)now;
+  return issued_ >= config_.total_requests && in_flight_ == 0 &&
+         arrivals_.empty();
+}
+
+double ClosedLoopDriver::throughput_rps(double ghz) const {
+  if (completed_ == 0 || last_response_ == 0) return 0.0;
+  const double seconds =
+      static_cast<double>(last_response_) / (ghz * 1e9);
+  return seconds > 0 ? completed_ / seconds : 0.0;
+}
+
+}  // namespace gilfree::httpsim

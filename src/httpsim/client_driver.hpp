@@ -1,0 +1,66 @@
+// Closed-loop HTTP client driver (§5.3): N concurrent clients, each issuing
+// its next request as soon as the previous response arrives. The clients
+// run on the simulated network side, not on the Ruby VM's CPUs — the paper
+// notes they consumed <5% of the CPU — so they only inject arrival events.
+#pragma once
+
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/engine.hpp"
+
+namespace gilfree::httpsim {
+
+struct DriverConfig {
+  u32 clients = 4;
+  u32 total_requests = 400;
+  /// Virtual cycles between receiving a response and issuing the next
+  /// request (network + client turnaround).
+  Cycles client_turnaround = 20'000;
+  /// Requested paths cycle through this list (exercises parsing variety).
+  std::vector<std::string> paths = {"/index.html", "/books", "/about",
+                                    "/static/logo.png"};
+};
+
+class ClosedLoopDriver : public runtime::ServerPort {
+ public:
+  explicit ClosedLoopDriver(DriverConfig config);
+
+  // runtime::ServerPort
+  i64 accept(Cycles now) override;
+  std::string payload(i64 request_id) override;
+  void respond(i64 request_id, std::string_view body, Cycles now) override;
+  bool shutdown(Cycles now) override;
+
+  u32 completed() const { return completed_; }
+  u32 issued() const { return issued_; }
+  Cycles first_issue_time() const { return first_issue_; }
+  Cycles last_response_time() const { return last_response_; }
+  u64 response_bytes() const { return response_bytes_; }
+
+  /// Requests per virtual second over the measured interval.
+  double throughput_rps(double ghz) const;
+
+ private:
+  void issue(Cycles at);
+
+  DriverConfig config_;
+  struct Pending {
+    Cycles at;
+    i64 id;
+    bool operator>(const Pending& o) const { return at > o.at; }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      arrivals_;
+  std::vector<std::string> payloads_;
+  u32 issued_ = 0;
+  u32 completed_ = 0;
+  u32 in_flight_ = 0;
+  Cycles first_issue_ = 0;
+  Cycles last_response_ = 0;
+  u64 response_bytes_ = 0;
+};
+
+}  // namespace gilfree::httpsim

@@ -1,0 +1,78 @@
+#include "httpsim/server_programs.hpp"
+
+namespace gilfree::httpsim {
+
+const std::string& webrick_source() {
+  static const std::string kSrc = R"RUBY(
+$workers = []
+req = accept_request()
+while !(req == nil)
+  $workers << Thread.new(req) do |rid|
+    raw = read_request(rid)
+    sp1 = raw.index(" ")
+    sp2 = raw.index(" ", sp1 + 1)
+    path = raw.slice(sp1 + 1, sp2 - sp1 - 1)
+    ua = regex_match(raw, "User-Agent: gilfree-driver/1.0")
+    ka = regex_match(raw, "Connection: keep-alive")
+    body = "<html><body>hello from webrick sim</body></html>"
+    resp = "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: "
+    resp = resp + body.length.to_s
+    resp = resp + "\r\nServer: MiniWEBrick/1.3.1\r\n\r\n"
+    resp = resp + body
+    send_response(rid, resp)
+  end
+  req = accept_request()
+end
+$workers.each do |t|
+  t.join
+end
+__record("handled", $workers.length)
+)RUBY";
+  return kSrc;
+}
+
+const std::string& rails_source() {
+  static const std::string kSrc = R"RUBY(
+$workers = []
+req = accept_request()
+while !(req == nil)
+  $workers << Thread.new(req) do |rid|
+    raw = read_request(rid)
+    sp1 = raw.index(" ")
+    sp2 = raw.index(" ", sp1 + 1)
+    path = raw.slice(sp1 + 1, sp2 - sp1 - 1)
+    # Router: match against the route table via the regex library.
+    hit = regex_match(raw, "GET /books")
+    ua = regex_match(raw, "User-Agent: gilfree-driver/1.0")
+    # ActiveRecord-ish: fetch the list of books from the database.
+    rows = db_query("books", 10)
+    # ERB-ish template rendering.
+    body = "<html><head><title>Books</title></head><body><h1>Books for "
+    body = body + path
+    body = body + "</h1><ul>"
+    i = 0
+    n = rows.length
+    while i < n
+      body = body + "<li>"
+      body = body + rows[i]
+      body = body + "</li>"
+      i += 1
+    end
+    body = body + "</ul></body></html>"
+    resp = "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: "
+    resp = resp + body.length.to_s
+    resp = resp + "\r\nX-Runtime: 0.01\r\n\r\n"
+    resp = resp + body
+    send_response(rid, resp)
+  end
+  req = accept_request()
+end
+$workers.each do |t|
+  t.join
+end
+__record("handled", $workers.length)
+)RUBY";
+  return kSrc;
+}
+
+}  // namespace gilfree::httpsim

@@ -1,0 +1,21 @@
+// The MiniRuby server programs of §5.3/§5.5: a WEBrick-like HTTP server
+// (thread per request, string parsing, the yield-point-free C regex
+// library) and a Rails-like application on top of it (routing, a SQLite
+// stand-in query, template rendering).
+#pragma once
+
+#include <string>
+
+namespace gilfree::httpsim {
+
+/// WEBrick: accept loop spawning one Ruby thread per request; the handler
+/// parses the request line, scans headers through the C regex library, and
+/// serves a 46-byte page (the paper's workload).
+const std::string& webrick_source();
+
+/// Rails: same server shape, but the handler routes the request, runs a
+/// database query (C extension with a large scratch footprint), and renders
+/// an HTML list through string concatenation.
+const std::string& rails_source();
+
+}  // namespace gilfree::httpsim

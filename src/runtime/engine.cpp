@@ -1,0 +1,945 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "htm/abort_reason.hpp"
+#include "vm/builtins.hpp"
+#include "vm/prelude.hpp"
+
+namespace gilfree::runtime {
+
+using htm::AbortReason;
+using htm::TxAbort;
+using vm::ParkRequest;
+
+namespace {
+void apply_profile_heap_defaults(EngineConfig& c) {
+  c.heap.malloc_refill_chunks = c.profile.malloc_refill_chunks;
+}
+}  // namespace
+
+EngineConfig EngineConfig::gil(htm::SystemProfile p) {
+  EngineConfig c;
+  c.mode = SyncMode::kGil;
+  c.profile = std::move(p);
+  apply_profile_heap_defaults(c);
+  return c;
+}
+
+EngineConfig EngineConfig::htm_fixed(htm::SystemProfile p, i32 length) {
+  EngineConfig c;
+  c.mode = SyncMode::kHtm;
+  c.profile = std::move(p);
+  c.tle.fixed_length = length;
+  c.tle.adjustment_threshold = static_cast<u32>(
+      c.profile.target_abort_ratio * c.tle.profiling_period);
+  apply_profile_heap_defaults(c);
+  return c;
+}
+
+EngineConfig EngineConfig::htm_dynamic(htm::SystemProfile p) {
+  EngineConfig c = htm_fixed(std::move(p), -1);
+  c.tle.fixed_length = -1;
+  return c;
+}
+
+EngineConfig EngineConfig::fine_grained(htm::SystemProfile p) {
+  EngineConfig c;
+  c.mode = SyncMode::kFineGrained;
+  c.profile = std::move(p);
+  apply_profile_heap_defaults(c);
+  return c;
+}
+
+EngineConfig EngineConfig::unsynced(htm::SystemProfile p) {
+  EngineConfig c;
+  c.mode = SyncMode::kUnsynced;
+  c.profile = std::move(p);
+  // Everything interpreter-internal is thread-local in the Java analogue.
+  c.heap.thread_local_free_lists = true;
+  c.heap.thread_local_malloc = true;
+  c.heap.padded_thread_structs = true;
+  return c;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  machine_ = std::make_unique<sim::Machine>(config_.profile.machine);
+  cpu_tx_tid_.assign(machine_->num_cpus(), -1);
+  if (config_.mode == SyncMode::kHtm) {
+    htm_ = std::make_unique<htm::HtmFacility>(config_.profile.htm,
+                                              machine_.get());
+  }
+}
+
+Engine::~Engine() = default;
+
+void Engine::load_program(const std::vector<std::string>& sources) {
+  GILFREE_CHECK(!loaded_);
+  loaded_ = true;
+
+  std::vector<std::string> all;
+  all.push_back(vm::prelude_source());
+  for (const auto& s : sources) all.push_back(s);
+  program_ = std::make_unique<vm::Program>(vm::compile_sources(all));
+
+  classes_ = std::make_unique<vm::ClassRegistry>(&program_->symbols);
+  vm::install_builtins(*classes_, program_->symbols);
+
+  vm::HeapConfig hc = config_.heap;
+  hc.max_threads = std::max<u32>(hc.max_threads, 64);
+  heap_ = std::make_unique<vm::Heap>(hc);
+  // Register every compiled global / constant name as a slot.
+  for (std::size_t i = 0; i < program_->global_names.size(); ++i)
+    heap_->register_global_var();
+  for (std::size_t i = 0; i < program_->constant_names.size(); ++i)
+    heap_->register_constant();
+
+  interp_ = std::make_unique<vm::Interp>(program_.get(), heap_.get(),
+                                         classes_.get(), this, config_.vm);
+  gil_ = std::make_unique<gil::Gil>(heap_->gil_word(),
+                                    htm_ ? htm_.get() : nullptr);
+  length_table_ = std::make_unique<tle::LengthTable>(
+      program_->num_yield_points, config_.tle);
+
+  // Main thread.
+  threads_.emplace_back();
+  active_tids_.push_back(0);
+  live_count_ = 1;
+  SchedThread& main = threads_.front();
+  main.vm = std::make_unique<vm::VmThread>(0, config_.stack_slots);
+  main.cpu = 0;
+  current_tid_ = 0;
+
+  // Boot allocations run "pre-measurement": direct-ish accesses on CPU 0.
+  interp_->boot();
+  interp_->init_main_frame(*main.vm);
+  main.vm->thread_object = heap_->new_thread_object(*this, 0);
+
+  // Reset the clock so measurements exclude boot.
+  machine_->reset();
+  next_timer_deadline_ = config_.gil_quantum;
+
+  switch (config_.mode) {
+    case SyncMode::kGil: {
+      const bool ok = gil_->try_acquire(main.cpu, 0, 0);
+      GILFREE_CHECK(ok);
+      main.holds_gil = true;
+      break;
+    }
+    case SyncMode::kHtm:
+      main.pending_begin_yp = -1;  // transaction_begin at first step
+      break;
+    default:
+      break;
+  }
+  machine_->set_busy(main.cpu, true);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling loop
+// ---------------------------------------------------------------------------
+
+u32 Engine::count_live_threads() const { return live_count_; }
+
+u32 Engine::pick_cpu() const {
+  std::vector<u32> load(machine_->num_cpus(), 0);
+  for (const auto& t : threads_)
+    if (!t.vm->finished()) ++load[t.cpu];
+  u32 best = 0;
+  for (u32 c = 1; c < machine_->num_cpus(); ++c)
+    if (load[c] < load[best]) best = c;
+  return best;
+}
+
+i32 Engine::pick_next() {
+  i32 best = -1;
+  Cycles best_time = ~Cycles{0};
+  for (const u32 i : active_tids_) {
+    const SchedThread& t = threads_[i];
+    Cycles time;
+    if (t.status == ThreadStatus::kRunnable) {
+      time = machine_->clock(t.cpu);
+    } else if (t.status == ThreadStatus::kParked) {
+      time = std::max(machine_->clock(t.cpu), t.wake_at);
+    } else {
+      continue;
+    }
+    if (time < best_time) {
+      best_time = time;
+      best = static_cast<i32>(i);
+    }
+  }
+  if (best < 0) {
+    GILFREE_CHECK_MSG(false, "scheduler deadlock: no runnable or parked "
+                             "threads, but live threads remain");
+  }
+  SchedThread& st = threads_[static_cast<std::size_t>(best)];
+  if (st.status == ThreadStatus::kParked) {
+    unpark(st);
+    if (st.status != ThreadStatus::kRunnable) return -1;  // now kWaitGil
+  }
+  return best;
+}
+
+void Engine::unpark(SchedThread& st) {
+  machine_->advance_to(st.cpu, st.wake_at);
+  const Cycles waited =
+      st.wake_at > st.parked_since ? st.wake_at - st.parked_since : 0;
+  if (st.parked_for_io) {
+    st.breakdown.blocked_io += waited;
+  } else {
+    st.breakdown.gil_wait += waited;
+  }
+  st.status = ThreadStatus::kRunnable;
+  machine_->set_busy(st.cpu, true);
+  if (st.reacquire_gil) {
+    st.reacquire_gil = false;
+    (void)gil_try_acquire_or_enqueue(st);
+  }
+}
+
+void Engine::park(SchedThread& st, Cycles delay, bool is_io) {
+  GILFREE_CHECK(!st.in_tx);
+  if (st.holds_gil) {
+    gil_release_and_handoff(st);
+    st.reacquire_gil = true;
+  }
+  st.status = ThreadStatus::kParked;
+  st.parked_since = machine_->clock(st.cpu);
+  st.wake_at = st.parked_since + delay;
+  st.parked_for_io = is_io;
+  machine_->set_busy(st.cpu, false);
+}
+
+RunStats Engine::run() {
+  GILFREE_CHECK(loaded_ && !running_);
+  running_ = true;
+
+  const bool trace = std::getenv("GILFREE_TRACE") != nullptr;
+  u64 iterations = 0;
+  // A thread runs a short burst per scheduling decision; interleaving at
+  // ~burst granularity is indistinguishable for footprint-based conflict
+  // detection and an order of magnitude faster to simulate.
+  constexpr int kBurst = 12;
+  while (count_live_threads() > 0) {
+    const i32 tid = pick_next();
+    if (trace && ++iterations % 1'000'000 == 0) {
+      std::fprintf(stderr,
+                   "[trace] iter=%llu insns=%llu time=%llu pick=%d\n",
+                   static_cast<unsigned long long>(iterations),
+                   static_cast<unsigned long long>(
+                       interp_->stats().insns_retired),
+                   static_cast<unsigned long long>(machine_->global_time()),
+                   tid);
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        const SchedThread& t = threads_[i];
+        std::fprintf(stderr,
+                     "  t%zu status=%d cpu=%u gil=%d tx=%d pend=%d spin=%d "
+                     "pc=%u iseq=%d wake=%llu\n",
+                     i, static_cast<int>(t.status), t.cpu, t.holds_gil,
+                     t.in_tx, t.pending_begin_yp, t.pending_spin,
+                     t.vm->regs().pc, t.vm->regs().iseq,
+                     static_cast<unsigned long long>(t.wake_at));
+      }
+    }
+    if (tid < 0) continue;
+    for (int burst = 0; burst < kBurst; ++burst) {
+      step_thread(static_cast<u32>(tid));
+      const SchedThread& st = threads_[static_cast<u32>(tid)];
+      if (st.status != ThreadStatus::kRunnable) break;
+    }
+    if (config_.max_insns != 0 &&
+        interp_->stats().insns_retired > config_.max_insns) {
+      GILFREE_CHECK_MSG(false, "instruction budget exceeded ("
+                                   << config_.max_insns << ")");
+    }
+  }
+
+  RunStats stats;
+  stats.total_cycles = machine_->global_time();
+  stats.virtual_seconds = machine_->seconds(stats.total_cycles);
+  stats.insns_retired = interp_->stats().insns_retired;
+  stats.live_thread_peak = live_peak_;
+  if (htm_) stats.htm = htm_->total_stats();
+  stats.gil = gil_->stats();
+  for (const auto& t : threads_) stats.breakdown.merge(t.breakdown);
+  stats.gc = heap_->gc_stats();
+  stats.interp = interp_->stats();
+  stats.transactions_started = transactions_started_;
+  stats.ctx_switch_aborts = ctx_switch_aborts_;
+  stats.gil_fallbacks = gil_fallbacks_;
+  stats.length_adjustments = length_table_->adjustments();
+  stats.fraction_length_one = length_table_->fraction_at_length_one();
+  stats.results = results_;
+  stats.output = stdout_;
+  return stats;
+}
+
+void Engine::step_thread(u32 tid) {
+  current_tid_ = tid;
+  SchedThread& st = threads_[tid];
+  GILFREE_CHECK(st.status == ThreadStatus::kRunnable);
+  GILFREE_CHECK(!st.vm->finished());
+  live_peak_ = std::max<u64>(live_peak_, live_count_);
+
+  // Context switch: HTM state is per-CPU, so scheduling a different thread
+  // onto a CPU aborts the transaction resident there (the victim processes
+  // the abort when it resumes).
+  ensure_cpu_tx_free(st.cpu, tid);
+
+  switch (config_.mode) {
+    case SyncMode::kGil:
+      step_gil_mode(st);
+      break;
+    case SyncMode::kHtm:
+      step_htm_mode(st);
+      break;
+    case SyncMode::kFineGrained:
+    case SyncMode::kUnsynced:
+      step_free_mode(st);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GIL engine (original CRuby, §3.2)
+// ---------------------------------------------------------------------------
+
+void Engine::step_gil_mode(SchedThread& st) {
+  GILFREE_CHECK(st.holds_gil);
+
+  // Timer thread: every quantum, flag the running thread (§3.2).
+  const Cycles now = machine_->clock(st.cpu);
+  if (now >= next_timer_deadline_) {
+    *heap_->tcb_slot(st.vm->tid(), vm::kTcbInterruptFlag) = 1;
+    next_timer_deadline_ = now + config_.gil_quantum;
+  }
+
+  const vm::Insn& in = interp_->current_insn(*st.vm);
+  // Original yield points only: back-branches and leave (§3.2). The
+  // extended set exists only in the HTM build (§5.1).
+  if (in.yp >= 0 && !vm::is_extended_yield_op(in.op)) {
+    charge(config_.profile.machine.cost.yield_check);
+    u64* flag = heap_->tcb_slot(st.vm->tid(), vm::kTcbInterruptFlag);
+    if (*flag != 0 && count_live_threads() > 1 &&
+        (gil_->num_waiters() > 0)) {
+      *flag = 0;
+      gil_yield(st);
+      if (!st.holds_gil) return;
+    }
+    *flag = 0;
+  }
+  execute_insn(st);
+}
+
+void Engine::gil_yield(SchedThread& st) {
+  gil_->note_yield();
+  charge(config_.profile.machine.cost.sched_yield);
+  gil_release_and_handoff(st);
+  // Re-enter the queue; woken by hand-off.
+  gil_->enqueue_waiter(st.vm->tid());
+  st.status = ThreadStatus::kWaitGil;
+  st.gil_wait_since = machine_->clock(st.cpu);
+  machine_->set_busy(st.cpu, false);
+}
+
+void Engine::ensure_cpu_tx_free(CpuId cpu, u32 incoming_tid) {
+  if (htm_ == nullptr) return;
+  const i32 owner = cpu_tx_tid_[cpu];
+  if (owner < 0 || owner == static_cast<i32>(incoming_tid)) return;
+  static const bool trace_kills =
+      std::getenv("GILFREE_TRACE_KILLS") != nullptr;
+  if (trace_kills) {
+    std::fprintf(stderr, "[kill] cpu=%u owner=%d incoming=%u\n", cpu, owner,
+                 incoming_tid);
+  }
+  SchedThread& victim = threads_[static_cast<u32>(owner)];
+  htm_->force_abort(cpu, AbortReason::kInterrupt);
+  victim.tx_vanished = true;
+  cpu_tx_tid_[cpu] = -1;
+  ++ctx_switch_aborts_;
+}
+
+bool Engine::gil_try_acquire_or_enqueue(SchedThread& st) {
+  ensure_cpu_tx_free(st.cpu, st.vm->tid());
+  const Cycles now = machine_->clock(st.cpu);
+  if (gil_->try_acquire(st.cpu, st.vm->tid(), now)) {
+    st.holds_gil = true;
+    if (config_.mode == SyncMode::kHtm) ++gil_fallbacks_;
+    charge_bucket(st, Bucket::kGilHeld,
+                  config_.profile.machine.cost.gil_acquire);
+    return true;
+  }
+  gil_->enqueue_waiter(st.vm->tid());
+  st.status = ThreadStatus::kWaitGil;
+  st.gil_wait_since = now;
+  machine_->set_busy(st.cpu, false);
+  return false;
+}
+
+void Engine::gil_release_and_handoff(SchedThread& st) {
+  charge_bucket(st, Bucket::kGilHeld,
+                config_.profile.machine.cost.gil_release);
+  const Cycles now = machine_->clock(st.cpu);
+  const i32 head = gil_->release(st.cpu, st.vm->tid(), now);
+  st.holds_gil = false;
+  if (head < 0) return;
+
+  // Direct hand-off to the head waiter.
+  SchedThread& next = threads_[static_cast<u32>(head)];
+  ensure_cpu_tx_free(next.cpu, next.vm->tid());
+  gil_->remove_waiter(static_cast<u32>(head));
+  machine_->advance_to(next.cpu,
+                       now + config_.profile.machine.cost.wakeup_latency);
+  const bool ok = gil_->try_acquire(next.cpu, static_cast<u32>(head),
+                                    machine_->clock(next.cpu));
+  GILFREE_CHECK(ok);
+  next.holds_gil = true;
+  if (config_.mode == SyncMode::kHtm) ++gil_fallbacks_;
+  next.status = ThreadStatus::kRunnable;
+  machine_->set_busy(next.cpu, true);
+  const Cycles since = next.gil_wait_since;
+  const Cycles waited_until = machine_->clock(next.cpu);
+  next.breakdown.gil_wait += waited_until > since ? waited_until - since : 0;
+  charge_bucket(next, Bucket::kGilHeld,
+                config_.profile.machine.cost.gil_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// HTM engine (TLE, §4)
+// ---------------------------------------------------------------------------
+
+void Engine::step_htm_mode(SchedThread& st) {
+  // A context switch killed this thread's transaction while it was off-CPU.
+  if (st.in_tx && st.tx_vanished) {
+    st.tx_vanished = false;
+    handle_abort(st, AbortReason::kInterrupt);
+    return;
+  }
+  st.tx_vanished = false;
+
+  // Futex-style retry of a blocking builtin: run the one instruction
+  // outside transaction and GIL (its accesses are non-transactional and
+  // doom conflicting transactions, like any coherency traffic).
+  if (st.resume_nontx) {
+    st.resume_nontx = false;
+    GILFREE_CHECK(!st.in_tx);
+    if (!st.holds_gil) {
+      execute_insn(st);
+      if (st.status == ThreadStatus::kRunnable && !st.in_tx &&
+          !st.holds_gil && st.pending_begin_yp < -1 && !st.vm->finished()) {
+        // Completed: resume transactional execution at the next insn.
+        st.pending_begin_yp = -1;
+        st.pending_spin = false;
+      }
+      return;
+    }
+    // Handed the GIL while parked: continue under it below.
+  }
+
+  // A deferred transaction_begin (thread start, spin-retry) takes this slot.
+  if (st.pending_begin_yp >= -1) {
+    const i32 yp = st.pending_begin_yp;
+    st.pending_begin_yp = -2;
+    if (st.pending_spin) {
+      // spin_and_gil_acquire (Fig. 1 lines 40-45) spins *until the GIL is
+      // released*, then the caller retries transactionally. Waking with the
+      // GIL still held means we keep spinning — blocking acquisition happens
+      // only when the abort path exhausts its retries.
+      if (st.holds_gil) {  // handed the GIL while parked
+        st.pending_spin = false;
+        return;
+      }
+      if (gil_->is_acquired()) {
+        st.pending_begin_yp = yp;
+        park(st, config_.tle.spin_wait_cycles, /*is_io=*/false);
+        return;
+      }
+      st.pending_spin = false;
+      st.skip_yield_once = true;
+      (void)attempt_tx(st);
+      return;
+    }
+    transaction_begin(st, yp);
+    return;
+  }
+  GILFREE_CHECK_MSG(st.in_tx || st.holds_gil,
+                    "HTM-mode thread stepping outside tx and GIL");
+
+  const vm::Insn& in = interp_->current_insn(*st.vm);
+  bool is_yield_point =
+      in.yp >= 0 && (config_.vm.extended_yield_points ||
+                     !vm::is_extended_yield_op(in.op));
+  if (st.skip_yield_once) {
+    st.skip_yield_once = false;
+    is_yield_point = false;
+  }
+  if (is_yield_point) {
+    charge(config_.profile.machine.cost.yield_check +
+           config_.profile.machine.cost.tls_access);
+    try {
+      transaction_yield(st, in.yp);
+    } catch (const TxAbort& ab) {
+      handle_abort(st, ab.reason);
+      return;
+    }
+    if (!(st.in_tx || st.holds_gil)) return;  // begin parked / queued
+  }
+  execute_insn(st);
+}
+
+void Engine::transaction_yield(SchedThread& st, i32 yp) {
+  // Fig. 2 lines 8-16.
+  if (count_live_threads() <= 1) return;
+  u64* counter = heap_->tcb_slot(st.vm->tid(), vm::kTcbYieldCounter);
+  const u64 cnt = mem_load(counter, true);
+  if (cnt <= 1) {
+    transaction_end(st);
+    if (st.in_tx || st.holds_gil) return;  // commit failed → abort path ran
+    transaction_begin(st, yp);
+  } else {
+    mem_store(counter, cnt - 1, true);
+  }
+}
+
+void Engine::transaction_begin(SchedThread& st, i32 yp) {
+  // The instruction at the begin point runs inside the new context without
+  // re-triggering its own yield point (Fig. 1's transaction_retry label is
+  // below the yield logic).
+  st.skip_yield_once = true;
+
+  // A GIL hand-off can land while a begin was pending; the fallback
+  // execution then simply proceeds under the GIL.
+  if (st.holds_gil) return;
+
+  // Fig. 1 lines 2-3: single-threaded execution keeps the GIL.
+  if (count_live_threads() <= 1) {
+    if (!st.holds_gil) {
+      if (!gil_try_acquire_or_enqueue(st)) {
+        st.pending_begin_yp = yp;  // re-begin once the GIL arrives
+      }
+    }
+    return;
+  }
+
+  // Fig. 1 line 5 (+ Fig. 3): runs once per begin, not per retry.
+  st.tx_yp = yp;
+  st.tx_length = length_table_->set_transaction_length(yp);
+  st.transient_retry_counter = config_.tle.transient_retry_max;
+  st.gil_retry_counter = config_.tle.gil_retry_max;
+  st.first_retry = true;
+  // Publish the planned length to the thread structure (Fig. 2 line 10's
+  // counter). Non-transactional store; false-shares when TCBs are packed.
+  ensure_cpu_tx_free(st.cpu, st.vm->tid());
+  if (htm_) {
+    htm_->nontx_store(st.cpu, heap_->tcb_slot(st.vm->tid(),
+                                              vm::kTcbYieldCounter),
+                      st.tx_length);
+  } else {
+    *heap_->tcb_slot(st.vm->tid(), vm::kTcbYieldCounter) = st.tx_length;
+  }
+
+  // Fig. 1 lines 6-8: optimization — wait for a GIL release before TBEGIN.
+  if (gil_->is_acquired()) {
+    st.pending_begin_yp = yp;
+    st.pending_spin = true;
+    park(st, config_.tle.spin_wait_cycles, /*is_io=*/false);
+    return;
+  }
+
+  (void)attempt_tx(st);
+}
+
+bool Engine::attempt_tx(SchedThread& st) {
+  ++transactions_started_;
+  const AbortReason begin_result = htm_->tx_begin(st.cpu);
+  if (begin_result != AbortReason::kNone) {
+    handle_abort(st, begin_result);
+    return false;
+  }
+  charge_bucket(st, Bucket::kBeginEnd, config_.profile.machine.cost.tbegin);
+  st.in_tx = true;
+  st.tx_vanished = false;
+  st.tx_snapshot = st.vm->regs();
+  st.tx_pending_cycles = 0;
+  cpu_tx_tid_[st.cpu] = static_cast<i32>(st.vm->tid());
+  GILFREE_CHECK(!st.vm->finished());
+
+  try {
+    // Fig. 1 lines 14-15: the GIL word joins the read set; abort now if it
+    // is already held.
+    const u64 gil_word = htm_->tx_load(st.cpu, heap_->gil_word(), true);
+    if (gil_word != 0) {
+      htm_->tx_abort(st.cpu, AbortReason::kExplicit);
+      throw TxAbort{AbortReason::kExplicit};
+    }
+    // §4.4 (a): the interpreter re-points its "running thread" variable at
+    // every transaction begin — globally (conflict storm) or thread-locally.
+    if (config_.vm.thread_local_current_thread) {
+      htm_->tx_store(st.cpu,
+                     heap_->tcb_slot(st.vm->tid(), vm::kTcbCurrentThread),
+                     st.vm->tid() + 1, true);
+    } else {
+      htm_->tx_store(st.cpu, heap_->current_thread_global(),
+                     st.vm->tid() + 1, true);
+    }
+  } catch (const TxAbort& ab) {
+    handle_abort(st, ab.reason);
+    return false;
+  }
+  return true;
+}
+
+void Engine::transaction_end(SchedThread& st) {
+  // Fig. 2 lines 1-4.
+  if (st.holds_gil) {
+    gil_release_and_handoff(st);
+    return;
+  }
+  GILFREE_CHECK(st.in_tx);
+  charge_bucket(st, Bucket::kBeginEnd, config_.profile.machine.cost.tend);
+  const AbortReason reason = htm_->tx_commit(st.cpu);
+  if (reason != AbortReason::kNone) {
+    handle_abort(st, reason);
+    return;
+  }
+  st.in_tx = false;
+  if (cpu_tx_tid_[st.cpu] == static_cast<i32>(st.vm->tid()))
+    cpu_tx_tid_[st.cpu] = -1;
+  st.breakdown.tx_success += st.tx_pending_cycles;
+  st.tx_pending_cycles = 0;
+}
+
+void Engine::handle_abort(SchedThread& st, AbortReason reason) {
+  // Roll the interpreter back to the TBEGIN snapshot; the HTM facility has
+  // already discarded the speculative stores.
+  if (st.in_tx) {
+    st.vm->regs() = st.tx_snapshot;
+    if (st.vm->finished()) st.vm->clear_finished();
+    st.in_tx = false;
+    if (cpu_tx_tid_[st.cpu] == static_cast<i32>(st.vm->tid()))
+      cpu_tx_tid_[st.cpu] = -1;
+  }
+  // Execution resumes at the TBEGIN snapshot, i.e. at the yield-point
+  // instruction whose yield was already consumed.
+  st.skip_yield_once = true;
+  st.breakdown.tx_aborted +=
+      st.tx_pending_cycles + config_.profile.machine.cost.abort_penalty;
+  machine_->advance(st.cpu, config_.profile.machine.cost.abort_penalty);
+  st.tx_pending_cycles = 0;
+
+  // Fig. 1 lines 17-20: adjust on the first retry only.
+  if (st.first_retry) {
+    st.first_retry = false;
+    length_table_->adjust_transaction_length(st.tx_yp);
+  }
+
+  // A require_nontx abort must reach the GIL regardless of retry counters.
+  if (st.force_gil) {
+    st.force_gil = false;
+    (void)gil_try_acquire_or_enqueue(st);
+    return;
+  }
+
+  // Fig. 1 lines 21-27: conflict at the GIL.
+  if (gil_->is_acquired()) {
+    --st.gil_retry_counter;
+    if (st.gil_retry_counter > 0) {
+      // spin_and_gil_acquire: wait a little; retry transactionally if the
+      // GIL got released, else fall through to a blocking acquisition.
+      st.pending_begin_yp = st.tx_yp;
+      st.pending_spin = true;
+      park(st, config_.tle.spin_wait_cycles, /*is_io=*/false);
+      return;
+    }
+    (void)gil_try_acquire_or_enqueue(st);
+    return;
+  }
+
+  // Fig. 1 lines 28-29.
+  if (htm::is_persistent(reason)) {
+    (void)gil_try_acquire_or_enqueue(st);
+    return;
+  }
+
+  // Fig. 1 lines 31-35: transient retry.
+  --st.transient_retry_counter;
+  if (st.transient_retry_counter > 0) {
+    (void)attempt_tx(st);
+    return;
+  }
+  (void)gil_try_acquire_or_enqueue(st);
+}
+
+// ---------------------------------------------------------------------------
+// FineGrained / Unsynced engines
+// ---------------------------------------------------------------------------
+
+void Engine::step_free_mode(SchedThread& st) { execute_insn(st); }
+
+// ---------------------------------------------------------------------------
+// Instruction execution (all modes)
+// ---------------------------------------------------------------------------
+
+void Engine::execute_insn(SchedThread& st) {
+  const vm::Insn& in = interp_->current_insn(*st.vm);
+  charge(config_.profile.machine.cost.dispatch + vm::op_extra_cost(in.op));
+  try {
+    interp_->step(*st.vm);
+  } catch (const TxAbort& ab) {
+    handle_abort(st, ab.reason);
+    return;
+  } catch (const ParkRequest& pr) {
+    // Rewind to re-execute the blocking instruction after waking; its yield
+    // point was already consumed on the way in.
+    GILFREE_CHECK(!st.in_tx);
+    st.vm->regs().pc -= 1;
+    st.skip_yield_once = true;
+    if (pr.wake_on_thread_exit >= 0 &&
+        !threads_[static_cast<u32>(pr.wake_on_thread_exit)].vm->finished()) {
+      st.join_target = pr.wake_on_thread_exit;
+      park(st, ~Cycles{0} / 4, pr.is_io);  // woken by the exit event
+    } else {
+      park(st, pr.delay, pr.is_io);
+    }
+    if (config_.mode == SyncMode::kHtm) {
+      // Blocking primitives wait futex-style: the retry runs outside both
+      // transaction and GIL instead of reacquiring the GIL per poll.
+      st.reacquire_gil = false;
+      st.resume_nontx = true;
+    }
+    return;
+  }
+  if (st.vm->finished()) on_finished(st);
+}
+
+void Engine::on_finished(SchedThread& st) {
+  if (st.in_tx) {
+    transaction_end(st);
+    if (st.in_tx || !st.vm->finished()) return;  // commit failed, re-run
+  }
+  if (st.holds_gil) gil_release_and_handoff(st);
+  st.status = ThreadStatus::kFinished;
+  GILFREE_CHECK(live_count_ > 0);
+  --live_count_;
+  machine_->set_busy(st.cpu, false);
+  const u32 my_tid = st.vm->tid();
+  for (std::size_t i = 0; i < active_tids_.size(); ++i) {
+    if (active_tids_[i] == my_tid) {
+      active_tids_[i] = active_tids_.back();
+      active_tids_.pop_back();
+      break;
+    }
+  }
+
+  // Wake joiners blocked on this thread's exit.
+  const i32 self_tid = static_cast<i32>(st.vm->tid());
+  const Cycles now = machine_->clock(st.cpu);
+  for (auto& other : threads_) {
+    if (other.status == ThreadStatus::kParked &&
+        other.join_target == self_tid) {
+      other.join_target = -1;
+      other.wake_at = now + config_.profile.machine.cost.wakeup_latency;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// vm::Host implementation
+// ---------------------------------------------------------------------------
+
+void Engine::charge_bucket(SchedThread& st, Bucket b, Cycles c) {
+  const Cycles charged = machine_->advance(st.cpu, c);
+  switch (b) {
+    case Bucket::kTxWork:
+      st.tx_pending_cycles += charged;
+      break;
+    case Bucket::kBeginEnd:
+      st.breakdown.begin_end += charged;
+      break;
+    case Bucket::kGilHeld:
+      st.breakdown.gil_held += charged;
+      break;
+    case Bucket::kOther:
+      st.breakdown.other += charged;
+      break;
+  }
+}
+
+void Engine::charge(Cycles c) {
+  SchedThread& st = cur();
+  if (st.in_tx) {
+    charge_bucket(st, Bucket::kTxWork, c);
+  } else if (st.holds_gil) {
+    charge_bucket(st, Bucket::kGilHeld, c);
+  } else {
+    charge_bucket(st, Bucket::kOther, c);
+  }
+}
+
+u64 Engine::mem_load(const u64* p, bool shared) {
+  charge(config_.profile.machine.cost.mem_access);
+  SchedThread& st = cur();
+  if (htm_ && st.in_tx) return htm_->tx_load(st.cpu, p, shared);
+  if (htm_) return htm_->nontx_load(st.cpu, p);
+  return *p;
+}
+
+void Engine::mem_store(u64* p, u64 v, bool shared) {
+  charge(config_.profile.machine.cost.mem_access);
+  SchedThread& st = cur();
+  if (htm_ && st.in_tx) {
+    htm_->tx_store(st.cpu, p, v, shared);
+    return;
+  }
+  if (htm_) {
+    htm_->nontx_store(st.cpu, p, v);
+    return;
+  }
+  *p = v;
+}
+
+void Engine::require_nontx(const char* why) {
+  (void)why;
+  SchedThread& st = cur();
+  if (!st.in_tx) return;
+  // Restricted operation inside a transaction: persistent abort, and the
+  // retry must go straight to the GIL (a transactional retry would hit the
+  // same instruction again).
+  st.force_gil = true;
+  htm_->tx_abort(st.cpu, AbortReason::kUnsupported);
+  throw TxAbort{AbortReason::kUnsupported};
+}
+
+void Engine::full_gc() {
+  SchedThread& self = cur();
+  GILFREE_CHECK(!self.in_tx);
+  // Stop the world: every in-flight transaction is doomed before the
+  // collector mutates memory (a GIL acquisition would have doomed them via
+  // the GIL-word conflict; a GIL-less trigger must do it explicitly).
+  if (htm_) htm_->doom_all(kInvalidCpu, AbortReason::kConflict);
+  const Cycles cost = heap_->run_gc(collect_roots());
+  charge(cost);
+  (void)self;
+}
+
+vm::Heap::RootSet Engine::collect_roots() {
+  vm::Heap::RootSet roots;
+  for (const auto& t : threads_) {
+    // For threads rolled back on their next step, the consistent stack
+    // extent is the TBEGIN snapshot (speculative writes never reached
+    // memory).
+    const u64 sp = t.in_tx ? t.tx_snapshot.sp : t.vm->regs().sp;
+    roots.ranges.emplace_back(t.vm->stack_base(),
+                              static_cast<std::size_t>(sp));
+    roots.values.push_back(t.vm->thread_object);
+  }
+  roots.values.push_back(interp_->main_object());
+  for (const vm::Value& v : interp_->literals()) roots.values.push_back(v);
+  for (vm::ClassId c = 0; c < classes_->num_classes(); ++c)
+    roots.values.push_back(classes_->class_object(c));
+  for (const vm::Value& v : temp_roots_) roots.values.push_back(v);
+  return roots;
+}
+
+vm::Value Engine::spawn_thread(vm::Value proc_val,
+                               std::vector<vm::Value> args) {
+  SchedThread& creator = cur();
+  GILFREE_CHECK(!creator.in_tx);
+  const u32 tid = static_cast<u32>(threads_.size());
+  GILFREE_CHECK_MSG(tid < heap_->config().max_threads,
+                    "too many VM threads");
+
+  const u32 chosen_cpu = pick_cpu();
+  threads_.emplace_back();
+  active_tids_.push_back(tid);
+  ++live_count_;
+  SchedThread& st = threads_.back();
+  st.vm = std::make_unique<vm::VmThread>(tid, config_.stack_slots);
+  st.cpu = chosen_cpu;
+
+  // Allocate the Thread object while `proc_val` is still rooted on the
+  // creator's stack.
+  temp_roots_.push_back(proc_val);
+  const u32 saved_tid = current_tid_;
+  st.vm->thread_object = heap_->new_thread_object(*this, tid);
+  current_tid_ = saved_tid;
+  temp_roots_.pop_back();
+
+  interp_->init_proc_frame(*st.vm, proc_val, args);
+
+  switch (config_.mode) {
+    case SyncMode::kGil:
+      st.status = ThreadStatus::kWaitGil;
+      gil_->enqueue_waiter(tid);
+      st.gil_wait_since = machine_->clock(creator.cpu);
+      machine_->advance_to(st.cpu, machine_->clock(creator.cpu));
+      break;
+    case SyncMode::kHtm:
+      st.status = ThreadStatus::kRunnable;
+      st.pending_begin_yp = -1;
+      machine_->advance_to(st.cpu, machine_->clock(creator.cpu));
+      machine_->set_busy(st.cpu, true);
+      break;
+    default:
+      st.status = ThreadStatus::kRunnable;
+      machine_->advance_to(st.cpu, machine_->clock(creator.cpu));
+      machine_->set_busy(st.cpu, true);
+      break;
+  }
+  return st.vm->thread_object;
+}
+
+bool Engine::thread_finished(u32 tid) {
+  GILFREE_CHECK(tid < threads_.size());
+  return threads_[tid].vm->finished();
+}
+
+void Engine::write_stdout(std::string_view s) { stdout_.append(s); }
+
+u64 Engine::random_u64() { return rng_.next_u64(); }
+
+void Engine::record_result(std::string_view key, double value) {
+  results_[std::string(key)] = value;
+}
+
+Cycles Engine::now_cycles() { return machine_->clock(cur().cpu); }
+
+i64 Engine::accept_request() {
+  if (!server_) return vm::Host::accept_request();
+  return server_->accept(now_cycles());
+}
+
+std::string Engine::take_request_payload(i64 request_id) {
+  if (!server_) return vm::Host::take_request_payload(request_id);
+  return server_->payload(request_id);
+}
+
+void Engine::respond(i64 request_id, std::string_view payload) {
+  if (!server_) return vm::Host::respond(request_id, payload);
+  server_->respond(request_id, payload, now_cycles());
+}
+
+bool Engine::server_shutdown() {
+  if (!server_) return vm::Host::server_shutdown();
+  return server_->shutdown(now_cycles());
+}
+
+void Engine::internal_allocator_lock(Cycles hold) {
+  if (config_.mode != SyncMode::kFineGrained) return;
+  SchedThread& st = cur();
+  const Cycles now = machine_->clock(st.cpu);
+  if (allocator_busy_until_ > now) {
+    const Cycles wait = allocator_busy_until_ - now;
+    machine_->advance_to(st.cpu, allocator_busy_until_);
+    st.breakdown.gil_wait += wait;  // reported as lock-wait time
+  }
+  charge(hold);
+  allocator_busy_until_ = machine_->clock(st.cpu);
+}
+
+}  // namespace gilfree::runtime

@@ -1,0 +1,217 @@
+// The execution engine: binds the MiniRuby VM to the simulated machine, the
+// HTM facility, the GIL, and the TLE algorithms, and runs the deterministic
+// scheduling loop.
+//
+// One Engine = one program run on one machine configuration. The engine is
+// the vm::Host: every interpreter memory access flows through it and is
+// routed directly (GIL / FineGrained / Unsynced modes) or transactionally
+// (HTM mode, inside transactions).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gil/gil.hpp"
+#include "htm/htm.hpp"
+#include "runtime/options.hpp"
+#include "runtime/run_stats.hpp"
+#include "sim/machine.hpp"
+#include "tle/length_table.hpp"
+#include "vm/class_registry.hpp"
+#include "vm/compiler.hpp"
+#include "vm/heap.hpp"
+#include "vm/interp.hpp"
+#include "vm/thread.hpp"
+
+namespace gilfree::runtime {
+
+/// Interface of the simulated network/client side of the WEBrick and Rails
+/// experiments (implemented by httpsim). Attached to an engine before run().
+class ServerPort {
+ public:
+  virtual ~ServerPort() = default;
+  /// Dequeues a request whose arrival time is <= now; -1 when none.
+  virtual i64 accept(Cycles now) = 0;
+  virtual std::string payload(i64 request_id) = 0;
+  virtual void respond(i64 request_id, std::string_view body, Cycles now) = 0;
+  /// True when every request has been issued and completed.
+  virtual bool shutdown(Cycles now) = 0;
+};
+
+class Engine : public vm::Host {
+ public:
+  explicit Engine(EngineConfig config);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Compiles prelude + sources and boots the VM. Call exactly once.
+  void load_program(const std::vector<std::string>& sources);
+
+  /// Runs until every VM thread finishes. Throws vm::RubyError on Ruby
+  /// errors and CheckFailure on engine invariant violations.
+  RunStats run();
+
+  const EngineConfig& config() const { return config_; }
+  sim::Machine& machine() { return *machine_; }
+  htm::HtmFacility* htm() { return htm_ ? htm_.get() : nullptr; }
+  vm::Interp& interp() { return *interp_; }
+  vm::Heap& heap() { return *heap_; }
+  vm::Program& program() { return *program_; }
+  tle::LengthTable* length_table() {
+    return length_table_ ? length_table_.get() : nullptr;
+  }
+
+  // --- vm::Host --------------------------------------------------------------
+  u64 mem_load(const u64* p, bool shared) override;
+  void mem_store(u64* p, u64 v, bool shared) override;
+  void charge(Cycles c) override;
+  void require_nontx(const char* why) override;
+  void full_gc() override;
+  u32 current_tid() override { return current_tid_; }
+  vm::Value spawn_thread(vm::Value proc_val,
+                         std::vector<vm::Value> args) override;
+  bool thread_finished(u32 tid) override;
+  void write_stdout(std::string_view s) override;
+  u64 random_u64() override;
+  void record_result(std::string_view key, double value) override;
+  Cycles now_cycles() override;
+  void internal_allocator_lock(Cycles hold) override;
+
+  /// Server-simulation hooks delegate to the attached port.
+  void attach_server(ServerPort* port) { server_ = port; }
+  i64 accept_request() override;
+  std::string take_request_payload(i64 request_id) override;
+  void respond(i64 request_id, std::string_view payload) override;
+  bool server_shutdown() override;
+
+ private:
+  enum class ThreadStatus : u8 {
+    kRunnable,
+    kWaitGil,   ///< Enqueued on the GIL; woken by direct hand-off.
+    kParked,    ///< Sleeping until wake_at (I/O, poll, TLE spin-wait).
+    kFinished,
+  };
+
+  /// Which cycle bucket charges currently land in.
+  enum class Bucket : u8 { kOther, kTxWork, kGilHeld, kBeginEnd };
+
+  struct SchedThread {
+    std::unique_ptr<vm::VmThread> vm;
+    ThreadStatus status = ThreadStatus::kRunnable;
+    CpuId cpu = 0;
+    Cycles wake_at = 0;
+    Cycles parked_since = 0;
+    bool parked_for_io = false;
+    i32 join_target = -1;  ///< Parked until this thread exits.
+    bool holds_gil = false;
+    bool reacquire_gil = false;  ///< Reacquire the GIL after waking.
+    Cycles gil_wait_since = 0;
+
+    // TLE state (Fig. 1).
+    bool in_tx = false;
+    vm::ThreadRegs tx_snapshot;
+    i32 tx_yp = -1;
+    u32 tx_length = 0;
+    i32 transient_retry_counter = 0;
+    i32 gil_retry_counter = 0;
+    bool first_retry = true;
+    bool force_gil = false;      ///< require_nontx aborted: go straight to GIL.
+    i32 pending_begin_yp = -2;   ///< >= -1: a transaction_begin is pending.
+    bool pending_spin = false;   ///< Pending begin is a spin_and_gil_acquire
+                                 ///< retry: on wake, TBEGIN if the GIL got
+                                 ///< released, else acquire it.
+    bool resume_nontx = false;  ///< Woken from a blocking-builtin park (HTM
+                                ///< mode): re-execute the instruction
+                                ///< outside both tx and GIL, like CRuby's
+                                ///< futex-based primitives that never touch
+                                ///< the GVL while waiting.
+    bool tx_vanished = false;  ///< The hardware transaction was killed by a
+                               ///< context switch while this thread was off
+                               ///< the CPU; process the abort on resume.
+    bool skip_yield_once = false;  ///< The current instruction's yield point
+                                   ///< was already consumed (a transaction
+                                   ///< just began / was rolled back there);
+                                   ///< Fig. 2's retry label is after the
+                                   ///< yield logic.
+
+    CycleBreakdown breakdown;
+    Cycles tx_pending_cycles = 0;  ///< Work since TBEGIN, bucketed at commit.
+  };
+
+  // Scheduling loop.
+  i32 pick_next();
+  void step_thread(u32 tid);
+  void step_gil_mode(SchedThread& st);
+  void step_htm_mode(SchedThread& st);
+  void step_free_mode(SchedThread& st);
+  void execute_insn(SchedThread& st);
+  void on_finished(SchedThread& st);
+  u32 count_live_threads() const;
+  u32 pick_cpu() const;
+
+  // GIL management.
+  void ensure_cpu_tx_free(CpuId cpu, u32 incoming_tid);
+  bool gil_try_acquire_or_enqueue(SchedThread& st);
+  void gil_release_and_handoff(SchedThread& st);
+  void gil_yield(SchedThread& st);
+
+  // TLE (Fig. 1 / Fig. 2).
+  void transaction_begin(SchedThread& st, i32 yp);
+  bool attempt_tx(SchedThread& st);  ///< TBEGIN + GIL read + thread globals.
+  void transaction_end(SchedThread& st);
+  void transaction_yield(SchedThread& st, i32 yp);
+  void handle_abort(SchedThread& st, htm::AbortReason reason);
+  void park(SchedThread& st, Cycles delay, bool is_io);
+  void unpark(SchedThread& st);
+
+  void charge_bucket(SchedThread& st, Bucket b, Cycles c);
+  SchedThread& cur() { return threads_[current_tid_]; }
+
+  vm::Heap::RootSet collect_roots();
+
+  EngineConfig config_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<htm::HtmFacility> htm_;
+  std::unique_ptr<vm::Program> program_;
+  std::unique_ptr<vm::ClassRegistry> classes_;
+  std::unique_ptr<vm::Heap> heap_;
+  std::unique_ptr<vm::Interp> interp_;
+  std::unique_ptr<gil::Gil> gil_;
+  std::unique_ptr<tle::LengthTable> length_table_;
+  Rng rng_;
+
+  // deque: stable references across spawn_thread growth mid-step.
+  std::deque<SchedThread> threads_;
+  /// Unfinished thread ids — keeps the scheduler O(live), not O(ever
+  /// created), which matters for thread-per-request servers.
+  std::vector<u32> active_tids_;
+  std::vector<vm::Value> temp_roots_;
+  u32 live_count_ = 0;
+  u32 current_tid_ = 0;
+  ServerPort* server_ = nullptr;
+  /// Which thread's transaction occupies each CPU's HTM state (-1 none).
+  std::vector<i32> cpu_tx_tid_;
+  Bucket current_bucket_ = Bucket::kOther;
+  bool loaded_ = false;
+  bool running_ = false;
+
+  Cycles next_timer_deadline_ = 0;
+  Cycles allocator_busy_until_ = 0;  ///< FineGrained internal-lock timeline.
+
+  u64 transactions_started_ = 0;
+  u64 ctx_switch_aborts_ = 0;
+  u64 gil_fallbacks_ = 0;
+  u64 live_peak_ = 0;
+
+  std::string stdout_;
+  std::map<std::string, double> results_;
+};
+
+}  // namespace gilfree::runtime

@@ -1,0 +1,59 @@
+// Engine configuration: which synchronization engine runs the interpreter,
+// on which simulated machine, with which paper options.
+#pragma once
+
+#include "htm/profile.hpp"
+#include "tle/tle_config.hpp"
+#include "vm/heap.hpp"
+#include "vm/options.hpp"
+
+namespace gilfree::runtime {
+
+enum class SyncMode : u8 {
+  kGil,          ///< Original CRuby: Giant VM Lock, timer-driven yields.
+  kHtm,          ///< TLE with HTM (fixed or dynamic transaction lengths).
+  kFineGrained,  ///< JRuby-like: no GIL, internal fine-grained locks.
+  kUnsynced,     ///< Java-NPB-like: thread-local internals, app-level sync.
+};
+
+constexpr std::string_view sync_mode_name(SyncMode m) {
+  switch (m) {
+    case SyncMode::kGil: return "GIL";
+    case SyncMode::kHtm: return "HTM";
+    case SyncMode::kFineGrained: return "FineGrained";
+    case SyncMode::kUnsynced: return "Unsynced";
+  }
+  return "?";
+}
+
+struct EngineConfig {
+  SyncMode mode = SyncMode::kHtm;
+  htm::SystemProfile profile = htm::SystemProfile::zec12();
+  vm::HeapConfig heap;
+  vm::VmOptions vm;
+  tle::TleConfig tle;
+  u64 seed = 0x6112024;
+
+  /// GIL-mode timer quantum (§3.2: 250 ms real; scaled to the simulator's
+  /// shorter runs — the ratio to run length is what matters).
+  Cycles gil_quantum = 1'000'000;
+
+  /// VM-thread stack size in slots.
+  u32 stack_slots = 1u << 16;
+
+  /// Cost of one fine-grained internal lock section (FineGrained mode).
+  Cycles internal_lock_cycles = 120;
+
+  /// Hard cap on total retired instructions (safety net against deadlocks
+  /// in buggy workloads); 0 = unlimited.
+  u64 max_insns = 0;
+
+  /// Convenience: paper configurations.
+  static EngineConfig gil(htm::SystemProfile p);
+  static EngineConfig htm_fixed(htm::SystemProfile p, i32 length);
+  static EngineConfig htm_dynamic(htm::SystemProfile p);
+  static EngineConfig fine_grained(htm::SystemProfile p);
+  static EngineConfig unsynced(htm::SystemProfile p);
+};
+
+}  // namespace gilfree::runtime

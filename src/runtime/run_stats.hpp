@@ -1,0 +1,72 @@
+// Aggregate statistics of one engine run — everything the paper's figures
+// report: throughput (virtual time), abort ratios by reason, the Fig. 8
+// cycle breakdown, GC and inline-cache counters.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+#include "gil/gil.hpp"
+#include "htm/htm.hpp"
+#include "vm/heap.hpp"
+#include "vm/interp.hpp"
+
+namespace gilfree::runtime {
+
+/// Fig. 8 cycle buckets.
+struct CycleBreakdown {
+  Cycles begin_end = 0;     ///< TBEGIN/TEND instructions + surrounding code.
+  Cycles tx_success = 0;    ///< Work inside committed transactions.
+  Cycles tx_aborted = 0;    ///< Work discarded by aborts (incl. penalty).
+  Cycles gil_held = 0;      ///< Execution with the GIL acquired.
+  Cycles gil_wait = 0;      ///< Waiting/spinning for the GIL.
+  Cycles blocked_io = 0;    ///< Parked in blocking operations.
+  Cycles other = 0;         ///< Boot, non-classified.
+
+  Cycles total() const {
+    return begin_end + tx_success + tx_aborted + gil_held + gil_wait +
+           blocked_io + other;
+  }
+  void merge(const CycleBreakdown& o) {
+    begin_end += o.begin_end;
+    tx_success += o.tx_success;
+    tx_aborted += o.tx_aborted;
+    gil_held += o.gil_held;
+    gil_wait += o.gil_wait;
+    blocked_io += o.blocked_io;
+    other += o.other;
+  }
+};
+
+struct RunStats {
+  Cycles total_cycles = 0;       ///< Machine-wide virtual time at the end.
+  double virtual_seconds = 0.0;
+  u64 insns_retired = 0;
+  u64 live_thread_peak = 0;
+
+  htm::HtmStats htm;
+  gil::GilStats gil;
+  CycleBreakdown breakdown;
+  vm::GcStats gc;
+  vm::InterpStats interp;
+
+  u64 transactions_started = 0;  ///< TLE-level begins (excl. GIL fallbacks).
+  u64 ctx_switch_aborts = 0;     ///< Transactions killed by context switches.
+  u64 gil_fallbacks = 0;         ///< Times execution reverted to the GIL.
+  u64 length_adjustments = 0;
+  double fraction_length_one = 0.0;
+
+  std::map<std::string, double> results;  ///< __record'ed values.
+  std::string output;                     ///< puts/print output.
+
+  /// Abort ratio as the paper reports it: aborts / transaction begins.
+  double abort_ratio() const {
+    return htm.begins == 0
+               ? 0.0
+               : static_cast<double>(htm.total_aborts()) /
+                     static_cast<double>(htm.begins);
+  }
+};
+
+}  // namespace gilfree::runtime

@@ -1,0 +1,78 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gilfree::sim {
+
+Machine::Machine(MachineConfig config) : config_(std::move(config)) {
+  GILFREE_CHECK(config_.cores > 0);
+  GILFREE_CHECK(config_.smt_per_core == 1 || config_.smt_per_core == 2);
+  GILFREE_CHECK((config_.line_bytes & (config_.line_bytes - 1)) == 0);
+  clocks_.assign(num_cpus(), 0);
+  busy_.assign(num_cpus(), false);
+}
+
+CpuId Machine::sibling_of(CpuId cpu) const {
+  if (config_.smt_per_core == 1) return kInvalidCpu;
+  // CPUs are numbered round-robin over cores: cpu k lives on core k % cores,
+  // so the sibling is cpu ± cores.
+  return cpu < config_.cores ? cpu + config_.cores : cpu - config_.cores;
+}
+
+Cycles Machine::advance(CpuId cpu, Cycles cycles) {
+  Cycles charged = cycles;
+  if (smt_contended(cpu)) {
+    charged = static_cast<Cycles>(
+        static_cast<double>(cycles) * config_.cost.smt_slowdown);
+  }
+  clocks_.at(cpu) += charged;
+  return charged;
+}
+
+void Machine::advance_to(CpuId cpu, Cycles t) {
+  clocks_.at(cpu) = std::max(clocks_.at(cpu), t);
+}
+
+bool Machine::smt_contended(CpuId cpu) const {
+  const CpuId sib = sibling_of(cpu);
+  return sib != kInvalidCpu && busy_.at(sib) && busy_.at(cpu);
+}
+
+Cycles Machine::global_time() const {
+  Cycles t = 0;
+  for (Cycles c : clocks_) t = std::max(t, c);
+  return t;
+}
+
+void Machine::reset() {
+  std::fill(clocks_.begin(), clocks_.end(), 0);
+  std::fill(busy_.begin(), busy_.end(), false);
+}
+
+MachineConfig zec12_machine() {
+  MachineConfig m;
+  m.name = "zEC12";
+  m.cores = 12;
+  m.smt_per_core = 1;
+  m.line_bytes = 256;
+  m.ghz = 5.5;
+  // §5.6: pthread_getspecific is unoptimized under z/OS USS and accounted
+  // for ~9% of execution cycles; model it as an expensive TLS read.
+  m.cost.tls_access = 9;
+  return m;
+}
+
+MachineConfig xeon_e3_machine() {
+  MachineConfig m;
+  m.name = "XeonE3-1275v3";
+  m.cores = 4;
+  m.smt_per_core = 2;
+  m.line_bytes = 64;
+  m.ghz = 3.5;
+  m.cost.tls_access = 2;
+  return m;
+}
+
+}  // namespace gilfree::sim

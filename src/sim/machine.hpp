@@ -1,0 +1,89 @@
+// The simulated multi-core machine: topology (cores × SMT), per-hardware-
+// thread cycle clocks, and cycle accounting with SMT contention.
+//
+// The machine knows nothing about Ruby, the GIL, or HTM; it only provides
+// virtual CPUs whose local clocks the engine advances. The engine's event
+// loop always steps the runnable CPU with the smallest local clock, which
+// makes the interleaving deterministic and (approximately) causally
+// consistent: an event at virtual time t can only be observed by accesses at
+// times >= t.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/cost_model.hpp"
+
+namespace gilfree::sim {
+
+struct MachineConfig {
+  std::string name = "generic";
+  u32 cores = 4;
+  u32 smt_per_core = 1;   ///< Hardware threads per core (1 or 2).
+  u32 line_bytes = 64;    ///< Cache-line size (conflict granularity).
+  double ghz = 3.0;       ///< Converts cycles to virtual seconds.
+  CostModel cost;
+
+  u32 num_cpus() const { return cores * smt_per_core; }
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  const MachineConfig& config() const { return config_; }
+  u32 num_cpus() const { return config_.num_cpus(); }
+
+  /// Physical core of a hardware thread. SMT siblings share a core.
+  u32 core_of(CpuId cpu) const { return cpu % config_.cores; }
+
+  /// The SMT sibling of `cpu`, or kInvalidCpu when smt_per_core == 1.
+  CpuId sibling_of(CpuId cpu) const;
+
+  /// Local clock of a hardware thread.
+  Cycles clock(CpuId cpu) const { return clocks_.at(cpu); }
+
+  /// Charges `cycles` of work to `cpu`, inflated by the SMT slowdown when
+  /// the sibling thread is marked busy. Returns the cycles actually charged.
+  Cycles advance(CpuId cpu, Cycles cycles);
+
+  /// Jump the clock forward to at least `t` (used when a thread blocks and
+  /// is woken by an event at virtual time `t`). Never moves backward.
+  void advance_to(CpuId cpu, Cycles t);
+
+  /// SMT contention accounting: a CPU is "busy" while its mapped software
+  /// thread is executing (not parked).
+  void set_busy(CpuId cpu, bool busy) { busy_.at(cpu) = busy; }
+  bool busy(CpuId cpu) const { return busy_.at(cpu); }
+
+  /// True when both hardware threads of this CPU's core are busy; the HTM
+  /// model halves per-transaction capacity in that case (§5.4).
+  bool smt_contended(CpuId cpu) const;
+
+  /// Virtual seconds corresponding to a cycle count.
+  double seconds(Cycles c) const {
+    return static_cast<double>(c) / (config_.ghz * 1e9);
+  }
+
+  /// Maximum of all CPU clocks — the machine-wide virtual time.
+  Cycles global_time() const;
+
+  void reset();
+
+ private:
+  MachineConfig config_;
+  std::vector<Cycles> clocks_;
+  std::vector<bool> busy_;
+};
+
+/// Machine profile of the 12-core IBM zEC12 LPAR used in the paper (§2.2,
+/// §5.2): one hardware thread per core, 256-byte cache lines, 5.5 GHz, and a
+/// z/OS pthread_getspecific that costs real cycles (§5.6).
+MachineConfig zec12_machine();
+
+/// Machine profile of the Intel Xeon E3-1275 v3: 4 cores x 2 SMT, 64-byte
+/// lines, 3.5 GHz, cheap Linux TLS.
+MachineConfig xeon_e3_machine();
+
+}  // namespace gilfree::sim

@@ -1,0 +1,101 @@
+#include "tle/length_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gilfree::tle {
+
+LengthTable::LengthTable(u32 num_yield_points, const TleConfig& config)
+    : config_(config), n_(num_yield_points + 1) {
+  transaction_length_.assign(n_, 0);  // 0 = not yet initialized (Fig. 3 l.5)
+  transaction_counter_.assign(n_, 0);
+  abort_counter_.assign(n_, 0);
+}
+
+u32 LengthTable::index(i32 yp) const {
+  const u32 i = yp < 0 ? n_ - 1 : static_cast<u32>(yp);
+  GILFREE_CHECK_MSG(i < n_, "yield point id out of range: " << yp);
+  return i;
+}
+
+u32 LengthTable::set_transaction_length(i32 yp) {
+  if (config_.fixed_length > 0) {
+    return static_cast<u32>(config_.fixed_length);  // Fig. 3 lines 2-3
+  }
+  const u32 i = index(yp);
+  if (transaction_length_[i] == 0)
+    transaction_length_[i] = config_.initial_transaction_length;
+  if (transaction_counter_[i] < config_.profiling_period)
+    ++transaction_counter_[i];
+  return transaction_length_[i];
+}
+
+void LengthTable::adjust_transaction_length(i32 yp) {
+  if (config_.fixed_length > 0) return;  // Fig. 3 line 12
+  const u32 i = index(yp);
+  if (transaction_length_[i] <= config_.min_length) return;
+  // Fig. 3 line 14 as printed ("counter <= PROFILING_PERIOD") is vacuous
+  // because line 8 saturates the counter at PROFILING_PERIOD; the evident
+  // intent — and our implementation — is that a yield point which survives a
+  // whole profiling period under the abort threshold reaches steady state
+  // and stops being monitored.
+  if (transaction_counter_[i] >= config_.profiling_period) return;
+  const u32 num_aborts = abort_counter_[i];
+  if (num_aborts <= config_.adjustment_threshold) {
+    abort_counter_[i] = num_aborts + 1;
+    return;
+  }
+  // Shorten and restart the profiling period (Fig. 3 lines 19-21).
+  const u32 shortened = std::max(
+      config_.min_length,
+      static_cast<u32>(static_cast<double>(transaction_length_[i]) *
+                       config_.attenuation_rate));
+  transaction_length_[i] =
+      shortened == transaction_length_[i] && shortened > config_.min_length
+          ? shortened - 1
+          : shortened;
+  transaction_counter_[i] = 0;
+  abort_counter_[i] = 0;
+  ++adjustments_;
+}
+
+u32 LengthTable::length(i32 yp) const {
+  const u32 i = index(yp);
+  return transaction_length_[i] == 0
+             ? (config_.fixed_length > 0
+                    ? static_cast<u32>(config_.fixed_length)
+                    : config_.initial_transaction_length)
+             : transaction_length_[i];
+}
+
+Histogram LengthTable::length_histogram() const {
+  Histogram h(0.0, 260.0, 26);
+  for (u32 i = 0; i < n_; ++i) {
+    if (transaction_length_[i] != 0)
+      h.add(static_cast<double>(transaction_length_[i]));
+  }
+  return h;
+}
+
+double LengthTable::fraction_at_length_one() const {
+  u64 used = 0;
+  u64 at_one = 0;
+  for (u32 i = 0; i < n_; ++i) {
+    if (transaction_length_[i] == 0) continue;
+    ++used;
+    if (transaction_length_[i] == 1) ++at_one;
+  }
+  return used == 0 ? 0.0 : static_cast<double>(at_one) /
+                               static_cast<double>(used);
+}
+
+void LengthTable::reset() {
+  std::fill(transaction_length_.begin(), transaction_length_.end(), 0);
+  std::fill(transaction_counter_.begin(), transaction_counter_.end(), 0);
+  std::fill(abort_counter_.begin(), abort_counter_.end(), 0);
+  adjustments_ = 0;
+}
+
+}  // namespace gilfree::tle

@@ -1,0 +1,64 @@
+// Dynamic per-yield-point transaction-length adjustment (Fig. 3).
+//
+// Each yield point (identified by its compile-time id — the paper's "pc")
+// keeps the length of transactions started there, the number of
+// transactions started during the current profiling period, and the number
+// that aborted. When the abort count exceeds ADJUSTMENT_THRESHOLD before
+// PROFILING_PERIOD transactions have begun, the length is multiplied by
+// ATTENUATION_RATE and the profiling period restarts.
+//
+// The tables are plain (non-transactional) memory, as in the paper: they
+// are written outside transactions (before TBEGIN / in the abort handler),
+// and must survive aborts.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "tle/tle_config.hpp"
+
+namespace gilfree::tle {
+
+class LengthTable {
+ public:
+  /// `num_yield_points` compile-time yield points, plus one pseudo yield
+  /// point (id == num_yield_points) for transactions started at thread
+  /// entry.
+  LengthTable(u32 num_yield_points, const TleConfig& config);
+
+  /// Fig. 3 set_transaction_length: returns the length for a transaction
+  /// about to start at yield point `yp`, and counts it toward the
+  /// profiling period.
+  u32 set_transaction_length(i32 yp);
+
+  /// Fig. 3 adjust_transaction_length: called on the *first* retry of an
+  /// aborted transaction (Fig. 1 lines 17-20).
+  void adjust_transaction_length(i32 yp);
+
+  u32 length(i32 yp) const;
+  u32 num_yield_points() const { return n_; }
+  u64 adjustments() const { return adjustments_; }
+
+  /// Distribution of current lengths over yield points that ever started a
+  /// transaction (the paper reports "40% of the frequently executed yield
+  /// points had the transaction length of 1").
+  Histogram length_histogram() const;
+
+  /// Fraction of used yield points whose current length is exactly 1.
+  double fraction_at_length_one() const;
+
+  void reset();
+
+ private:
+  u32 index(i32 yp) const;
+
+  TleConfig config_;
+  u32 n_;
+  std::vector<u32> transaction_length_;
+  std::vector<u32> transaction_counter_;
+  std::vector<u32> abort_counter_;
+  u64 adjustments_ = 0;
+};
+
+}  // namespace gilfree::tle

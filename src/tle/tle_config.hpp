@@ -1,0 +1,36 @@
+// Constants of the TLE algorithm and the dynamic transaction-length
+// adjustment, with the paper's values (§5.1) as defaults.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gilfree::tle {
+
+struct TleConfig {
+  /// Retries on transient aborts before falling back to the GIL (Fig. 1
+  /// lines 31-35). "It was unlikely that a transaction would ever succeed
+  /// after 3-or-more consecutive transient aborts."
+  i32 transient_retry_max = 3;
+
+  /// Spin-then-retry rounds while the GIL is held before forcibly acquiring
+  /// it (Fig. 1 lines 21-27). "A thread should wait more patiently for the
+  /// GIL release."
+  i32 gil_retry_max = 16;
+
+  /// Fixed transaction length (HTM-1 / HTM-16 / HTM-256 configurations);
+  /// -1 selects the dynamic adjustment (HTM-dynamic).
+  i32 fixed_length = -1;
+
+  /// Fig. 3 constants.
+  u32 initial_transaction_length = 255;
+  u32 profiling_period = 300;
+  u32 adjustment_threshold = 3;  ///< 3 on zEC12 (1%), 18 on Xeon (6%).
+  double attenuation_rate = 0.75;
+  u32 min_length = 1;
+
+  /// Cycles spent spinning per round while waiting for a GIL release
+  /// (spin_and_gil_acquire, Fig. 1 lines 40-45).
+  Cycles spin_wait_cycles = 400;
+};
+
+}  // namespace gilfree::tle

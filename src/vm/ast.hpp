@@ -1,0 +1,69 @@
+// Abstract syntax tree of the MiniRuby subset. One node type with a kind
+// tag keeps the parser and compiler compact.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gilfree::vm {
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  enum class Kind : u8 {
+    // Literals.
+    kIntLit, kFloatLit, kStrLit, kSymLit, kNilLit, kTrueLit, kFalseLit,
+    kSelf,
+    kArrayLit,   // kids = elements
+    kHashLit,    // kids = k0, v0, k1, v1, ...
+    kRangeLit,   // kids = lo, hi; ival = 1 when exclusive
+    // Reads.
+    kLocal, kIvar, kCvar, kGvar, kConst,      // name
+    kIndex,     // kids = recv, index
+    // Writes (kids = [value] or [recv, index, value] for kIndexAssign).
+    kLocalAssign, kIvarAssign, kCvarAssign, kGvarAssign, kConstAssign,
+    kIndexAssign,
+    // Operators.
+    kBinop,     // name = op text; kids = lhs, rhs
+    kUnop,      // name = "-" or "!"; kids = operand
+    kAndAnd, kOrOr,  // kids = lhs, rhs (short-circuit)
+    // Calls.
+    kCall,      // name = method; kids[0] = receiver (may be null for self);
+                // kids[1..] = args; block_body/block_params optional
+    kYield,     // kids = args
+    // Control flow.
+    kIf,        // kids = cond, then, else (else may be null)
+    kWhile,     // kids = cond, body; ival = 1 for until
+    kSeq,       // kids = statements
+    kReturn,    // kids = [value] or empty
+    kBreak, kNext,
+    // Definitions.
+    kDef,       // name; params; kids = [body]; ival = 1 for def self.name
+    kClassDef,  // name; sval = superclass name ("" none); kids = [body]
+  };
+
+  Kind kind;
+  u16 line = 0;
+  std::string name;
+  std::string sval;
+  i64 ival = 0;
+  double fval = 0.0;
+  std::vector<NodePtr> kids;
+
+  // For kCall with a block literal, and for kDef:
+  std::vector<std::string> params;
+  NodePtr block_body;  // kCall only
+
+  static NodePtr make(Kind k, u16 line) {
+    auto n = std::make_unique<Node>();
+    n->kind = k;
+    n->line = line;
+    return n;
+  }
+};
+
+}  // namespace gilfree::vm

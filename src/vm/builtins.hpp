@@ -1,0 +1,24 @@
+// Registration of the C-function ("builtin") methods of the MiniRuby
+// runtime. Only leaf primitives are builtins; iteration protocols (each,
+// times, map...) are bytecode methods defined by the prelude, exactly
+// because CRuby's C extensions have no yield points inside them (§5.6) and
+// we want the same boundary.
+#pragma once
+
+#include "vm/class_registry.hpp"
+#include "vm/symbol.hpp"
+
+namespace gilfree::vm {
+
+/// Installs every builtin method into the registry. Call once, before
+/// compiling the prelude.
+void install_builtins(ClassRegistry& classes, SymbolTable& symbols);
+
+/// Default park granularity for polling blocking primitives (Mutex
+/// contention, Thread#join, ConditionVariable waits), in cycles.
+inline constexpr Cycles kParkPollCycles = 2'000;
+
+/// Simulated service time of one request-sized I/O (accept/respond).
+inline constexpr Cycles kIoPollCycles = 4'000;
+
+}  // namespace gilfree::vm

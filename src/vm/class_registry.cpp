@@ -1,0 +1,153 @@
+#include "vm/class_registry.hpp"
+
+#include "common/check.hpp"
+
+namespace gilfree::vm {
+
+ClassRegistry::ClassRegistry(SymbolTable* symbols) : symbols_(symbols) {
+  GILFREE_CHECK(symbols_ != nullptr);
+  auto add_builtin = [&](const char* name, ClassId expect,
+                         ClassId super = kClassObject) {
+    ClassInfo info;
+    info.name = symbols_->intern(name);
+    info.super = super;
+    info.has_super = expect != kClassObject;
+    info.ivars = std::make_shared<IvarTable>();
+    info.ivars->id = next_ivar_table_id_++;
+    info.ivars->owner = expect;
+    const ClassId id = static_cast<ClassId>(classes_.size());
+    GILFREE_CHECK(id == expect);
+    classes_.push_back(std::move(info));
+    by_name_[classes_.back().name] = id;
+  };
+  add_builtin("Object", kClassObject);
+  add_builtin("Integer", kClassInteger);
+  add_builtin("Float", kClassFloat);
+  add_builtin("String", kClassString);
+  add_builtin("Array", kClassArray);
+  add_builtin("Hash", kClassHash);
+  add_builtin("Range", kClassRange);
+  add_builtin("Symbol", kClassSymbol);
+  add_builtin("NilClass", kClassNil);
+  add_builtin("TrueClass", kClassTrue);
+  add_builtin("FalseClass", kClassFalse);
+  add_builtin("Proc", kClassProc);
+  add_builtin("Thread", kClassThread);
+  add_builtin("Mutex", kClassMutex);
+  add_builtin("ConditionVariable", kClassConditionVariable);
+  add_builtin("Class", kClassClass);
+  add_builtin("Math", kClassMath);
+  add_builtin("Kernel", kClassKernel);
+}
+
+ClassId ClassRegistry::define_class(SymbolId name, ClassId super) {
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    return it->second;  // reopening
+  }
+  ClassInfo info;
+  info.name = name;
+  info.super = super;
+  info.has_super = true;
+  // Share the superclass's ivar table until this class adds an ivar — the
+  // basis of the table-equality cache guard (§4.4).
+  info.ivars = classes_.at(super).ivars;
+  const ClassId id = static_cast<ClassId>(classes_.size());
+  classes_.push_back(std::move(info));
+  by_name_[name] = id;
+  return id;
+}
+
+ClassId ClassRegistry::find_class(SymbolId name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidClass : it->second;
+}
+
+const std::string& ClassRegistry::class_name(ClassId cls) const {
+  return symbols_->name(classes_.at(cls).name);
+}
+
+ClassId ClassRegistry::superclass(ClassId cls) const {
+  return classes_.at(cls).super;
+}
+
+i32 ClassRegistry::define_method(ClassId cls, MethodInfo info) {
+  const i32 index = static_cast<i32>(methods_.size());
+  methods_.push_back(info);
+  classes_.at(cls).methods[info.name] = index;
+  return index;
+}
+
+i32 ClassRegistry::define_class_method(ClassId cls, MethodInfo info) {
+  const i32 index = static_cast<i32>(methods_.size());
+  methods_.push_back(info);
+  classes_.at(cls).class_methods[info.name] = index;
+  return index;
+}
+
+i32 ClassRegistry::lookup(ClassId cls, SymbolId name) const {
+  ClassId c = cls;
+  for (;;) {
+    const ClassInfo& info = classes_.at(c);
+    if (auto it = info.methods.find(name); it != info.methods.end())
+      return it->second;
+    if (c == kClassObject) return -1;
+    c = info.super;
+  }
+}
+
+i32 ClassRegistry::lookup_class_method(ClassId cls, SymbolId name) const {
+  ClassId c = cls;
+  for (;;) {
+    const ClassInfo& info = classes_.at(c);
+    if (auto it = info.class_methods.find(name);
+        it != info.class_methods.end())
+      return it->second;
+    if (c == kClassObject) return -1;
+    c = info.super;
+  }
+}
+
+u32 ClassRegistry::ivar_index(ClassId cls, SymbolId name, bool create) {
+  ClassInfo& info = classes_.at(cls);
+  if (auto it = info.ivars->index.find(name); it != info.ivars->index.end())
+    return it->second;
+  if (!create) return kNoIvar;
+  if (info.ivars->owner != cls) {
+    // Clone-on-write: this class diverges from the shared shape.
+    auto clone = std::make_shared<IvarTable>(*info.ivars);
+    clone->id = next_ivar_table_id_++;
+    clone->owner = cls;
+    info.ivars = std::move(clone);
+  }
+  const u32 index = static_cast<u32>(info.ivars->index.size());
+  info.ivars->index[name] = index;
+  return index;
+}
+
+u32 ClassRegistry::ivar_table_id(ClassId cls) const {
+  return classes_.at(cls).ivars->id;
+}
+
+u32 ClassRegistry::ivar_count(ClassId cls) const {
+  return static_cast<u32>(classes_.at(cls).ivars->index.size());
+}
+
+ClassId ClassRegistry::class_of(Host& h, Value v) const {
+  if (v.is_fixnum()) return kClassInteger;
+  if (v.is_symbol()) return kClassSymbol;
+  if (v.is_nil()) return kClassNil;
+  if (v.is_true()) return kClassTrue;
+  if (v.is_false()) return kClassFalse;
+  GILFREE_CHECK_MSG(v.is_object(), "class_of(undef)");
+  return obj_class_id(h, v.obj());
+}
+
+Value ClassRegistry::class_object(ClassId cls) const {
+  return classes_.at(cls).class_obj;
+}
+
+void ClassRegistry::set_class_object(ClassId cls, Value v) {
+  classes_.at(cls).class_obj = v;
+}
+
+}  // namespace gilfree::vm

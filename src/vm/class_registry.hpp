@@ -1,0 +1,107 @@
+// Classes, method tables, and instance-variable (shape) tables.
+//
+// Method and ivar tables are C++-side structures: like CRuby's, they are
+// only mutated while the program is effectively single-threaded (boot,
+// method definition) or under the GIL, and are read-mostly afterwards. What
+// *is* modeled in simulated memory — because the paper's §4.4 conflict
+// removal (d) is about them — are the inline caches in front of these
+// tables, which live in the heap's IC slab.
+//
+// Ivar tables implement the paper's improved cache guard: a subclass shares
+// its superclass's ivar table until it introduces a new ivar name, so two
+// classes with the same table id can share inline-cache entries
+// ("instance-variable-table equality check instead of class equality").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vm/object.hpp"
+#include "vm/symbol.hpp"
+#include "vm/value.hpp"
+
+namespace gilfree::vm {
+
+struct BuiltinCtx;  // Defined in interp.hpp.
+using BuiltinFn = Value (*)(BuiltinCtx&);
+
+struct MethodInfo {
+  SymbolId name = 0;
+  enum class Kind : u8 { kBytecode, kBuiltin } kind = Kind::kBytecode;
+  i32 iseq = -1;            ///< For bytecode methods.
+  BuiltinFn fn = nullptr;   ///< For builtins.
+  Cycles extra_cost = 0;    ///< Cycle cost of the builtin's C work.
+  bool blocking = false;    ///< Must run outside transactions (syscall-like).
+};
+
+struct IvarTable {
+  u32 id = 0;
+  ClassId owner = 0;
+  std::unordered_map<SymbolId, u32> index;
+};
+
+class ClassRegistry {
+ public:
+  explicit ClassRegistry(SymbolTable* symbols);
+
+  /// Defines (or reopens) a class. `super` is ignored when reopening.
+  ClassId define_class(SymbolId name, ClassId super = kClassObject);
+
+  ClassId find_class(SymbolId name) const;  ///< kInvalidClass when absent.
+  static constexpr ClassId kInvalidClass = ~ClassId{0};
+
+  const std::string& class_name(ClassId cls) const;
+  ClassId superclass(ClassId cls) const;
+
+  /// Instance method definition. Returns the global method index.
+  i32 define_method(ClassId cls, MethodInfo info);
+  /// Class-side ("static") method definition, e.g. Math.sqrt, Thread.new.
+  i32 define_class_method(ClassId cls, MethodInfo info);
+
+  /// Instance-method lookup along the superclass chain; -1 when missing.
+  i32 lookup(ClassId cls, SymbolId name) const;
+  i32 lookup_class_method(ClassId cls, SymbolId name) const;
+
+  const MethodInfo& method(i32 index) const { return methods_.at(index); }
+  u32 num_methods() const { return static_cast<u32>(methods_.size()); }
+
+  /// Ivar index for `name` in `cls`'s shape table; creates it when `create`
+  /// (clone-on-write from a shared parent table).
+  u32 ivar_index(ClassId cls, SymbolId name, bool create);
+  static constexpr u32 kNoIvar = ~u32{0};
+
+  /// Shape-table identity for the paper's improved inline-cache guard.
+  u32 ivar_table_id(ClassId cls) const;
+  u32 ivar_count(ClassId cls) const;
+
+  /// Class of a value (immediates included).
+  ClassId class_of(Host& h, Value v) const;
+
+  /// The heap Value representing this class (set at boot).
+  Value class_object(ClassId cls) const;
+  void set_class_object(ClassId cls, Value v);
+
+  u32 num_classes() const { return static_cast<u32>(classes_.size()); }
+
+ private:
+  struct ClassInfo {
+    SymbolId name = 0;
+    ClassId super = kClassObject;
+    bool has_super = false;
+    std::shared_ptr<IvarTable> ivars;
+    std::unordered_map<SymbolId, i32> methods;
+    std::unordered_map<SymbolId, i32> class_methods;
+    Value class_obj;
+  };
+
+  SymbolTable* symbols_;
+  std::vector<ClassInfo> classes_;
+  std::unordered_map<SymbolId, ClassId> by_name_;
+  std::vector<MethodInfo> methods_;
+  u32 next_ivar_table_id_ = 1;
+};
+
+}  // namespace gilfree::vm

@@ -1,0 +1,35 @@
+// AST → bytecode compiler.
+//
+// After code generation a finalize pass assigns inline-cache site ids
+// (send / ivar access) and yield-point ids. Yield-point ids are given to
+// every instruction that *can* yield — method/block exits, backward
+// branches (CRuby's original yield points, §3.2) and the paper's extended
+// set (§4.2) — and the engine decides at run time which subset is active.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vm/ast.hpp"
+#include "vm/bytecode.hpp"
+
+namespace gilfree::vm {
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(const std::string& msg, int line)
+      : std::runtime_error("compile error at line " + std::to_string(line) +
+                           ": " + msg) {}
+};
+
+/// Compiles one or more sources (e.g. the prelude followed by a workload)
+/// into a single Program whose top iseq executes them in order.
+Program compile_sources(const std::vector<std::string>& sources);
+
+/// Convenience for tests: single source.
+Program compile_source(const std::string& source);
+
+/// Adds to `program.constant_names` / counts; exposed so the engine can size
+/// the heap tables. (Populated by compile_sources.)
+
+}  // namespace gilfree::vm

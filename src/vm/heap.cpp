@@ -1,0 +1,725 @@
+#include "vm/heap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace gilfree::vm {
+
+namespace {
+
+constexpr u64 kLineAlign = 256;  ///< Worst-case line size (zEC12).
+
+u64* align_up(u64* p, u64 bytes) {
+  auto v = reinterpret_cast<std::uintptr_t>(p);
+  v = (v + bytes - 1) & ~(bytes - 1);
+  return reinterpret_cast<u64*>(v);
+}
+
+/// Slots per thread for the core TCB region when padded (one zEC12 line).
+constexpr u32 kPaddedTcbStride = 32;
+/// When unpadded, TCBs are packed back to back (4 per zEC12 line).
+constexpr u32 kUnpaddedTcbStride = 8;
+/// The malloc-cache region is always padded (2 zEC12 lines per thread).
+constexpr u32 kMallocRegionStride = 64;
+
+/// Spill chunk: [header][payload...]; total slots = 4 << size_class.
+constexpr u32 kSpillHeaderSlots = 1;
+constexpr u64 kSpillMagic = 0x5b1ll << 40;
+
+}  // namespace
+
+Heap::Heap(const HeapConfig& config) : config_(config) {
+  GILFREE_CHECK(config_.block_slots >= 1024);
+  GILFREE_CHECK(config_.max_threads >= 1);
+
+  // ---- control storage layout ----
+  const u32 tcb_core_stride =
+      config_.padded_thread_structs ? kPaddedTcbStride : kUnpaddedTcbStride;
+  const u64 head_lines_slots = 32 * 8;  // 8 dedicated lines of 32 slots
+  const u64 tcb_core_slots = u64{config_.max_threads} * tcb_core_stride;
+  const u64 tcb_malloc_slots = u64{config_.max_threads} * kMallocRegionStride;
+  const u64 total =
+      head_lines_slots + tcb_core_slots + kMallocRegionStride /*align gaps*/ +
+      tcb_malloc_slots + config_.global_table_slots * 2 +
+      config_.ic_table_slots + 64;
+
+  control_storage_ = std::make_unique<u64[]>(total + kLineAlign / 8);
+  std::memset(control_storage_.get(), 0, (total + kLineAlign / 8) * 8);
+  u64* p = align_up(control_storage_.get(), kLineAlign);
+
+  // Dedicated lines: GIL word, global free head/count, current-thread
+  // global, spill class heads (one line each so they never false-share).
+  gil_word_ = p;                    // line 0
+  global_free_head_ = p + 32;      // line 1
+  global_free_count_ = p + 33;     // (same line as head: both touched
+                                    //  together during refill, like CRuby)
+  current_thread_global_ = p + 64;  // line 2
+  spill_class_heads_ = p + 96;      // lines 3-4 (18 classes, packed — the
+                                    // shared-malloc contention point)
+  u64* cursor = p + head_lines_slots;
+
+  tcb_base_ = cursor;
+  tcb_stride_ = tcb_core_stride;
+  cursor += tcb_core_slots;
+  cursor = align_up(cursor, kLineAlign);
+  // Malloc-cache region referenced through tcb_slot() with field >= 8.
+  tcb_malloc_base_ = cursor;
+  cursor += tcb_malloc_slots;
+  cursor = align_up(cursor, kLineAlign);
+  global_vars_ = cursor;
+  cursor += config_.global_table_slots;
+  constants_ = cursor;
+  cursor += config_.global_table_slots;
+  cursor = align_up(cursor, kLineAlign);
+  ic_base_ = cursor;
+
+  // ---- arena ----
+  u32 remaining = config_.initial_slots;
+  while (remaining > 0) {
+    const u32 n = std::min(remaining, config_.block_slots);
+    add_arena_block(n);
+    remaining -= n;
+  }
+
+  // ---- spill region ----
+  const u64 first_spill_slots = 4ull << 20;  // 32 MB
+  spill_blocks_.push_back(std::make_unique<u64[]>(first_spill_slots + 32));
+  spill_bump_ = align_up(spill_blocks_.back().get(), kLineAlign);
+  spill_end_ = spill_blocks_.back().get() + first_spill_slots;
+}
+
+Heap::~Heap() = default;
+
+void Heap::add_arena_block(u32 rvalues) {
+  ArenaBlock block;
+  block.storage = std::make_unique<RBasic[]>(rvalues + 1);
+  auto base = reinterpret_cast<std::uintptr_t>(block.storage.get());
+  base = (base + 63) & ~std::uintptr_t{63};
+  block.base = reinterpret_cast<RBasic*>(base);
+  block.count = rvalues;
+  block.mark.assign(rvalues, false);
+
+  // Link every RVALUE into the global free list (direct stores: the arena is
+  // grown at construction time or under the GIL during GC).
+  for (u32 i = 0; i < rvalues; ++i) {
+    RBasic* o = &block.base[i];
+    o->slots[0] = RBasic::make_header(ObjType::kFree, 0);
+    o->slots[1] = *global_free_head_;
+    *global_free_head_ = reinterpret_cast<u64>(o);
+  }
+  *global_free_count_ += rvalues;
+  total_objects_ += rvalues;
+  blocks_.push_back(std::move(block));
+  ++gc_stats_.grown_blocks;
+}
+
+// ---------------------------------------------------------------------------
+// RVALUE allocation
+// ---------------------------------------------------------------------------
+
+RBasic* Heap::alloc_rvalue(Host& host, ObjType type, ClassId klass) {
+  GILFREE_CHECK(!in_gc_);
+  // Fine-grained-locking engines (the JRuby comparator) synchronize the
+  // allocation path itself; a no-op under the GIL and under HTM, where
+  // conflicts provide the atomicity.
+  host.internal_allocator_lock(30);
+  const u32 tid = host.current_tid();
+  RBasic* obj = nullptr;
+
+  if (config_.thread_local_free_lists) {
+    u64* head_slot = tcb_slot(tid, kTcbFreeListHead);
+    u64* count_slot = tcb_slot(tid, kTcbFreeListCount);
+    u64 head = host.mem_load(head_slot, /*shared=*/true);
+    if (head == 0) {
+      refill_thread_free_list(host, tid);
+      head = host.mem_load(head_slot, true);
+      GILFREE_CHECK(head != 0);
+    }
+    obj = reinterpret_cast<RBasic*>(head);
+    const u64 next = host.mem_load(&obj->slots[1], true);
+    host.mem_store(head_slot, next, true);
+    host.mem_store(count_slot, host.mem_load(count_slot, true) - 1, true);
+  } else {
+    // Single global free list — CRuby's original allocator (§4.4 second
+    // conflict source: every allocation hits the same line).
+    u64 head = host.mem_load(global_free_head_, true);
+    if (head == 0) {
+      collect_for_allocation(host);
+      head = host.mem_load(global_free_head_, true);
+      GILFREE_CHECK(head != 0);
+    }
+    obj = reinterpret_cast<RBasic*>(head);
+    const u64 next = host.mem_load(&obj->slots[1], true);
+    host.mem_store(global_free_head_, next, true);
+    host.mem_store(global_free_count_,
+                   host.mem_load(global_free_count_, true) - 1, true);
+  }
+
+  host.mem_store(&obj->slots[0], RBasic::make_header(type, klass), true);
+  host.charge(8);  // allocation bookkeeping beyond the memory traffic
+  return obj;
+}
+
+void Heap::refill_thread_free_list(Host& host, u32 tid) {
+  host.internal_allocator_lock(60 + 3 * config_.free_list_refill);
+  u64* head_slot = tcb_slot(tid, kTcbFreeListHead);
+  u64* count_slot = tcb_slot(tid, kTcbFreeListCount);
+
+  // Splice up to `free_list_refill` objects in bulk from the global list
+  // (§4.4: 256 objects per refill): walk the chain *reading* next pointers,
+  // then cut it with three stores. Keeping the write set tiny matters — a
+  // per-node rewrite would overflow the 8 KB store cache inside a
+  // transaction. The chain walk's read footprint is the residual
+  // allocation conflict of §5.6.
+  u64 ghead = host.mem_load(global_free_head_, true);
+  if (ghead == 0) {
+    collect_for_allocation(host);
+    // With the thread-local-sweep extension, the collector may have dealt
+    // objects straight onto this thread's list.
+    if (host.mem_load(head_slot, true) != 0) return;
+    ghead = host.mem_load(global_free_head_, true);
+    if (ghead == 0) {
+      // Everything went to other threads' lists: grow (we hold the GIL).
+      add_arena_block(config_.block_slots);
+      ghead = host.mem_load(global_free_head_, true);
+    }
+    GILFREE_CHECK(ghead != 0);
+  }
+  u64 tail = ghead;
+  u64 moved = 1;
+  while (moved < config_.free_list_refill) {
+    const u64 next =
+        host.mem_load(&reinterpret_cast<RBasic*>(tail)->slots[1], true);
+    if (next == 0) break;
+    tail = next;
+    ++moved;
+  }
+  const u64 rest =
+      host.mem_load(&reinterpret_cast<RBasic*>(tail)->slots[1], true);
+  host.mem_store(global_free_head_, rest, true);
+  host.mem_store(global_free_count_,
+                 host.mem_load(global_free_count_, true) - moved, true);
+  // Append the old local list (usually empty) behind the spliced chain.
+  const u64 local_head = host.mem_load(head_slot, true);
+  host.mem_store(&reinterpret_cast<RBasic*>(tail)->slots[1], local_head,
+                 true);
+  host.mem_store(head_slot, ghead, true);
+  host.mem_store(count_slot, host.mem_load(count_slot, true) + moved, true);
+}
+
+void Heap::collect_for_allocation(Host& host) {
+  // GC must run under the GIL (§4.4): inside a transaction this aborts with
+  // a persistent reason and the retry re-reaches this point GIL-held.
+  host.require_nontx("gc");
+  host.full_gc();
+}
+
+// ---------------------------------------------------------------------------
+// Typed constructors
+// ---------------------------------------------------------------------------
+
+Value Heap::new_float(Host& host, double v) {
+  RBasic* o = alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  host.mem_store(&o->slots[1], float_bits(v), true);
+  return Value::object(o);
+}
+
+Value Heap::new_string(Host& host, std::string_view s) {
+  Value v = new_string_with_capacity(host, static_cast<u32>(s.size()));
+  RBasic* o = v.obj();
+  host.mem_store(&o->slots[1], s.size(), true);
+  const u64 spill = host.mem_load(&o->slots[3], true);
+  u64* data = spill_ptr(spill);
+  for (std::size_t i = 0; i < s.size(); i += 8) {
+    u64 word = 0;
+    std::memcpy(&word, s.data() + i, std::min<std::size_t>(8, s.size() - i));
+    host.mem_store(&data[i / 8], word, true);
+  }
+  return v;
+}
+
+Value Heap::new_string_with_capacity(Host& host, u32 byte_capacity) {
+  RBasic* o = alloc_rvalue(host, ObjType::kString, kClassString);
+  const u32 cap_slots = std::max<u32>(1, (byte_capacity + 7) / 8);
+  const u64 spill = alloc_spill(host, cap_slots);
+  host.mem_store(&o->slots[1], 0, true);
+  host.mem_store(&o->slots[2], u64{spill_capacity_slots(spill)} * 8, true);
+  host.mem_store(&o->slots[3], spill, true);
+  return Value::object(o);
+}
+
+Value Heap::new_array(Host& host, u32 capacity) {
+  RBasic* o = alloc_rvalue(host, ObjType::kArray, kClassArray);
+  const u32 cap = std::max<u32>(4, capacity);
+  const u64 spill = alloc_spill(host, cap);
+  const u32 real_cap = spill_capacity_slots(spill);
+  u64* data = spill_ptr(spill);
+  for (u32 i = 0; i < real_cap; ++i)
+    host.mem_store(&data[i], Value::nil().bits(), true);
+  host.mem_store(&o->slots[1], 0, true);
+  host.mem_store(&o->slots[2], real_cap, true);
+  host.mem_store(&o->slots[3], spill, true);
+  return Value::object(o);
+}
+
+Value Heap::new_hash(Host& host, u32 bucket_capacity) {
+  RBasic* o = alloc_rvalue(host, ObjType::kHash, kClassHash);
+  u32 cap = 8;
+  while (cap < bucket_capacity) cap <<= 1;
+  const u64 spill = alloc_spill(host, cap * 2);
+  u64* data = spill_ptr(spill);
+  for (u32 i = 0; i < cap * 2; ++i)
+    host.mem_store(&data[i], Value::undef().bits(), true);
+  host.mem_store(&o->slots[1], 0, true);
+  host.mem_store(&o->slots[2], cap, true);
+  host.mem_store(&o->slots[3], spill, true);
+  return Value::object(o);
+}
+
+Value Heap::new_range(Host& host, Value lo, Value hi, bool exclusive) {
+  RBasic* o = alloc_rvalue(host, ObjType::kRange, kClassRange);
+  host.mem_store(&o->slots[1], lo.bits(), true);
+  host.mem_store(&o->slots[2], hi.bits(), true);
+  host.mem_store(&o->slots[3], exclusive ? 1 : 0, true);
+  return Value::object(o);
+}
+
+Value Heap::new_proc(Host& host, i32 iseq, Value self, u64 env_fp,
+                     u32 owner_tid) {
+  RBasic* o = alloc_rvalue(host, ObjType::kProc, kClassProc);
+  host.mem_store(&o->slots[1], static_cast<u64>(iseq), true);
+  host.mem_store(&o->slots[2], self.bits(), true);
+  host.mem_store(&o->slots[3], env_fp, true);
+  host.mem_store(&o->slots[4], u64{owner_tid} + 1, true);
+  return Value::object(o);
+}
+
+Value Heap::new_object(Host& host, ClassId klass) {
+  RBasic* o = alloc_rvalue(host, ObjType::kObject, klass);
+  for (u32 i = 1; i <= kInlineIvars; ++i)
+    host.mem_store(&o->slots[i], Value::undef().bits(), true);
+  host.mem_store(&o->slots[7], 0, true);  // no ivar spill yet
+  return Value::object(o);
+}
+
+Value Heap::new_class_object(Host& host, ClassId klass_payload) {
+  RBasic* o = alloc_rvalue(host, ObjType::kClass, kClassClass);
+  host.mem_store(&o->slots[1], klass_payload, true);
+  host.mem_store(&o->slots[2], 0, true);  // cvar spill
+  host.mem_store(&o->slots[3], 0, true);  // cvar count
+  return Value::object(o);
+}
+
+Value Heap::new_mutex(Host& host) {
+  RBasic* o = alloc_rvalue(host, ObjType::kMutex, kClassMutex);
+  host.mem_store(&o->slots[1], 0, true);
+  host.mem_store(&o->slots[2], 0, true);
+  return Value::object(o);
+}
+
+Value Heap::new_condvar(Host& host) {
+  RBasic* o = alloc_rvalue(host, ObjType::kCondVar, kClassConditionVariable);
+  host.mem_store(&o->slots[1], 0, true);  // wakeup sequence number
+  return Value::object(o);
+}
+
+Value Heap::new_thread_object(Host& host, u32 tid) {
+  RBasic* o = alloc_rvalue(host, ObjType::kThread, kClassThread);
+  host.mem_store(&o->slots[1], tid, true);
+  return Value::object(o);
+}
+
+// ---------------------------------------------------------------------------
+// Spill (malloc model)
+// ---------------------------------------------------------------------------
+
+u32 Heap::spill_class_for(u32 payload_slots) {
+  u32 cls = 0;
+  while ((4u << cls) - kSpillHeaderSlots < payload_slots) {
+    ++cls;
+    GILFREE_CHECK_MSG(cls < kNumSpillClasses,
+                      "spill request too large: " << payload_slots);
+  }
+  return cls;
+}
+
+u32 Heap::spill_capacity_slots(u64 payload_addr) {
+  const u64* hdr = spill_ptr(payload_addr) - kSpillHeaderSlots;
+  const u32 cls = static_cast<u32>(*hdr & 0xFF);
+  return (4u << cls) - kSpillHeaderSlots;
+}
+
+u64 Heap::alloc_spill(Host& host, u32 payload_slots) {
+  const u32 cls = spill_class_for(payload_slots);
+  const u32 tid = host.current_tid();
+
+  if (config_.thread_local_malloc) {
+    // HEAPPOOLS / glibc-style per-thread cache.
+    u64* cache_head = tcb_slot(tid, kTcbMallocCacheBase + 2 * cls);
+    u64 head = host.mem_load(cache_head, true);
+    if (head == 0) {
+      // Bulk-refill from the shared allocator state.
+      u64 local = 0;
+      for (u32 i = 0; i < config_.malloc_refill_chunks; ++i) {
+        const u64 chunk = pop_or_carve_chunk(host, cls);
+        u64* payload = spill_ptr(chunk);
+        host.mem_store(&payload[0], local, true);
+        local = chunk;
+      }
+      host.mem_store(cache_head, local, true);
+      head = local;
+    }
+    u64* payload = spill_ptr(head);
+    const u64 next = host.mem_load(&payload[0], true);
+    host.mem_store(cache_head, next, true);
+    host.charge(10);
+    return head;
+  }
+
+  // Shared-malloc model (z/OS default): every allocation manipulates the
+  // global per-class list head — the WEBrick-on-zEC12 conflict source (§5.5).
+  const u64 chunk = pop_or_carve_chunk(host, cls);
+  host.charge(14);
+  return chunk;
+}
+
+u64 Heap::pop_or_carve_chunk(Host& host, u32 cls) {
+  host.internal_allocator_lock(40);
+  u64* class_head = &spill_class_heads_[cls];
+  const u64 head = host.mem_load(class_head, true);
+  if (head != 0) {
+    u64* payload = spill_ptr(head);
+    const u64 next = host.mem_load(&payload[0], true);
+    host.mem_store(class_head, next, true);
+    return head;
+  }
+  // Carve from the bump region. The bump pointer is a C++ field, but chunk
+  // publication happens via the returned address only; on transaction abort
+  // the carved chunk leaks, which is bounded and harmless (real allocators
+  // fragment similarly).
+  const u32 total_slots = 4u << cls;
+  if (spill_bump_ + total_slots > spill_end_) {
+    grow_spill_region(host, total_slots);
+  }
+  u64* chunk = spill_bump_;
+  spill_bump_ += total_slots;
+  spill_slots_allocated_ += total_slots;
+  // Header write is direct: the chunk is unpublished until we return.
+  chunk[0] = kSpillMagic | cls;
+  return reinterpret_cast<u64>(chunk + kSpillHeaderSlots);
+}
+
+void Heap::grow_spill_region(Host& host, u32 needed_slots) {
+  // Growing swaps C++-level pointers that a transaction rollback could not
+  // undo, so it must happen outside transactions.
+  host.require_nontx("malloc-grow");
+  const u64 slots = std::max<u64>(4ull << 20, u64{needed_slots} + 32);
+  spill_blocks_.push_back(std::make_unique<u64[]>(slots + 32));
+  spill_bump_ = align_up(spill_blocks_.back().get(), kLineAlign);
+  spill_end_ = spill_blocks_.back().get() + slots;
+}
+
+void Heap::free_spill(Host& host, u64 payload_addr) {
+  u64* hdr = spill_ptr(payload_addr) - kSpillHeaderSlots;
+  const u32 cls = static_cast<u32>(*hdr & 0xFF);
+  u64* class_head = &spill_class_heads_[cls];
+  u64* payload = spill_ptr(payload_addr);
+  host.mem_store(&payload[0], host.mem_load(class_head, true), true);
+  host.mem_store(class_head, payload_addr, true);
+}
+
+void Heap::free_spill_direct(u64 payload_addr) {
+  u64* hdr = spill_ptr(payload_addr) - kSpillHeaderSlots;
+  const u32 cls = static_cast<u32>(*hdr & 0xFF);
+  u64* payload = spill_ptr(payload_addr);
+  payload[0] = spill_class_heads_[cls];
+  spill_class_heads_[cls] = payload_addr;
+}
+
+// ---------------------------------------------------------------------------
+// Control-area accessors
+// ---------------------------------------------------------------------------
+
+u64* Heap::tcb_slot(u32 tid, u32 field) {
+  GILFREE_CHECK(tid < config_.max_threads);
+  if (field < kTcbMallocCacheBase) {
+    GILFREE_CHECK(field < tcb_stride_ || config_.padded_thread_structs);
+    return tcb_base_ + u64{tid} * tcb_stride_ + field;
+  }
+  const u32 off = field - kTcbMallocCacheBase;
+  GILFREE_CHECK(off < kMallocRegionStride);
+  return tcb_malloc_base_ + u64{tid} * kMallocRegionStride + off;
+}
+
+u64* Heap::global_var_slot(u32 index) {
+  GILFREE_CHECK(index < num_global_vars_);
+  return global_vars_ + index;
+}
+
+u64* Heap::constant_slot(u32 index) {
+  GILFREE_CHECK(index < num_constants_);
+  return constants_ + index;
+}
+
+u32 Heap::register_global_var() {
+  GILFREE_CHECK(num_global_vars_ < config_.global_table_slots);
+  global_vars_[num_global_vars_] = Value::nil().bits();
+  return num_global_vars_++;
+}
+
+u32 Heap::register_constant() {
+  GILFREE_CHECK(num_constants_ < config_.global_table_slots);
+  constants_[num_constants_] = Value::undef().bits();
+  return num_constants_++;
+}
+
+u64* Heap::ic_slot(u32 site, u32 word) {
+  GILFREE_CHECK(site * 2 + word < config_.ic_table_slots);
+  return ic_base_ + u64{site} * 2 + word;
+}
+
+void Heap::ensure_ic_capacity(u32 sites) {
+  GILFREE_CHECK_MSG(sites * 2 <= config_.ic_table_slots,
+                    "too many inline-cache sites: " << sites);
+}
+
+// ---------------------------------------------------------------------------
+// GC
+// ---------------------------------------------------------------------------
+
+Heap::ArenaBlock* Heap::block_of(const void* addr) {
+  for (auto& b : blocks_) {
+    if (addr >= b.base && addr < b.base + b.count) return &b;
+  }
+  return nullptr;
+}
+
+const Heap::ArenaBlock* Heap::block_of(const void* addr) const {
+  return const_cast<Heap*>(this)->block_of(addr);
+}
+
+bool Heap::is_heap_object(const void* addr) const {
+  if ((reinterpret_cast<std::uintptr_t>(addr) & 63) != 0) return false;
+  return block_of(addr) != nullptr;
+}
+
+void Heap::mark_value(Value v, std::vector<RBasic*>& stack) {
+  if (!v.is_object()) return;
+  RBasic* o = v.obj();
+  ArenaBlock* b = block_of(o);
+  if (b == nullptr) return;  // not a heap pointer (conservative scan noise)
+  const auto idx = static_cast<std::size_t>(o - b->base);
+  if (b->mark[idx]) return;
+  if (o->type() == ObjType::kFree) return;
+  b->mark[idx] = true;
+  stack.push_back(o);
+}
+
+void Heap::mark_object(RBasic* o, std::vector<RBasic*>& stack) {
+  // Direct reads: GC is stop-the-world under the GIL.
+  switch (o->type()) {
+    case ObjType::kObject: {
+      for (u32 i = 1; i <= kInlineIvars; ++i)
+        mark_value(Value::from_bits(o->slots[i]), stack);
+      if (const u64 spill = o->slots[7]) {
+        const u32 cap = spill_capacity_slots(spill);
+        const u64* data = spill_ptr(spill);
+        for (u32 i = 0; i < cap; ++i)
+          mark_value(Value::from_bits(data[i]), stack);
+      }
+      break;
+    }
+    case ObjType::kArray: {
+      const u64 spill = o->slots[3];
+      const u64 len = o->slots[1];
+      const u64* data = spill_ptr(spill);
+      for (u64 i = 0; i < len; ++i)
+        mark_value(Value::from_bits(data[i]), stack);
+      break;
+    }
+    case ObjType::kHash: {
+      const u64 spill = o->slots[3];
+      const u64 cap = o->slots[2];
+      const u64* data = spill_ptr(spill);
+      for (u64 i = 0; i < cap * 2; i += 2) {
+        Value key = Value::from_bits(data[i]);
+        if (key.is_undef()) continue;
+        mark_value(key, stack);
+        mark_value(Value::from_bits(data[i + 1]), stack);
+      }
+      break;
+    }
+    case ObjType::kRange:
+      mark_value(Value::from_bits(o->slots[1]), stack);
+      mark_value(Value::from_bits(o->slots[2]), stack);
+      break;
+    case ObjType::kProc:
+      mark_value(Value::from_bits(o->slots[2]), stack);
+      break;
+    case ObjType::kClass: {
+      if (const u64 spill = o->slots[2]) {
+        const u64 count = o->slots[3];
+        const u64* data = spill_ptr(spill);
+        for (u64 i = 0; i < count * 2; i += 2)
+          mark_value(Value::from_bits(data[i + 1]), stack);
+      }
+      break;
+    }
+    default:
+      break;  // Float, String, Mutex, CondVar, Thread: no Value children.
+  }
+}
+
+Cycles Heap::run_gc(const RootSet& roots) {
+  GILFREE_CHECK(!in_gc_);
+  in_gc_ = true;
+  ++gc_stats_.collections;
+
+  // Thread-local free lists contain objects that the sweep below will
+  // re-link into the global list; flush them first (§4.4's design keeps this
+  // safe because GC is stop-the-world).
+  for (u32 t = 0; t < config_.max_threads; ++t) {
+    *tcb_slot(t, kTcbFreeListHead) = 0;
+    *tcb_slot(t, kTcbFreeListCount) = 0;
+  }
+  *global_free_head_ = 0;
+  *global_free_count_ = 0;
+
+  // Mark.
+  std::vector<RBasic*> stack;
+  u64 root_slots = 0;
+  for (const auto& [base, len] : roots.ranges) {
+    root_slots += len;
+    for (std::size_t i = 0; i < len; ++i)
+      mark_value(Value::from_bits(base[i]), stack);
+  }
+  for (Value v : roots.values) mark_value(v, stack);
+  // Globals and constants tables.
+  for (u32 i = 0; i < num_global_vars_; ++i)
+    mark_value(Value::from_bits(global_vars_[i]), stack);
+  for (u32 i = 0; i < num_constants_; ++i)
+    mark_value(Value::from_bits(constants_[i]), stack);
+
+  u64 marked = 0;
+  while (!stack.empty()) {
+    RBasic* o = stack.back();
+    stack.pop_back();
+    ++marked;
+    mark_object(o, stack);
+  }
+
+  // Sweep: every unmarked live object is freed; its spill buffers return to
+  // the malloc free lists. With the thread-local-sweep extension enabled,
+  // freed objects are dealt round-robin onto per-thread lists instead of
+  // the single global list (§5.6's proposed fix for allocation conflicts).
+  const bool deal_local = config_.thread_local_sweep &&
+                          config_.thread_local_free_lists &&
+                          config_.sweep_deal_threads > 0;
+  u32 deal_next = 0;
+  u32 deal_run = 0;
+  // Contiguous runs per thread: the sweep walks in address order, so runs
+  // keep cache-line-mates (4 RVALUEs per zEC12 line) on the same thread's
+  // list — dealing round-robin per object would *create* allocation false
+  // sharing instead of removing it.
+  constexpr u32 kDealRun = 256;
+  auto free_one = [&](RBasic* o) {
+    if (deal_local) {
+      u64* head = tcb_slot(deal_next, kTcbFreeListHead);
+      u64* count = tcb_slot(deal_next, kTcbFreeListCount);
+      o->slots[1] = *head;
+      *head = reinterpret_cast<u64>(o);
+      ++*count;
+      if (++deal_run == kDealRun) {
+        deal_run = 0;
+        deal_next = (deal_next + 1) % config_.sweep_deal_threads;
+      }
+    } else {
+      o->slots[1] = *global_free_head_;
+      *global_free_head_ = reinterpret_cast<u64>(o);
+      ++*global_free_count_;
+    }
+  };
+  u64 swept = 0;
+  for (auto& b : blocks_) {
+    for (u32 i = 0; i < b.count; ++i) {
+      RBasic* o = &b.base[i];
+      if (b.mark[i]) {
+        b.mark[i] = false;
+        continue;
+      }
+      const ObjType t = o->type();
+      if (t == ObjType::kFree) {
+        // Already free: re-link (lists were reset above).
+        free_one(o);
+        continue;
+      }
+      switch (t) {
+        case ObjType::kObject:
+          if (o->slots[7]) free_spill_direct(o->slots[7]);
+          break;
+        case ObjType::kString:
+        case ObjType::kArray:
+        case ObjType::kHash:
+          if (o->slots[3]) free_spill_direct(o->slots[3]);
+          break;
+        case ObjType::kClass:
+          if (o->slots[2]) free_spill_direct(o->slots[2]);
+          break;
+        default:
+          break;
+      }
+      o->slots[0] = RBasic::make_header(ObjType::kFree, 0);
+      free_one(o);
+      ++swept;
+    }
+  }
+
+  gc_stats_.last_marked = marked;
+  gc_stats_.last_swept = swept;
+  gc_stats_.total_marked += marked;
+  gc_stats_.total_swept += swept;
+
+  // Grow when the heap is too full to make progress (CRuby heap growth).
+  if (free_objects() <
+      static_cast<u64>(config_.growth_trigger *
+                       static_cast<double>(total_objects_))) {
+    add_arena_block(config_.block_slots);
+  }
+  in_gc_ = false;
+
+  // Cost: proportional to marked objects plus the linear sweep and root scan.
+  return 14 * marked + 3 * total_objects_ + root_slots;
+}
+
+std::string Heap::describe_address(const void* addr) const {
+  const u64* p = static_cast<const u64*>(addr);
+  auto within = [&](const u64* base, u64 len) {
+    return base != nullptr && p >= base && p < base + len;
+  };
+  if (within(gil_word_, 32)) return "gil-word";
+  if (within(global_free_head_, 32)) return "free-list-head";
+  if (within(current_thread_global_, 32)) return "current-thread-global";
+  if (within(spill_class_heads_, 160)) return "malloc-class-heads";
+  if (within(tcb_base_, u64{config_.max_threads} * tcb_stride_)) return "tcb";
+  if (within(tcb_malloc_base_, u64{config_.max_threads} * 64))
+    return "tcb-malloc-cache";
+  if (within(global_vars_, config_.global_table_slots)) return "globals";
+  if (within(constants_, config_.global_table_slots)) return "constants";
+  if (within(ic_base_, config_.ic_table_slots)) return "inline-caches";
+  if (block_of(addr) != nullptr) return "arena";
+  for (const auto& blk : spill_blocks_) {
+    if (p >= blk.get() && p < blk.get() + (4ull << 20) + 32) return "spill";
+  }
+  return "other";
+}
+
+u64 Heap::free_objects() const {
+  u64 n = *global_free_count_;
+  for (u32 t = 0; t < config_.max_threads; ++t)
+    n += *const_cast<Heap*>(this)->tcb_slot(t, kTcbFreeListCount);
+  return n;
+}
+
+}  // namespace gilfree::vm

@@ -1,0 +1,260 @@
+// The MiniRuby heap: RVALUE arena + free lists, spill (malloc) allocator,
+// per-thread control blocks, the globals area, and the stop-the-world
+// mark-and-sweep collector.
+//
+// Conflict-relevant design points, all taken from the paper:
+//   * Objects are allocated from the head of a single global free list;
+//     optionally (§4.4) each thread keeps a local free list refilled with
+//     256 objects in bulk — the residual global-list manipulation is the
+//     paper's main remaining conflict source (§5.6).
+//   * GC always runs with the GIL held; a transaction that exhausts the free
+//     list aborts and retries under the GIL (§4.4).
+//   * The spill allocator models malloc: global per-size-class free lists,
+//     optionally with per-thread caches (z/OS HEAPPOOLS; Linux malloc).
+//   * Thread control blocks hold the per-thread fields the paper added
+//     (yield_point_counter, local free-list head...) and are optionally
+//     padded to dedicated cache lines to avoid false sharing (§4.4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vm/host.hpp"
+#include "vm/object.hpp"
+
+namespace gilfree::vm {
+
+struct HeapConfig {
+  /// Initial number of RVALUE slots (RUBY_HEAP_MIN_SLOTS). The paper uses
+  /// 10,000 (default CRuby) vs 10,000,000 (tuned); the simulator's workloads
+  /// are scaled down, so the tuned default here is 1,000,000.
+  u32 initial_slots = 1'000'000;
+
+  /// RVALUEs per arena block (the heap grows by blocks when a GC cannot
+  /// recover enough memory).
+  u32 block_slots = 65'536;
+
+  /// Grow the arena when, after GC, fewer than this fraction of objects are
+  /// free (CRuby's heap-growth heuristic).
+  double growth_trigger = 0.2;
+
+  /// §4.4 conflict removal (b): per-thread free lists with bulk refill.
+  bool thread_local_free_lists = true;
+  u32 free_list_refill = 256;
+
+  /// §5.6/§7 future-work extension: "the lazy sweeping should be done on a
+  /// thread-local basis" — the sweeper deals freed objects directly onto
+  /// the live threads' local free lists (round-robin), so steady-state
+  /// allocation touches the global list head far less often.
+  bool thread_local_sweep = false;
+  u32 sweep_deal_threads = 0;  ///< Live threads to deal to (0 = disabled).
+
+  /// Thread-local spill (malloc) caches — HEAPPOOLS on z/OS, default on
+  /// Linux. Refill granularity models how much of malloc remains shared.
+  bool thread_local_malloc = true;
+  u32 malloc_refill_chunks = 16;
+
+  /// §4.4 conflict removal (e): give each thread structure its own cache
+  /// line(s) instead of packing them adjacently.
+  bool padded_thread_structs = true;
+
+  /// Maximum VM threads the heap lays out control blocks for.
+  u32 max_threads = 64;
+
+  /// Capacity of the globals / constants / inline-cache tables (slots).
+  u32 global_table_slots = 4096;
+  u32 ic_table_slots = 65'536;
+};
+
+/// Named fields of a thread control block (slot indexes).
+enum TcbField : u32 {
+  kTcbYieldCounter = 0,     ///< Fig. 2's yield_point_counter.
+  kTcbFreeListHead = 1,     ///< Thread-local object free list (bits of ptr).
+  kTcbFreeListCount = 2,
+  kTcbInterruptFlag = 3,    ///< GIL-mode timer flag (§3.2).
+  kTcbCurrentThread = 4,    ///< Thread-local home of the ex-global
+                            ///< "running thread" pointer (§4.4 removal (a)).
+  kTcbMallocCacheBase = 8,  ///< Two slots (head, count) per size class.
+};
+
+struct GcStats {
+  u64 collections = 0;
+  u64 last_marked = 0;
+  u64 last_swept = 0;
+  u64 total_marked = 0;
+  u64 total_swept = 0;
+  u64 grown_blocks = 0;
+};
+
+class Heap {
+ public:
+  explicit Heap(const HeapConfig& config);
+  ~Heap();
+
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  const HeapConfig& config() const { return config_; }
+
+  // --- RVALUE allocation ---------------------------------------------------
+
+  /// Allocates an RVALUE of the given type/class via the free lists. When
+  /// every list is empty, calls host.require_nontx + host.full_gc — i.e.
+  /// inside a transaction this throws TxAbort and the retry (under the GIL)
+  /// performs the collection.
+  RBasic* alloc_rvalue(Host& host, ObjType type, ClassId klass);
+
+  // Typed constructors. All of them write the object's payload through the
+  // Host so the stores join the transaction footprint.
+  Value new_float(Host& host, double v);
+  Value new_string(Host& host, std::string_view s);
+  Value new_string_with_capacity(Host& host, u32 byte_capacity);
+  Value new_array(Host& host, u32 capacity);
+  Value new_hash(Host& host, u32 bucket_capacity = 8);
+  Value new_range(Host& host, Value lo, Value hi, bool exclusive);
+  Value new_proc(Host& host, i32 iseq, Value self, u64 env_fp, u32 owner_tid);
+  Value new_object(Host& host, ClassId klass);
+  Value new_class_object(Host& host, ClassId klass_payload);
+  Value new_mutex(Host& host);
+  Value new_condvar(Host& host);
+  Value new_thread_object(Host& host, u32 tid);
+
+  // --- Spill (malloc model) ------------------------------------------------
+
+  /// Allocates a payload of at least `payload_slots` u64 slots; returns its
+  /// address as an integer (stored in object slots). Rounded to a power-of-
+  /// two size class.
+  u64 alloc_spill(Host& host, u32 payload_slots);
+
+  /// §4.4(b): bulk refill of a thread's local free list from the global one.
+  void refill_thread_free_list(Host& host, u32 tid);
+
+  /// Capacity in slots of a spill allocation (size class payload).
+  static u32 spill_capacity_slots(u64 payload_addr);
+
+  /// Returns a spill chunk to its size-class free list (transactional;
+  /// used when arrays/hashes grow and drop their old buffer).
+  void free_spill(Host& host, u64 payload_addr);
+
+  /// Direct-free during sweep (GIL-held).
+  void free_spill_direct(u64 payload_addr);
+
+  // --- Thread control blocks ----------------------------------------------
+
+  /// Slot address of a TCB field; TCB lines are thread-private by
+  /// convention but classified shared so that false sharing is observable
+  /// when padding is disabled.
+  u64* tcb_slot(u32 tid, u32 field);
+
+  // --- Globals area ---------------------------------------------------------
+
+  /// The GIL word lives on its own cache line; every transaction reads it.
+  u64* gil_word() { return gil_word_; }
+
+  /// Global free-list head/count (own cache line).
+  u64* global_free_head() { return global_free_head_; }
+  u64* global_free_count() { return global_free_count_; }
+
+  /// The interpreter-global "current running thread" pointer that §4.4
+  /// removal (a) moves into the TCB. One slot, shared line.
+  u64* current_thread_global() { return current_thread_global_; }
+
+  /// Global variable / constant tables: one slot per registered name,
+  /// densely packed (several names per line).
+  u64* global_var_slot(u32 index);
+  u64* constant_slot(u32 index);
+  u32 register_global_var();
+  u32 register_constant();
+
+  /// Inline-cache slab: 2 slots per site, densely packed.
+  u64* ic_slot(u32 site, u32 word);
+  void ensure_ic_capacity(u32 sites);
+
+  // --- GC --------------------------------------------------------------------
+
+  /// Ranges of slots to scan conservatively for roots (thread stacks) plus
+  /// individual root values (thread receivers, pending results...).
+  struct RootSet {
+    std::vector<std::pair<const u64*, std::size_t>> ranges;
+    std::vector<Value> values;
+  };
+
+  /// Stop-the-world mark & sweep. Caller must guarantee no transaction is
+  /// active (GC runs under the GIL). Thread-local free lists are flushed.
+  /// Returns the cycle cost the engine should charge.
+  Cycles run_gc(const RootSet& roots);
+
+  const GcStats& gc_stats() const { return gc_stats_; }
+
+  /// Free objects currently available (global + thread-local lists).
+  u64 free_objects() const;
+  u64 total_objects() const { return total_objects_; }
+
+  /// True if `addr` points into the RVALUE arena (used by the conservative
+  /// stack scan).
+  bool is_heap_object(const void* addr) const;
+
+  /// Number of u64 slots of spill memory in use (for tests).
+  u64 spill_slots_allocated() const { return spill_slots_allocated_; }
+
+  /// Diagnostic: which memory region an address belongs to ("gil-word",
+  /// "free-list-head", "tcb", "ic", "arena", "spill", ...).
+  std::string describe_address(const void* addr) const;
+
+ private:
+  struct ArenaBlock {
+    std::unique_ptr<RBasic[]> storage;
+    RBasic* base = nullptr;  ///< 64-byte aligned start.
+    u32 count = 0;
+    std::vector<bool> mark;
+  };
+
+  static constexpr u32 kNumSpillClasses = 18;  ///< 32 B .. 4 MB chunks.
+
+  void add_arena_block(u32 rvalues);
+  void collect_for_allocation(Host& host);
+  u64 pop_or_carve_chunk(Host& host, u32 cls);
+  void grow_spill_region(Host& host, u32 needed_slots);
+  void mark_value(Value v, std::vector<RBasic*>& stack);
+  void mark_object(RBasic* o, std::vector<RBasic*>& stack);
+  ArenaBlock* block_of(const void* addr);
+  const ArenaBlock* block_of(const void* addr) const;
+  u64 alloc_spill_direct(u32 size_class);
+  static u32 spill_class_for(u32 payload_slots);
+
+  HeapConfig config_;
+
+  std::vector<ArenaBlock> blocks_;
+  u64 total_objects_ = 0;
+
+  // Raw line-aligned slabs for control state; addresses are stable.
+  std::unique_ptr<u64[]> control_storage_;
+  u64* gil_word_ = nullptr;
+  u64* global_free_head_ = nullptr;
+  u64* global_free_count_ = nullptr;
+  u64* current_thread_global_ = nullptr;
+  u64* spill_class_heads_ = nullptr;  ///< One slot per size class.
+  u64* tcb_base_ = nullptr;
+  u64* tcb_malloc_base_ = nullptr;
+  u32 tcb_stride_ = 0;  ///< Slots between consecutive TCBs.
+  u64* global_vars_ = nullptr;
+  u64* constants_ = nullptr;
+  u64* ic_base_ = nullptr;
+  u32 num_global_vars_ = 0;
+  u32 num_constants_ = 0;
+
+  // Spill backing store: grows in blocks; addresses stable.
+  std::vector<std::unique_ptr<u64[]>> spill_blocks_;
+  u64* spill_bump_ = nullptr;
+  u64* spill_end_ = nullptr;
+  u64 spill_slots_allocated_ = 0;
+
+  GcStats gc_stats_;
+  bool in_gc_ = false;
+};
+
+}  // namespace gilfree::vm

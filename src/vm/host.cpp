@@ -1,0 +1,23 @@
+#include "vm/host.hpp"
+
+#include <stdexcept>
+
+namespace gilfree::vm {
+
+i64 Host::accept_request() {
+  throw std::runtime_error("no HTTP server attached to this engine");
+}
+
+std::string Host::take_request_payload(i64) {
+  throw std::runtime_error("no HTTP server attached to this engine");
+}
+
+void Host::respond(i64, std::string_view) {
+  throw std::runtime_error("no HTTP server attached to this engine");
+}
+
+bool Host::server_shutdown() { return true; }
+
+void Host::internal_allocator_lock(Cycles) {}
+
+}  // namespace gilfree::vm

@@ -1,0 +1,105 @@
+// The interface through which the VM touches simulated memory and machine
+// services. The runtime engine implements it; in GIL mode accesses go
+// straight to memory with cycle accounting, in HTM mode they are routed
+// through the transactional facility (and may throw htm::TxAbort).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vm/value.hpp"
+
+namespace gilfree::vm {
+
+struct RBasic;
+
+/// Thrown by blocking builtins (Mutex contention, ConditionVariable waits,
+/// Thread#join polls, simulated I/O). The engine catches it, rewinds the pc
+/// to re-execute the send instruction after the thread wakes, releases the
+/// GIL while parked (§3.2: blocking operations release the GIL), and resumes.
+/// Blocking builtins must therefore be idempotent up to the point they throw.
+struct ParkRequest {
+  Cycles delay;   ///< Virtual cycles to park for before re-executing.
+  bool is_io;     ///< True for real blocking I/O (GIL released in GIL mode).
+  /// When >= 0: park indefinitely and wake when this VM thread exits
+  /// (Thread#join blocks on the thread's exit event, like CRuby's join,
+  /// instead of polling).
+  i32 wake_on_thread_exit = -1;
+};
+
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// 8-byte slot load. `shared` is false for lines only the current thread
+  /// can touch (its interpreter stack); those still consume transaction
+  /// footprint but skip conflict tracking.
+  virtual u64 mem_load(const u64* p, bool shared) = 0;
+
+  /// 8-byte slot store.
+  virtual void mem_store(u64* p, u64 v, bool shared) = 0;
+
+  /// Charge `c` cycles of non-memory work to the current CPU.
+  virtual void charge(Cycles c) = 0;
+
+  /// Called before an operation that cannot execute transactionally (a
+  /// blocking syscall, a GC). If the current thread is speculating, this
+  /// aborts the transaction with a persistent reason and unwinds (throws);
+  /// execution will retry under the GIL.
+  virtual void require_nontx(const char* why) = 0;
+
+  /// Run a stop-the-world GC. Precondition: the caller is not in a
+  /// transaction (call require_nontx first). The engine supplies the roots.
+  virtual void full_gc() = 0;
+
+  /// Index of the VM thread currently executing on this host.
+  virtual u32 current_tid() = 0;
+
+  // --- Engine services used by builtins -------------------------------------
+  // All blocking services require the caller to be outside a transaction
+  // (call require_nontx first); they may release and reacquire the GIL.
+
+  /// Spawns a VM thread running `proc_val` with `args`; returns its Thread
+  /// object. Must be called outside transactions.
+  virtual Value spawn_thread(Value proc_val, std::vector<Value> args) = 0;
+
+  /// True when VM thread `tid` has finished (Thread#join polls this).
+  virtual bool thread_finished(u32 tid) = 0;
+
+  /// Writes program output (puts / HTTP responses in examples).
+  virtual void write_stdout(std::string_view s) = 0;
+
+  /// Deterministic per-engine RNG for Kernel#rand.
+  virtual u64 random_u64() = 0;
+
+  /// Records a named scalar result (workload verification values, timings).
+  virtual void record_result(std::string_view key, double value) = 0;
+
+  /// Current virtual time of the executing CPU, in cycles.
+  virtual Cycles now_cycles() = 0;
+
+  /// Entered around allocator refill critical sections. A no-op under the
+  /// GIL and under HTM (where conflicts provide atomicity); the
+  /// fine-grained-locking engine (JRuby analogue) serializes these sections
+  /// on a shared lock timeline. Default: no-op.
+  virtual void internal_allocator_lock(Cycles hold);
+
+  // --- Server-simulation hooks (overridden by httpsim's engine) -------------
+
+  /// Dequeues a pending HTTP request id; negative when none is waiting (the
+  /// accept builtin then parks). Default: no server attached.
+  virtual i64 accept_request();
+
+  /// Request payload (the raw HTTP request text).
+  virtual std::string take_request_payload(i64 request_id);
+
+  /// Completes a request with a response payload.
+  virtual void respond(i64 request_id, std::string_view payload);
+
+  /// True once the request generator is exhausted (server loop should end).
+  virtual bool server_shutdown();
+};
+
+}  // namespace gilfree::vm

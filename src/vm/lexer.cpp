@@ -1,0 +1,229 @@
+#include "vm/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace gilfree::vm {
+
+namespace {
+
+constexpr std::array<std::string_view, 19> kKeywords = {
+    "def",   "end",   "if",    "elsif", "else",  "unless", "while",
+    "until", "class", "self",  "nil",   "true",  "false",  "yield",
+    "return", "break", "next",  "do",    "then",
+};
+
+bool ident_start(char c) { return std::isalpha(c) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(c) || c == '_'; }
+
+}  // namespace
+
+bool is_keyword(std::string_view word) {
+  for (auto k : kKeywords)
+    if (k == word) return true;
+  return false;
+}
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  u16 line = 1;
+  int bracket_depth = 0;  // newlines are whitespace inside ( ) and [ ]
+
+  auto push = [&](Tok kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      if (bracket_depth == 0 &&
+          !(out.empty() || out.back().kind == Tok::kNewline)) {
+        Token t;
+        t.kind = Tok::kNewline;
+        t.line = static_cast<u16>(line - 1);
+        out.push_back(t);
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+
+    // Numbers.
+    if (std::isdigit(c)) {
+      std::string num;
+      bool is_float = false;
+      while (i < src.size() &&
+             (std::isdigit(src[i]) || src[i] == '_')) {
+        if (src[i] != '_') num += src[i];
+        ++i;
+      }
+      // Fraction: only when followed by a digit (so 1..n stays a range).
+      if (i + 1 < src.size() && src[i] == '.' && std::isdigit(src[i + 1])) {
+        is_float = true;
+        num += src[i++];
+        while (i < src.size() && (std::isdigit(src[i]) || src[i] == '_')) {
+          if (src[i] != '_') num += src[i];
+          ++i;
+        }
+      }
+      if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+        std::size_t j = i + 1;
+        if (j < src.size() && (src[j] == '+' || src[j] == '-')) ++j;
+        if (j < src.size() && std::isdigit(src[j])) {
+          is_float = true;
+          num += 'e';
+          ++i;
+          if (src[i] == '+' || src[i] == '-') num += src[i++];
+          while (i < src.size() && std::isdigit(src[i])) num += src[i++];
+        }
+      }
+      Token t;
+      t.line = line;
+      if (is_float) {
+        t.kind = Tok::kFloat;
+        t.fval = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = Tok::kInt;
+        t.ival = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      t.text = num;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Strings.
+    if (c == '"') {
+      ++i;
+      std::string s;
+      while (i < src.size() && src[i] != '"') {
+        char ch = src[i];
+        if (ch == '\\' && i + 1 < src.size()) {
+          ++i;
+          switch (src[i]) {
+            case 'n': ch = '\n'; break;
+            case 't': ch = '\t'; break;
+            case 'r': ch = '\r'; break;
+            case '0': ch = '\0'; break;
+            case '\\': ch = '\\'; break;
+            case '"': ch = '"'; break;
+            default: throw LexError("unknown escape", line);
+          }
+        }
+        if (ch == '\n') ++line;
+        s += ch;
+        ++i;
+      }
+      if (i >= src.size()) throw LexError("unterminated string", line);
+      ++i;  // closing quote
+      Token t;
+      t.kind = Tok::kString;
+      t.text = std::move(s);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Symbols.
+    if (c == ':' && i + 1 < src.size() && ident_start(src[i + 1])) {
+      ++i;
+      std::string name;
+      while (i < src.size() && ident_char(src[i])) name += src[i++];
+      push(Tok::kSymbol, std::move(name));
+      continue;
+    }
+
+    // Identifiers / keywords / constants.
+    if (ident_start(c)) {
+      std::string name;
+      while (i < src.size() && ident_char(src[i])) name += src[i++];
+      if (i < src.size() && (src[i] == '?' || src[i] == '!'))
+        name += src[i++];
+      if (is_keyword(name)) {
+        push(Tok::kKeyword, std::move(name));
+      } else if (std::isupper(name[0])) {
+        push(Tok::kConst, std::move(name));
+      } else {
+        push(Tok::kIdent, std::move(name));
+      }
+      continue;
+    }
+
+    // @ivar / @@cvar / $gvar.
+    if (c == '@') {
+      const bool cvar = i + 1 < src.size() && src[i + 1] == '@';
+      i += cvar ? 2 : 1;
+      if (i >= src.size() || !ident_start(src[i]))
+        throw LexError("bad instance/class variable name", line);
+      std::string name;
+      while (i < src.size() && ident_char(src[i])) name += src[i++];
+      push(cvar ? Tok::kCvar : Tok::kIvar, std::move(name));
+      continue;
+    }
+    if (c == '$') {
+      ++i;
+      if (i >= src.size() || !ident_start(src[i]))
+        throw LexError("bad global variable name", line);
+      std::string name;
+      while (i < src.size() && ident_char(src[i])) name += src[i++];
+      push(Tok::kGvar, std::move(name));
+      continue;
+    }
+
+    // Operators & punctuation (longest match first).
+    static constexpr std::string_view kOps3[] = {"...", "<<=", "**="};
+    static constexpr std::string_view kOps2[] = {
+        "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+        "/=", "%=", "<<", "..", "=>", "::"};
+    static constexpr std::string_view kOps1[] = {
+        "+", "-", "*", "/", "%", "<", ">", "=", "!", ".", ",",
+        "(", ")", "[", "]", "{", "}", "|", ";", "&"};
+
+    std::string_view rest = src.substr(i);
+    std::string op;
+    for (auto o : kOps3)
+      if (rest.substr(0, 3) == o) { op = o; break; }
+    if (op.empty())
+      for (auto o : kOps2)
+        if (rest.substr(0, 2) == o) { op = o; break; }
+    if (op.empty())
+      for (auto o : kOps1)
+        if (rest.substr(0, 1) == o) { op = o; break; }
+    if (op.empty()) throw LexError(std::string("unexpected character '") +
+                                   c + "'", line);
+    i += op.size();
+    if (op == "(" || op == "[") ++bracket_depth;
+    if (op == ")" || op == "]") --bracket_depth;
+    push(Tok::kOp, std::move(op));
+    continue;
+  }
+
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line;
+  // Ensure a trailing statement separator before EOF.
+  if (!out.empty() && out.back().kind != Tok::kNewline) {
+    Token t;
+    t.kind = Tok::kNewline;
+    t.line = line;
+    out.push_back(t);
+  }
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace gilfree::vm

@@ -1,0 +1,53 @@
+// Tokenizer for the MiniRuby subset.
+//
+// Newlines are significant (statement separators) except inside parentheses
+// and brackets, mirroring Ruby's line-oriented grammar closely enough for
+// the workloads in this repository.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gilfree::vm {
+
+enum class Tok : u8 {
+  kEof = 0,
+  kNewline,
+  kInt,        // 123, 1_000_000
+  kFloat,      // 1.5, 1e-3
+  kString,     // "..."
+  kSymbol,     // :name
+  kIdent,      // foo, foo?, foo!
+  kConst,      // Foo
+  kIvar,       // @foo
+  kCvar,       // @@foo
+  kGvar,       // $foo
+  kKeyword,    // def end if ... (text in `text`)
+  kOp,         // operators & punctuation (text in `text`)
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  i64 ival = 0;
+  double fval = 0.0;
+  u16 line = 0;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& msg, int line)
+      : std::runtime_error("lex error at line " + std::to_string(line) +
+                           ": " + msg) {}
+};
+
+/// Tokenizes the whole source; appends a kEof token.
+std::vector<Token> tokenize(std::string_view source);
+
+bool is_keyword(std::string_view word);
+
+}  // namespace gilfree::vm

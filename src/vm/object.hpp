@@ -1,0 +1,125 @@
+// Heap object layout.
+//
+// Every heap object is a fixed-size RVALUE of 8 memory slots (64 bytes),
+// mirroring CRuby's 5-word RVALUE design scaled to 64-bit slots. Variable
+// data (array elements, string bytes, hash entries, spilled ivars) lives in
+// separate spill buffers from the slab allocator. On the zEC12 profile
+// (256-byte lines) four RVALUEs share a cache line, so neighbouring objects
+// can conflict — part of the allocation-conflict story of §5.6.
+//
+// All mutable fields are u64 slots accessed through the Host interface so
+// that transactional footprint and conflicts arise exactly where CRuby's
+// would.
+#pragma once
+
+#include <cstring>
+
+#include "common/types.hpp"
+#include "vm/host.hpp"
+#include "vm/value.hpp"
+
+namespace gilfree::vm {
+
+using ClassId = u32;
+
+/// Built-in class ids; user classes are appended after these.
+enum BuiltinClass : ClassId {
+  kClassObject = 0,
+  kClassInteger,
+  kClassFloat,
+  kClassString,
+  kClassArray,
+  kClassHash,
+  kClassRange,
+  kClassSymbol,
+  kClassNil,
+  kClassTrue,
+  kClassFalse,
+  kClassProc,
+  kClassThread,
+  kClassMutex,
+  kClassConditionVariable,
+  kClassClass,
+  kClassMath,
+  kClassKernel,
+  kNumBuiltinClasses,
+};
+
+enum class ObjType : u8 {
+  kFree = 0,   ///< On a free list; slot[1] = next free object (bits) or 0.
+  kObject,     ///< slots[1..7] = inline ivars 0..5, slot[7] = ivar spill.
+  kClass,      ///< slot[1] = ClassId, slot[2] = cvar spill, slot[3] = cvar count.
+  kFloat,      ///< slot[1] = bit pattern of the double.
+  kString,     ///< slot[1] = byte length, slot[2] = byte capacity, slot[3] = spill.
+  kArray,      ///< slot[1] = length, slot[2] = capacity, slot[3] = spill.
+  kHash,       ///< slot[1] = size, slot[2] = bucket capacity, slot[3] = spill.
+  kRange,      ///< slot[1] = lo, slot[2] = hi, slot[3] = 1 when exclusive.
+  kProc,       ///< slot[1] = iseq id, slot[2] = self, slot[3] = env frame,
+               ///< slot[4] = owner thread id + 1.
+  kThread,     ///< slot[1] = VM thread index.
+  kMutex,      ///< slot[1] = locked flag, slot[2] = owner tid + 1.
+  kCondVar,    ///< No slot state; wait queues live in the engine.
+};
+
+constexpr u32 kRValueSlots = 8;
+constexpr u32 kInlineIvars = 6;  ///< Ivar indexes 0..5 are inline.
+
+/// The header slot packs type and class: [type:8][flags:8][pad:16][class:32].
+struct RBasic {
+  u64 slots[kRValueSlots];
+
+  static u64 make_header(ObjType type, ClassId klass) {
+    return static_cast<u64>(type) | (static_cast<u64>(klass) << 32);
+  }
+  static ObjType header_type(u64 h) { return static_cast<ObjType>(h & 0xFF); }
+  static ClassId header_class(u64 h) { return static_cast<ClassId>(h >> 32); }
+
+  /// Direct header reads — ONLY safe outside transactions (GC under the
+  /// GIL, inspect from non-transactional builtins). Inside a transaction a
+  /// freshly allocated object's header lives in the redo buffer, so
+  /// transactional code must use obj_type()/obj_class_id() below.
+  ObjType type() const { return header_type(slots[0]); }
+  ClassId klass() const { return header_class(slots[0]); }
+};
+
+static_assert(sizeof(RBasic) == 64, "RVALUE must be 64 bytes");
+
+/// --- Typed slot accessors -------------------------------------------------
+/// Thin wrappers that name the slots and route through the Host. `shared` is
+/// true: heap objects are reachable by any thread.
+
+inline u64 obj_load(Host& h, const RBasic* o, u32 slot) {
+  return h.mem_load(&o->slots[slot], /*shared=*/true);
+}
+
+/// Transaction-aware header reads (see RBasic::type()).
+inline ObjType obj_type(Host& h, const RBasic* o) {
+  return RBasic::header_type(h.mem_load(&o->slots[0], true));
+}
+inline ClassId obj_class_id(Host& h, const RBasic* o) {
+  return RBasic::header_class(h.mem_load(&o->slots[0], true));
+}
+inline void obj_store(Host& h, RBasic* o, u32 slot, u64 v) {
+  h.mem_store(&o->slots[slot], v, /*shared=*/true);
+}
+inline Value obj_load_value(Host& h, const RBasic* o, u32 slot) {
+  return Value::from_bits(obj_load(h, o, slot));
+}
+
+/// Float payload.
+inline double float_value(Host& h, const RBasic* o) {
+  u64 bits = obj_load(h, o, 1);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+inline u64 float_bits(double d) {
+  u64 bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Spill buffers are arrays of u64 slots handed out by the slab allocator.
+inline u64* spill_ptr(u64 addr) { return reinterpret_cast<u64*>(addr); }
+
+}  // namespace gilfree::vm

@@ -1,0 +1,360 @@
+#include "vm/objops.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gilfree::vm::objops {
+
+namespace {
+
+/// Replaces an object's spill with a larger one, copying `copy_slots` values
+/// and initializing the rest with `fill`.
+u64 regrow_spill(Host& h, Heap& heap, RBasic* o, u32 slot_field,
+                 u32 needed_slots, u64 copy_slots, u64 fill) {
+  const u64 old_spill = obj_load(h, o, slot_field);
+  const u64 new_spill = heap.alloc_spill(h, needed_slots);
+  const u32 new_cap = Heap::spill_capacity_slots(new_spill);
+  const u64* src = spill_ptr(old_spill);
+  u64* dst = spill_ptr(new_spill);
+  for (u64 i = 0; i < copy_slots; ++i)
+    h.mem_store(&dst[i], h.mem_load(&src[i], true), true);
+  for (u64 i = copy_slots; i < new_cap; ++i) h.mem_store(&dst[i], fill, true);
+  if (old_spill) heap.free_spill(h, old_spill);
+  h.mem_store(&o->slots[3], new_spill, true);
+  return new_spill;
+}
+
+}  // namespace
+
+// --- Arrays -----------------------------------------------------------------
+
+i64 array_len(Host& h, RBasic* a) {
+  return static_cast<i64>(obj_load(h, a, 1));
+}
+
+Value array_get(Host& h, RBasic* a, i64 idx) {
+  const i64 len = array_len(h, a);
+  if (idx < 0) idx += len;
+  if (idx < 0 || idx >= len) return Value::nil();
+  const u64* data = spill_ptr(obj_load(h, a, 3));
+  return Value::from_bits(h.mem_load(&data[idx], true));
+}
+
+void array_set(Host& h, Heap& heap, RBasic* a, i64 idx, Value v) {
+  i64 len = array_len(h, a);
+  if (idx < 0) idx += len;
+  GILFREE_CHECK_MSG(idx >= 0, "negative array index out of range");
+  u64 cap = obj_load(h, a, 2);
+  if (static_cast<u64>(idx) >= cap) {
+    const u32 needed =
+        static_cast<u32>(std::max<u64>(cap * 2, static_cast<u64>(idx) + 1));
+    regrow_spill(h, heap, a, 3, needed, static_cast<u64>(len),
+                 Value::nil().bits());
+    h.mem_store(&a->slots[2], Heap::spill_capacity_slots(obj_load(h, a, 3)),
+                true);
+  }
+  u64* data = spill_ptr(obj_load(h, a, 3));
+  h.mem_store(&data[idx], v.bits(), true);
+  if (idx >= len) h.mem_store(&a->slots[1], static_cast<u64>(idx) + 1, true);
+}
+
+void array_push(Host& h, Heap& heap, RBasic* a, Value v) {
+  array_set(h, heap, a, array_len(h, a), v);
+}
+
+Value array_pop(Host& h, RBasic* a) {
+  const i64 len = array_len(h, a);
+  if (len == 0) return Value::nil();
+  u64* data = spill_ptr(obj_load(h, a, 3));
+  const Value v = Value::from_bits(h.mem_load(&data[len - 1], true));
+  h.mem_store(&a->slots[1], static_cast<u64>(len - 1), true);
+  return v;
+}
+
+// --- Strings ----------------------------------------------------------------
+
+i64 string_len(Host& h, RBasic* s) {
+  return static_cast<i64>(obj_load(h, s, 1));
+}
+
+std::string string_to_cpp(Host& h, RBasic* s) {
+  const u64 len = obj_load(h, s, 1);
+  const u64* data = spill_ptr(obj_load(h, s, 3));
+  std::string out(len, '\0');
+  for (u64 i = 0; i < len; i += 8) {
+    const u64 word = h.mem_load(&data[i / 8], true);
+    std::memcpy(out.data() + i, &word, std::min<u64>(8, len - i));
+  }
+  return out;
+}
+
+namespace {
+/// Writes raw bytes into a string's spill starting at byte `at` (which must
+/// be the current length — append only, so partial words merge correctly).
+void string_write_bytes(Host& h, RBasic* s, u64 at, const char* bytes,
+                        u64 n) {
+  u64* data = spill_ptr(obj_load(h, s, 3));
+  u64 i = at;
+  const char* p = bytes;
+  u64 remaining = n;
+  while (remaining > 0) {
+    const u64 slot = i / 8;
+    const u64 off = i % 8;
+    const u64 chunk = std::min<u64>(8 - off, remaining);
+    u64 word = off == 0 && chunk == 8 ? 0 : h.mem_load(&data[slot], true);
+    std::memcpy(reinterpret_cast<char*>(&word) + off, p, chunk);
+    h.mem_store(&data[slot], word, true);
+    i += chunk;
+    p += chunk;
+    remaining -= chunk;
+  }
+}
+}  // namespace
+
+Value string_concat_new(Host& h, Heap& heap, RBasic* a, RBasic* b) {
+  const std::string sa = string_to_cpp(h, a);
+  const std::string sb = string_to_cpp(h, b);
+  return heap.new_string(h, sa + sb);
+}
+
+void string_append(Host& h, Heap& heap, RBasic* dst, RBasic* src) {
+  const std::string extra = string_to_cpp(h, src);
+  const u64 len = obj_load(h, dst, 1);
+  const u64 cap = obj_load(h, dst, 2);
+  const u64 new_len = len + extra.size();
+  if (new_len > cap) {
+    const u32 needed_slots =
+        static_cast<u32>(std::max<u64>((cap * 2 + 7) / 8, (new_len + 7) / 8));
+    regrow_spill(h, heap, dst, 3, needed_slots, (len + 7) / 8, 0);
+    h.mem_store(&dst->slots[2],
+                u64{Heap::spill_capacity_slots(obj_load(h, dst, 3))} * 8,
+                true);
+  }
+  string_write_bytes(h, dst, len, extra.data(), extra.size());
+  h.mem_store(&dst->slots[1], new_len, true);
+}
+
+bool string_eq(Host& h, RBasic* a, RBasic* b) {
+  if (a == b) return true;
+  const u64 la = obj_load(h, a, 1);
+  const u64 lb = obj_load(h, b, 1);
+  if (la != lb) return false;
+  const u64* da = spill_ptr(obj_load(h, a, 3));
+  const u64* db = spill_ptr(obj_load(h, b, 3));
+  const u64 full = la / 8;
+  for (u64 i = 0; i < full; ++i) {
+    if (h.mem_load(&da[i], true) != h.mem_load(&db[i], true)) return false;
+  }
+  const u64 rem = la % 8;
+  if (rem) {
+    const u64 mask = (u64{1} << (rem * 8)) - 1;
+    if ((h.mem_load(&da[full], true) & mask) !=
+        (h.mem_load(&db[full], true) & mask))
+      return false;
+  }
+  return true;
+}
+
+u64 string_hash(Host& h, RBasic* s) {
+  const u64 len = obj_load(h, s, 1);
+  const u64* data = spill_ptr(obj_load(h, s, 3));
+  u64 acc = 0x811c9dc5;
+  for (u64 i = 0; i < (len + 7) / 8; ++i) {
+    u64 word = h.mem_load(&data[i], true);
+    if (i == len / 8 && len % 8) word &= (u64{1} << ((len % 8) * 8)) - 1;
+    acc = mix64(acc ^ word);
+  }
+  return mix64(acc ^ len);
+}
+
+i64 string_index(Host& h, RBasic* haystack, RBasic* needle, i64 from) {
+  const std::string hs = string_to_cpp(h, haystack);
+  const std::string ns = string_to_cpp(h, needle);
+  if (from < 0) from = 0;
+  if (static_cast<std::size_t>(from) > hs.size()) return -1;
+  const auto pos = hs.find(ns, static_cast<std::size_t>(from));
+  return pos == std::string::npos ? -1 : static_cast<i64>(pos);
+}
+
+Value string_slice(Host& h, Heap& heap, RBasic* s, i64 start, i64 len) {
+  const i64 slen = string_len(h, s);
+  if (start < 0) start += slen;
+  if (start < 0 || start > slen) return Value::nil();
+  len = std::max<i64>(0, std::min<i64>(len, slen - start));
+  const std::string str = string_to_cpp(h, s);
+  return heap.new_string(
+      h, std::string_view(str).substr(static_cast<std::size_t>(start),
+                                      static_cast<std::size_t>(len)));
+}
+
+i64 string_to_i(Host& h, RBasic* s) {
+  const std::string str = string_to_cpp(h, s);
+  return std::strtoll(str.c_str(), nullptr, 10);
+}
+
+// --- Hashes -----------------------------------------------------------------
+
+i64 hash_size(Host& h, RBasic* hash) {
+  return static_cast<i64>(obj_load(h, hash, 1));
+}
+
+Value hash_get(Host& h, RBasic* hash, Value key) {
+  const u64 cap = obj_load(h, hash, 2);
+  u64* data = spill_ptr(obj_load(h, hash, 3));
+  u64 idx = value_hash(h, key) & (cap - 1);
+  for (u64 probes = 0; probes < cap; ++probes) {
+    const Value k = Value::from_bits(h.mem_load(&data[idx * 2], true));
+    if (k.is_undef()) return Value::nil();
+    if (value_eq(h, k, key))
+      return Value::from_bits(h.mem_load(&data[idx * 2 + 1], true));
+    idx = (idx + 1) & (cap - 1);
+  }
+  return Value::nil();
+}
+
+void hash_set(Host& h, Heap& heap, RBasic* hash, Value key, Value v) {
+  u64 cap = obj_load(h, hash, 2);
+  u64 size = obj_load(h, hash, 1);
+  if ((size + 1) * 4 > cap * 3) {
+    // Rehash into a doubled table.
+    const u64 new_cap = cap * 2;
+    const u64 old_spill = obj_load(h, hash, 3);
+    const u64 new_spill = heap.alloc_spill(h, static_cast<u32>(new_cap * 2));
+    u64* nd = spill_ptr(new_spill);
+    for (u64 i = 0; i < new_cap * 2; ++i)
+      h.mem_store(&nd[i], Value::undef().bits(), true);
+    const u64* od = spill_ptr(old_spill);
+    for (u64 i = 0; i < cap; ++i) {
+      const Value k = Value::from_bits(h.mem_load(&od[i * 2], true));
+      if (k.is_undef()) continue;
+      const Value val = Value::from_bits(h.mem_load(&od[i * 2 + 1], true));
+      u64 idx = value_hash(h, k) & (new_cap - 1);
+      while (!Value::from_bits(h.mem_load(&nd[idx * 2], true)).is_undef())
+        idx = (idx + 1) & (new_cap - 1);
+      h.mem_store(&nd[idx * 2], k.bits(), true);
+      h.mem_store(&nd[idx * 2 + 1], val.bits(), true);
+    }
+    heap.free_spill(h, old_spill);
+    h.mem_store(&hash->slots[3], new_spill, true);
+    h.mem_store(&hash->slots[2], new_cap, true);
+    cap = new_cap;
+  }
+  u64* data = spill_ptr(obj_load(h, hash, 3));
+  u64 idx = value_hash(h, key) & (cap - 1);
+  for (;;) {
+    const Value k = Value::from_bits(h.mem_load(&data[idx * 2], true));
+    if (k.is_undef()) {
+      h.mem_store(&data[idx * 2], key.bits(), true);
+      h.mem_store(&data[idx * 2 + 1], v.bits(), true);
+      h.mem_store(&hash->slots[1], size + 1, true);
+      return;
+    }
+    if (value_eq(h, k, key)) {
+      h.mem_store(&data[idx * 2 + 1], v.bits(), true);
+      return;
+    }
+    idx = (idx + 1) & (cap - 1);
+  }
+}
+
+// --- Generic ----------------------------------------------------------------
+
+bool value_is_float(Host& h, Value v) {
+  return v.is_object() && obj_type(h, v.obj()) == ObjType::kFloat;
+}
+
+double value_to_double(Host& h, Value v) {
+  if (v.is_fixnum()) return static_cast<double>(v.fixnum_val());
+  GILFREE_CHECK_MSG(value_is_float(h, v), "expected numeric value");
+  return float_value(h, v.obj());
+}
+
+bool value_eq(Host& h, Value a, Value b) {
+  if (a == b) return true;
+  const bool a_num = a.is_fixnum() || value_is_float(h, a);
+  const bool b_num = b.is_fixnum() || value_is_float(h, b);
+  if (a_num && b_num) return value_to_double(h, a) == value_to_double(h, b);
+  if (a.is_object() && b.is_object()) {
+    RBasic* ao = a.obj();
+    RBasic* bo = b.obj();
+    if (obj_type(h, ao) == ObjType::kString && obj_type(h, bo) == ObjType::kString)
+      return string_eq(h, ao, bo);
+  }
+  return false;
+}
+
+u64 value_hash(Host& h, Value key) {
+  if (key.is_fixnum()) return mix64(static_cast<u64>(key.fixnum_val()));
+  if (key.is_symbol()) return mix64(u64{key.symbol_id()} | (u64{1} << 40));
+  if (key.is_object()) {
+    RBasic* o = key.obj();
+    if (obj_type(h, o) == ObjType::kString) return string_hash(h, o);
+    if (obj_type(h, o) == ObjType::kFloat) {
+      const double d = float_value(h, o);
+      if (d == static_cast<double>(static_cast<i64>(d)))
+        return mix64(static_cast<u64>(static_cast<i64>(d)));
+      return mix64(float_bits(d));
+    }
+    return mix64(key.bits());
+  }
+  return mix64(key.bits());
+}
+
+namespace {
+void inspect_rec(Value v, std::ostringstream& os, int depth) {
+  if (v.is_nil()) { os << "nil"; return; }
+  if (v.is_true()) { os << "true"; return; }
+  if (v.is_false()) { os << "false"; return; }
+  if (v.is_fixnum()) { os << v.fixnum_val(); return; }
+  if (v.is_symbol()) { os << ":sym" << v.symbol_id(); return; }
+  if (!v.is_object()) { os << "#<undef>"; return; }
+  RBasic* o = v.obj();
+  switch (o->type()) {
+    case ObjType::kFloat: {
+      double d;
+      std::memcpy(&d, &o->slots[1], 8);
+      os << d;
+      return;
+    }
+    case ObjType::kString: {
+      const u64 len = o->slots[1];
+      const char* data = reinterpret_cast<const char*>(spill_ptr(o->slots[3]));
+      os.write(data, static_cast<std::streamsize>(len));
+      return;
+    }
+    case ObjType::kArray: {
+      if (depth > 4) { os << "[...]"; return; }
+      os << "[";
+      const u64 len = o->slots[1];
+      const u64* data = spill_ptr(o->slots[3]);
+      for (u64 i = 0; i < len; ++i) {
+        if (i) os << ", ";
+        inspect_rec(Value::from_bits(data[i]), os, depth + 1);
+      }
+      os << "]";
+      return;
+    }
+    case ObjType::kRange:
+      inspect_rec(Value::from_bits(o->slots[1]), os, depth + 1);
+      os << (o->slots[3] ? "..." : "..");
+      inspect_rec(Value::from_bits(o->slots[2]), os, depth + 1);
+      return;
+    default:
+      os << "#<object:" << static_cast<int>(o->type()) << ">";
+      return;
+  }
+}
+}  // namespace
+
+std::string value_inspect_direct(Value v) {
+  std::ostringstream os;
+  inspect_rec(v, os, 0);
+  return os.str();
+}
+
+}  // namespace gilfree::vm::objops

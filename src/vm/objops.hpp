@@ -1,0 +1,52 @@
+// Operations on heap objects (arrays, strings, hashes, ranges), all routed
+// through the Host so their memory traffic joins transaction footprints.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "vm/class_registry.hpp"
+#include "vm/heap.hpp"
+#include "vm/host.hpp"
+#include "vm/object.hpp"
+#include "vm/value.hpp"
+
+namespace gilfree::vm::objops {
+
+// --- Arrays ---------------------------------------------------------------
+i64 array_len(Host& h, RBasic* a);
+Value array_get(Host& h, RBasic* a, i64 idx);  ///< nil when out of bounds.
+void array_set(Host& h, Heap& heap, RBasic* a, i64 idx, Value v);  ///< Grows.
+void array_push(Host& h, Heap& heap, RBasic* a, Value v);
+Value array_pop(Host& h, RBasic* a);
+
+// --- Strings ----------------------------------------------------------------
+i64 string_len(Host& h, RBasic* s);
+std::string string_to_cpp(Host& h, RBasic* s);
+Value string_concat_new(Host& h, Heap& heap, RBasic* a, RBasic* b);
+void string_append(Host& h, Heap& heap, RBasic* dst, RBasic* src);
+bool string_eq(Host& h, RBasic* a, RBasic* b);
+u64 string_hash(Host& h, RBasic* s);
+/// Index of `needle` in `haystack` starting at `from`; -1 when absent.
+i64 string_index(Host& h, RBasic* haystack, RBasic* needle, i64 from);
+Value string_slice(Host& h, Heap& heap, RBasic* s, i64 start, i64 len);
+i64 string_to_i(Host& h, RBasic* s);
+
+// --- Hashes ----------------------------------------------------------------
+i64 hash_size(Host& h, RBasic* hash);
+Value hash_get(Host& h, RBasic* hash, Value key);  ///< nil when missing.
+void hash_set(Host& h, Heap& heap, RBasic* hash, Value key, Value v);
+
+// --- Generic ----------------------------------------------------------------
+/// Ruby == semantics for the types we support: numeric value equality
+/// (Fixnum/Float cross-type), string content equality, identity otherwise.
+bool value_eq(Host& h, Value a, Value b);
+u64 value_hash(Host& h, Value key);
+double value_to_double(Host& h, Value v);  ///< Fixnum or Float.
+bool value_is_float(Host& h, Value v);
+
+/// Human-readable rendering (puts / inspect). Reads memory directly — only
+/// used from non-transactional builtins.
+std::string value_inspect_direct(Value v);
+
+}  // namespace gilfree::vm::objops

@@ -1,0 +1,635 @@
+#include "vm/parser.hpp"
+
+#include "common/check.hpp"
+
+namespace gilfree::vm {
+
+namespace {
+
+NodePtr clone_node(const Node& n) {
+  auto c = std::make_unique<Node>();
+  c->kind = n.kind;
+  c->line = n.line;
+  c->name = n.name;
+  c->sval = n.sval;
+  c->ival = n.ival;
+  c->fval = n.fval;
+  c->params = n.params;
+  for (const auto& k : n.kids)
+    c->kids.push_back(k ? clone_node(*k) : nullptr);
+  if (n.block_body) c->block_body = clone_node(*n.block_body);
+  return c;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  NodePtr program() {
+    NodePtr seq = stmts({"__eof__"});
+    expect_eof();
+    return seq;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(std::size_t n = 1) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  void advance() { if (pos_ + 1 < toks_.size()) ++pos_; }
+
+  bool is_op(const char* text) const {
+    return cur().kind == Tok::kOp && cur().text == text;
+  }
+  bool is_kw(const char* text) const {
+    return cur().kind == Tok::kKeyword && cur().text == text;
+  }
+  bool accept_op(const char* text) {
+    if (!is_op(text)) return false;
+    advance();
+    return true;
+  }
+  bool accept_kw(const char* text) {
+    if (!is_kw(text)) return false;
+    advance();
+    return true;
+  }
+  void expect_op(const char* text) {
+    if (!accept_op(text))
+      throw ParseError(std::string("expected '") + text + "', got '" +
+                           cur().text + "'",
+                       cur().line);
+  }
+  void expect_kw(const char* text) {
+    if (!accept_kw(text))
+      throw ParseError(std::string("expected keyword '") + text + "'",
+                       cur().line);
+  }
+  void expect_eof() {
+    skip_separators();
+    if (cur().kind != Tok::kEof)
+      throw ParseError("unexpected trailing input '" + cur().text + "'",
+                       cur().line);
+  }
+  void skip_separators() {
+    while (cur().kind == Tok::kNewline || is_op(";")) advance();
+  }
+  void expect_separator() {
+    if (cur().kind == Tok::kNewline || is_op(";")) {
+      skip_separators();
+      return;
+    }
+    if (cur().kind == Tok::kEof) return;
+    // `end`, `else`, `elsif`, `}` may directly follow an expression.
+    if (is_kw("end") || is_kw("else") || is_kw("elsif") || is_op("}")) return;
+    throw ParseError("expected end of statement, got '" + cur().text + "'",
+                     cur().line);
+  }
+
+  /// True when the current token closes a statement list.
+  bool at_block_end(const std::vector<std::string>& stops) const {
+    if (cur().kind == Tok::kEof) return true;
+    for (const auto& s : stops) {
+      if (s == "__eof__") continue;
+      if ((cur().kind == Tok::kKeyword && cur().text == s) ||
+          (cur().kind == Tok::kOp && cur().text == s))
+        return true;
+    }
+    return false;
+  }
+
+  NodePtr stmts(const std::vector<std::string>& stops) {
+    auto seq = Node::make(Node::Kind::kSeq, cur().line);
+    skip_separators();
+    while (!at_block_end(stops)) {
+      seq->kids.push_back(statement());
+      expect_separator();
+      skip_separators();
+    }
+    return seq;
+  }
+
+  NodePtr statement() {
+    if (is_kw("def")) return def_stmt();
+    if (is_kw("class")) return class_stmt();
+    if (is_kw("if") || is_kw("unless")) return if_stmt();
+    if (is_kw("while") || is_kw("until")) return while_stmt();
+    if (is_kw("return")) {
+      const u16 line = cur().line;
+      advance();
+      auto n = Node::make(Node::Kind::kReturn, line);
+      if (cur().kind != Tok::kNewline && !is_op(";") &&
+          cur().kind != Tok::kEof && !is_kw("end"))
+        n->kids.push_back(expression());
+      return n;
+    }
+    if (is_kw("break")) {
+      const u16 line = cur().line;
+      advance();
+      return Node::make(Node::Kind::kBreak, line);
+    }
+    if (is_kw("next")) {
+      const u16 line = cur().line;
+      advance();
+      return Node::make(Node::Kind::kNext, line);
+    }
+    return expr_or_assign();
+  }
+
+  NodePtr def_stmt() {
+    const u16 line = cur().line;
+    expect_kw("def");
+    bool self_method = false;
+    if (is_kw("self")) {
+      advance();
+      expect_op(".");
+      self_method = true;
+    }
+    std::string name;
+    if (cur().kind == Tok::kIdent) {
+      name = cur().text;
+      advance();
+    } else if (cur().kind == Tok::kOp) {
+      // Operator method definitions: def +(o), def [](i), def []=(i, v)
+      name = cur().text;
+      advance();
+      if (name == "[") {
+        expect_op("]");
+        name = "[]";
+        if (accept_op("=")) name = "[]=";
+      }
+    } else {
+      throw ParseError("expected method name", cur().line);
+    }
+    auto n = Node::make(Node::Kind::kDef, line);
+    n->name = name;
+    n->ival = self_method ? 1 : 0;
+    if (accept_op("(")) {
+      while (!is_op(")")) {
+        if (cur().kind != Tok::kIdent)
+          throw ParseError("expected parameter name", cur().line);
+        n->params.push_back(cur().text);
+        advance();
+        if (!is_op(")")) expect_op(",");
+      }
+      expect_op(")");
+    }
+    n->kids.push_back(stmts({"end"}));
+    expect_kw("end");
+    return n;
+  }
+
+  NodePtr class_stmt() {
+    const u16 line = cur().line;
+    expect_kw("class");
+    if (cur().kind != Tok::kConst)
+      throw ParseError("expected class name", cur().line);
+    auto n = Node::make(Node::Kind::kClassDef, line);
+    n->name = cur().text;
+    advance();
+    if (accept_op("<")) {
+      if (cur().kind != Tok::kConst)
+        throw ParseError("expected superclass name", cur().line);
+      n->sval = cur().text;
+      advance();
+    }
+    n->kids.push_back(stmts({"end"}));
+    expect_kw("end");
+    return n;
+  }
+
+  NodePtr if_stmt() {
+    const u16 line = cur().line;
+    const bool negate = is_kw("unless");
+    advance();
+    NodePtr cond = expression();
+    if (negate) {
+      auto no = Node::make(Node::Kind::kUnop, line);
+      no->name = "!";
+      no->kids.push_back(std::move(cond));
+      cond = std::move(no);
+    }
+    accept_kw("then");
+    auto n = Node::make(Node::Kind::kIf, line);
+    n->kids.push_back(std::move(cond));
+    n->kids.push_back(stmts({"elsif", "else", "end"}));
+    if (is_kw("elsif")) {
+      n->kids.push_back(if_stmt_tail());
+      return n;
+    }
+    if (accept_kw("else")) {
+      n->kids.push_back(stmts({"end"}));
+    } else {
+      n->kids.push_back(nullptr);
+    }
+    expect_kw("end");
+    return n;
+  }
+
+  /// elsif chain parsed as a nested kIf that consumes the final `end`.
+  NodePtr if_stmt_tail() {
+    const u16 line = cur().line;
+    expect_kw("elsif");
+    auto n = Node::make(Node::Kind::kIf, line);
+    n->kids.push_back(expression());
+    accept_kw("then");
+    n->kids.push_back(stmts({"elsif", "else", "end"}));
+    if (is_kw("elsif")) {
+      n->kids.push_back(if_stmt_tail());
+      return n;
+    }
+    if (accept_kw("else")) {
+      n->kids.push_back(stmts({"end"}));
+    } else {
+      n->kids.push_back(nullptr);
+    }
+    expect_kw("end");
+    return n;
+  }
+
+  NodePtr while_stmt() {
+    const u16 line = cur().line;
+    const bool until = is_kw("until");
+    advance();
+    auto n = Node::make(Node::Kind::kWhile, line);
+    n->ival = until ? 1 : 0;
+    n->kids.push_back(expression());
+    accept_kw("do");
+    n->kids.push_back(stmts({"end"}));
+    expect_kw("end");
+    return n;
+  }
+
+  NodePtr expr_or_assign() {
+    NodePtr lhs = expression();
+    // Plain assignment.
+    if (is_op("=")) {
+      advance();
+      return make_assignment(std::move(lhs), expression());
+    }
+    // Compound assignment: desugar x op= e into x = x op e.
+    static constexpr const char* kOpAssign[] = {"+=", "-=", "*=", "/=",
+                                                "%=", "<<="};
+    for (const char* oa : kOpAssign) {
+      if (is_op(oa)) {
+        const u16 line = cur().line;
+        advance();
+        auto bin = Node::make(Node::Kind::kBinop, line);
+        bin->name = std::string(oa).substr(0, std::string(oa).size() - 1);
+        bin->kids.push_back(clone_node(*lhs));
+        bin->kids.push_back(expression());
+        return make_assignment(std::move(lhs), std::move(bin));
+      }
+    }
+    return lhs;
+  }
+
+  NodePtr make_assignment(NodePtr lhs, NodePtr value) {
+    const u16 line = lhs->line;
+    auto assign = [&](Node::Kind k) {
+      auto n = Node::make(k, line);
+      n->name = lhs->name;
+      n->kids.push_back(std::move(value));
+      return n;
+    };
+    switch (lhs->kind) {
+      case Node::Kind::kLocal: return assign(Node::Kind::kLocalAssign);
+      case Node::Kind::kIvar: return assign(Node::Kind::kIvarAssign);
+      case Node::Kind::kCvar: return assign(Node::Kind::kCvarAssign);
+      case Node::Kind::kGvar: return assign(Node::Kind::kGvarAssign);
+      case Node::Kind::kConst: return assign(Node::Kind::kConstAssign);
+      case Node::Kind::kIndex: {
+        auto n = Node::make(Node::Kind::kIndexAssign, line);
+        n->kids.push_back(std::move(lhs->kids[0]));
+        n->kids.push_back(std::move(lhs->kids[1]));
+        n->kids.push_back(std::move(value));
+        return n;
+      }
+      default:
+        throw ParseError("invalid assignment target", line);
+    }
+  }
+
+  NodePtr expression() { return range_expr(); }
+
+  NodePtr range_expr() {
+    NodePtr lhs = oror_expr();
+    if (is_op("..") || is_op("...")) {
+      const bool excl = cur().text == "...";
+      const u16 line = cur().line;
+      advance();
+      auto n = Node::make(Node::Kind::kRangeLit, line);
+      n->ival = excl ? 1 : 0;
+      n->kids.push_back(std::move(lhs));
+      n->kids.push_back(oror_expr());
+      return n;
+    }
+    return lhs;
+  }
+
+  NodePtr oror_expr() {
+    NodePtr lhs = andand_expr();
+    while (is_op("||")) {
+      const u16 line = cur().line;
+      advance();
+      auto n = Node::make(Node::Kind::kOrOr, line);
+      n->kids.push_back(std::move(lhs));
+      n->kids.push_back(andand_expr());
+      lhs = std::move(n);
+    }
+    return lhs;
+  }
+
+  NodePtr andand_expr() {
+    NodePtr lhs = equality_expr();
+    while (is_op("&&")) {
+      const u16 line = cur().line;
+      advance();
+      auto n = Node::make(Node::Kind::kAndAnd, line);
+      n->kids.push_back(std::move(lhs));
+      n->kids.push_back(equality_expr());
+      lhs = std::move(n);
+    }
+    return lhs;
+  }
+
+  NodePtr binop(NodePtr lhs, const char* op, NodePtr rhs, u16 line) {
+    auto n = Node::make(Node::Kind::kBinop, line);
+    n->name = op;
+    n->kids.push_back(std::move(lhs));
+    n->kids.push_back(std::move(rhs));
+    return n;
+  }
+
+  NodePtr equality_expr() {
+    NodePtr lhs = relational_expr();
+    while (is_op("==") || is_op("!=")) {
+      const std::string op = cur().text;
+      const u16 line = cur().line;
+      advance();
+      lhs = binop(std::move(lhs), op.c_str(), relational_expr(), line);
+    }
+    return lhs;
+  }
+
+  NodePtr relational_expr() {
+    NodePtr lhs = shift_expr();
+    while (is_op("<") || is_op("<=") || is_op(">") || is_op(">=")) {
+      const std::string op = cur().text;
+      const u16 line = cur().line;
+      advance();
+      lhs = binop(std::move(lhs), op.c_str(), shift_expr(), line);
+    }
+    return lhs;
+  }
+
+  NodePtr shift_expr() {
+    NodePtr lhs = additive_expr();
+    while (is_op("<<")) {
+      const u16 line = cur().line;
+      advance();
+      lhs = binop(std::move(lhs), "<<", additive_expr(), line);
+    }
+    return lhs;
+  }
+
+  NodePtr additive_expr() {
+    NodePtr lhs = multiplicative_expr();
+    while (is_op("+") || is_op("-")) {
+      const std::string op = cur().text;
+      const u16 line = cur().line;
+      advance();
+      lhs = binop(std::move(lhs), op.c_str(), multiplicative_expr(), line);
+    }
+    return lhs;
+  }
+
+  NodePtr multiplicative_expr() {
+    NodePtr lhs = unary_expr();
+    while (is_op("*") || is_op("/") || is_op("%")) {
+      const std::string op = cur().text;
+      const u16 line = cur().line;
+      advance();
+      lhs = binop(std::move(lhs), op.c_str(), unary_expr(), line);
+    }
+    return lhs;
+  }
+
+  NodePtr unary_expr() {
+    if (is_op("-") || is_op("!")) {
+      const std::string op = cur().text;
+      const u16 line = cur().line;
+      advance();
+      auto n = Node::make(Node::Kind::kUnop, line);
+      n->name = op;
+      n->kids.push_back(unary_expr());
+      return n;
+    }
+    return postfix_expr();
+  }
+
+  NodePtr postfix_expr() {
+    NodePtr recv = primary_expr();
+    for (;;) {
+      if (accept_op(".")) {
+        if (cur().kind != Tok::kIdent && cur().kind != Tok::kConst)
+          throw ParseError("expected method name after '.'", cur().line);
+        auto call = Node::make(Node::Kind::kCall, cur().line);
+        call->name = cur().text;
+        advance();
+        call->kids.push_back(std::move(recv));
+        parse_call_args_and_block(*call);
+        recv = std::move(call);
+        continue;
+      }
+      if (is_op("[")) {
+        const u16 line = cur().line;
+        advance();
+        auto idx = Node::make(Node::Kind::kIndex, line);
+        idx->kids.push_back(std::move(recv));
+        idx->kids.push_back(expression());
+        expect_op("]");
+        recv = std::move(idx);
+        continue;
+      }
+      break;
+    }
+    return recv;
+  }
+
+  void parse_call_args_and_block(Node& call) {
+    if (accept_op("(")) {
+      while (!is_op(")")) {
+        call.kids.push_back(expression());
+        if (!is_op(")")) expect_op(",");
+      }
+      expect_op(")");
+    }
+    parse_optional_block(call);
+  }
+
+  void parse_optional_block(Node& call) {
+    if (is_kw("do")) {
+      advance();
+      parse_block_body(call, "end");
+      return;
+    }
+    if (is_op("{")) {
+      advance();
+      parse_block_body(call, "}");
+      return;
+    }
+  }
+
+  void parse_block_body(Node& call, const char* closer) {
+    if (accept_op("|")) {
+      while (!is_op("|")) {
+        if (cur().kind != Tok::kIdent)
+          throw ParseError("expected block parameter", cur().line);
+        call.params.push_back(cur().text);
+        advance();
+        if (!is_op("|")) expect_op(",");
+      }
+      expect_op("|");
+    }
+    call.block_body = stmts({closer});
+    if (std::string(closer) == "end") {
+      expect_kw("end");
+    } else {
+      expect_op("}");
+    }
+  }
+
+  NodePtr primary_expr() {
+    const u16 line = cur().line;
+    switch (cur().kind) {
+      case Tok::kInt: {
+        auto n = Node::make(Node::Kind::kIntLit, line);
+        n->ival = cur().ival;
+        advance();
+        return n;
+      }
+      case Tok::kFloat: {
+        auto n = Node::make(Node::Kind::kFloatLit, line);
+        n->fval = cur().fval;
+        advance();
+        return n;
+      }
+      case Tok::kString: {
+        auto n = Node::make(Node::Kind::kStrLit, line);
+        n->sval = cur().text;
+        advance();
+        return n;
+      }
+      case Tok::kSymbol: {
+        auto n = Node::make(Node::Kind::kSymLit, line);
+        n->sval = cur().text;
+        advance();
+        return n;
+      }
+      case Tok::kIvar: {
+        auto n = Node::make(Node::Kind::kIvar, line);
+        n->name = cur().text;
+        advance();
+        return n;
+      }
+      case Tok::kCvar: {
+        auto n = Node::make(Node::Kind::kCvar, line);
+        n->name = cur().text;
+        advance();
+        return n;
+      }
+      case Tok::kGvar: {
+        auto n = Node::make(Node::Kind::kGvar, line);
+        n->name = cur().text;
+        advance();
+        return n;
+      }
+      case Tok::kConst: {
+        auto n = Node::make(Node::Kind::kConst, line);
+        n->name = cur().text;
+        advance();
+        return n;
+      }
+      case Tok::kIdent: {
+        const std::string name = cur().text;
+        advance();
+        // Call when followed by parens or a block; otherwise ambiguous
+        // (local vs zero-arg self call) — resolved by the compiler.
+        if (is_op("(") || is_kw("do") || is_op("{")) {
+          auto call = Node::make(Node::Kind::kCall, line);
+          call->name = name;
+          call->kids.push_back(nullptr);  // self receiver
+          parse_call_args_and_block(*call);
+          return call;
+        }
+        auto n = Node::make(Node::Kind::kLocal, line);
+        n->name = name;
+        return n;
+      }
+      case Tok::kKeyword: {
+        if (accept_kw("self")) return Node::make(Node::Kind::kSelf, line);
+        if (accept_kw("nil")) return Node::make(Node::Kind::kNilLit, line);
+        if (accept_kw("true")) return Node::make(Node::Kind::kTrueLit, line);
+        if (accept_kw("false"))
+          return Node::make(Node::Kind::kFalseLit, line);
+        if (accept_kw("yield")) {
+          auto n = Node::make(Node::Kind::kYield, line);
+          if (accept_op("(")) {
+            while (!is_op(")")) {
+              n->kids.push_back(expression());
+              if (!is_op(")")) expect_op(",");
+            }
+            expect_op(")");
+          }
+          return n;
+        }
+        throw ParseError("unexpected keyword '" + cur().text + "'",
+                         cur().line);
+      }
+      case Tok::kOp: {
+        if (accept_op("(")) {
+          NodePtr e = expression();
+          expect_op(")");
+          return e;
+        }
+        if (accept_op("[")) {
+          auto n = Node::make(Node::Kind::kArrayLit, line);
+          while (!is_op("]")) {
+            n->kids.push_back(expression());
+            if (!is_op("]")) expect_op(",");
+          }
+          expect_op("]");
+          return n;
+        }
+        if (accept_op("{")) {
+          auto n = Node::make(Node::Kind::kHashLit, line);
+          while (!is_op("}")) {
+            n->kids.push_back(expression());
+            expect_op("=>");
+            n->kids.push_back(expression());
+            if (!is_op("}")) expect_op(",");
+          }
+          expect_op("}");
+          return n;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    throw ParseError("unexpected token '" + cur().text + "'", cur().line);
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+NodePtr parse_program(std::string_view source) {
+  Parser p(tokenize(source));
+  return p.program();
+}
+
+}  // namespace gilfree::vm

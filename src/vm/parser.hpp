@@ -1,0 +1,22 @@
+// Recursive-descent parser for the MiniRuby subset.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "vm/ast.hpp"
+#include "vm/lexer.hpp"
+
+namespace gilfree::vm {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, int line)
+      : std::runtime_error("parse error at line " + std::to_string(line) +
+                           ": " + msg) {}
+};
+
+/// Parses a whole program into a kSeq node.
+NodePtr parse_program(std::string_view source);
+
+}  // namespace gilfree::vm

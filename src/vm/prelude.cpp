@@ -1,0 +1,241 @@
+#include "vm/prelude.hpp"
+
+namespace gilfree::vm {
+
+const std::string& prelude_source() {
+  static const std::string kPrelude = R"RUBY(
+class Integer
+  def times
+    i = 0
+    while i < self
+      yield(i)
+      i = i + 1
+    end
+    self
+  end
+  def upto(n)
+    i = self
+    while i <= n
+      yield(i)
+      i = i + 1
+    end
+    self
+  end
+  def downto(n)
+    i = self
+    while i >= n
+      yield(i)
+      i = i - 1
+    end
+    self
+  end
+  def step(limit, by)
+    i = self
+    if by > 0
+      while i <= limit
+        yield(i)
+        i = i + by
+      end
+    else
+      while i >= limit
+        yield(i)
+        i = i + by
+      end
+    end
+    self
+  end
+end
+
+class Range
+  def each
+    i = first
+    l = last
+    if exclude_end?
+      while i < l
+        yield(i)
+        i = i + 1
+      end
+    else
+      while i <= l
+        yield(i)
+        i = i + 1
+      end
+    end
+    self
+  end
+  def to_a
+    a = []
+    each do |x|
+      a << x
+    end
+    a
+  end
+  def size
+    if exclude_end?
+      last - first
+    else
+      last - first + 1
+    end
+  end
+end
+
+class Array
+  def each
+    i = 0
+    n = length
+    while i < n
+      yield(self[i])
+      i = i + 1
+    end
+    self
+  end
+  def each_index
+    i = 0
+    n = length
+    while i < n
+      yield(i)
+      i = i + 1
+    end
+    self
+  end
+  def each_with_index
+    i = 0
+    n = length
+    while i < n
+      yield(self[i], i)
+      i = i + 1
+    end
+    self
+  end
+  def map
+    n = length
+    out = Array.new(n)
+    i = 0
+    while i < n
+      out[i] = yield(self[i])
+      i = i + 1
+    end
+    out
+  end
+  def include?(v)
+    i = 0
+    n = length
+    found = false
+    while i < n
+      if self[i] == v
+        found = true
+        i = n
+      else
+        i = i + 1
+      end
+    end
+    found
+  end
+  def first
+    self[0]
+  end
+  def last
+    self[length - 1]
+  end
+  def empty?
+    length == 0
+  end
+  def sum
+    s = 0
+    i = 0
+    n = length
+    while i < n
+      s = s + self[i]
+      i = i + 1
+    end
+    s
+  end
+  def join(sep)
+    s = ""
+    i = 0
+    n = length
+    while i < n
+      if i > 0
+        s << sep
+      end
+      s << self[i].to_s
+      i = i + 1
+    end
+    s
+  end
+end
+
+class String
+  def to_s
+    self
+  end
+  def split(sep)
+    parts = []
+    from = 0
+    pos = index(sep, from)
+    while !(pos == nil)
+      parts << slice(from, pos - from)
+      from = pos + sep.length
+      pos = index(sep, from)
+    end
+    parts << slice(from, length - from)
+    parts
+  end
+  def start_with?(prefix)
+    p = index(prefix)
+    p == 0
+  end
+end
+
+class Mutex
+  def synchronize
+    lock
+    r = yield
+    unlock
+    r
+  end
+end
+
+class ConditionVariable
+  def wait(m)
+    s = __seq
+    m.unlock
+    __wait_for_change(s)
+    m.lock
+    self
+  end
+end
+
+# Sense-reversing barrier built from Mutex + ConditionVariable, following
+# the Ruby NAS Parallel Benchmarks' own barrier implementation.
+class Barrier
+  def initialize(n)
+    @n = n
+    @count = 0
+    @generation = 0
+    @mutex = Mutex.new
+    @cond = ConditionVariable.new
+  end
+  def wait
+    @mutex.lock
+    gen = @generation
+    @count = @count + 1
+    if @count == @n
+      @count = 0
+      @generation = @generation + 1
+      @cond.broadcast
+      @mutex.unlock
+    else
+      while @generation == gen
+        @cond.wait(@mutex)
+      end
+      @mutex.unlock
+    end
+    nil
+  end
+end
+)RUBY";
+  return kPrelude;
+}
+
+}  // namespace gilfree::vm

@@ -1,0 +1,15 @@
+// The MiniRuby prelude: the parts of the core library that CRuby writes in
+// C but that we deliberately express in bytecode — iteration protocols and
+// synchronization sugar — so that they contain yield points, exactly like
+// CRuby's bytecode-visible surface does. The Barrier class follows the Ruby
+// NPB's Mutex+ConditionVariable barrier.
+#pragma once
+
+#include <string>
+
+namespace gilfree::vm {
+
+/// Returns the prelude source, compiled ahead of every program.
+const std::string& prelude_source();
+
+}  // namespace gilfree::vm

@@ -1,0 +1,21 @@
+#include "vm/symbol.hpp"
+
+#include "common/check.hpp"
+
+namespace gilfree::vm {
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+  GILFREE_CHECK_MSG(id < names_.size(), "unknown symbol id " << id);
+  return names_[id];
+}
+
+}  // namespace gilfree::vm

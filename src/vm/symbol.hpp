@@ -1,0 +1,30 @@
+// Interned symbols (method names, ivar names, globals...). The table is
+// built during compilation and method definition — i.e. while the program is
+// single-threaded — and is read-only afterwards, so lookups are not routed
+// through the transactional memory model (CRuby's symbol table is similarly
+// protected by the GIL and read-mostly).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gilfree::vm {
+
+using SymbolId = u32;
+
+class SymbolTable {
+ public:
+  SymbolId intern(std::string_view name);
+  const std::string& name(SymbolId id) const;
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace gilfree::vm

@@ -1,0 +1,98 @@
+// Tagged value representation, following CRuby 1.9's scheme (§3.1):
+//   false = 0x00, true = 0x02, nil = 0x04, undef = 0x06,
+//   Fixnum = (n << 1) | 1 (63-bit signed),
+//   Symbol = (id << 8) | 0x0C (immediate),
+//   everything else = pointer to an 8-byte-aligned heap object.
+//
+// Floats are heap-allocated, as in CRuby 1.9.3 (flonums arrived in 2.0);
+// the resulting allocation pressure is an essential part of the paper's
+// conflict story (§5.6: >50% of read-set conflicts happen at allocation).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace gilfree::vm {
+
+struct RBasic;
+
+class Value {
+ public:
+  constexpr Value() : bits_(kNil) {}
+
+  static constexpr Value false_v() { return Value(kFalse); }
+  static constexpr Value true_v() { return Value(kTrue); }
+  static constexpr Value nil() { return Value(kNil); }
+  static constexpr Value undef() { return Value(kUndef); }
+  static constexpr Value boolean(bool b) { return b ? true_v() : false_v(); }
+
+  static Value fixnum(i64 n) {
+    return Value((static_cast<u64>(n) << 1) | 1);
+  }
+
+  static Value symbol(u32 id) {
+    return Value((static_cast<u64>(id) << 8) | 0x0C);
+  }
+
+  static Value object(const RBasic* obj) {
+    auto bits = reinterpret_cast<u64>(obj);
+    GILFREE_CHECK_MSG((bits & 7) == 0 && bits != 0, "misaligned object");
+    return Value(bits);
+  }
+
+  static Value from_bits(u64 bits) { return Value(bits); }
+  u64 bits() const { return bits_; }
+
+  bool is_fixnum() const { return bits_ & 1; }
+  bool is_nil() const { return bits_ == kNil; }
+  bool is_false() const { return bits_ == kFalse; }
+  bool is_true() const { return bits_ == kTrue; }
+  bool is_undef() const { return bits_ == kUndef; }
+  bool is_symbol() const { return (bits_ & 0xFF) == 0x0C; }
+  bool is_object() const {
+    return !is_fixnum() && (bits_ & 7) == 0 && bits_ != 0;
+  }
+  bool is_immediate() const { return !is_object(); }
+
+  /// Ruby truthiness: everything except nil and false.
+  bool truthy() const { return bits_ != kNil && bits_ != kFalse; }
+
+  i64 fixnum_val() const {
+    GILFREE_CHECK(is_fixnum());
+    return static_cast<i64>(bits_) >> 1;
+  }
+
+  u32 symbol_id() const {
+    GILFREE_CHECK(is_symbol());
+    return static_cast<u32>(bits_ >> 8);
+  }
+
+  RBasic* obj() const {
+    GILFREE_CHECK(is_object());
+    return reinterpret_cast<RBasic*>(bits_);
+  }
+
+  bool operator==(const Value& o) const { return bits_ == o.bits_; }
+  bool operator!=(const Value& o) const { return bits_ != o.bits_; }
+
+  /// Largest / smallest representable Fixnum (63-bit signed).
+  static constexpr i64 kFixnumMax = (i64{1} << 62) - 1;
+  static constexpr i64 kFixnumMin = -(i64{1} << 62);
+  static bool fixnum_fits(i64 n) { return n >= kFixnumMin && n <= kFixnumMax; }
+
+ private:
+  static constexpr u64 kFalse = 0x00;
+  static constexpr u64 kTrue = 0x02;
+  static constexpr u64 kNil = 0x04;
+  static constexpr u64 kUndef = 0x06;
+
+  explicit constexpr Value(u64 bits) : bits_(bits) {}
+
+  u64 bits_;
+};
+
+static_assert(sizeof(Value) == 8, "Value must be one memory slot");
+
+}  // namespace gilfree::vm

@@ -1,0 +1,125 @@
+// BT — block tridiagonal solver: three heavy sweep phases per iteration
+// (rhs, x-solve, y-solve) plus an update phase, each barrier-separated.
+// Per-cell work is the highest in the suite, so the barrier fraction is
+// small and BT scales well (~3x in the paper's Fig. 5).
+#include "workloads/npb_kernels.hpp"
+
+namespace gilfree::workloads::detail {
+
+Workload make_bt() {
+  Workload w;
+  w.name = "BT";
+  w.description = "Block-tridiagonal sweeps, heavy per-cell flops";
+  w.paper_java_scalability_12t = 6.0;
+  w.source = R"RUBY(
+$nx = 80 * $scale
+$ny = 80
+$cells = $nx * $ny
+$iters = 3
+
+$u = Array.new($cells, 0.0)
+$rhs = Array.new($cells, 0.0)
+$lhs = Array.new($cells, 0.0)
+bt_i = 0
+while bt_i < $cells
+  $u[bt_i] = ((bt_i * 31 + 17) % 101).to_f * 0.01
+  bt_i += 1
+end
+$btbar = Barrier.new($threads)
+
+t0 = clock_us()
+ts = []
+$threads.times do |i2|
+  ts << Thread.new(i2) do |tid|
+    it = 0
+    while it < $iters
+      # compute_rhs: 9-point-ish stencil with heavy arithmetic
+      lo = part_lo($cells, $threads, tid)
+      hi = part_hi($cells, $threads, tid)
+      c = lo
+      while c < hi
+        left = 0.0
+        if c % $nx > 0
+          left = $u[c - 1]
+        end
+        right = 0.0
+        if (c + 1) % $nx > 0 && c + 1 < $cells
+          right = $u[c + 1]
+        end
+        up = 0.0
+        if c >= $nx
+          up = $u[c - $nx]
+        end
+        down = 0.0
+        if c + $nx < $cells
+          down = $u[c + $nx]
+        end
+        mid = $u[c]
+        a = mid * 0.5 + left * 0.125 + right * 0.125
+        b = mid * 0.4 + up * 0.15 + down * 0.15
+        $rhs[c] = a * 0.6 + b * 0.4 + a * b * 0.001
+        c += 1
+      end
+      $btbar.wait
+      # x_solve: forward/backward substitution along rows (one row per task)
+      rlo = part_lo($ny, $threads, tid)
+      rhi = part_hi($ny, $threads, tid)
+      row = rlo
+      while row < rhi
+        base = row * $nx
+        k = 1
+        while k < $nx
+          $lhs[base + k] = $rhs[base + k] - $lhs[base + k - 1] * 0.25
+          k += 1
+        end
+        k = $nx - 2
+        while k >= 0
+          $lhs[base + k] = $lhs[base + k] - $lhs[base + k + 1] * 0.25
+          k -= 1
+        end
+        row += 1
+      end
+      $btbar.wait
+      # y_solve: substitution along columns
+      clo = part_lo($nx, $threads, tid)
+      chi = part_hi($nx, $threads, tid)
+      col = clo
+      while col < chi
+        k = 1
+        while k < $ny
+          idx = k * $nx + col
+          $lhs[idx] = $lhs[idx] - $lhs[idx - $nx] * 0.2
+          k += 1
+        end
+        col += 1
+      end
+      $btbar.wait
+      # add: u += lhs (damped)
+      c = lo
+      while c < hi
+        $u[c] = $u[c] * 0.92 + $lhs[c] * 0.05
+        c += 1
+      end
+      $btbar.wait
+      it += 1
+    end
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+
+v = 0.0
+i = 0
+while i < $cells
+  v = v + $u[i]
+  i += 17
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY";
+  return w;
+}
+
+}  // namespace gilfree::workloads::detail

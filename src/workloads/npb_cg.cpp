@@ -1,0 +1,117 @@
+// CG — conjugate-gradient kernel: sparse matrix-vector products plus
+// mutex-guarded scalar reductions and four barriers per iteration. The
+// frequent global synchronization gives CG the lowest inherent scalability
+// of the suite, matching Fig. 9 (Java CG tops out around 2x).
+#include "workloads/npb_kernels.hpp"
+
+namespace gilfree::workloads::detail {
+
+Workload make_cg() {
+  Workload w;
+  w.name = "CG";
+  w.description =
+      "Conjugate gradient: sparse matvec + reductions (4 barriers/iter)";
+  w.paper_java_scalability_12t = 2.0;
+  w.source = R"RUBY(
+$n = 768 * $scale
+$nnz = 8
+$iters = 14
+
+# --- serial init: pseudo-random sparse matrix, unit starting vector -------
+$rowv = Array.new($n * $nnz, 0.0)
+$rowc = Array.new($n * $nnz, 0)
+ci = 0
+while ci < $n
+  ck = 0
+  while ck < $nnz
+    $rowc[ci * $nnz + ck] = (ci * 7 + ck * 131 + 3) % $n
+    $rowv[ci * $nnz + ck] = 0.25 + ((ci + ck * 3) % 8).to_f * 0.05
+    ck += 1
+  end
+  ci += 1
+end
+$p = Array.new($n, 1.0)
+$q = Array.new($n, 0.0)
+$partials = Array.new(16, 0.0)
+$rho = 0.0
+$rmutex = Mutex.new
+$cgbar = Barrier.new($threads)
+
+t0 = clock_us()
+ts = []
+$threads.times do |i2|
+  ts << Thread.new(i2) do |tid|
+    lo = part_lo($n, $threads, tid)
+    hi = part_hi($n, $threads, tid)
+    it = 0
+    while it < $iters
+      # q = A * p over owned rows
+      r = lo
+      while r < hi
+        sum = 0.0
+        base = r * $nnz
+        k = 0
+        while k < $nnz
+          sum = sum + $rowv[base + k] * $p[$rowc[base + k]]
+          k += 1
+        end
+        $q[r] = sum
+        r += 1
+      end
+      $cgbar.wait
+      # rho = p . q — partials published under the shared lock, combined in
+      # thread order by thread 0 so the float sum stays deterministic.
+      local = 0.0
+      r = lo
+      while r < hi
+        local = local + $p[r] * $q[r]
+        r += 1
+      end
+      $rmutex.synchronize do
+        $partials[tid] = local
+      end
+      $cgbar.wait
+      if tid == 0
+        acc = 0.0
+        r = 0
+        while r < $threads
+          acc = acc + $partials[r]
+          r += 1
+        end
+        $rho = acc
+      end
+      $cgbar.wait
+      # p = q / d, d normalizes so values stay bounded
+      d = 1.0 + $rho / ($n.to_f * $n.to_f)
+      r = lo
+      while r < hi
+        $p[r] = $q[r] / d
+        r += 1
+      end
+      $cgbar.wait
+      if tid == 0
+        $rho = 0.0
+      end
+      $cgbar.wait
+      it += 1
+    end
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+
+v = 0.0
+i = 0
+while i < $n
+  v = v + $p[i]
+  i += 1
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY";
+  return w;
+}
+
+}  // namespace gilfree::workloads::detail

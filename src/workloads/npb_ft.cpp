@@ -1,0 +1,79 @@
+// FT — FFT-like kernel: double-buffered butterfly passes over two large
+// real/imaginary arrays, only two barriers per iteration and no reductions
+// in the steady state. The highest parallel fraction of the suite — the
+// paper's best HTM speedup (4.4x on zEC12, Fig. 5).
+#include "workloads/npb_kernels.hpp"
+
+namespace gilfree::workloads::detail {
+
+Workload make_ft() {
+  Workload w;
+  w.name = "FT";
+  w.description = "FFT-like butterfly passes (2 barriers/iter, no reductions)";
+  w.paper_java_scalability_12t = 8.0;
+  w.source = R"RUBY(
+$n = 16384 * $scale
+$iters = 4
+
+$ar = Array.new($n, 0.0)
+$ai = Array.new($n, 0.0)
+$br = Array.new($n, 0.0)
+$bi = Array.new($n, 0.0)
+ft_i = 0
+while ft_i < $n
+  $ar[ft_i] = ((ft_i * 13 + 5) % 97).to_f * 0.01
+  $ai[ft_i] = ((ft_i * 29 + 11) % 89).to_f * 0.01
+  ft_i += 1
+end
+$ftbar = Barrier.new($threads)
+
+t0 = clock_us()
+ts = []
+$threads.times do |i2|
+  ts << Thread.new(i2) do |tid|
+    lo = part_lo($n, $threads, tid)
+    hi = part_hi($n, $threads, tid)
+    c = 0.72
+    s = 0.31
+    it = 0
+    while it < $iters
+      # butterfly pass a -> b (reads cross-partition, writes own partition)
+      i3 = lo
+      while i3 < hi
+        j = (i3 * 5 + 1) % $n
+        $br[i3] = $ar[i3] * c + $ai[j] * s
+        $bi[i3] = $ai[i3] * c - $ar[j] * s
+        i3 += 1
+      end
+      $ftbar.wait
+      # evolve pass b -> a with twiddle-like factors
+      i3 = lo
+      while i3 < hi
+        j = (i3 * 3 + 7) % $n
+        $ar[i3] = $br[i3] * c - $bi[j] * s
+        $ai[i3] = $bi[i3] * c + $br[j] * s
+        i3 += 1
+      end
+      $ftbar.wait
+      it += 1
+    end
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+
+v = 0.0
+i = 0
+while i < 128
+  v = v + $ar[i * ($n / 128)] + $ai[i * ($n / 128)]
+  i += 1
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY";
+  return w;
+}
+
+}  // namespace gilfree::workloads::detail

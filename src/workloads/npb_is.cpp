@@ -1,0 +1,116 @@
+// IS — integer bucket sort: thread-local counting over a key range, a
+// mutex-serialized merge into the shared histogram, a serial prefix sum over
+// the (threads x buckets) count matrix, then a parallel ranking phase where
+// each thread places its own key slice using its private offset row.
+// Integer-only (no float allocation pressure), matching the original IS
+// kernel; the serial prefix phase and the shared-histogram merge bound its
+// scalability (paper: ~2x).
+#include "workloads/npb_kernels.hpp"
+
+namespace gilfree::workloads::detail {
+
+Workload make_is() {
+  Workload w;
+  w.name = "IS";
+  w.description = "Integer bucket sort (local count, serial prefix, rank)";
+  w.paper_java_scalability_12t = 5.0;
+  w.source = R"RUBY(
+$n = 30000 * $scale
+$range = 512
+$iters = 2
+$maxlanes = 16
+
+$keys = Array.new($n, 0)
+is_i = 0
+while is_i < $n
+  $keys[is_i] = (is_i * 1103515245 + 12345) % $range
+  is_i += 1
+end
+$counts = Array.new($range, 0)
+# Per-thread offset rows (threads x range), used by the ranking phase.
+$offsets = Array.new($maxlanes * $range, 0)
+$ranks = Array.new($n, 0)
+$ismutex = Mutex.new
+$isbar = Barrier.new($threads)
+
+t0 = clock_us()
+ts = []
+$threads.times do |i2|
+  ts << Thread.new(i2) do |tid|
+    it = 0
+    while it < $iters
+      lo = part_lo($n, $threads, tid)
+      hi = part_hi($n, $threads, tid)
+      row = tid * $range
+      # thread-local histogram of the owned key slice
+      local = Array.new($range, 0)
+      k = lo
+      while k < hi
+        b = $keys[k]
+        local[b] = local[b] + 1
+        k += 1
+      end
+      # publish the row, and merge into the shared histogram under the
+      # shared lock (the serialization IS is known for)
+      b = 0
+      while b < $range
+        $offsets[row + b] = local[b]
+        b += 1
+      end
+      $ismutex.synchronize do
+        b = 0
+        while b < $range
+          $counts[b] = $counts[b] + local[b]
+          b += 1
+        end
+      end
+      $isbar.wait
+      # serial pass by thread 0: global prefix sum, then per-thread bases
+      if tid == 0
+        acc = 0
+        b = 0
+        while b < $range
+          t = 0
+          while t < $threads
+            idx = t * $range + b
+            cnt = $offsets[idx]
+            $offsets[idx] = acc
+            acc += cnt
+            t += 1
+          end
+          $counts[b] = 0
+          b += 1
+        end
+      end
+      $isbar.wait
+      # ranking: each thread places its own key slice via its offset row
+      k = lo
+      while k < hi
+        b = $keys[k]
+        $ranks[k] = $offsets[row + b]
+        $offsets[row + b] = $offsets[row + b] + 1
+        k += 1
+      end
+      $isbar.wait
+      it += 1
+    end
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+
+v = 0
+i = 0
+while i < $n
+  v += $ranks[i] * (i % 7 + 1)
+  i += 1
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY";
+  return w;
+}
+
+}  // namespace gilfree::workloads::detail

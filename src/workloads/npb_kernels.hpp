@@ -1,0 +1,19 @@
+// Internal: constructors of the seven NPB kernel workloads.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace gilfree::workloads::detail {
+
+Workload make_bt();
+Workload make_cg();
+Workload make_ft();
+Workload make_is();
+Workload make_lu();
+Workload make_mg();
+Workload make_sp();
+
+/// Shared MiniRuby helpers (range partitioning) prepended to every kernel.
+const std::string& kernel_helpers();
+
+}  // namespace gilfree::workloads::detail

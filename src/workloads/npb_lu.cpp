@@ -1,0 +1,94 @@
+// LU — SSOR solver with a wavefront dependency: lane l's block k may only
+// start after lane l-1 finished its block k, implemented with the same
+// Mutex + ConditionVariable pipeline the Ruby NPB uses. Lanes are fixed (8)
+// and distributed round-robin over threads; pipeline fill/drain plus the
+// condition-variable traffic cap LU's scalability (Fig. 5: ~2x).
+#include "workloads/npb_kernels.hpp"
+
+namespace gilfree::workloads::detail {
+
+Workload make_lu() {
+  Workload w;
+  w.name = "LU";
+  w.description = "SSOR wavefront pipeline (Mutex/CondVar hand-offs)";
+  w.paper_java_scalability_12t = 4.0;
+  w.source = R"RUBY(
+$lanes = 8
+$blocks = 8
+$cells_per = 600 * $scale
+$iters = 3
+
+$grid = Array.new($lanes * $blocks * $cells_per, 0.5)
+$done = Array.new($lanes, 0)
+$lumutex = Mutex.new
+$lucond = ConditionVariable.new
+$lubar = Barrier.new($threads)
+
+t0 = clock_us()
+ts = []
+$threads.times do |i2|
+  ts << Thread.new(i2) do |tid|
+    it = 0
+    while it < $iters
+      k = 0
+      while k < $blocks
+        lane = tid
+        while lane < $lanes
+          # wavefront dependency: wait for the previous lane's block k
+          if lane > 0
+            $lumutex.lock
+            while $done[lane - 1] < k + 1
+              $lucond.wait($lumutex)
+            end
+            $lumutex.unlock
+          end
+          # SSOR sweep over this lane's block
+          base = (lane * $blocks + k) * $cells_per
+          acc = $grid[base]
+          c = 1
+          while c < $cells_per
+            acc = acc * 0.5 + $grid[base + c] * 0.5 + 0.001
+            $grid[base + c] = acc
+            c += 1
+          end
+          # publish completion
+          $lumutex.lock
+          $done[lane] = k + 1
+          $lucond.broadcast
+          $lumutex.unlock
+          lane += $threads
+        end
+        k += 1
+      end
+      $lubar.wait
+      if tid == 0
+        r = 0
+        while r < $lanes
+          $done[r] = 0
+          r += 1
+        end
+      end
+      $lubar.wait
+      it += 1
+    end
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+
+v = 0.0
+i = 0
+lim = $lanes * $blocks * $cells_per
+while i < lim
+  v = v + $grid[i]
+  i += 31
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY";
+  return w;
+}
+
+}  // namespace gilfree::workloads::detail

@@ -1,0 +1,114 @@
+// MG — multigrid V-cycle: smooth/restrict/prolong passes over a hierarchy
+// of grids. The coarse levels leave little work per thread between barriers,
+// which limits scalability in the characteristic MG way (Fig. 5: ~2.5x).
+#include "workloads/npb_kernels.hpp"
+
+namespace gilfree::workloads::detail {
+
+Workload make_mg() {
+  Workload w;
+  w.name = "MG";
+  w.description = "Multigrid V-cycles over a 4-level hierarchy";
+  w.paper_java_scalability_12t = 5.0;
+  w.source = R"RUBY(
+$n0 = 8192 * $scale
+$levels = 4
+$iters = 3
+
+$u = []
+$r = []
+ml = 0
+msz = $n0
+while ml < $levels
+  $u << Array.new(msz, 0.0)
+  $r << Array.new(msz, 0.0)
+  msz = msz / 2
+  ml += 1
+end
+mi = 0
+while mi < $n0
+  $u[0][mi] = ((mi * 19 + 3) % 83).to_f * 0.01
+  mi += 1
+end
+$mgbar = Barrier.new($threads)
+
+t0 = clock_us()
+ts = []
+$threads.times do |i2|
+  ts << Thread.new(i2) do |tid|
+    it = 0
+    while it < $iters
+      # --- down sweep: smooth then restrict at each level ---
+      l = 0
+      sz = $n0
+      while l < $levels - 1
+        lo = part_lo(sz, $threads, tid)
+        hi = part_hi(sz, $threads, tid)
+        ul = $u[l]
+        c = lo
+        while c < hi
+          prev = 0.0
+          if c > 0
+            prev = ul[c - 1]
+          end
+          nxt = 0.0
+          if c + 1 < sz
+            nxt = ul[c + 1]
+          end
+          $r[l][c] = ul[c] * 0.5 + prev * 0.25 + nxt * 0.25
+          c += 1
+        end
+        $mgbar.wait
+        half = sz / 2
+        hlo = part_lo(half, $threads, tid)
+        hhi = part_hi(half, $threads, tid)
+        c = hlo
+        while c < hhi
+          $u[l + 1][c] = ($r[l][c * 2] + $r[l][c * 2 + 1]) * 0.5
+          c += 1
+        end
+        $mgbar.wait
+        sz = half
+        l += 1
+      end
+      # --- up sweep: prolong and correct ---
+      l = $levels - 2
+      while l >= 0
+        sz2 = $n0
+        k = 0
+        while k < l
+          sz2 = sz2 / 2
+          k += 1
+        end
+        lo = part_lo(sz2, $threads, tid)
+        hi = part_hi(sz2, $threads, tid)
+        c = lo
+        while c < hi
+          $u[l][c] = $u[l][c] * 0.9 + $u[l + 1][c / 2] * 0.1
+          c += 1
+        end
+        $mgbar.wait
+        l -= 1
+      end
+      it += 1
+    end
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+
+v = 0.0
+i = 0
+while i < $n0
+  v = v + $u[0][i]
+  i += 11
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY";
+  return w;
+}
+
+}  // namespace gilfree::workloads::detail

@@ -1,0 +1,113 @@
+// SP — scalar pentadiagonal solver: the same sweep structure as BT but with
+// much lighter per-cell arithmetic and more phases, so the barrier fraction
+// is larger and SP scales worse than BT (Fig. 5: ~2.2x).
+#include "workloads/npb_kernels.hpp"
+
+namespace gilfree::workloads::detail {
+
+Workload make_sp() {
+  Workload w;
+  w.name = "SP";
+  w.description = "Scalar pentadiagonal sweeps, light flops, 6 barriers/iter";
+  w.paper_java_scalability_12t = 4.0;
+  w.source = R"RUBY(
+$nx = 80 * $scale
+$ny = 80
+$cells = $nx * $ny
+$iters = 4
+
+$u = Array.new($cells, 0.0)
+$rhs = Array.new($cells, 0.0)
+sp_i = 0
+while sp_i < $cells
+  $u[sp_i] = ((sp_i * 23 + 7) % 89).to_f * 0.01
+  sp_i += 1
+end
+$spbar = Barrier.new($threads)
+
+t0 = clock_us()
+ts = []
+$threads.times do |i2|
+  ts << Thread.new(i2) do |tid|
+    lo = part_lo($cells, $threads, tid)
+    hi = part_hi($cells, $threads, tid)
+    rlo = part_lo($ny, $threads, tid)
+    rhi = part_hi($ny, $threads, tid)
+    it = 0
+    while it < $iters
+      # rhs
+      c = lo
+      while c < hi
+        $rhs[c] = $u[c] * 0.8 + 0.01
+        c += 1
+      end
+      $spbar.wait
+      # txinvr-like scaling
+      c = lo
+      while c < hi
+        $rhs[c] = $rhs[c] * 1.02
+        c += 1
+      end
+      $spbar.wait
+      # x sweep
+      row = rlo
+      while row < rhi
+        base = row * $nx
+        k = 1
+        while k < $nx
+          $rhs[base + k] = $rhs[base + k] - $rhs[base + k - 1] * 0.2
+          k += 1
+        end
+        row += 1
+      end
+      $spbar.wait
+      # y sweep
+      clo = part_lo($nx, $threads, tid)
+      chi = part_hi($nx, $threads, tid)
+      col = clo
+      while col < chi
+        k = 1
+        while k < $ny
+          idx = k * $nx + col
+          $rhs[idx] = $rhs[idx] - $rhs[idx - $nx] * 0.2
+          k += 1
+        end
+        col += 1
+      end
+      $spbar.wait
+      # pinvr-like scaling
+      c = lo
+      while c < hi
+        $rhs[c] = $rhs[c] * 0.98
+        c += 1
+      end
+      $spbar.wait
+      # add
+      c = lo
+      while c < hi
+        $u[c] = $u[c] * 0.9 + $rhs[c] * 0.08
+        c += 1
+      end
+      $spbar.wait
+      it += 1
+    end
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+
+v = 0.0
+i = 0
+while i < $cells
+  v = v + $u[i]
+  i += 13
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY";
+  return w;
+}
+
+}  // namespace gilfree::workloads::detail

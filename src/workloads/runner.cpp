@@ -1,0 +1,23 @@
+#include "workloads/runner.hpp"
+
+#include "common/check.hpp"
+
+namespace gilfree::workloads {
+
+RunPoint run_workload(runtime::EngineConfig cfg, const Workload& w,
+                      unsigned threads, unsigned scale) {
+  runtime::Engine engine(std::move(cfg));
+  engine.load_program(sources_for(w, threads, scale));
+  RunPoint point;
+  point.stats = engine.run();
+  GILFREE_CHECK_MSG(point.stats.results.count("elapsed_us") == 1,
+                    w.name << " did not record elapsed_us");
+  GILFREE_CHECK_MSG(point.stats.results.count("verify") == 1,
+                    w.name << " did not record verify");
+  point.elapsed_us = point.stats.results.at("elapsed_us");
+  point.verify = point.stats.results.at("verify");
+  point.throughput = point.elapsed_us > 0 ? 1e6 / point.elapsed_us : 0.0;
+  return point;
+}
+
+}  // namespace gilfree::workloads

@@ -1,0 +1,20 @@
+// Convenience runner: execute one workload on one engine configuration and
+// extract the metrics the figures need.
+#pragma once
+
+#include "runtime/engine.hpp"
+#include "workloads/workload.hpp"
+
+namespace gilfree::workloads {
+
+struct RunPoint {
+  runtime::RunStats stats;
+  double elapsed_us = 0.0;   ///< Timed region recorded by the workload.
+  double verify = 0.0;       ///< Workload checksum.
+  double throughput = 0.0;   ///< 1e6 / elapsed_us (work units per second).
+};
+
+RunPoint run_workload(runtime::EngineConfig cfg, const Workload& w,
+                      unsigned threads, unsigned scale);
+
+}  // namespace gilfree::workloads

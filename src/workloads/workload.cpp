@@ -1,0 +1,118 @@
+#include "workloads/workload.hpp"
+
+#include <stdexcept>
+
+#include "common/strutil.hpp"
+#include "workloads/npb_kernels.hpp"
+
+namespace gilfree::workloads {
+
+namespace detail {
+
+const std::string& kernel_helpers() {
+  static const std::string kSrc = R"RUBY(
+def part_lo(n, parts, idx)
+  (n * idx) / parts
+end
+def part_hi(n, parts, idx)
+  (n * (idx + 1)) / parts
+end
+)RUBY";
+  return kSrc;
+}
+
+}  // namespace detail
+
+const std::vector<Workload>& npb_workloads() {
+  static const std::vector<Workload> kAll = {
+      detail::make_bt(), detail::make_cg(), detail::make_ft(),
+      detail::make_is(), detail::make_lu(), detail::make_mg(),
+      detail::make_sp(),
+  };
+  return kAll;
+}
+
+const Workload& npb(const std::string& name) {
+  for (const Workload& w : npb_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw std::invalid_argument("unknown NPB workload: " + name);
+}
+
+const Workload& micro_while() {
+  static const Workload kWhile = {
+      "While",
+      "Fig. 4 left: embarrassingly parallel Fixnum while-loop per thread",
+      R"RUBY(
+$results = Array.new($threads, 0)
+$n = 30000 * $scale
+t0 = clock_us()
+ts = []
+$threads.times do |i|
+  ts << Thread.new(i) do |tid|
+    x = 0
+    k = 1
+    lim = $n
+    while k <= lim
+      x += k
+      k += 1
+    end
+    $results[tid] = x
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+v = 0
+$threads.times do |i|
+  v += $results[i]
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY",
+      12.0};
+  return kWhile;
+}
+
+const Workload& micro_iterator() {
+  static const Workload kIter = {
+      "Iterator",
+      "Fig. 4 right: embarrassingly parallel (1..n).each per thread",
+      R"RUBY(
+$results = Array.new($threads, 0)
+$n = 20000 * $scale
+t0 = clock_us()
+ts = []
+$threads.times do |i|
+  ts << Thread.new(i) do |tid|
+    x = 0
+    (1..$n).each do |k|
+      x += k
+    end
+    $results[tid] = x
+  end
+end
+ts.each do |t|
+  t.join
+end
+t1 = clock_us()
+v = 0
+$threads.times do |i|
+  v += $results[i]
+end
+__record("elapsed_us", t1 - t0)
+__record("verify", v)
+)RUBY",
+      12.0};
+  return kIter;
+}
+
+std::vector<std::string> sources_for(const Workload& w, unsigned threads,
+                                     unsigned scale) {
+  std::string params = strprintf("$threads = %u\n$scale = %u\n", threads,
+                                 scale == 0 ? 1 : scale);
+  return {params, detail::kernel_helpers(), w.source};
+}
+
+}  // namespace gilfree::workloads

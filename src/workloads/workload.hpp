@@ -1,0 +1,40 @@
+// Workload registry: the MiniRuby programs of the paper's evaluation —
+// the While/Iterator micro-benchmarks (Fig. 4), the seven Ruby NAS Parallel
+// Benchmarks (Fig. 5/8/9), and scale parameters.
+//
+// Every workload is parameterized through globals prepended to its source:
+//   $threads — worker thread count,
+//   $scale   — problem-size multiplier (1 = class-S-like, 4 = class-W-like).
+// Each records "elapsed_us" (the timed region, excluding init/verify, as in
+// NPB) and "verify" (a checksum that must match across engines — the
+// serializability oracle used by the test suite).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gilfree::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string source;
+  /// Inherent scalability ceiling from Fig. 9's Java NPB (documentation
+  /// only; emerges from the program's structure, not injected).
+  double paper_java_scalability_12t = 0.0;
+};
+
+/// The seven Ruby NPB kernels: BT, CG, FT, IS, LU, MG, SP.
+const std::vector<Workload>& npb_workloads();
+const Workload& npb(const std::string& name);
+
+/// Fig. 4's micro-benchmarks.
+const Workload& micro_while();
+const Workload& micro_iterator();
+
+/// Helper: the sources to pass to Engine::load_program for a workload at
+/// the given thread count and scale.
+std::vector<std::string> sources_for(const Workload& w, unsigned threads,
+                                     unsigned scale);
+
+}  // namespace gilfree::workloads

@@ -1,0 +1,146 @@
+// Unit tests of the common utilities: deterministic RNG, statistics,
+// string helpers, CLI parsing, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strutil.hpp"
+#include "common/table.hpp"
+
+namespace gilfree {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng r(7);
+  for (u64 bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximately) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(1000.0);
+  EXPECT_NEAR(sum / n, 1000.0, 25.0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng fresh(5);
+  (void)fresh.next_u64();  // account for split's own draw
+  EXPECT_NE(child.next_u64(), fresh.next_u64());
+}
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Histogram, BucketsAndQuantiles) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bucket_count(0), 10u);
+  EXPECT_EQ(h.underflow(), 0u);
+  h.add(-5);
+  h.add(1000);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+}
+
+TEST(CounterMap, AddAndTotal) {
+  CounterMap c;
+  c.add("x");
+  c.add("x", 4);
+  c.add("y", 2);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_EQ(c.total(), 7u);
+}
+
+TEST(StrUtil, SplitTrimPrefixes) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Cli, ParsesFlagsAndRejectsUnknown) {
+  const char* argv[] = {"prog", "--threads=12", "--fast", "pos",
+                        "--ratio=0.5"};
+  CliFlags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("threads", 1), 12);
+  EXPECT_TRUE(flags.get_bool("fast", false));
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0.0), 0.5);
+  EXPECT_EQ(flags.get("missing", "d"), "d");
+  EXPECT_EQ(flags.positional().count("pos"), 1u);
+  EXPECT_NO_THROW(flags.reject_unknown());
+
+  const char* argv2[] = {"prog", "--tpyo=1"};
+  CliFlags flags2(2, const_cast<char**>(argv2));
+  EXPECT_THROW(flags2.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Table, AlignedAndCsv) {
+  TablePrinter t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,bb\n1,2\n333,4\n");
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    GILFREE_CHECK_MSG(1 == 2, "value was " << 42);
+    FAIL();
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gilfree

@@ -1,0 +1,226 @@
+// Engine-level behavioural tests: the GIL-mode timer yields (§3.2),
+// blocking I/O releasing the GIL, scheduler fairness, and the sync-mode
+// comparators.
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hpp"
+
+namespace gilfree {
+namespace {
+
+using runtime::Engine;
+using runtime::EngineConfig;
+using runtime::RunStats;
+
+RunStats run_cfg(EngineConfig cfg, const std::string& src) {
+  cfg.heap.initial_slots = 80'000;
+  Engine engine(std::move(cfg));
+  engine.load_program({src});
+  return engine.run();
+}
+
+TEST(EngineBehavior, GilTimerYieldsRotateThreads) {
+  // §3.2: the timer thread flags the runner every quantum; it yields at the
+  // next original yield point. With two compute threads both must finish.
+  auto cfg = EngineConfig::gil(htm::SystemProfile::zec12());
+  cfg.gil_quantum = 20'000;  // small quantum → many yields
+  const RunStats stats = run_cfg(std::move(cfg), R"(
+ts = []
+2.times do |i|
+  ts << Thread.new(i) do |tid|
+    x = 0
+    k = 0
+    while k < 20000
+      x += 1
+      k += 1
+    end
+    __record("x" + tid.to_s, x)
+  end
+end
+ts.each do |t|
+  t.join
+end
+)");
+  EXPECT_DOUBLE_EQ(stats.results.at("x0"), 20000.0);
+  EXPECT_DOUBLE_EQ(stats.results.at("x1"), 20000.0);
+  EXPECT_GT(stats.gil.yields, 5u) << "timer-driven GIL yields happened";
+}
+
+TEST(EngineBehavior, NoYieldsWithSingleThreadUnderGil) {
+  auto cfg = EngineConfig::gil(htm::SystemProfile::zec12());
+  cfg.gil_quantum = 10'000;
+  const RunStats stats = run_cfg(std::move(cfg), R"(
+x = 0
+k = 0
+while k < 20000
+  x += 1
+  k += 1
+end
+__record("x", x)
+)");
+  EXPECT_EQ(stats.gil.yields, 0u)
+      << "§3.2: no yield operations with one application thread";
+}
+
+TEST(EngineBehavior, BlockingIoOverlapsUnderGil) {
+  // §3.2: the GIL is released around blocking operations, so two threads
+  // each sleeping 2000 µs overlap instead of serializing.
+  auto run_threads = [](unsigned n) {
+    auto cfg = EngineConfig::gil(htm::SystemProfile::xeon_e3());
+    cfg.heap.initial_slots = 60'000;
+    Engine engine(std::move(cfg));
+    engine.load_program(
+        {"$n = " + std::to_string(n) + "\n", R"(
+ts = []
+$n.times do |i|
+  ts << Thread.new(i) do |tid|
+    io_wait(2000)
+  end
+end
+ts.each do |t|
+  t.join
+end
+__record("done", 1)
+)"});
+    return engine.run();
+  };
+  const RunStats one = run_threads(1);
+  const RunStats four = run_threads(4);
+  // Four overlapping sleeps take well under 4x one sleep.
+  EXPECT_LT(static_cast<double>(four.total_cycles),
+            2.0 * static_cast<double>(one.total_cycles));
+  EXPECT_GT(four.breakdown.blocked_io, 0u);
+}
+
+TEST(EngineBehavior, FineGrainedBeatsGilOnComputeBoundWork) {
+  const std::string src = R"(
+$out = Array.new(8, 0)
+ts = []
+4.times do |i|
+  ts << Thread.new(i) do |tid|
+    x = 0
+    k = 0
+    while k < 8000
+      x += k
+      k += 1
+    end
+    $out[tid] = x
+  end
+end
+ts.each do |t|
+  t.join
+end
+__record("sum", $out[0] + $out[1] + $out[2] + $out[3])
+)";
+  const RunStats gil =
+      run_cfg(EngineConfig::gil(htm::SystemProfile::zec12()), src);
+  const RunStats fine =
+      run_cfg(EngineConfig::fine_grained(htm::SystemProfile::zec12()), src);
+  const RunStats unsync =
+      run_cfg(EngineConfig::unsynced(htm::SystemProfile::zec12()), src);
+  EXPECT_EQ(gil.results.at("sum"), fine.results.at("sum"));
+  EXPECT_EQ(gil.results.at("sum"), unsync.results.at("sum"));
+  EXPECT_LT(fine.total_cycles, gil.total_cycles / 2);
+  EXPECT_LE(unsync.total_cycles, fine.total_cycles)
+      << "no internal locks beats fine-grained locks";
+}
+
+TEST(EngineBehavior, MutexDeadlockHitsInstructionBudget) {
+  // A never-released Mutex leaves the worker polling forever; the polling
+  // retries retire instructions, so the instruction budget catches the
+  // deadlock deterministically.
+  auto cfg = EngineConfig::gil(htm::SystemProfile::xeon_e3());
+  cfg.heap.initial_slots = 30'000;
+  cfg.max_insns = 100'000;
+  Engine engine(std::move(cfg));
+  engine.load_program({R"(
+$m = Mutex.new
+$m.lock
+t = Thread.new(0) do |z|
+  $m.lock
+end
+t.join
+)"});
+  EXPECT_THROW(engine.run(), CheckFailure);
+}
+
+TEST(EngineBehavior, MaxInsnsBudgetGuards) {
+  auto cfg = EngineConfig::gil(htm::SystemProfile::xeon_e3());
+  cfg.heap.initial_slots = 30'000;
+  cfg.max_insns = 1'000;
+  Engine engine(std::move(cfg));
+  engine.load_program({R"(
+x = 0
+while true
+  x += 1
+end
+)"});
+  EXPECT_THROW(engine.run(), CheckFailure);
+}
+
+TEST(EngineBehavior, TryLockSemantics) {
+  const RunStats stats = run_cfg(
+      EngineConfig::htm_dynamic(htm::SystemProfile::xeon_e3()), R"(
+m = Mutex.new
+a = m.try_lock
+b = m.try_lock
+m.unlock
+c = m.try_lock
+r = 0
+if a
+  r += 100
+end
+if b
+  r += 10
+end
+if c
+  r += 1
+end
+__record("r", r)
+)");
+  EXPECT_DOUBLE_EQ(stats.results.at("r"), 101.0);
+}
+
+TEST(EngineBehavior, CondvarBroadcastWakesAllWaiters) {
+  const RunStats stats = run_cfg(
+      EngineConfig::htm_dynamic(htm::SystemProfile::zec12()), R"(
+$m = Mutex.new
+$cv = ConditionVariable.new
+$ready = 0
+$go = false
+$woke = 0
+ts = []
+3.times do |i|
+  ts << Thread.new(i) do |tid|
+    $m.lock
+    $ready += 1
+    while !$go
+      $cv.wait($m)
+    end
+    $woke += 1
+    $m.unlock
+  end
+end
+while true
+  $m.lock
+  r = $ready
+  $m.unlock
+  if r == 3
+    break
+  end
+  io_wait(50)
+end
+$m.lock
+$go = true
+$cv.broadcast
+$m.unlock
+ts.each do |t|
+  t.join
+end
+__record("woke", $woke)
+)");
+  EXPECT_DOUBLE_EQ(stats.results.at("woke"), 3.0);
+}
+
+}  // namespace
+}  // namespace gilfree

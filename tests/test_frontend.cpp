@@ -1,0 +1,191 @@
+// Lexer / parser / compiler unit tests.
+#include <gtest/gtest.h>
+
+#include "vm/compiler.hpp"
+#include "vm/lexer.hpp"
+#include "vm/parser.hpp"
+
+namespace gilfree::vm {
+namespace {
+
+TEST(Lexer, NumbersAndScientificNotation) {
+  const auto toks = tokenize("1 1_000 2.5 1e3 1.5e-3 7.e");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, Tok::kInt);
+  EXPECT_EQ(toks[0].ival, 1);
+  EXPECT_EQ(toks[1].ival, 1000);
+  EXPECT_EQ(toks[2].kind, Tok::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].fval, 2.5);
+  EXPECT_DOUBLE_EQ(toks[3].fval, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[4].fval, 0.0015);
+  // "7.e" is Int(7), op '.', ident e — not a malformed float.
+  EXPECT_EQ(toks[5].kind, Tok::kInt);
+}
+
+TEST(Lexer, StringsEscapesAndComments) {
+  const auto toks = tokenize("\"a\\nb\" # comment\n\"q\\\"\"");
+  EXPECT_EQ(toks[0].kind, Tok::kString);
+  EXPECT_EQ(toks[0].text, "a\nb");
+  EXPECT_EQ(toks[2].text, "q\"");
+  EXPECT_THROW(tokenize("\"unterminated"), LexError);
+}
+
+TEST(Lexer, IdentifiersKeywordsVariables) {
+  const auto toks = tokenize("def foo? @bar @@baz $glob Const :sym end");
+  EXPECT_EQ(toks[0].kind, Tok::kKeyword);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].text, "foo?");
+  EXPECT_EQ(toks[2].kind, Tok::kIvar);
+  EXPECT_EQ(toks[3].kind, Tok::kCvar);
+  EXPECT_EQ(toks[4].kind, Tok::kGvar);
+  EXPECT_EQ(toks[5].kind, Tok::kConst);
+  EXPECT_EQ(toks[6].kind, Tok::kSymbol);
+  EXPECT_EQ(toks[7].kind, Tok::kKeyword);
+}
+
+TEST(Lexer, NewlinesSuppressedInsideBrackets) {
+  const auto toks = tokenize("[1,\n2]\nx");
+  int newlines = 0;
+  for (const auto& t : toks)
+    if (t.kind == Tok::kNewline) ++newlines;
+  EXPECT_EQ(newlines, 2);  // after ']' and after 'x' (EOF separator)
+}
+
+TEST(Lexer, RangesVsFloats) {
+  const auto toks = tokenize("1..5 1...5");
+  EXPECT_EQ(toks[0].kind, Tok::kInt);
+  EXPECT_EQ(toks[1].text, "..");
+  EXPECT_EQ(toks[4].text, "...");
+}
+
+TEST(Parser, PrecedenceShape) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  NodePtr p = parse_program("x = 1 + 2 * 3");
+  ASSERT_EQ(p->kids.size(), 1u);
+  const Node& assign = *p->kids[0];
+  EXPECT_EQ(assign.kind, Node::Kind::kLocalAssign);
+  const Node& plus = *assign.kids[0];
+  EXPECT_EQ(plus.kind, Node::Kind::kBinop);
+  EXPECT_EQ(plus.name, "+");
+  EXPECT_EQ(plus.kids[1]->name, "*");
+}
+
+TEST(Parser, CallsBlocksAndIndexing) {
+  NodePtr p = parse_program(R"(
+a.each do |x, y|
+  x
+end
+foo(1, 2)
+b[3] = 4
+)");
+  ASSERT_EQ(p->kids.size(), 3u);
+  const Node& call = *p->kids[0];
+  EXPECT_EQ(call.kind, Node::Kind::kCall);
+  EXPECT_EQ(call.name, "each");
+  ASSERT_EQ(call.params.size(), 2u);
+  EXPECT_TRUE(call.block_body != nullptr);
+  EXPECT_EQ(p->kids[1]->kids.size(), 3u);  // recv(null) + 2 args
+  EXPECT_EQ(p->kids[2]->kind, Node::Kind::kIndexAssign);
+}
+
+TEST(Parser, OpAssignDesugars) {
+  NodePtr p = parse_program("x = 0\nx += 2\na[1] += 3");
+  const Node& plus_assign = *p->kids[1];
+  EXPECT_EQ(plus_assign.kind, Node::Kind::kLocalAssign);
+  EXPECT_EQ(plus_assign.kids[0]->kind, Node::Kind::kBinop);
+  const Node& idx_assign = *p->kids[2];
+  EXPECT_EQ(idx_assign.kind, Node::Kind::kIndexAssign);
+  EXPECT_EQ(idx_assign.kids[2]->kind, Node::Kind::kBinop);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_program("def end"), ParseError);
+  EXPECT_THROW(parse_program("1 +"), ParseError);
+  EXPECT_THROW(parse_program("while true"), ParseError);  // missing end
+  EXPECT_THROW(parse_program("3 = x"), ParseError);       // bad lvalue
+}
+
+TEST(Compiler, AssignsYieldPointsPerPaperRules) {
+  Program prog = compile_source(R"(
+x = 0
+i = 0
+while i < 3
+  x += i
+  i += 1
+end
+)");
+  EXPECT_GT(prog.num_yield_points, 0u);
+  const ISeq& top = prog.iseq(prog.top_iseq);
+  bool backward_jump_is_yp = false;
+  bool forward_branch_is_yp = false;
+  bool getlocal_is_yp = false;
+  for (std::size_t pc = 0; pc < top.insns.size(); ++pc) {
+    const Insn& in = top.insns[pc];
+    if (in.op == Op::kJump && in.a >= 0 &&
+        static_cast<std::size_t>(in.a) <= pc && in.yp >= 0)
+      backward_jump_is_yp = true;
+    if (in.op == Op::kBranchUnless && in.a >= 0 &&
+        static_cast<std::size_t>(in.a) > pc && in.yp >= 0)
+      forward_branch_is_yp = true;
+    if (in.op == Op::kGetLocal && in.yp >= 0) getlocal_is_yp = true;
+  }
+  EXPECT_TRUE(backward_jump_is_yp) << "loop back-edges are yield points";
+  EXPECT_FALSE(forward_branch_is_yp) << "forward branches are not";
+  EXPECT_TRUE(getlocal_is_yp) << "getlocal is an extended yield point";
+}
+
+TEST(Compiler, AssignsUniqueIcSites) {
+  Program prog = compile_source(R"(
+class A
+  def initialize
+    @v = 1
+  end
+  def v
+    @v
+  end
+end
+a = A.new
+a.v
+a.v
+)");
+  EXPECT_GT(prog.num_ic_sites, 3u);
+  // All ic ids are unique.
+  std::vector<bool> seen(prog.num_ic_sites, false);
+  for (const auto& seq : prog.iseqs) {
+    for (const auto& in : seq.insns) {
+      if (in.ic >= 0) {
+        ASSERT_LT(static_cast<u32>(in.ic), prog.num_ic_sites);
+        EXPECT_FALSE(seen[static_cast<u32>(in.ic)]);
+        seen[static_cast<u32>(in.ic)] = true;
+      }
+    }
+  }
+}
+
+TEST(Compiler, LiteralDeduplication) {
+  Program prog = compile_source("x = 5\ny = 5\nz = 5.5\nw = 5.5");
+  u32 ints = 0, floats = 0;
+  for (const auto& lit : prog.literals) {
+    if (lit.kind == Literal::Kind::kInt && lit.ival == 5) ++ints;
+    if (lit.kind == Literal::Kind::kFloat && lit.fval == 5.5) ++floats;
+  }
+  EXPECT_EQ(ints, 1u);
+  EXPECT_EQ(floats, 1u);
+}
+
+TEST(Compiler, BreakOutsideLoopFails) {
+  EXPECT_THROW(compile_source("break"), CompileError);
+  EXPECT_THROW(compile_source("a = [1]\na.each do |x|\nbreak\nend"),
+               CompileError)
+      << "break across a block boundary is unsupported";
+}
+
+TEST(Compiler, DisassemblerProducesOutput) {
+  Program prog = compile_source("x = 1 + 2");
+  const std::string d = prog.disassemble(prog.top_iseq);
+  EXPECT_NE(d.find("opt_plus"), std::string::npos);
+  EXPECT_NE(d.find("putobject"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gilfree::vm

@@ -1,0 +1,217 @@
+// Heap, allocator, and GC unit tests: free-list bulk splice, spill size
+// classes, mark & sweep reachability, heap growth, region classification.
+#include <gtest/gtest.h>
+
+#include "vm/heap.hpp"
+#include "vm/objops.hpp"
+
+namespace gilfree::vm {
+namespace {
+
+/// Direct-memory host: no transactions, no cycle accounting.
+class DirectHost : public Host {
+ public:
+  u64 mem_load(const u64* p, bool) override { return *p; }
+  void mem_store(u64* p, u64 v, bool) override { *p = v; }
+  void charge(Cycles c) override { charged += c; }
+  void require_nontx(const char*) override {}
+  void full_gc() override {
+    ++gc_calls;
+    if (heap != nullptr) heap->run_gc(roots);
+  }
+  u32 current_tid() override { return tid; }
+  Value spawn_thread(Value, std::vector<Value>) override {
+    return Value::nil();
+  }
+  bool thread_finished(u32) override { return true; }
+  void write_stdout(std::string_view) override {}
+  u64 random_u64() override { return 4; }
+  void record_result(std::string_view, double) override {}
+  Cycles now_cycles() override { return 0; }
+
+  Heap* heap = nullptr;
+  Heap::RootSet roots;
+  u32 tid = 0;
+  u64 gc_calls = 0;
+  Cycles charged = 0;
+};
+
+HeapConfig small_config() {
+  HeapConfig c;
+  c.initial_slots = 2048;
+  c.block_slots = 1024;
+  c.max_threads = 4;
+  return c;
+}
+
+TEST(Heap, AllocatesDistinctAlignedObjects) {
+  Heap heap(small_config());
+  DirectHost host;
+  host.heap = &heap;
+  RBasic* a = heap.alloc_rvalue(host, ObjType::kObject, kClassObject);
+  RBasic* b = heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(a->type(), ObjType::kObject);
+  EXPECT_EQ(b->klass(), kClassFloat);
+  EXPECT_TRUE(heap.is_heap_object(a));
+  EXPECT_FALSE(heap.is_heap_object(&host));
+}
+
+TEST(Heap, ThreadLocalRefillSplicesInBulk) {
+  auto cfg = small_config();
+  cfg.free_list_refill = 16;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+  const u64 before = *heap.global_free_count();
+  (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_EQ(*heap.global_free_count(), before - 16);
+  EXPECT_EQ(*heap.tcb_slot(0, kTcbFreeListCount), 15u);
+  // Next 15 allocations never touch the global list.
+  for (int i = 0; i < 15; ++i)
+    (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_EQ(*heap.global_free_count(), before - 16);
+  EXPECT_EQ(*heap.tcb_slot(0, kTcbFreeListCount), 0u);
+}
+
+TEST(Heap, GlobalListModeAllocates) {
+  auto cfg = small_config();
+  cfg.thread_local_free_lists = false;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+  const u64 before = *heap.global_free_count();
+  (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_EQ(*heap.global_free_count(), before - 1);
+}
+
+TEST(Heap, SpillSizeClassesRoundUp) {
+  auto cfg = small_config();
+  cfg.thread_local_malloc = false;  // direct reuse via the global lists
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+  const u64 tiny = heap.alloc_spill(host, 1);
+  EXPECT_GE(Heap::spill_capacity_slots(tiny), 1u);
+  const u64 mid = heap.alloc_spill(host, 100);
+  EXPECT_GE(Heap::spill_capacity_slots(mid), 100u);
+  const u64 big = heap.alloc_spill(host, 40'000);
+  EXPECT_GE(Heap::spill_capacity_slots(big), 40'000u);
+  // Freed chunks are reused.
+  heap.free_spill(host, mid);
+  const u64 again = heap.alloc_spill(host, 100);
+  EXPECT_EQ(again, mid);
+}
+
+TEST(Heap, GcFreesGarbageKeepsReachable) {
+  Heap heap(small_config());
+  DirectHost host;
+  host.heap = &heap;
+  const Value kept = heap.new_array(host, 4);
+  objops::array_push(host, heap, kept.obj(), heap.new_float(host, 1.5));
+  for (int i = 0; i < 100; ++i) (void)heap.new_float(host, i);
+
+  host.roots.values.push_back(kept);
+  const u64 free_before = heap.free_objects();
+  heap.run_gc(host.roots);
+  EXPECT_GT(heap.free_objects(), free_before);
+  EXPECT_EQ(heap.gc_stats().last_marked, 2u);  // array + its float
+  // The kept structure is intact.
+  EXPECT_DOUBLE_EQ(
+      objops::value_to_double(host,
+                              objops::array_get(host, kept.obj(), 0)),
+      1.5);
+}
+
+TEST(Heap, GcTracesHashesRangesObjectsAndFreesSpills) {
+  Heap heap(small_config());
+  DirectHost host;
+  host.heap = &heap;
+  const Value h = heap.new_hash(host);
+  const Value key = heap.new_string(host, "k");
+  const Value val = heap.new_float(host, 9.0);
+  objops::hash_set(host, heap, h.obj(), key, val);
+  const Value r = heap.new_range(host, Value::fixnum(1), val, false);
+  const u64 spill_before = heap.spill_slots_allocated();
+  (void)heap.new_string(host, "garbage string with its own spill buffer");
+
+  host.roots.values.push_back(h);
+  host.roots.values.push_back(r);
+  heap.run_gc(host.roots);
+  // hash + key string + float + range survive.
+  EXPECT_EQ(heap.gc_stats().last_marked, 4u);
+  EXPECT_TRUE(objops::value_eq(
+      host, objops::hash_get(host, h.obj(), key), val));
+  (void)spill_before;
+}
+
+TEST(Heap, ConservativeRangeScanRootsStackSlots) {
+  Heap heap(small_config());
+  DirectHost host;
+  host.heap = &heap;
+  const Value f = heap.new_float(host, 3.5);
+  u64 fake_stack[4] = {Value::fixnum(1).bits(), f.bits(), 0, 0xdeadbeef};
+  host.roots.ranges.emplace_back(fake_stack, 4);
+  heap.run_gc(host.roots);
+  EXPECT_EQ(heap.gc_stats().last_marked, 1u);
+  EXPECT_DOUBLE_EQ(objops::value_to_double(host, f), 3.5);
+}
+
+TEST(Heap, GrowsWhenFullAndAllocationSucceeds) {
+  auto cfg = small_config();
+  cfg.initial_slots = 1024;
+  cfg.growth_trigger = 0.3;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+  // Keep everything alive so GC must grow the arena.
+  const Value arr = heap.new_array(host, 8);
+  host.roots.values.push_back(arr);
+  const u64 total_before = heap.total_objects();
+  for (int i = 0; i < 3000; ++i)
+    objops::array_push(host, heap, arr.obj(), heap.new_float(host, i));
+  EXPECT_GT(heap.total_objects(), total_before);
+  EXPECT_GT(host.gc_calls, 0u);
+  EXPECT_DOUBLE_EQ(
+      objops::value_to_double(host,
+                              objops::array_get(host, arr.obj(), 2999)),
+      2999.0);
+}
+
+TEST(Heap, DescribeAddressClassifiesRegions) {
+  Heap heap(small_config());
+  DirectHost host;
+  host.heap = &heap;
+  EXPECT_EQ(heap.describe_address(heap.gil_word()), "gil-word");
+  EXPECT_EQ(heap.describe_address(heap.global_free_head()),
+            "free-list-head");
+  EXPECT_EQ(heap.describe_address(heap.tcb_slot(1, kTcbYieldCounter)),
+            "tcb");
+  EXPECT_EQ(heap.describe_address(heap.ic_slot(0, 0)), "inline-caches");
+  RBasic* o = heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_EQ(heap.describe_address(o), "arena");
+  const u64 spill = heap.alloc_spill(host, 8);
+  EXPECT_EQ(heap.describe_address(spill_ptr(spill)), "spill");
+  int local = 0;
+  EXPECT_EQ(heap.describe_address(&local), "other");
+}
+
+TEST(Heap, PaddingChangesTcbStride) {
+  auto padded_cfg = small_config();
+  padded_cfg.padded_thread_structs = true;
+  Heap padded(padded_cfg);
+  auto packed_cfg = small_config();
+  packed_cfg.padded_thread_structs = false;
+  Heap packed(packed_cfg);
+
+  const auto dist = [](Heap& h) {
+    return reinterpret_cast<std::uintptr_t>(h.tcb_slot(1, 0)) -
+           reinterpret_cast<std::uintptr_t>(h.tcb_slot(0, 0));
+  };
+  EXPECT_GE(dist(padded), 256u) << "padded TCBs get whole zEC12 lines";
+  EXPECT_LT(dist(packed), 256u) << "packed TCBs share lines (false sharing)";
+}
+
+}  // namespace
+}  // namespace gilfree::vm

@@ -1,0 +1,240 @@
+// HTM facility unit tests: transactional visibility, rollback, conflict
+// resolution, capacity limits, SMT capacity halving, the learning model,
+// and the conflict table.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "htm/conflict_table.hpp"
+#include "htm/htm.hpp"
+#include "htm/profile.hpp"
+
+namespace gilfree::htm {
+namespace {
+
+struct Fixture {
+  explicit Fixture(SystemProfile profile = SystemProfile::zec12())
+      : machine(profile.machine), htm(profile.htm, &machine) {}
+  sim::Machine machine;
+  HtmFacility htm;
+};
+
+TEST(Htm, CommitMakesStoresVisible) {
+  Fixture f;
+  u64 word = 1;
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  f.htm.tx_store(0, &word, 42, true);
+  EXPECT_EQ(word, 1u) << "store must be buffered until commit";
+  EXPECT_EQ(f.htm.tx_commit(0), AbortReason::kNone);
+  EXPECT_EQ(word, 42u);
+}
+
+TEST(Htm, ReadOwnWrites) {
+  Fixture f;
+  u64 word = 1;
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  f.htm.tx_store(0, &word, 7, true);
+  EXPECT_EQ(f.htm.tx_load(0, &word, true), 7u);
+  (void)f.htm.tx_commit(0);
+}
+
+TEST(Htm, ExplicitAbortDiscardsStores) {
+  Fixture f;
+  u64 word = 1;
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  f.htm.tx_store(0, &word, 42, true);
+  f.htm.tx_abort(0, AbortReason::kExplicit);
+  EXPECT_EQ(word, 1u);
+  EXPECT_FALSE(f.htm.in_tx(0));
+  EXPECT_EQ(f.htm.stats(0).aborts_by_reason[static_cast<int>(
+                AbortReason::kExplicit)],
+            1u);
+}
+
+TEST(Htm, WriterDoomsReaderOnRequesterWins) {
+  Fixture f;
+  u64 word = 1;
+  // CPU 0 reads the line transactionally.
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  (void)f.htm.tx_load(0, &word, true);
+  // CPU 1 writes the same line: CPU 0's transaction is doomed.
+  ASSERT_EQ(f.htm.tx_begin(1), AbortReason::kNone);
+  f.htm.tx_store(1, &word, 5, true);
+  EXPECT_EQ(f.htm.doom(0), AbortReason::kConflict);
+  EXPECT_EQ(f.htm.tx_commit(1), AbortReason::kNone);
+  EXPECT_EQ(f.htm.tx_commit(0), AbortReason::kConflict);  // rolls back
+  EXPECT_EQ(word, 5u);
+}
+
+TEST(Htm, ReaderDoomsSpeculativeWriter) {
+  Fixture f;
+  u64 word = 1;
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  f.htm.tx_store(0, &word, 9, true);
+  ASSERT_EQ(f.htm.tx_begin(1), AbortReason::kNone);
+  EXPECT_EQ(f.htm.tx_load(1, &word, true), 1u)
+      << "reader must see committed memory, not the speculative value";
+  EXPECT_EQ(f.htm.doom(0), AbortReason::kConflict);
+  EXPECT_EQ(f.htm.tx_commit(1), AbortReason::kNone);
+  EXPECT_EQ(f.htm.tx_commit(0), AbortReason::kConflict);
+  EXPECT_EQ(word, 1u);
+}
+
+TEST(Htm, PrivateLinesDoNotConflict) {
+  Fixture f;
+  u64 word = 1;
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  f.htm.tx_store(0, &word, 9, /*shared=*/false);
+  ASSERT_EQ(f.htm.tx_begin(1), AbortReason::kNone);
+  f.htm.tx_store(1, &word, 10, /*shared=*/false);
+  EXPECT_EQ(f.htm.doom(0), AbortReason::kNone);
+  EXPECT_EQ(f.htm.tx_commit(0), AbortReason::kNone);
+  EXPECT_EQ(f.htm.tx_commit(1), AbortReason::kNone);
+}
+
+TEST(Htm, NontxStoreDoomsAllTransactionalHolders) {
+  Fixture f;
+  u64 gil = 0;
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  (void)f.htm.tx_load(0, &gil, true);
+  ASSERT_EQ(f.htm.tx_begin(1), AbortReason::kNone);
+  (void)f.htm.tx_load(1, &gil, true);
+  f.htm.nontx_store(2, &gil, 1);  // GIL acquisition
+  EXPECT_EQ(f.htm.doom(0), AbortReason::kConflict);
+  EXPECT_EQ(f.htm.doom(1), AbortReason::kConflict);
+  EXPECT_EQ(gil, 1u);
+}
+
+TEST(Htm, WriteCapacityOverflowIsPersistent) {
+  Fixture f;  // zEC12: 32-line write set at 256 B lines
+  const u32 cap = f.htm.effective_max_write(0);
+  auto buf = std::make_unique<u64[]>((cap + 4) * 32);
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  bool aborted = false;
+  try {
+    for (u32 i = 0; i < (cap + 2) * 32; i += 32)
+      f.htm.tx_store(0, &buf[i], 1, true);
+  } catch (const TxAbort& ab) {
+    aborted = true;
+    EXPECT_EQ(ab.reason, AbortReason::kOverflowWrite);
+    EXPECT_TRUE(is_persistent(ab.reason));
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_FALSE(f.htm.in_tx(0));
+}
+
+TEST(Htm, ReadCapacityOverflow) {
+  auto profile = SystemProfile::zec12();
+  profile.htm.max_read_lines = 8;  // shrink for the test
+  Fixture f(profile);
+  auto buf = std::make_unique<u64[]>(16 * 32);
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  bool aborted = false;
+  try {
+    for (u32 i = 0; i < 12 * 32; i += 32) (void)f.htm.tx_load(0, &buf[i], true);
+  } catch (const TxAbort& ab) {
+    aborted = true;
+    EXPECT_EQ(ab.reason, AbortReason::kOverflowRead);
+  }
+  EXPECT_TRUE(aborted);
+}
+
+TEST(Htm, SmtHalvesCapacityWhenSiblingBusy) {
+  Fixture f(SystemProfile::xeon_e3());  // 4 cores x 2 SMT
+  const u32 full = f.htm.effective_max_write(0);
+  f.machine.set_busy(0, true);
+  f.machine.set_busy(4, true);  // sibling of cpu 0
+  EXPECT_EQ(f.htm.effective_max_write(0), full / 2);
+  f.machine.set_busy(4, false);
+  EXPECT_EQ(f.htm.effective_max_write(0), full);
+}
+
+TEST(Htm, ForceAbortAndDoomAll) {
+  Fixture f;
+  u64 a = 0, b = 0;
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  f.htm.tx_store(0, &a, 1, true);
+  ASSERT_EQ(f.htm.tx_begin(1), AbortReason::kNone);
+  f.htm.tx_store(1, &b, 1, true);
+
+  f.htm.force_abort(0, AbortReason::kInterrupt);
+  EXPECT_FALSE(f.htm.in_tx(0));
+  EXPECT_EQ(a, 0u);
+
+  f.htm.doom_all(kInvalidCpu, AbortReason::kConflict);
+  EXPECT_EQ(f.htm.doom(1), AbortReason::kConflict);
+  EXPECT_EQ(f.htm.tx_commit(1), AbortReason::kConflict);
+  EXPECT_EQ(b, 0u);
+}
+
+TEST(Htm, StatsCountCommitsAndAborts) {
+  Fixture f;
+  u64 w = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+    f.htm.tx_store(0, &w, static_cast<u64>(i), true);
+    ASSERT_EQ(f.htm.tx_commit(0), AbortReason::kNone);
+  }
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  f.htm.tx_abort(0, AbortReason::kExplicit);
+  const HtmStats s = f.htm.total_stats();
+  EXPECT_EQ(s.begins, 6u);
+  EXPECT_EQ(s.commits, 5u);
+  EXPECT_EQ(s.total_aborts(), 1u);
+}
+
+TEST(Htm, InterruptsAbortLongTransactions) {
+  auto profile = SystemProfile::zec12();
+  profile.htm.interrupt_mean_cycles = 1'000;
+  Fixture f(profile);
+  u64 w = 0;
+  u32 interrupted = 0;
+  for (int t = 0; t < 50; ++t) {
+    if (f.htm.tx_begin(0) != AbortReason::kNone) continue;
+    try {
+      for (int i = 0; i < 100; ++i) {
+        f.machine.advance(0, 50);
+        (void)f.htm.tx_load(0, &w, true);
+      }
+      (void)f.htm.tx_commit(0);
+    } catch (const TxAbort& ab) {
+      if (ab.reason == AbortReason::kInterrupt) ++interrupted;
+    }
+  }
+  EXPECT_GT(interrupted, 25u) << "5000-cycle txs vs 1000-cycle interrupts";
+}
+
+TEST(TsxLearning, RecoversGraduallyAfterOverflows) {
+  TsxLearningModel m(1, 0.2, 500, 42);
+  for (int i = 0; i < 50; ++i) m.on_overflow(0);
+  EXPECT_GT(m.pessimism(0), 0.9);
+  // Clean transactions decay pessimism exponentially.
+  int iters = 0;
+  while (m.pessimism(0) > 0.05 && iters < 10'000) {
+    m.on_non_overflow(0);
+    ++iters;
+  }
+  EXPECT_GT(iters, 500) << "recovery must be gradual";
+  EXPECT_LT(iters, 5'000);
+}
+
+TEST(ConflictTable, ReaderWriterTracking) {
+  ConflictTable t;
+  EXPECT_EQ(t.add_reader(10, 0), 0u);
+  EXPECT_EQ(t.add_reader(10, 1), 0u);
+  // A writer sees both readers (mask bits 0 and 1).
+  EXPECT_EQ(t.add_writer(10, 2), 0b011u);
+  // A reader sees the writer.
+  EXPECT_EQ(t.add_reader(10, 3) & (1u << 2), 1u << 2);
+  EXPECT_EQ(t.holders_excluding(10, 0), 0b1110u);
+  EXPECT_EQ(t.writer_excluding(10, 2), 0u);  // own write excluded
+  t.remove(10, 2);
+  EXPECT_EQ(t.writer_excluding(10, 0), 0u);
+  t.remove(10, 0);
+  t.remove(10, 1);
+  t.remove(10, 3);
+  EXPECT_EQ(t.tracked_lines(), 0u);
+}
+
+}  // namespace
+}  // namespace gilfree::htm

@@ -1,0 +1,418 @@
+// MiniRuby language-semantics battery: each test runs a program through the
+// full stack on the GIL engine and checks recorded results.
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hpp"
+
+namespace gilfree {
+namespace {
+
+using runtime::Engine;
+using runtime::EngineConfig;
+
+double run1(const std::string& src, const std::string& key = "r") {
+  auto cfg = EngineConfig::gil(htm::SystemProfile::xeon_e3());
+  cfg.heap.initial_slots = 30'000;
+  Engine engine(std::move(cfg));
+  engine.load_program({src});
+  return engine.run().results.at(key);
+}
+
+std::string run_out(const std::string& src) {
+  auto cfg = EngineConfig::gil(htm::SystemProfile::xeon_e3());
+  cfg.heap.initial_slots = 30'000;
+  Engine engine(std::move(cfg));
+  engine.load_program({src});
+  return engine.run().output;
+}
+
+TEST(Lang, IntegerDivisionFloorsLikeRuby) {
+  EXPECT_EQ(run1("__record(\"r\", 7 / 2)"), 3);
+  EXPECT_EQ(run1("__record(\"r\", -7 / 2)"), -4);  // Ruby floors
+  EXPECT_EQ(run1("__record(\"r\", 7 % 3)"), 1);
+  EXPECT_EQ(run1("__record(\"r\", -7 % 3)"), 2);  // Ruby modulo sign
+}
+
+TEST(Lang, FloatArithmeticAndConversion) {
+  EXPECT_DOUBLE_EQ(run1("__record(\"r\", 1.5 + 2)"), 3.5);
+  EXPECT_DOUBLE_EQ(run1("__record(\"r\", 3 * 0.5)"), 1.5);
+  EXPECT_DOUBLE_EQ(run1("__record(\"r\", 7.9.to_i)"), 7.0);
+  EXPECT_DOUBLE_EQ(run1("__record(\"r\", 3.to_f / 2)"), 1.5);
+  EXPECT_DOUBLE_EQ(run1("__record(\"r\", (0.0 - 2.25).abs)"), 2.25);
+  EXPECT_DOUBLE_EQ(run1("__record(\"r\", Math.sqrt(16.0))"), 4.0);
+  EXPECT_NEAR(run1("__record(\"r\", Math.sin(0.0) + Math.cos(0.0))"), 1.0,
+              1e-12);
+}
+
+TEST(Lang, ComparisonAndLogic) {
+  EXPECT_EQ(run1(R"(
+r = 0
+if 1 < 2 && 3 >= 3
+  r = 1
+end
+if 1 == 2 || !(4 != 4)
+  r += 10
+end
+__record("r", r)
+)"), 11);
+}
+
+TEST(Lang, UnlessUntilElsifAndNext) {
+  EXPECT_EQ(run1(R"(
+r = 0
+unless false
+  r += 1
+end
+i = 0
+until i >= 3
+  i += 1
+end
+r += i
+x = 7
+if x == 1
+  r += 100
+elsif x == 7
+  r += 10
+else
+  r += 1000
+end
+j = 0
+s = 0
+while j < 10
+  j += 1
+  if j % 2 == 0
+    next
+  end
+  s += 1
+end
+r += s
+__record("r", r)
+)"), 1 + 3 + 10 + 5);
+}
+
+TEST(Lang, BreakLeavesLoop) {
+  EXPECT_EQ(run1(R"(
+i = 0
+while true
+  i += 1
+  if i == 5
+    break
+  end
+end
+__record("r", i)
+)"), 5);
+}
+
+TEST(Lang, MethodsDefaultReturnAndEarlyReturn) {
+  EXPECT_EQ(run1(R"(
+def last_expr(x)
+  x * 2
+end
+def early(x)
+  if x > 0
+    return 1
+  end
+  0 - 1
+end
+__record("r", last_expr(3) + early(5) + early(-5))
+)"), 6 + 1 - 1);
+}
+
+TEST(Lang, RecursionFibonacci) {
+  EXPECT_EQ(run1(R"(
+def fib(n)
+  if n < 2
+    n
+  else
+    fib(n - 1) + fib(n - 2)
+  end
+end
+__record("r", fib(15))
+)"), 610);
+}
+
+TEST(Lang, ClassesInheritanceAndSuperclassDispatch) {
+  EXPECT_EQ(run1(R"(
+class Animal
+  def initialize(name)
+    @name = name
+  end
+  def legs
+    4
+  end
+  def describe
+    legs * 10
+  end
+end
+class Bird < Animal
+  def legs
+    2
+  end
+end
+a = Animal.new("dog")
+b = Bird.new("crow")
+__record("r", a.describe + b.describe)
+)"), 40 + 20);
+}
+
+TEST(Lang, UserDefinedOperators) {
+  EXPECT_EQ(run1(R"(
+class Vec
+  def initialize(x, y)
+    @x = x
+    @y = y
+  end
+  def +(o)
+    Vec.new(@x + o.x, @y + o.y)
+  end
+  def x
+    @x
+  end
+  def y
+    @y
+  end
+end
+v = Vec.new(1, 2) + Vec.new(10, 20)
+__record("r", v.x * 100 + v.y)
+)"), 1122);
+}
+
+TEST(Lang, ClassVariablesSharedWithSubclasses) {
+  EXPECT_EQ(run1(R"(
+class Counter
+  def initialize
+    @@count = 0
+  end
+  def bump
+    @@count = @@count + 1
+  end
+  def count
+    @@count
+  end
+end
+class Sub < Counter
+end
+a = Counter.new
+a.bump
+b = Sub.new
+__record("r", a.count)
+)"), 0) << "Sub's initialize resets the shared @@count (Ruby semantics)";
+}
+
+TEST(Lang, BlocksClosuresAndYieldArgs) {
+  EXPECT_EQ(run1(R"(
+def twice
+  yield(1) + yield(2)
+end
+acc = 10
+r = twice do |v|
+  acc += v
+  v * 100
+end
+__record("r", r + acc)
+)"), 300 + 13);
+}
+
+TEST(Lang, NestedBlocksReachOuterLocals) {
+  EXPECT_EQ(run1(R"(
+total = 0
+(1..3).each do |i|
+  (1..2).each do |j|
+    total += i * j
+  end
+end
+__record("r", total)
+)"), (1 + 2) * (1 + 2 + 3));
+}
+
+TEST(Lang, BlockGivenPredicate) {
+  EXPECT_EQ(run1(R"(
+def opt
+  if block_given?
+    yield
+  else
+    5
+  end
+end
+__record("r", opt + opt do
+  100
+end)
+)"), 105);
+}
+
+TEST(Lang, ProcCallWithinThread) {
+  EXPECT_EQ(run1(R"(
+counter = 0
+p = Thread.new(3) do |n|
+  n * n
+end
+p.join
+__record("r", 9 + counter)
+)"), 9);
+}
+
+TEST(Lang, StringsConcatIndexSliceSplit) {
+  EXPECT_EQ(run_out(R"(
+s = "hello" + " " + "world"
+puts(s.length)
+puts(s.index("world"))
+puts(s.slice(0, 5))
+parts = "a,b,c".split(",")
+puts(parts.length)
+puts(parts[1])
+puts("x" == "x")
+puts("GET /p HTTP".start_with?("GET"))
+)"), "11\n6\nhello\n3\nb\ntrue\ntrue\n");
+}
+
+TEST(Lang, StringAppendInPlace) {
+  EXPECT_EQ(run_out(R"(
+s = "ab"
+s << "cd"
+s << "e"
+puts(s)
+puts(s.length)
+)"), "abcde\n5\n");
+}
+
+TEST(Lang, ArraysPushPopMapSumJoin) {
+  EXPECT_EQ(run_out(R"(
+a = [3, 1, 2]
+a.push(4)
+a << 5
+puts(a.length)
+puts(a.pop)
+puts(a.sum)
+doubled = a.map do |x|
+  x * 2
+end
+puts(doubled.join("-"))
+puts(a.include?(3))
+puts(a.include?(99))
+puts(a.first + a.last)
+)"), "5\n5\n10\n6-2-4-8\ntrue\nfalse\n7\n");
+}
+
+TEST(Lang, ArrayGrowthAndNilHoles) {
+  EXPECT_EQ(run_out(R"(
+a = []
+a[5] = 7
+puts(a.length)
+puts(a[0] == nil)
+puts(a[5])
+a[100] = 1
+puts(a.length)
+)"), "6\ntrue\n7\n101\n");
+}
+
+TEST(Lang, HashesStringAndIntegerKeys) {
+  EXPECT_EQ(run_out(R"(
+h = Hash.new
+h["one"] = 1
+h[2] = "two"
+h[:sym] = 3
+puts(h.size)
+puts(h["one"])
+puts(h[2])
+puts(h[:sym])
+puts(h["missing"] == nil)
+old = h["one"]
+h["one"] = 100
+puts(h["one"] + old)
+i = 0
+while i < 100
+  h[i * 1000] = i
+  i += 1
+end
+puts(h.size)
+puts(h[55000])
+)"), "3\n1\ntwo\n3\ntrue\n101\n103\n55\n");
+}
+
+TEST(Lang, HashLiteralSyntax) {
+  EXPECT_EQ(run_out(R"(
+h = { "a" => 1, "b" => 2 }
+puts(h.size)
+puts(h["b"])
+)"), "2\n2\n");
+}
+
+TEST(Lang, RangesEachToASize) {
+  EXPECT_EQ(run_out(R"(
+r = 1..4
+puts(r.first)
+puts(r.last)
+puts(r.size)
+x = (1...4).to_a
+puts(x.length)
+puts(x.join(","))
+)"), "1\n4\n4\n3\n1,2,3\n");
+}
+
+TEST(Lang, IteratorsTimesUptoDowntoStep) {
+  EXPECT_EQ(run1(R"(
+r = 0
+3.times do |i|
+  r += i
+end
+2.upto(4) do |i|
+  r += i * 10
+end
+3.downto(1) do |i|
+  r += i * 100
+end
+0.step(10, 5) do |i|
+  r += i * 1000
+end
+__record("r", r)
+)"), 3 + 90 + 600 + 15000);
+}
+
+TEST(Lang, GlobalsAndConstants) {
+  EXPECT_EQ(run1(R"(
+$g = 5
+PI_ISH = 3
+def read_them
+  $g + PI_ISH
+end
+$g += 1
+__record("r", read_them)
+)"), 9);
+}
+
+TEST(Lang, RandAndRecordBuiltins) {
+  EXPECT_EQ(run1(R"(
+ok = 1
+100.times do |i|
+  v = rand(10)
+  if v < 0 || v >= 10
+    ok = 0
+  end
+end
+__record("r", ok)
+)"), 1);
+}
+
+TEST(Lang, ErrorsSurfaceAsRubyError) {
+  auto expect_error = [](const std::string& src, const char* fragment) {
+    auto cfg = EngineConfig::gil(htm::SystemProfile::xeon_e3());
+    cfg.heap.initial_slots = 30'000;
+    Engine engine(std::move(cfg));
+    engine.load_program({src});
+    try {
+      engine.run();
+      FAIL() << "expected RubyError for: " << src;
+    } catch (const vm::RubyError& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("nil.frobnicate", "undefined method");
+  expect_error("x = 1 / 0", "divided by 0");
+  expect_error("yield", "no block given");
+  expect_error("x = UNDEFINED_CONST", "uninitialized constant");
+  expect_error("m = Mutex.new\nm.unlock", "not locked");
+}
+
+}  // namespace
+}  // namespace gilfree

@@ -1,0 +1,271 @@
+// End-to-end smoke tests: tiny programs through the full stack (front end →
+// VM → engine) in every sync mode.
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hpp"
+
+namespace gilfree {
+namespace {
+
+using runtime::Engine;
+using runtime::EngineConfig;
+using runtime::RunStats;
+using runtime::SyncMode;
+
+RunStats run_program(EngineConfig cfg, const std::string& src) {
+  cfg.heap.initial_slots = 20'000;  // small heap for tests
+  Engine engine(std::move(cfg));
+  engine.load_program({src});
+  return engine.run();
+}
+
+TEST(Smoke, ArithmeticAndRecordGil) {
+  const RunStats s = run_program(EngineConfig::gil(htm::SystemProfile::xeon_e3()),
+                                 R"(
+x = 0
+i = 1
+while i <= 100
+  x += i
+  i += 1
+end
+__record("sum", x)
+)");
+  EXPECT_DOUBLE_EQ(s.results.at("sum"), 5050.0);
+  EXPECT_GT(s.insns_retired, 100u);
+}
+
+TEST(Smoke, ArithmeticHtmDynamic) {
+  const RunStats s = run_program(
+      EngineConfig::htm_dynamic(htm::SystemProfile::xeon_e3()), R"(
+x = 0
+i = 1
+while i <= 100
+  x += i
+  i += 1
+end
+__record("sum", x)
+)");
+  EXPECT_DOUBLE_EQ(s.results.at("sum"), 5050.0);
+}
+
+TEST(Smoke, PutsOutput) {
+  const RunStats s = run_program(
+      EngineConfig::gil(htm::SystemProfile::xeon_e3()), R"(
+puts("hello")
+puts(1 + 2)
+)");
+  EXPECT_EQ(s.output, "hello\n3\n");
+}
+
+TEST(Smoke, MethodsClassesIvars) {
+  const RunStats s = run_program(
+      EngineConfig::gil(htm::SystemProfile::xeon_e3()), R"(
+class Counter
+  def initialize(start)
+    @value = start
+  end
+  def add(n)
+    @value += n
+    self
+  end
+  def value
+    @value
+  end
+end
+
+c = Counter.new(10)
+c.add(5).add(7)
+__record("v", c.value)
+)");
+  EXPECT_DOUBLE_EQ(s.results.at("v"), 22.0);
+}
+
+TEST(Smoke, BlocksAndIterators) {
+  const RunStats s = run_program(
+      EngineConfig::gil(htm::SystemProfile::xeon_e3()), R"(
+total = 0
+(1..10).each do |i|
+  total += i
+end
+5.times do |i|
+  total += i
+end
+arr = [1, 2, 3]
+doubled = arr.map do |x|
+  x * 2
+end
+__record("total", total)
+__record("d2", doubled[2])
+)");
+  EXPECT_DOUBLE_EQ(s.results.at("total"), 65.0);
+  EXPECT_DOUBLE_EQ(s.results.at("d2"), 6.0);
+}
+
+TEST(Smoke, ThreadsJoinGil) {
+  const std::string src = R"(
+$m = Mutex.new
+$total = 0
+threads = []
+4.times do |i|
+  threads << Thread.new(i) do |tid|
+    local = 0
+    j = 0
+    while j < 1000
+      local += 1
+      j += 1
+    end
+    $m.synchronize do
+      $total += local
+    end
+  end
+end
+threads.each do |t|
+  t.join
+end
+__record("total", $total)
+)";
+  const RunStats s =
+      run_program(EngineConfig::gil(htm::SystemProfile::xeon_e3()), src);
+  EXPECT_DOUBLE_EQ(s.results.at("total"), 4000.0);
+}
+
+TEST(Smoke, ThreadsJoinHtmAllModes) {
+  const std::string src = R"(
+$m = Mutex.new
+$total = 0
+threads = []
+4.times do |i|
+  threads << Thread.new(i) do |tid|
+    local = 0
+    j = 0
+    while j < 2000
+      local += 1
+      j += 1
+    end
+    $m.synchronize do
+      $total += local
+    end
+  end
+end
+threads.each do |t|
+  t.join
+end
+__record("total", $total)
+)";
+  for (i32 len : {1, 16, 256, -1}) {
+    auto cfg = len > 0
+                   ? EngineConfig::htm_fixed(htm::SystemProfile::xeon_e3(), len)
+                   : EngineConfig::htm_dynamic(htm::SystemProfile::xeon_e3());
+    const RunStats s = run_program(std::move(cfg), src);
+    EXPECT_DOUBLE_EQ(s.results.at("total"), 8000.0) << "len=" << len;
+    EXPECT_GT(s.htm.begins, 0u) << "len=" << len;
+  }
+}
+
+TEST(Smoke, FineGrainedAndUnsynced) {
+  const std::string src = R"(
+$m = Mutex.new
+$total = 0
+threads = []
+4.times do |i|
+  threads << Thread.new(i) do |tid|
+    $m.synchronize do
+      $total += 100
+    end
+  end
+end
+threads.each do |t|
+  t.join
+end
+__record("total", $total)
+)";
+  for (auto mode : {SyncMode::kFineGrained, SyncMode::kUnsynced}) {
+    auto cfg = mode == SyncMode::kFineGrained
+                   ? EngineConfig::fine_grained(htm::SystemProfile::xeon_e3())
+                   : EngineConfig::unsynced(htm::SystemProfile::xeon_e3());
+    const RunStats s = run_program(std::move(cfg), src);
+    EXPECT_DOUBLE_EQ(s.results.at("total"), 400.0);
+  }
+}
+
+TEST(Smoke, BarrierPrelude) {
+  const std::string src = R"(
+$b = Barrier.new(3)
+$m = Mutex.new
+$order = 0
+$after = 0
+threads = []
+3.times do |i|
+  threads << Thread.new(i) do |tid|
+    $m.synchronize do
+      $order += 1
+    end
+    $b.wait
+    $m.synchronize do
+      if $order == 3
+        $after += 1
+      end
+    end
+  end
+end
+threads.each do |t|
+  t.join
+end
+__record("after", $after)
+)";
+  const RunStats s = run_program(
+      EngineConfig::htm_dynamic(htm::SystemProfile::zec12()), src);
+  // Every thread passed the barrier only after all three incremented.
+  EXPECT_DOUBLE_EQ(s.results.at("after"), 3.0);
+}
+
+TEST(Smoke, GcSurvivesAllocationStorm) {
+  auto cfg = EngineConfig::gil(htm::SystemProfile::xeon_e3());
+  cfg.heap.initial_slots = 4'096;
+  Engine engine(std::move(cfg));
+  engine.load_program({R"(
+keep = []
+i = 0
+while i < 6000
+  keep << (i * 1.5)
+  garbage = [i, i + 1, i + 2]
+  i += 1
+end
+__record("len", keep.length)
+__record("last", keep[5999])
+)"});
+  const RunStats s = engine.run();
+  EXPECT_DOUBLE_EQ(s.results.at("len"), 6000.0);
+  EXPECT_DOUBLE_EQ(s.results.at("last"), 5999.0 * 1.5);
+  EXPECT_GT(s.gc.collections, 0u);
+}
+
+TEST(Smoke, GcUnderHtm) {
+  auto cfg = EngineConfig::htm_dynamic(htm::SystemProfile::xeon_e3());
+  cfg.heap.initial_slots = 4'096;
+  Engine engine(std::move(cfg));
+  engine.load_program({R"(
+threads = []
+2.times do |i|
+  threads << Thread.new(i) do |tid|
+    j = 0
+    acc = 0.0
+    while j < 4000
+      acc = acc + 1.5
+      j += 1
+    end
+    __record("acc" + tid.to_s, acc)
+  end
+end
+threads.each do |t|
+  t.join
+end
+)"});
+  const RunStats s = engine.run();
+  EXPECT_DOUBLE_EQ(s.results.at("acc0"), 6000.0);
+  EXPECT_DOUBLE_EQ(s.results.at("acc1"), 6000.0);
+  EXPECT_GT(s.gc.collections, 0u);
+}
+
+}  // namespace
+}  // namespace gilfree

@@ -1,0 +1,86 @@
+// Value tagging unit + property tests (CRuby 1.9 encoding).
+#include <gtest/gtest.h>
+
+#include "vm/object.hpp"
+#include "vm/value.hpp"
+
+namespace gilfree::vm {
+namespace {
+
+TEST(Value, ImmediateEncodings) {
+  EXPECT_TRUE(Value::nil().is_nil());
+  EXPECT_TRUE(Value::true_v().is_true());
+  EXPECT_TRUE(Value::false_v().is_false());
+  EXPECT_TRUE(Value::undef().is_undef());
+  EXPECT_EQ(Value::false_v().bits(), 0u);  // CRuby: Qfalse == 0
+  EXPECT_EQ(Value::nil().bits(), 4u);      // CRuby: Qnil == 4
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value::nil().truthy());
+  EXPECT_FALSE(Value::false_v().truthy());
+  EXPECT_TRUE(Value::true_v().truthy());
+  EXPECT_TRUE(Value::fixnum(0).truthy());  // 0 is truthy in Ruby
+  EXPECT_TRUE(Value::fixnum(-1).truthy());
+  EXPECT_TRUE(Value::symbol(3).truthy());
+}
+
+TEST(Value, DefaultIsNil) { EXPECT_TRUE(Value().is_nil()); }
+
+class FixnumRoundTrip : public ::testing::TestWithParam<i64> {};
+
+TEST_P(FixnumRoundTrip, EncodesAndDecodes) {
+  const i64 n = GetParam();
+  const Value v = Value::fixnum(n);
+  EXPECT_TRUE(v.is_fixnum());
+  EXPECT_FALSE(v.is_object());
+  EXPECT_FALSE(v.is_nil());
+  EXPECT_EQ(v.fixnum_val(), n);
+  EXPECT_TRUE(v.bits() & 1);  // low tag bit
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundary, FixnumRoundTrip,
+    ::testing::Values(0, 1, -1, 42, -42, 1'000'000'007, -1'000'000'007,
+                      Value::kFixnumMax, Value::kFixnumMin,
+                      Value::kFixnumMax - 1, Value::kFixnumMin + 1));
+
+TEST(Value, FixnumFits) {
+  EXPECT_TRUE(Value::fixnum_fits(Value::kFixnumMax));
+  EXPECT_TRUE(Value::fixnum_fits(Value::kFixnumMin));
+  EXPECT_FALSE(Value::fixnum_fits(Value::kFixnumMax + 1));
+  EXPECT_FALSE(Value::fixnum_fits(Value::kFixnumMin - 1));
+}
+
+TEST(Value, SymbolRoundTrip) {
+  for (u32 id : {0u, 1u, 65'535u, 1'000'000u}) {
+    const Value v = Value::symbol(id);
+    EXPECT_TRUE(v.is_symbol());
+    EXPECT_FALSE(v.is_fixnum());
+    EXPECT_FALSE(v.is_object());
+    EXPECT_EQ(v.symbol_id(), id);
+  }
+}
+
+TEST(Value, ObjectPointerRoundTrip) {
+  alignas(64) RBasic obj{};
+  const Value v = Value::object(&obj);
+  EXPECT_TRUE(v.is_object());
+  EXPECT_FALSE(v.is_immediate());
+  EXPECT_EQ(v.obj(), &obj);
+}
+
+TEST(Value, HeaderPacking) {
+  const u64 h = RBasic::make_header(ObjType::kArray, 12345);
+  EXPECT_EQ(RBasic::header_type(h), ObjType::kArray);
+  EXPECT_EQ(RBasic::header_class(h), 12345u);
+}
+
+TEST(Value, EqualityIsBitEquality) {
+  EXPECT_EQ(Value::fixnum(7), Value::fixnum(7));
+  EXPECT_NE(Value::fixnum(7), Value::fixnum(8));
+  EXPECT_NE(Value::fixnum(0), Value::false_v());
+}
+
+}  // namespace
+}  // namespace gilfree::vm

@@ -1,0 +1,85 @@
+// NPB workload integration tests: every kernel must produce the same
+// checksum under every synchronization engine and thread count — the
+// serializability oracle for the whole TLE machinery.
+#include <gtest/gtest.h>
+
+#include "workloads/runner.hpp"
+
+namespace gilfree {
+namespace {
+
+using runtime::EngineConfig;
+using workloads::RunPoint;
+using workloads::Workload;
+
+EngineConfig small_heap(EngineConfig cfg) {
+  cfg.heap.initial_slots = 200'000;
+  return cfg;
+}
+
+class NpbKernel : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NpbKernel, ChecksumConsistentAcrossEngines) {
+  const Workload& w = workloads::npb(GetParam());
+  const auto profile = htm::SystemProfile::xeon_e3();
+
+  const RunPoint baseline = workloads::run_workload(
+      small_heap(EngineConfig::gil(profile)), w, 1, 1);
+  EXPECT_GT(baseline.elapsed_us, 0.0);
+
+  struct Case {
+    const char* name;
+    EngineConfig cfg;
+    unsigned threads;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"gil-4t", small_heap(EngineConfig::gil(profile)), 4});
+  cases.push_back(
+      {"htm1-4t", small_heap(EngineConfig::htm_fixed(profile, 1)), 4});
+  cases.push_back(
+      {"htm16-4t", small_heap(EngineConfig::htm_fixed(profile, 16)), 4});
+  cases.push_back(
+      {"htm256-2t", small_heap(EngineConfig::htm_fixed(profile, 256)), 2});
+  cases.push_back(
+      {"htmdyn-4t", small_heap(EngineConfig::htm_dynamic(profile)), 4});
+  cases.push_back(
+      {"htmdyn-z12", small_heap(EngineConfig::htm_dynamic(
+                         htm::SystemProfile::zec12())), 12});
+  cases.push_back(
+      {"fine-4t", small_heap(EngineConfig::fine_grained(profile)), 4});
+  cases.push_back(
+      {"unsync-4t", small_heap(EngineConfig::unsynced(profile)), 4});
+
+  for (auto& c : cases) {
+    const RunPoint p = workloads::run_workload(std::move(c.cfg), w, c.threads, 1);
+    EXPECT_NEAR(p.verify, baseline.verify,
+                std::abs(baseline.verify) * 1e-9 + 1e-9)
+        << w.name << " under " << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NpbKernel,
+                         ::testing::Values("BT", "CG", "FT", "IS", "LU",
+                                           "MG", "SP"));
+
+TEST(MicroWorkloads, WhileChecksumMatchesFormula) {
+  const Workload& w = workloads::micro_while();
+  const RunPoint p = workloads::run_workload(
+      small_heap(EngineConfig::htm_dynamic(htm::SystemProfile::zec12())), w,
+      4, 1);
+  // Each of the 4 threads sums 1..30000.
+  const double expected = 4.0 * (30000.0 * 30001.0 / 2.0);
+  EXPECT_DOUBLE_EQ(p.verify, expected);
+}
+
+TEST(MicroWorkloads, IteratorChecksumMatchesFormula) {
+  const Workload& w = workloads::micro_iterator();
+  const RunPoint p = workloads::run_workload(
+      small_heap(EngineConfig::htm_dynamic(htm::SystemProfile::zec12())), w,
+      4, 1);
+  const double expected = 4.0 * (20000.0 * 20001.0 / 2.0);
+  EXPECT_DOUBLE_EQ(p.verify, expected);
+}
+
+}  // namespace
+}  // namespace gilfree
