@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conflict_removal.dir/ablation_conflict_removal.cpp.o"
+  "CMakeFiles/ablation_conflict_removal.dir/ablation_conflict_removal.cpp.o.d"
+  "ablation_conflict_removal"
+  "ablation_conflict_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conflict_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_conflict_removal.
+# This may be replaced when dependencies are built.

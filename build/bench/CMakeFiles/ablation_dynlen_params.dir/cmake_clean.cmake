@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynlen_params.dir/ablation_dynlen_params.cpp.o"
+  "CMakeFiles/ablation_dynlen_params.dir/ablation_dynlen_params.cpp.o.d"
+  "ablation_dynlen_params"
+  "ablation_dynlen_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynlen_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_yield_points.dir/ablation_yield_points.cpp.o"
+  "CMakeFiles/ablation_yield_points.dir/ablation_yield_points.cpp.o.d"
+  "ablation_yield_points"
+  "ablation_yield_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_yield_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_threadlocal_sweep.dir/extension_threadlocal_sweep.cpp.o"
+  "CMakeFiles/extension_threadlocal_sweep.dir/extension_threadlocal_sweep.cpp.o.d"
+  "extension_threadlocal_sweep"
+  "extension_threadlocal_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_threadlocal_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extension_threadlocal_sweep.
+# This may be replaced when dependencies are built.

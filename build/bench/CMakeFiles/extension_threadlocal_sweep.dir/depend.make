@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_threadlocal_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_micro.dir/fig4_micro.cpp.o"
+  "CMakeFiles/fig4_micro.dir/fig4_micro.cpp.o.d"
+  "fig4_micro"
+  "fig4_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_npb.dir/fig5_npb.cpp.o"
+  "CMakeFiles/fig5_npb.dir/fig5_npb.cpp.o.d"
+  "fig5_npb"
+  "fig5_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

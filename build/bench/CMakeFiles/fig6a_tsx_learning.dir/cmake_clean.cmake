@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_tsx_learning.dir/fig6a_tsx_learning.cpp.o"
+  "CMakeFiles/fig6a_tsx_learning.dir/fig6a_tsx_learning.cpp.o.d"
+  "fig6a_tsx_learning"
+  "fig6a_tsx_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_tsx_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6a_tsx_learning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_bt_classw.dir/fig6b_bt_classw.cpp.o"
+  "CMakeFiles/fig6b_bt_classw.dir/fig6b_bt_classw.cpp.o.d"
+  "fig6b_bt_classw"
+  "fig6b_bt_classw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_bt_classw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6b_bt_classw.
+# This may be replaced when dependencies are built.

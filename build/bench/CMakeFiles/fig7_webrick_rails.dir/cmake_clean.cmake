@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_webrick_rails.dir/fig7_webrick_rails.cpp.o"
+  "CMakeFiles/fig7_webrick_rails.dir/fig7_webrick_rails.cpp.o.d"
+  "fig7_webrick_rails"
+  "fig7_webrick_rails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_webrick_rails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_webrick_rails.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_abort_ratios.dir/fig8_abort_ratios.cpp.o"
+  "CMakeFiles/fig8_abort_ratios.dir/fig8_abort_ratios.cpp.o.d"
+  "fig8_abort_ratios"
+  "fig8_abort_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_abort_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cycle_breakdown.dir/fig8_cycle_breakdown.cpp.o"
+  "CMakeFiles/fig8_cycle_breakdown.dir/fig8_cycle_breakdown.cpp.o.d"
+  "fig8_cycle_breakdown"
+  "fig8_cycle_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cycle_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

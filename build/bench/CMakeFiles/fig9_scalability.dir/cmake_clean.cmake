@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_scalability.dir/fig9_scalability.cpp.o"
+  "CMakeFiles/fig9_scalability.dir/fig9_scalability.cpp.o.d"
+  "fig9_scalability"
+  "fig9_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

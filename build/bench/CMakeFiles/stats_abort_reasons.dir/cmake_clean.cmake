@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_abort_reasons.dir/stats_abort_reasons.cpp.o"
+  "CMakeFiles/stats_abort_reasons.dir/stats_abort_reasons.cpp.o.d"
+  "stats_abort_reasons"
+  "stats_abort_reasons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_abort_reasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stats_abort_reasons.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_runner.dir/npb_runner.cpp.o"
+  "CMakeFiles/npb_runner.dir/npb_runner.cpp.o.d"
+  "npb_runner"
+  "npb_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server.dir/web_server.cpp.o"
+  "CMakeFiles/web_server.dir/web_server.cpp.o.d"
+  "web_server"
+  "web_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

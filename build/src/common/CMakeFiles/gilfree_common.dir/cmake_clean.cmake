@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_common.dir/cli.cpp.o"
+  "CMakeFiles/gilfree_common.dir/cli.cpp.o.d"
+  "CMakeFiles/gilfree_common.dir/rng.cpp.o"
+  "CMakeFiles/gilfree_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gilfree_common.dir/stats.cpp.o"
+  "CMakeFiles/gilfree_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gilfree_common.dir/strutil.cpp.o"
+  "CMakeFiles/gilfree_common.dir/strutil.cpp.o.d"
+  "CMakeFiles/gilfree_common.dir/table.cpp.o"
+  "CMakeFiles/gilfree_common.dir/table.cpp.o.d"
+  "libgilfree_common.a"
+  "libgilfree_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

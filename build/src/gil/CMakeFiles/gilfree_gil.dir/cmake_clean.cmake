@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_gil.dir/gil.cpp.o"
+  "CMakeFiles/gilfree_gil.dir/gil.cpp.o.d"
+  "libgilfree_gil.a"
+  "libgilfree_gil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_gil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gilfree_gil.
+# This may be replaced when dependencies are built.

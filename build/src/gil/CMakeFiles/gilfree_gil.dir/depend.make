@@ -1,0 +1,2 @@
+# Empty dependencies file for gilfree_gil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/conflict_table.cpp" "src/htm/CMakeFiles/gilfree_htm.dir/conflict_table.cpp.o" "gcc" "src/htm/CMakeFiles/gilfree_htm.dir/conflict_table.cpp.o.d"
+  "/root/repo/src/htm/htm.cpp" "src/htm/CMakeFiles/gilfree_htm.dir/htm.cpp.o" "gcc" "src/htm/CMakeFiles/gilfree_htm.dir/htm.cpp.o.d"
+  "/root/repo/src/htm/profile.cpp" "src/htm/CMakeFiles/gilfree_htm.dir/profile.cpp.o" "gcc" "src/htm/CMakeFiles/gilfree_htm.dir/profile.cpp.o.d"
+  "/root/repo/src/htm/tsx_learning.cpp" "src/htm/CMakeFiles/gilfree_htm.dir/tsx_learning.cpp.o" "gcc" "src/htm/CMakeFiles/gilfree_htm.dir/tsx_learning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gilfree_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gilfree_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_htm.dir/conflict_table.cpp.o"
+  "CMakeFiles/gilfree_htm.dir/conflict_table.cpp.o.d"
+  "CMakeFiles/gilfree_htm.dir/htm.cpp.o"
+  "CMakeFiles/gilfree_htm.dir/htm.cpp.o.d"
+  "CMakeFiles/gilfree_htm.dir/profile.cpp.o"
+  "CMakeFiles/gilfree_htm.dir/profile.cpp.o.d"
+  "CMakeFiles/gilfree_htm.dir/tsx_learning.cpp.o"
+  "CMakeFiles/gilfree_htm.dir/tsx_learning.cpp.o.d"
+  "libgilfree_htm.a"
+  "libgilfree_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

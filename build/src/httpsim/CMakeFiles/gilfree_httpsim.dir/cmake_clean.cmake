@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_httpsim.dir/bench_server.cpp.o"
+  "CMakeFiles/gilfree_httpsim.dir/bench_server.cpp.o.d"
+  "CMakeFiles/gilfree_httpsim.dir/client_driver.cpp.o"
+  "CMakeFiles/gilfree_httpsim.dir/client_driver.cpp.o.d"
+  "CMakeFiles/gilfree_httpsim.dir/server_programs.cpp.o"
+  "CMakeFiles/gilfree_httpsim.dir/server_programs.cpp.o.d"
+  "libgilfree_httpsim.a"
+  "libgilfree_httpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_httpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_runtime.dir/engine.cpp.o"
+  "CMakeFiles/gilfree_runtime.dir/engine.cpp.o.d"
+  "libgilfree_runtime.a"
+  "libgilfree_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

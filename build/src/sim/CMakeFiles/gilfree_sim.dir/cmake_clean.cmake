@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_sim.dir/machine.cpp.o"
+  "CMakeFiles/gilfree_sim.dir/machine.cpp.o.d"
+  "libgilfree_sim.a"
+  "libgilfree_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_tle.dir/length_table.cpp.o"
+  "CMakeFiles/gilfree_tle.dir/length_table.cpp.o.d"
+  "libgilfree_tle.a"
+  "libgilfree_tle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_tle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

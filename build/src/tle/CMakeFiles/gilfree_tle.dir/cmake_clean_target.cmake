@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgilfree_tle.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/builtins.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/builtins.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/builtins.cpp.o.d"
+  "/root/repo/src/vm/bytecode.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/bytecode.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/bytecode.cpp.o.d"
+  "/root/repo/src/vm/class_registry.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/class_registry.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/class_registry.cpp.o.d"
+  "/root/repo/src/vm/compiler.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/compiler.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/compiler.cpp.o.d"
+  "/root/repo/src/vm/heap.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/heap.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/heap.cpp.o.d"
+  "/root/repo/src/vm/host.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/host.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/host.cpp.o.d"
+  "/root/repo/src/vm/interp.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/interp.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/interp.cpp.o.d"
+  "/root/repo/src/vm/lexer.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/lexer.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/lexer.cpp.o.d"
+  "/root/repo/src/vm/objops.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/objops.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/objops.cpp.o.d"
+  "/root/repo/src/vm/parser.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/parser.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/parser.cpp.o.d"
+  "/root/repo/src/vm/prelude.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/prelude.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/prelude.cpp.o.d"
+  "/root/repo/src/vm/symbol.cpp" "src/vm/CMakeFiles/gilfree_vm.dir/symbol.cpp.o" "gcc" "src/vm/CMakeFiles/gilfree_vm.dir/symbol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gilfree_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/gilfree_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gilfree_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

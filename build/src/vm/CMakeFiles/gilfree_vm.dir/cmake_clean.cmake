@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_vm.dir/builtins.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/builtins.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/bytecode.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/bytecode.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/class_registry.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/class_registry.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/compiler.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/compiler.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/heap.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/heap.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/host.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/host.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/interp.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/lexer.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/lexer.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/objops.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/objops.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/parser.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/parser.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/prelude.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/prelude.cpp.o.d"
+  "CMakeFiles/gilfree_vm.dir/symbol.cpp.o"
+  "CMakeFiles/gilfree_vm.dir/symbol.cpp.o.d"
+  "libgilfree_vm.a"
+  "libgilfree_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

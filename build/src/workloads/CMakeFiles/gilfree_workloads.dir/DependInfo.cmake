@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/npb_bt.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_bt.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_bt.cpp.o.d"
+  "/root/repo/src/workloads/npb_cg.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_cg.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_cg.cpp.o.d"
+  "/root/repo/src/workloads/npb_ft.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_ft.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_ft.cpp.o.d"
+  "/root/repo/src/workloads/npb_is.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_is.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_is.cpp.o.d"
+  "/root/repo/src/workloads/npb_lu.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_lu.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_lu.cpp.o.d"
+  "/root/repo/src/workloads/npb_mg.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_mg.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_mg.cpp.o.d"
+  "/root/repo/src/workloads/npb_sp.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_sp.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/npb_sp.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/runner.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/runner.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/gilfree_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/gilfree_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/gilfree_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gilfree_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gil/CMakeFiles/gilfree_gil.dir/DependInfo.cmake"
+  "/root/repo/build/src/tle/CMakeFiles/gilfree_tle.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/gilfree_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gilfree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gilfree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

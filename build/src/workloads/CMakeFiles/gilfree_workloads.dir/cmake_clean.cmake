@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gilfree_workloads.dir/npb_bt.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/npb_bt.cpp.o.d"
+  "CMakeFiles/gilfree_workloads.dir/npb_cg.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/npb_cg.cpp.o.d"
+  "CMakeFiles/gilfree_workloads.dir/npb_ft.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/npb_ft.cpp.o.d"
+  "CMakeFiles/gilfree_workloads.dir/npb_is.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/npb_is.cpp.o.d"
+  "CMakeFiles/gilfree_workloads.dir/npb_lu.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/npb_lu.cpp.o.d"
+  "CMakeFiles/gilfree_workloads.dir/npb_mg.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/npb_mg.cpp.o.d"
+  "CMakeFiles/gilfree_workloads.dir/npb_sp.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/npb_sp.cpp.o.d"
+  "CMakeFiles/gilfree_workloads.dir/runner.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/gilfree_workloads.dir/workload.cpp.o"
+  "CMakeFiles/gilfree_workloads.dir/workload.cpp.o.d"
+  "libgilfree_workloads.a"
+  "libgilfree_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gilfree_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/test_common.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/gilfree_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gilfree_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpsim/CMakeFiles/gilfree_httpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gilfree_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gil/CMakeFiles/gilfree_gil.dir/DependInfo.cmake"
+  "/root/repo/build/src/tle/CMakeFiles/gilfree_tle.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/gilfree_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gilfree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gilfree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_behavior.dir/test_engine_behavior.cpp.o"
+  "CMakeFiles/test_engine_behavior.dir/test_engine_behavior.cpp.o.d"
+  "test_engine_behavior"
+  "test_engine_behavior.pdb"
+  "test_engine_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

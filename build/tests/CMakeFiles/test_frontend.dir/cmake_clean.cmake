@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend.dir/test_frontend.cpp.o"
+  "CMakeFiles/test_frontend.dir/test_frontend.cpp.o.d"
+  "test_frontend"
+  "test_frontend.pdb"
+  "test_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

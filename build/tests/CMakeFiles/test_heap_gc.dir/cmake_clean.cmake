@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap_gc.dir/test_heap_gc.cpp.o"
+  "CMakeFiles/test_heap_gc.dir/test_heap_gc.cpp.o.d"
+  "test_heap_gc"
+  "test_heap_gc.pdb"
+  "test_heap_gc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

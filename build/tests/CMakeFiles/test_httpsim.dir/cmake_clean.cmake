@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_httpsim.dir/test_httpsim.cpp.o"
+  "CMakeFiles/test_httpsim.dir/test_httpsim.cpp.o.d"
+  "test_httpsim"
+  "test_httpsim.pdb"
+  "test_httpsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_httpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_language.dir/test_language.cpp.o"
+  "CMakeFiles/test_language.dir/test_language.cpp.o.d"
+  "test_language"
+  "test_language.pdb"
+  "test_language[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

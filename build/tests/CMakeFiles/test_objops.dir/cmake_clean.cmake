@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objops.dir/test_objops.cpp.o"
+  "CMakeFiles/test_objops.dir/test_objops.cpp.o.d"
+  "test_objops"
+  "test_objops.pdb"
+  "test_objops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

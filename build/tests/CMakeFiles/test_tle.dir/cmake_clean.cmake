@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tle.dir/test_tle.cpp.o"
+  "CMakeFiles/test_tle.dir/test_tle.cpp.o.d"
+  "test_tle"
+  "test_tle.pdb"
+  "test_tle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

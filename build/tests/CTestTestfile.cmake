@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_value[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_htm[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_language[1]_include.cmake")
+include("/root/repo/build/tests/test_heap_gc[1]_include.cmake")
+include("/root/repo/build/tests/test_tle[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_objops[1]_include.cmake")
+include("/root/repo/build/tests/test_httpsim[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_behavior[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_server[1]_include.cmake")
