@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   const std::string only = flags.get("benchmarks", "");
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -26,7 +27,13 @@ int main(int argc, char** argv) {
     if (!only.empty() && only.find(w.name) == std::string::npos) continue;
     const auto base = workloads::run_workload(
         make_config(profile, {"GIL", 0}), w, 1, scale);
-    auto speedup = [&](runtime::EngineConfig cfg) {
+    auto speedup = [&](runtime::EngineConfig cfg, const char* variant) {
+      observe(cfg, sink,
+              {{"figure", "ablation_conflict_removal"},
+               {"machine", profile.machine.name},
+               {"workload", w.name},
+               {"threads", std::to_string(threads)},
+               {"config", variant}});
       const auto p = workloads::run_workload(std::move(cfg), w, threads,
                                              scale);
       return TablePrinter::num(base.elapsed_us / p.elapsed_us, 2);
@@ -54,8 +61,12 @@ int main(int argc, char** argv) {
     none.vm.ivar_cache_table_guard = false;
     none.heap.padded_thread_structs = false;
 
-    table.add_row({w.name, speedup(all), speedup(no_tls), speedup(no_lists),
-                   speedup(no_ic), speedup(no_pad), speedup(none)});
+    table.add_row({w.name, speedup(all, "all_removals"),
+                   speedup(no_tls, "no_tls_current_thread"),
+                   speedup(no_lists, "no_thread_local_free_lists"),
+                   speedup(no_ic, "no_htm_inline_caches"),
+                   speedup(no_pad, "no_padding"),
+                   speedup(none, "none_of_them")});
   }
   emit(table, csv);
   return 0;

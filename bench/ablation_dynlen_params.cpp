@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   const std::string bench_name = flags.get("benchmark", "FT");
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -20,9 +21,15 @@ int main(int argc, char** argv) {
   const auto base = workloads::run_workload(
       make_config(profile, {"GIL", 0}), w, 1, scale);
 
-  auto run_with = [&](auto mutate) {
+  auto run_with = [&](const char* variant, auto mutate) {
     auto cfg = make_config(profile, {"HTM-dynamic", -1});
     mutate(cfg);
+    observe(cfg, sink,
+            {{"figure", "ablation_dynlen_params"},
+             {"machine", profile.machine.name},
+             {"workload", w.name},
+             {"threads", std::to_string(threads)},
+             {"config", variant}});
     const auto p = workloads::run_workload(std::move(cfg), w, threads, scale);
     return std::pair<double, double>(base.elapsed_us / p.elapsed_us,
                                      100.0 * p.stats.abort_ratio());
@@ -62,7 +69,7 @@ int main(int argc, char** argv) {
        }},
   };
   for (const Variant& v : variants) {
-    const auto [speedup, abort_pct] = run_with(v.mutate);
+    const auto [speedup, abort_pct] = run_with(v.name, v.mutate);
     table.add_row({v.name, TablePrinter::num(speedup, 2),
                    TablePrinter::num(abort_pct, 2)});
   }

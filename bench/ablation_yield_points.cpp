@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -26,11 +27,23 @@ int main(int argc, char** argv) {
         make_config(profile, {"GIL", 0}), w, 1, scale);
 
     auto with_cfg = make_config(profile, {"HTM-dynamic", -1});
+    observe(with_cfg, sink,
+            {{"figure", "ablation_yield_points"},
+             {"machine", profile.machine.name},
+             {"workload", w.name},
+             {"threads", std::to_string(threads)},
+             {"config", "with_extended_yp"}});
     const auto with_yp =
         workloads::run_workload(std::move(with_cfg), w, threads, scale);
 
     auto without_cfg = make_config(profile, {"HTM-dynamic", -1});
     without_cfg.vm.extended_yield_points = false;
+    observe(without_cfg, sink,
+            {{"figure", "ablation_yield_points"},
+             {"machine", profile.machine.name},
+             {"workload", w.name},
+             {"threads", std::to_string(threads)},
+             {"config", "without_extended_yp"}});
     const auto without_yp =
         workloads::run_workload(std::move(without_cfg), w, threads, scale);
 

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "htm/profile.hpp"
+#include "obs/sink.hpp"
 #include "runtime/engine.hpp"
 #include "workloads/runner.hpp"
 
@@ -55,6 +57,18 @@ inline void emit(const TablePrinter& table, bool csv) {
   } else {
     std::cout << table.to_string();
   }
+}
+
+/// Uniform observability wiring (docs/OBSERVABILITY.md): every harness
+/// accepts --trace-out= / --metrics-out= / --trace-sample= /
+/// --trace-capacity= via obs::ObsConfig::from_flags, constructs one
+/// obs::Sink, and tags each engine run with labels before it starts. A
+/// disabled sink (no flags) makes this a no-op.
+inline void observe(runtime::EngineConfig& cfg, obs::Sink& sink,
+                    std::map<std::string, std::string> labels) {
+  if (!sink.enabled()) return;
+  sink.next_labels(std::move(labels));
+  cfg.obs_sink = &sink;
 }
 
 }  // namespace gilfree::bench

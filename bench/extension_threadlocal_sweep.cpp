@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -36,6 +37,13 @@ int main(int argc, char** argv) {
       cfg.heap.initial_slots = 90'000;
       cfg.heap.thread_local_sweep = tls_sweep;
       cfg.heap.sweep_deal_threads = threads + 1;
+      observe(cfg, sink,
+              {{"figure", "extension_threadlocal_sweep"},
+               {"machine", profile.machine.name},
+               {"workload", name},
+               {"threads", std::to_string(threads)},
+               {"config",
+                tls_sweep ? "thread-local sweep" : "global free list"}});
       const auto p =
           workloads::run_workload(std::move(cfg), w, threads, scale);
       table.add_row(

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const auto scale =
       static_cast<unsigned>(flags.get_int("scale", quick ? 1 : 2));
   const std::string machine = flags.get("machine", "zec12");
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -32,8 +33,15 @@ int main(int argc, char** argv) {
       for (const NamedConfig& nc :
            {NamedConfig{"GIL", 0}, NamedConfig{"HTM-1", 1},
             NamedConfig{"HTM-16", 16}, NamedConfig{"HTM-dynamic", -1}}) {
-        const auto p = workloads::run_workload(make_config(profile, nc), *w,
-                                               threads, scale);
+        auto cfg = make_config(profile, nc);
+        observe(cfg, sink,
+                {{"figure", "fig4_micro"},
+                 {"machine", profile.machine.name},
+                 {"workload", w->name},
+                 {"threads", std::to_string(threads)},
+                 {"config", nc.name}});
+        const auto p =
+            workloads::run_workload(std::move(cfg), *w, threads, scale);
         // Per-thread work is fixed, so total work grows with threads:
         // throughput = threads * (base time / time).
         row.push_back(TablePrinter::num(

@@ -13,6 +13,8 @@
 #include "common/table.hpp"
 #include "htm/htm.hpp"
 #include "htm/profile.hpp"
+#include "obs/observer.hpp"
+#include "obs/sink.hpp"
 
 using namespace gilfree;
 
@@ -22,11 +24,23 @@ int main(int argc, char** argv) {
   const auto iters_per_size =
       static_cast<u32>(flags.get_int("iters", 10'000));
   const auto report_every = static_cast<u32>(flags.get_int("every", 500));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::xeon_e3();
   sim::Machine machine(profile.machine);
   htm::HtmFacility htm(profile.htm, &machine);
+
+  // This probe drives the HtmFacility directly (no Engine), so it feeds the
+  // observer by hand: yield point 0, transaction "length" = KB written.
+  std::unique_ptr<obs::RunObserver> obs;
+  if (sink.enabled()) {
+    sink.next_labels({{"figure", "fig6a_tsx_learning"},
+                      {"machine", profile.machine.name},
+                      {"workload", "write_set_probe"}});
+    obs = std::make_unique<obs::RunObserver>(sink.config().ring_capacity,
+                                             sink.config().sample, /*seed=*/0);
+  }
 
   // A flat buffer to write transactionally (64 B lines on this profile).
   const std::size_t buf_slots = 64 * 1024 / 8;
@@ -47,13 +61,24 @@ int main(int argc, char** argv) {
       ++iteration;
       machine.advance(0, 4000);  // loop body cost; also paces interrupts
       bool committed = false;
-      if (htm.tx_begin(0) == htm::AbortReason::kNone) {
+      if (obs) obs->on_tx_begin(machine.clock(0), 0, 0, 0, kb);
+      htm::AbortReason reason = htm.tx_begin(0);
+      if (reason == htm::AbortReason::kNone) {
         try {
           for (u32 s = 0; s < slots; ++s)
             htm.tx_store(0, &buffer[s], s, /*shared=*/true);
-          committed = htm.tx_commit(0) == htm::AbortReason::kNone;
-        } catch (const htm::TxAbort&) {
+          reason = htm.tx_commit(0);
+          committed = reason == htm::AbortReason::kNone;
+        } catch (const htm::TxAbort& a) {
+          reason = a.reason;
           committed = false;
+        }
+      }
+      if (obs) {
+        if (committed) {
+          obs->on_tx_commit(machine.clock(0), 0, 0, 0, kb);
+        } else {
+          obs->on_tx_abort(machine.clock(0), 0, 0, 0, kb, reason);
         }
       }
       window_success += committed ? 1 : 0;
@@ -71,6 +96,19 @@ int main(int argc, char** argv) {
     std::cout << table.to_csv();
   } else {
     std::cout << table.to_string();
+  }
+
+  if (obs) {
+    auto m = obs->finalize();
+    m.labels = sink.take_labels();
+    m.mode = "raw-htm";
+    m.machine = profile.machine.name;
+    const htm::HtmStats hs = htm.total_stats();
+    m.begins = hs.begins;
+    m.commits = hs.commits;
+    m.aborts_by_reason = hs.aborts_by_reason;
+    m.total_cycles = machine.clock(0);
+    sink.finish_run(std::move(m), obs->drain_events());
   }
   return 0;
 }

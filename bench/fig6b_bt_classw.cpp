@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const bool quick = flags.get_bool("quick", false);
   const auto scale =
       static_cast<unsigned>(flags.get_int("scale", quick ? 2 : 4));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::xeon_e3();
@@ -30,9 +31,15 @@ int main(int argc, char** argv) {
   for (unsigned threads : thread_counts(profile, quick)) {
     std::vector<std::string> row = {std::to_string(threads)};
     for (const auto& nc : paper_configs()) {
+      auto cfg = make_config(profile, nc);
+      observe(cfg, sink,
+              {{"figure", "fig6b_bt_classw"},
+               {"machine", profile.machine.name},
+               {"workload", w.name},
+               {"threads", std::to_string(threads)},
+               {"config", nc.name}});
       const auto p =
-          workloads::run_workload(make_config(profile, nc), w, threads,
-                                  scale);
+          workloads::run_workload(std::move(cfg), w, threads, scale);
       row.push_back(TablePrinter::num(base.elapsed_us / p.elapsed_us, 2));
     }
     table.add_row(row);

@@ -18,7 +18,7 @@ namespace {
 
 void run_panel(const htm::SystemProfile& profile, const std::string& program,
                const char* title, u32 requests, bool csv,
-               TablePrinter* abort_table) {
+               TablePrinter* abort_table, obs::Sink& sink) {
   std::cout << "== Fig.7 " << title << " (throughput, 1 = 1-client GIL) ==\n";
   std::vector<std::string> headers = {"clients"};
   for (const auto& nc : paper_configs()) headers.push_back(nc.name);
@@ -28,7 +28,14 @@ void run_panel(const htm::SystemProfile& profile, const std::string& program,
     httpsim::DriverConfig d;
     d.clients = clients;
     d.total_requests = requests;
-    return httpsim::run_server(make_config(profile, nc), program, d);
+    auto cfg = make_config(profile, nc);
+    observe(cfg, sink,
+            {{"figure", "fig7_webrick_rails"},
+             {"machine", profile.machine.name},
+             {"workload", title},
+             {"clients", std::to_string(clients)},
+             {"config", nc.name}});
+    return httpsim::run_server(std::move(cfg), program, d);
   };
 
   const double base = run_one({"GIL", 0}, 1).throughput_rps;
@@ -57,16 +64,17 @@ int main(int argc, char** argv) {
   const bool quick = flags.get_bool("quick", false);
   const auto requests =
       static_cast<u32>(flags.get_int("requests", quick ? 150 : 300));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   TablePrinter abort_table({"server", "clients", "abort_ratio_pct"});
 
   run_panel(htm::SystemProfile::zec12(), httpsim::webrick_source(),
-            "WEBrick / zEC12", requests, csv, &abort_table);
+            "WEBrick / zEC12", requests, csv, &abort_table, sink);
   run_panel(htm::SystemProfile::xeon_e3(), httpsim::webrick_source(),
-            "WEBrick / XeonE3-1275v3", requests, csv, &abort_table);
+            "WEBrick / XeonE3-1275v3", requests, csv, &abort_table, sink);
   run_panel(htm::SystemProfile::xeon_e3(), httpsim::rails_source(),
-            "Rails / XeonE3-1275v3", requests, csv, &abort_table);
+            "Rails / XeonE3-1275v3", requests, csv, &abort_table, sink);
 
   std::cout << "== Fig.7 right: abort ratios of HTM-dynamic ==\n";
   emit(abort_table, csv);

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const bool quick = flags.get_bool("quick", false);
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   for (const char* machine : {"zec12", "xeon"}) {
@@ -25,8 +26,14 @@ int main(int argc, char** argv) {
       if (threads == 1) continue;  // single-threaded runs use the GIL
       std::vector<std::string> row = {std::to_string(threads)};
       for (const auto& w : workloads::npb_workloads()) {
-        const auto p = workloads::run_workload(
-            make_config(profile, {"HTM-dynamic", -1}), w, threads, scale);
+        auto cfg = make_config(profile, {"HTM-dynamic", -1});
+        observe(cfg, sink,
+                {{"figure", "fig8_abort_ratios"},
+                 {"machine", profile.machine.name},
+                 {"workload", w.name},
+                 {"threads", std::to_string(threads)},
+                 {"config", "HTM-dynamic"}});
+        const auto p = workloads::run_workload(std::move(cfg), w, threads, scale);
         row.push_back(TablePrinter::num(100.0 * p.stats.abort_ratio(), 2));
       }
       table.add_row(row);

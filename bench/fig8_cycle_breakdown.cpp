@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -23,8 +24,14 @@ int main(int argc, char** argv) {
                       "blocked_io", "other"});
 
   for (const auto& w : workloads::npb_workloads()) {
-    const auto p = workloads::run_workload(
-        make_config(profile, {"HTM-dynamic", -1}), w, threads, scale);
+    auto cfg = make_config(profile, {"HTM-dynamic", -1});
+    observe(cfg, sink,
+            {{"figure", "fig8_cycle_breakdown"},
+             {"machine", profile.machine.name},
+             {"workload", w.name},
+             {"threads", std::to_string(threads)},
+             {"config", "HTM-dynamic"}});
+    const auto p = workloads::run_workload(std::move(cfg), w, threads, scale);
     const auto& b = p.stats.breakdown;
     const double total = static_cast<double>(b.total());
     auto pct = [&](Cycles c) {

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const bool quick = flags.get_bool("quick", false);
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -50,8 +51,15 @@ int main(int argc, char** argv) {
       std::vector<std::string> row = {std::to_string(threads)};
       std::size_t i = 0;
       for (const auto& w : workloads::npb_workloads()) {
+        auto cfg = kind.make(profile);
+        observe(cfg, sink,
+                {{"figure", "fig9_scalability"},
+                 {"machine", profile.machine.name},
+                 {"workload", w.name},
+                 {"threads", std::to_string(threads)},
+                 {"config", kind.name}});
         const auto p =
-            workloads::run_workload(kind.make(profile), w, threads, scale);
+            workloads::run_workload(std::move(cfg), w, threads, scale);
         const double speedup = base[i] / p.elapsed_us;
         row.push_back(TablePrinter::num(speedup, 2));
         if (threads == profile.machine.num_cpus()) {

@@ -56,12 +56,19 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   // NPB on zEC12 with HTM-dynamic.
   for (const auto& w : workloads::npb_workloads()) {
-    runtime::Engine engine(
-        make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1}));
+    auto cfg = make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1});
+    observe(cfg, sink,
+            {{"figure", "stats_abort_reasons"},
+             {"machine", "zEC12"},
+             {"workload", w.name},
+             {"threads", std::to_string(threads)},
+             {"config", "HTM-dynamic"}});
+    runtime::Engine engine(std::move(cfg));
     engine.load_program(workloads::sources_for(w, threads, scale));
     engine.htm()->set_collect_conflicts(true);
     const auto stats = engine.run();
@@ -76,6 +83,12 @@ int main(int argc, char** argv) {
     d.clients = 4;
     d.total_requests = 600;
     cfg.heap.max_threads = d.total_requests + 8;
+    observe(cfg, sink,
+            {{"figure", "stats_abort_reasons"},
+             {"machine", "XeonE3-1275v3"},
+             {"workload", "Rails"},
+             {"clients", "4"},
+             {"config", "HTM-dynamic"}});
     httpsim::ClosedLoopDriver driver(d);
     runtime::Engine engine(std::move(cfg));
     engine.load_program({httpsim::rails_source()});

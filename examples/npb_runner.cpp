@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "obs/sink.hpp"
 #include "workloads/runner.hpp"
 
 using namespace gilfree;
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   const std::string engine = flags.get("engine", "dynamic");
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 4));
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -37,6 +39,15 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "unknown engine: " << engine << "\n";
     return 2;
+  }
+
+  if (sink.enabled()) {
+    sink.next_labels({{"example", "npb_runner"},
+                      {"machine", profile.machine.name},
+                      {"workload", bench},
+                      {"threads", std::to_string(threads)},
+                      {"config", engine}});
+    cfg.obs_sink = &sink;
   }
 
   const auto p = workloads::run_workload(std::move(cfg),

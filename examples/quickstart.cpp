@@ -2,21 +2,32 @@
 // GIL-free HTM engine, then print what the runtime did.
 //
 //   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart --trace-out=t.jsonl --metrics-out=m.json
 //
 // The program spawns four threads that increment a shared counter under a
 // Mutex — the canonical pattern the paper's TLE executes as transactions
 // that only serialize when they actually conflict.
 #include <iostream>
 
+#include "common/cli.hpp"
+#include "obs/sink.hpp"
 #include "runtime/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gilfree;
+
+  CliFlags flags(argc, argv);
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  flags.reject_unknown();
 
   // Pick the machine (zEC12 or Xeon E3-1275 v3) and the engine: GIL (stock
   // CRuby), fixed-length TLE, or the paper's dynamic-length TLE.
   runtime::EngineConfig config =
       runtime::EngineConfig::htm_dynamic(htm::SystemProfile::zec12());
+  if (sink.enabled()) {
+    sink.next_labels({{"example", "quickstart"}, {"config", "HTM-dynamic"}});
+    config.obs_sink = &sink;
+  }
 
   runtime::Engine engine(std::move(config));
   engine.load_program({R"RUBY(

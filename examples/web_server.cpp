@@ -8,6 +8,7 @@
 #include "common/cli.hpp"
 #include "httpsim/bench_server.hpp"
 #include "httpsim/server_programs.hpp"
+#include "obs/sink.hpp"
 
 using namespace gilfree;
 
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   const auto clients = static_cast<u32>(flags.get_int("clients", 4));
   const auto requests = static_cast<u32>(flags.get_int("requests", 200));
   const bool rails = flags.get_bool("rails", false);
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::xeon_e3();
@@ -30,8 +32,21 @@ int main(int argc, char** argv) {
             << profile.machine.name << ", " << clients
             << " closed-loop clients, " << requests << " requests\n\n";
 
-  const auto gil = httpsim::run_server(runtime::EngineConfig::gil(profile),
-                                       program, d);
+  const char* server = rails ? "Rails" : "WEBrick";
+  auto observe = [&](runtime::EngineConfig cfg, const char* name) {
+    if (sink.enabled()) {
+      sink.next_labels({{"example", "web_server"},
+                        {"machine", profile.machine.name},
+                        {"workload", server},
+                        {"clients", std::to_string(clients)},
+                        {"config", name}});
+      cfg.obs_sink = &sink;
+    }
+    return cfg;
+  };
+
+  const auto gil = httpsim::run_server(
+      observe(runtime::EngineConfig::gil(profile), "GIL"), program, d);
   std::cout << "GIL:          " << gil.throughput_rps
             << " req/s (virtual)\n";
 
@@ -39,7 +54,8 @@ int main(int argc, char** argv) {
   // dominated by C-level calls with no internal yield points, so longer
   // transactions only add aborts.
   const auto tle = httpsim::run_server(
-      runtime::EngineConfig::htm_fixed(profile, 1), program, d);
+      observe(runtime::EngineConfig::htm_fixed(profile, 1), "HTM-1"),
+      program, d);
   std::cout << "HTM-1 (TLE):  " << tle.throughput_rps << " req/s (virtual), "
             << tle.stats.htm.begins << " transactions, "
             << tle.stats.abort_ratio() * 100 << " % aborted\n\n";

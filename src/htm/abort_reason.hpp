@@ -9,6 +9,10 @@
 
 namespace gilfree::htm {
 
+/// Number of AbortReason values (including kNone); sizes reason-indexed
+/// statistics arrays in the HTM facility and the observability layer.
+constexpr std::size_t kNumAbortReasons = 7;
+
 enum class AbortReason : u8 {
   kNone = 0,        ///< No abort (successful TBEGIN/TEND).
   kConflict,        ///< Coherency conflict with another CPU — transient.

@@ -36,8 +36,6 @@
 
 namespace gilfree::htm {
 
-constexpr std::size_t kNumAbortReasons = 7;
-
 /// Raw per-CPU transaction statistics (the TLE layer keeps the higher-level
 /// per-yield-point statistics).
 struct HtmStats {

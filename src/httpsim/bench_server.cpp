@@ -22,6 +22,8 @@ ServerRunResult run_server(runtime::EngineConfig cfg,
                                         << driver_config.total_requests);
   result.throughput_rps =
       driver.throughput_rps(engine.config().profile.machine.ghz);
+  result.latency_mean_cycles = driver.latency().mean();
+  result.latency_max_cycles = driver.latency().max();
   return result;
 }
 

@@ -11,6 +11,8 @@ namespace gilfree::httpsim {
 struct ServerRunResult {
   double throughput_rps = 0.0;  ///< Requests per virtual second.
   u32 completed = 0;
+  double latency_mean_cycles = 0.0;  ///< Mean issue→response latency.
+  double latency_max_cycles = 0.0;
   runtime::RunStats stats;
 };
 

@@ -25,6 +25,8 @@ void ClosedLoopDriver::issue(Cycles at) {
                       "User-Agent: gilfree-driver/1.0\r\n"
                       "Accept: text/html\r\n"
                       "Connection: keep-alive\r\n\r\n");
+  issue_times_.push_back(at);
+  if (issued_ == 0 || at < first_issue_) first_issue_ = at;
   ++issued_;
   ++in_flight_;
   arrivals_.push(Pending{at, id});
@@ -41,9 +43,14 @@ std::string ClosedLoopDriver::payload(i64 request_id) {
   return payloads_.at(static_cast<std::size_t>(request_id));
 }
 
+Cycles ClosedLoopDriver::request_issued_at(i64 request_id) {
+  return issue_times_.at(static_cast<std::size_t>(request_id));
+}
+
 void ClosedLoopDriver::respond(i64 request_id, std::string_view body,
                                Cycles now) {
-  (void)request_id;
+  const Cycles issued = request_issued_at(request_id);
+  latency_.add(now > issued ? static_cast<double>(now - issued) : 0.0);
   ++completed_;
   GILFREE_CHECK(in_flight_ > 0);
   --in_flight_;

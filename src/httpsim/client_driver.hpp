@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "runtime/engine.hpp"
 
@@ -33,12 +34,16 @@ class ClosedLoopDriver : public runtime::ServerPort {
   std::string payload(i64 request_id) override;
   void respond(i64 request_id, std::string_view body, Cycles now) override;
   bool shutdown(Cycles now) override;
+  Cycles request_issued_at(i64 request_id) override;
 
   u32 completed() const { return completed_; }
   u32 issued() const { return issued_; }
   Cycles first_issue_time() const { return first_issue_; }
   Cycles last_response_time() const { return last_response_; }
   u64 response_bytes() const { return response_bytes_; }
+
+  /// Per-request issue→response latency, in virtual cycles.
+  const RunningStat& latency() const { return latency_; }
 
   /// Requests per virtual second over the measured interval.
   double throughput_rps(double ghz) const;
@@ -55,6 +60,8 @@ class ClosedLoopDriver : public runtime::ServerPort {
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       arrivals_;
   std::vector<std::string> payloads_;
+  std::vector<Cycles> issue_times_;  ///< Indexed by request id.
+  RunningStat latency_;
   u32 issued_ = 0;
   u32 completed_ = 0;
   u32 in_flight_ = 0;

@@ -1,0 +1,70 @@
+// Minimal JSON support for the observability layer: a streaming-friendly
+// string writer (used by the trace and metrics exporters) and a small
+// recursive-descent parser (used by tools/trace_report and the schema
+// round-trip tests). No external dependency; only the subset of JSON the
+// gilfree trace/metrics schema needs (objects, arrays, strings, numbers,
+// booleans, null).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gilfree::obs {
+
+/// Appends `s` to `out` as a JSON string literal (quotes + escaping).
+void json_append_string(std::string& out, std::string_view s);
+
+/// Appends a number. Integral values print without a decimal point so that
+/// counters round-trip exactly; the formatting is locale-independent and
+/// deterministic (the same value always prints the same bytes).
+void json_append_number(std::string& out, double v);
+void json_append_number(std::string& out, u64 v);
+void json_append_number(std::string& out, i64 v);
+
+/// Parsed JSON document. Numbers are stored as double (every counter the
+/// schema emits is well below 2^53, so the round-trip is exact).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const;
+  double as_number() const;
+  u64 as_u64() const;
+  i64 as_i64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  bool has(const std::string& key) const;
+  /// Object member access; throws std::runtime_error when missing.
+  const JsonValue& at(const std::string& key) const;
+  /// Object member access with a default when the key is absent.
+  double number_or(const std::string& key, double def) const;
+  std::string string_or(const std::string& key, const std::string& def) const;
+
+  /// Parses one JSON document; throws std::runtime_error on malformed
+  /// input or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+}  // namespace gilfree::obs

@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace gilfree::obs {
+
+namespace {
+
+void append_reason_counts(
+    std::string& out, const std::array<u64, htm::kNumAbortReasons>& counts) {
+  out.push_back('{');
+  bool first = true;
+  for (std::size_t r = 1; r < counts.size(); ++r) {  // skip kNone
+    if (counts[r] == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(
+        out, htm::abort_reason_name(static_cast<htm::AbortReason>(r)));
+    out.push_back(':');
+    json_append_number(out, counts[r]);
+  }
+  out.push_back('}');
+}
+
+void append_length_map(std::string& out, const std::map<u32, u64>& m) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [len, n] : m) {
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(out, std::to_string(len));
+    out.push_back(':');
+    json_append_number(out, n);
+  }
+  out.push_back('}');
+}
+
+void append_yield_point(std::string& out, i32 yp,
+                        const YieldPointMetrics& m) {
+  out += "{\"yp\":";
+  json_append_number(out, static_cast<i64>(yp));
+  out += ",\"begins\":";
+  json_append_number(out, m.begins);
+  out += ",\"commits\":";
+  json_append_number(out, m.commits);
+  out += ",\"aborts\":";
+  json_append_number(out, m.total_aborts());
+  out += ",\"fallbacks\":";
+  json_append_number(out, m.fallbacks);
+  out += ",\"final_length\":";
+  json_append_number(out, static_cast<u64>(m.final_length));
+  out += ",\"length_adjustments\":";
+  json_append_number(out, m.length_adjustments);
+  out += ",\"aborts_by_reason\":";
+  append_reason_counts(out, m.aborts_by_reason);
+  out += ",\"begins_by_length\":";
+  append_length_map(out, m.begins_by_length);
+  out += ",\"abort_reason_length\":{";
+  bool first = true;
+  for (std::size_t r = 1; r < m.abort_length.size(); ++r) {
+    if (m.abort_length[r].empty()) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(
+        out, htm::abort_reason_name(static_cast<htm::AbortReason>(r)));
+    out.push_back(':');
+    append_length_map(out, m.abort_length[r]);
+  }
+  out += "}}";
+}
+
+void append_cycles(std::string& out, const CycleMetrics& c) {
+  out += "{\"begin_end\":";
+  json_append_number(out, c.begin_end);
+  out += ",\"tx_success\":";
+  json_append_number(out, c.tx_success);
+  out += ",\"tx_aborted\":";
+  json_append_number(out, c.tx_aborted);
+  out += ",\"gil_held\":";
+  json_append_number(out, c.gil_held);
+  out += ",\"gil_wait\":";
+  json_append_number(out, c.gil_wait);
+  out += ",\"blocked_io\":";
+  json_append_number(out, c.blocked_io);
+  out += ",\"other\":";
+  json_append_number(out, c.other);
+  out += ",\"total\":";
+  json_append_number(out, c.total());
+  out.push_back('}');
+}
+
+void append_run(std::string& out, const RunMetrics& m) {
+  out += "{\"run\":";
+  json_append_number(out, static_cast<u64>(m.run_id));
+  out += ",\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : m.labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(out, k);
+    out.push_back(':');
+    json_append_string(out, v);
+  }
+  out += "},\"seed\":";
+  json_append_number(out, m.seed);
+  out += ",\"mode\":";
+  json_append_string(out, m.mode);
+  out += ",\"machine\":";
+  json_append_string(out, m.machine);
+  out += ",\"begins\":";
+  json_append_number(out, m.begins);
+  out += ",\"commits\":";
+  json_append_number(out, m.commits);
+  out += ",\"aborts\":";
+  json_append_number(out, m.total_aborts());
+  out += ",\"abort_ratio\":";
+  json_append_number(out, m.abort_ratio());
+  out += ",\"aborts_by_reason\":";
+  append_reason_counts(out, m.aborts_by_reason);
+  out += ",\"gil_fallbacks\":";
+  json_append_number(out, m.gil_fallbacks);
+  out += ",\"ctx_switch_aborts\":";
+  json_append_number(out, m.ctx_switch_aborts);
+  out += ",\"length_adjustments\":";
+  json_append_number(out, m.length_adjustments);
+  out += ",\"insns_retired\":";
+  json_append_number(out, m.insns_retired);
+  out += ",\"total_cycles\":";
+  json_append_number(out, m.total_cycles);
+  out += ",\"virtual_seconds\":";
+  json_append_number(out, m.virtual_seconds);
+  out += ",\"cycles\":";
+  append_cycles(out, m.cycles);
+  out += ",\"yield_points\":[";
+  first = true;
+  for (const auto& [yp, ym] : m.per_yield_point) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_yield_point(out, yp, ym);
+  }
+  out += "],\"requests\":{\"completed\":";
+  json_append_number(out, m.requests.completed);
+  out += ",\"latency_min\":";
+  json_append_number(out, m.requests.latency_min);
+  out += ",\"latency_max\":";
+  json_append_number(out, m.requests.latency_max);
+  out += ",\"latency_mean\":";
+  json_append_number(out, m.requests.latency_mean());
+  out += "},\"trace\":{\"sample\":";
+  json_append_number(out, m.trace_sample);
+  out += ",\"events_seen\":";
+  json_append_number(out, m.events_seen);
+  out += ",\"events_recorded\":";
+  json_append_number(out, m.events_recorded);
+  out += ",\"events_evicted\":";
+  json_append_number(out, m.events_evicted);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"gilfree.metrics/1\",\"runs\":[";
+  bool first = true;
+  for (const RunMetrics& m : runs) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_run(out, m);
+  }
+  out += "],\"totals\":{";
+  RunMetrics t;
+  for (const RunMetrics& m : runs) {
+    t.begins += m.begins;
+    t.commits += m.commits;
+    for (std::size_t r = 0; r < t.aborts_by_reason.size(); ++r)
+      t.aborts_by_reason[r] += m.aborts_by_reason[r];
+    t.gil_fallbacks += m.gil_fallbacks;
+    t.requests.completed += m.requests.completed;
+  }
+  out += "\"runs\":";
+  json_append_number(out, static_cast<u64>(runs.size()));
+  out += ",\"begins\":";
+  json_append_number(out, t.begins);
+  out += ",\"commits\":";
+  json_append_number(out, t.commits);
+  out += ",\"aborts\":";
+  json_append_number(out, t.total_aborts());
+  out += ",\"aborts_by_reason\":";
+  append_reason_counts(out, t.aborts_by_reason);
+  out += ",\"gil_fallbacks\":";
+  json_append_number(out, t.gil_fallbacks);
+  out += ",\"requests_completed\":";
+  json_append_number(out, t.requests.completed);
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace gilfree::obs

@@ -1,0 +1,116 @@
+// The metrics registry: exact (non-sampled) aggregates of one engine run —
+// per-yield-point abort-reason × transaction-length histograms, GIL-fallback
+// counts, request latencies, and the Fig. 8-style cycle accounting — plus
+// the machine-readable JSON document format ("gilfree.metrics/1") they are
+// exported as. docs/OBSERVABILITY.md documents every field.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "htm/abort_reason.hpp"
+
+namespace gilfree::obs {
+
+/// Exact per-yield-point counters. The yield-point id is the compile-time
+/// "pc" of the paper; -1 is the thread-entry pseudo yield point.
+struct YieldPointMetrics {
+  u64 begins = 0;    ///< Transaction attempts started at this yield point.
+  u64 commits = 0;   ///< Attempts that reached TEND successfully.
+  u64 fallbacks = 0; ///< GIL acquisitions that gave up on this yield point.
+  std::array<u64, htm::kNumAbortReasons> aborts_by_reason{};
+  /// Abort-reason × transaction-length histogram: for each reason, how many
+  /// aborts happened to transactions of each chosen length.
+  std::array<std::map<u32, u64>, htm::kNumAbortReasons> abort_length;
+  /// Transaction-length histogram of attempts (chosen length → count).
+  std::map<u32, u64> begins_by_length;
+  u32 final_length = 0;        ///< Length-table entry at the end of the run.
+  u64 length_adjustments = 0;  ///< Fig. 3 shrink events at this yield point.
+
+  u64 total_aborts() const {
+    u64 t = 0;
+    for (u64 a : aborts_by_reason) t += a;
+    return t;
+  }
+};
+
+/// httpsim per-request latency aggregate (cycles are virtual).
+struct RequestMetrics {
+  u64 completed = 0;
+  Cycles latency_min = 0;
+  Cycles latency_max = 0;
+  Cycles latency_sum = 0;
+
+  double latency_mean() const {
+    return completed ? static_cast<double>(latency_sum) /
+                           static_cast<double>(completed)
+                     : 0.0;
+  }
+};
+
+/// Fig. 8 cycle buckets, mirrored from runtime::CycleBreakdown (obs cannot
+/// depend on runtime; the engine copies the numbers in).
+struct CycleMetrics {
+  Cycles begin_end = 0;
+  Cycles tx_success = 0;
+  Cycles tx_aborted = 0;
+  Cycles gil_held = 0;
+  Cycles gil_wait = 0;
+  Cycles blocked_io = 0;
+  Cycles other = 0;
+
+  Cycles total() const {
+    return begin_end + tx_success + tx_aborted + gil_held + gil_wait +
+           blocked_io + other;
+  }
+};
+
+/// Everything one engine run exports into the metrics document.
+struct RunMetrics {
+  u32 run_id = 0;
+  std::map<std::string, std::string> labels;  ///< Harness-assigned tags.
+  u64 seed = 0;
+  std::string mode;     ///< Engine sync mode name (GIL/HTM/...).
+  std::string machine;  ///< Machine profile name.
+
+  // Engine totals (equal to the RunStats the binaries print).
+  u64 begins = 0;
+  u64 commits = 0;
+  std::array<u64, htm::kNumAbortReasons> aborts_by_reason{};
+  u64 gil_fallbacks = 0;
+  u64 ctx_switch_aborts = 0;
+  u64 length_adjustments = 0;
+  u64 insns_retired = 0;
+  Cycles total_cycles = 0;
+  double virtual_seconds = 0.0;
+
+  CycleMetrics cycles;
+  std::map<i32, YieldPointMetrics> per_yield_point;
+  RequestMetrics requests;
+
+  // Flight-recorder accounting (sampling/eviction transparency).
+  double trace_sample = 1.0;
+  u64 events_seen = 0;
+  u64 events_recorded = 0;
+  u64 events_evicted = 0;
+
+  u64 total_aborts() const {
+    u64 t = 0;
+    for (u64 a : aborts_by_reason) t += a;
+    return t;
+  }
+  double abort_ratio() const {
+    return begins == 0 ? 0.0
+                       : static_cast<double>(total_aborts()) /
+                             static_cast<double>(begins);
+  }
+};
+
+/// Renders the "gilfree.metrics/1" document: {"schema", "runs":[...],
+/// "totals":{...}}. Deterministic byte-for-byte for identical inputs.
+std::string metrics_to_json(const std::vector<RunMetrics>& runs);
+
+}  // namespace gilfree::obs

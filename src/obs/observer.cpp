@@ -1,0 +1,87 @@
+#include "obs/observer.hpp"
+
+namespace gilfree::obs {
+
+RunObserver::RunObserver(std::size_t ring_capacity, double sample, u64 seed)
+    : recorder_(ring_capacity, sample, seed) {}
+
+void RunObserver::on_tx_begin(Cycles t, u32 tid, CpuId cpu, i32 yp,
+                              u32 length) {
+  YieldPointMetrics& m = yp_metrics(yp);
+  ++m.begins;
+  ++m.begins_by_length[length];
+  TraceEvent e;
+  e.kind = EventKind::kTxBegin;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  e.length = length;
+  recorder_.record(e);
+}
+
+void RunObserver::on_tx_commit(Cycles t, u32 tid, CpuId cpu, i32 yp,
+                               u32 length) {
+  ++yp_metrics(yp).commits;
+  TraceEvent e;
+  e.kind = EventKind::kTxCommit;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  e.length = length;
+  recorder_.record(e);
+}
+
+void RunObserver::on_tx_abort(Cycles t, u32 tid, CpuId cpu, i32 yp,
+                              u32 length, htm::AbortReason reason) {
+  YieldPointMetrics& m = yp_metrics(yp);
+  const auto r = static_cast<std::size_t>(reason);
+  ++m.aborts_by_reason[r];
+  ++m.abort_length[r][length];
+  TraceEvent e;
+  e.kind = EventKind::kTxAbort;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  e.length = length;
+  e.reason = reason;
+  recorder_.record(e);
+}
+
+void RunObserver::on_gil_fallback(Cycles t, u32 tid, CpuId cpu, i32 yp) {
+  ++yp_metrics(yp).fallbacks;
+  TraceEvent e;
+  e.kind = EventKind::kGilFallback;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  recorder_.record(e);
+}
+
+void RunObserver::on_request(Cycles t, u32 tid, i64 req_id, Cycles latency) {
+  RequestMetrics& r = metrics_.requests;
+  if (r.completed == 0 || latency < r.latency_min) r.latency_min = latency;
+  if (latency > r.latency_max) r.latency_max = latency;
+  r.latency_sum += latency;
+  ++r.completed;
+  TraceEvent e;
+  e.kind = EventKind::kRequest;
+  e.t = t;
+  e.tid = tid;
+  e.req = req_id;
+  e.latency = latency;
+  recorder_.record(e);
+}
+
+RunMetrics RunObserver::finalize() {
+  metrics_.trace_sample = recorder_.sample();
+  metrics_.events_seen = recorder_.seen();
+  metrics_.events_recorded = recorder_.recorded();
+  metrics_.events_evicted = recorder_.evicted();
+  return std::move(metrics_);
+}
+
+}  // namespace gilfree::obs

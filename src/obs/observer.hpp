@@ -1,0 +1,50 @@
+// RunObserver: the per-run observability front end. The engine (or a raw
+// HtmFacility harness like the Fig. 6a probe) calls the on_* hooks at every
+// transaction begin/commit/abort, GIL fallback, and completed request; the
+// observer feeds the bounded flight recorder (sampled trace) and the exact
+// metrics aggregates in one step. Hooks are O(1); a disabled engine simply
+// has no observer (one null check per event site).
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "htm/abort_reason.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gilfree::obs {
+
+struct ObsConfig;
+
+class RunObserver {
+ public:
+  /// `seed` drives only the sampling RNG; pass the engine seed so the same
+  /// seed yields an identical trace.
+  RunObserver(std::size_t ring_capacity, double sample, u64 seed);
+
+  void on_tx_begin(Cycles t, u32 tid, CpuId cpu, i32 yp, u32 length);
+  void on_tx_commit(Cycles t, u32 tid, CpuId cpu, i32 yp, u32 length);
+  void on_tx_abort(Cycles t, u32 tid, CpuId cpu, i32 yp, u32 length,
+                   htm::AbortReason reason);
+  void on_gil_fallback(Cycles t, u32 tid, CpuId cpu, i32 yp);
+  void on_request(Cycles t, u32 tid, i64 req_id, Cycles latency);
+
+  /// Moves the aggregates out (per-yield-point tables, request latencies,
+  /// recorder accounting). The caller fills in engine-level totals (cycle
+  /// breakdown, HtmStats mirrors, labels) afterwards.
+  RunMetrics finalize();
+
+  /// Drains the retained trace events in sequence order.
+  std::vector<TraceEvent> drain_events() { return recorder_.drain(); }
+
+  const FlightRecorder& recorder() const { return recorder_; }
+
+ private:
+  YieldPointMetrics& yp_metrics(i32 yp) { return metrics_.per_yield_point[yp]; }
+
+  FlightRecorder recorder_;
+  RunMetrics metrics_;
+};
+
+}  // namespace gilfree::obs

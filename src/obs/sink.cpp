@@ -1,0 +1,85 @@
+#include "obs/sink.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "obs/json.hpp"
+
+namespace gilfree::obs {
+
+ObsConfig ObsConfig::from_flags(const CliFlags& flags) {
+  ObsConfig c;
+  c.trace_path = flags.get("trace-out", "");
+  c.metrics_path = flags.get("metrics-out", "");
+  c.sample = flags.get_double("trace-sample", 1.0);
+  c.ring_capacity = static_cast<std::size_t>(
+      flags.get_int("trace-capacity", 1 << 16));
+  if (c.sample < 0.0 || c.sample > 1.0)
+    throw std::invalid_argument("--trace-sample must be in [0,1]");
+  if (c.ring_capacity < 1)
+    throw std::invalid_argument("--trace-capacity must be >= 1");
+  return c;
+}
+
+Sink::Sink(ObsConfig config) : config_(std::move(config)) {}
+
+Sink::~Sink() { flush(); }
+
+void Sink::next_labels(std::map<std::string, std::string> labels) {
+  pending_labels_ = std::move(labels);
+}
+
+std::map<std::string, std::string> Sink::take_labels() {
+  return std::move(pending_labels_);
+}
+
+void Sink::write_trace_line(const std::string& line) {
+  if (config_.trace_path.empty()) return;
+  if (!trace_out_) {
+    trace_out_ = std::make_unique<std::ofstream>(config_.trace_path,
+                                                 std::ios::trunc);
+    GILFREE_CHECK_MSG(trace_out_->good(),
+                      "cannot open trace file: " << config_.trace_path);
+  }
+  *trace_out_ << line << '\n';
+}
+
+void Sink::finish_run(RunMetrics metrics, std::vector<TraceEvent> events) {
+  metrics.run_id = next_run_id_++;
+  if (!config_.trace_path.empty()) {
+    // Per-run header record carries the labels so a trace file is
+    // self-describing without the metrics document.
+    std::string head = "{\"ev\":\"run\",\"run\":";
+    json_append_number(head, static_cast<u64>(metrics.run_id));
+    head += ",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : metrics.labels) {
+      if (!first) head.push_back(',');
+      first = false;
+      json_append_string(head, k);
+      head.push_back(':');
+      json_append_string(head, v);
+    }
+    head += "},\"seed\":";
+    json_append_number(head, metrics.seed);
+    head += ",\"sample\":";
+    json_append_number(head, metrics.trace_sample);
+    head.push_back('}');
+    write_trace_line(head);
+    for (const TraceEvent& e : events)
+      write_trace_line(trace_event_to_jsonl(e, metrics.run_id));
+  }
+  runs_.push_back(std::move(metrics));
+}
+
+void Sink::flush() {
+  if (trace_out_) trace_out_->flush();
+  if (config_.metrics_path.empty()) return;
+  std::ofstream out(config_.metrics_path, std::ios::trunc);
+  GILFREE_CHECK_MSG(out.good(),
+                    "cannot open metrics file: " << config_.metrics_path);
+  out << metrics_to_json(runs_);
+}
+
+}  // namespace gilfree::obs

@@ -1,0 +1,74 @@
+// Sink: collects the finished runs of one harness process and writes the two
+// observability artifacts — the JSON Lines trace (--trace-out) and the
+// "gilfree.metrics/1" document (--metrics-out). A harness creates one Sink,
+// tags each engine run with labels (figure, workload, threads, ...) via
+// next_labels(), and points EngineConfig::obs_sink at it; the engine calls
+// finish_run() when the run completes. Destruction (or flush()) writes the
+// metrics file; trace events stream out as each run finishes so the resident
+// cost stays bounded by one flight recorder.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gilfree {
+class CliFlags;
+}
+
+namespace gilfree::obs {
+
+struct ObsConfig {
+  std::string trace_path;    ///< --trace-out=; empty disables the trace.
+  std::string metrics_path;  ///< --metrics-out=; empty disables metrics.
+  double sample = 1.0;       ///< --trace-sample=; per-transaction retention.
+  std::size_t ring_capacity = 1 << 16;  ///< --trace-capacity= (events/run).
+
+  bool enabled() const { return !trace_path.empty() || !metrics_path.empty(); }
+
+  /// Reads the uniform observability flags: --trace-out=, --metrics-out=,
+  /// --trace-sample=, --trace-capacity=. Call before reject_unknown().
+  static ObsConfig from_flags(const CliFlags& flags);
+};
+
+class Sink {
+ public:
+  explicit Sink(ObsConfig config);
+  ~Sink();  ///< Implies flush().
+
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  bool enabled() const { return config_.enabled(); }
+  const ObsConfig& config() const { return config_; }
+
+  /// Tags the next finished run. The engine consumes them in finish_run.
+  void next_labels(std::map<std::string, std::string> labels);
+  std::map<std::string, std::string> take_labels();
+
+  /// Accepts one run's aggregates and its drained trace events; assigns the
+  /// run id and appends the events to the trace file.
+  void finish_run(RunMetrics metrics, std::vector<TraceEvent> events);
+
+  /// Writes/overwrites the metrics document and flushes the trace stream.
+  /// Idempotent; also called by the destructor.
+  void flush();
+
+  const std::vector<RunMetrics>& runs() const { return runs_; }
+
+ private:
+  void write_trace_line(const std::string& line);
+
+  ObsConfig config_;
+  std::map<std::string, std::string> pending_labels_;
+  std::vector<RunMetrics> runs_;
+  std::unique_ptr<std::ofstream> trace_out_;
+  u32 next_run_id_ = 0;
+};
+
+}  // namespace gilfree::obs

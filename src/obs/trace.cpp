@@ -1,0 +1,109 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace gilfree::obs {
+
+std::string trace_event_to_jsonl(const TraceEvent& e, u32 run) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"ev\":";
+  json_append_string(out, event_kind_name(e.kind));
+  out += ",\"run\":";
+  json_append_number(out, static_cast<u64>(run));
+  out += ",\"seq\":";
+  json_append_number(out, e.seq);
+  out += ",\"t\":";
+  json_append_number(out, e.t);
+  out += ",\"tid\":";
+  json_append_number(out, static_cast<u64>(e.tid));
+  out += ",\"cpu\":";
+  json_append_number(out, static_cast<u64>(e.cpu));
+  switch (e.kind) {
+    case EventKind::kTxBegin:
+    case EventKind::kTxCommit:
+      out += ",\"yp\":";
+      json_append_number(out, static_cast<i64>(e.yp));
+      out += ",\"len\":";
+      json_append_number(out, static_cast<u64>(e.length));
+      break;
+    case EventKind::kTxAbort:
+      out += ",\"yp\":";
+      json_append_number(out, static_cast<i64>(e.yp));
+      out += ",\"len\":";
+      json_append_number(out, static_cast<u64>(e.length));
+      out += ",\"reason\":";
+      json_append_string(out, htm::abort_reason_name(e.reason));
+      break;
+    case EventKind::kGilFallback:
+      out += ",\"yp\":";
+      json_append_number(out, static_cast<i64>(e.yp));
+      break;
+    case EventKind::kRequest:
+      out += ",\"req\":";
+      json_append_number(out, e.req);
+      out += ",\"latency\":";
+      json_append_number(out, e.latency);
+      break;
+  }
+  out.push_back('}');
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, double sample, u64 seed)
+    : capacity_(capacity), sample_(sample), rng_(seed) {
+  GILFREE_CHECK(capacity_ >= 1);
+  GILFREE_CHECK(sample_ >= 0.0 && sample_ <= 1.0);
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+bool FlightRecorder::sample_decision(const TraceEvent& e) {
+  if (sample_ >= 1.0) return true;
+  switch (e.kind) {
+    case EventKind::kTxBegin: {
+      // One decision per transaction attempt group, remembered per thread so
+      // the matching commit/abort stays with its begin.
+      const bool keep = rng_.next_double() < sample_;
+      if (e.tid >= tid_sampled_.size()) tid_sampled_.resize(e.tid + 1, 0);
+      tid_sampled_[e.tid] = keep ? 1 : 0;
+      return keep;
+    }
+    case EventKind::kTxCommit:
+    case EventKind::kTxAbort:
+      return e.tid < tid_sampled_.size() && tid_sampled_[e.tid] != 0;
+    case EventKind::kGilFallback:
+    case EventKind::kRequest:
+      return rng_.next_double() < sample_;
+  }
+  return true;
+}
+
+void FlightRecorder::record(TraceEvent e) {
+  ++seen_;
+  if (!sample_decision(e)) return;
+  e.seq = seq_++;
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  ++evicted_;
+}
+
+std::vector<TraceEvent> FlightRecorder::drain() {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // The ring holds [head_, end) then [0, head_) in sequence order.
+  for (std::size_t i = head_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(ring_[i]);
+  ring_.clear();
+  head_ = 0;
+  return out;
+}
+
+}  // namespace gilfree::obs

@@ -1,0 +1,102 @@
+// The transaction event flight recorder: a bounded ring buffer of structured
+// begin/commit/abort/fallback/request events, with deterministic sampling.
+//
+// Design goals (docs/OBSERVABILITY.md describes the on-disk schema):
+//   * low overhead — one branch when disabled, O(1) append when enabled,
+//     memory bounded by the configured capacity (oldest events are evicted);
+//   * coherent transactions — sampling decides per transaction *attempt
+//     group* at the begin event, so a retained begin always keeps its
+//     matching commit/abort instead of orphaning half a transaction;
+//   * determinism — the sampling RNG is seeded from the engine seed, and
+//     every timestamp is virtual cycles, so the same seed produces a
+//     byte-identical trace.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "htm/abort_reason.hpp"
+
+namespace gilfree::obs {
+
+enum class EventKind : u8 {
+  kTxBegin,      ///< TBEGIN attempt entered transactional execution or
+                 ///< eager-aborted (the matching kTxAbort follows).
+  kTxCommit,     ///< TEND succeeded; the transaction's work reached memory.
+  kTxAbort,      ///< The transaction died: reason says why.
+  kGilFallback,  ///< Execution reverted to the GIL (Fig. 1 fallback path).
+  kRequest,      ///< httpsim request completed; latency is response-arrival.
+};
+
+constexpr std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTxBegin: return "tx_begin";
+    case EventKind::kTxCommit: return "tx_commit";
+    case EventKind::kTxAbort: return "tx_abort";
+    case EventKind::kGilFallback: return "gil_fallback";
+    case EventKind::kRequest: return "request";
+  }
+  return "?";
+}
+
+/// One flight-recorder entry. Fields that do not apply to a kind hold their
+/// neutral value and are omitted from the JSONL encoding (see
+/// trace_event_to_jsonl).
+struct TraceEvent {
+  u64 seq = 0;          ///< Per-run sequence number (total order).
+  EventKind kind = EventKind::kTxBegin;
+  Cycles t = 0;         ///< Virtual-cycle timestamp on the event's CPU.
+  u32 tid = 0;          ///< VM thread id.
+  CpuId cpu = 0;        ///< Simulated CPU the event happened on.
+  i32 yp = -1;          ///< Yield-point id ("pc"); -1 = thread entry.
+  u32 length = 0;       ///< Chosen transaction length (begin/commit/abort).
+  htm::AbortReason reason = htm::AbortReason::kNone;  ///< kTxAbort only.
+  i64 req = -1;         ///< Request id (kRequest only).
+  Cycles latency = 0;   ///< Request latency in cycles (kRequest only).
+};
+
+/// Encodes one event as a single JSON Lines record (no trailing newline).
+/// `run` tags the owning run within a multi-run trace file.
+std::string trace_event_to_jsonl(const TraceEvent& e, u32 run);
+
+class FlightRecorder {
+ public:
+  /// `sample` is the probability that a transaction attempt group (or an
+  /// independent fallback/request event) is retained; 1.0 = keep all.
+  FlightRecorder(std::size_t capacity, double sample, u64 seed);
+
+  /// Appends an event, applying the sampling decision and ring eviction.
+  /// Assigns the event's sequence number.
+  void record(TraceEvent e);
+
+  /// Retained events in sequence order (oldest surviving first).
+  std::vector<TraceEvent> drain();
+
+  u64 seen() const { return seen_; }             ///< All offered events.
+  u64 recorded() const { return recorded_; }     ///< Passed sampling.
+  u64 evicted() const { return evicted_; }       ///< Overwritten by the ring.
+  u64 sampled_out() const { return seen_ - recorded_; }
+  std::size_t capacity() const { return capacity_; }
+  double sample() const { return sample_; }
+
+ private:
+  bool sample_decision(const TraceEvent& e);
+
+  std::size_t capacity_;
+  double sample_;
+  Rng rng_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< Next write slot once the ring is full.
+  u64 seq_ = 0;
+  u64 seen_ = 0;
+  u64 recorded_ = 0;
+  u64 evicted_ = 0;
+  /// Sampling decision of the last kTxBegin per VM thread; commit/abort
+  /// events inherit it so transaction attempt groups stay coherent.
+  std::vector<u8> tid_sampled_;
+};
+
+}  // namespace gilfree::obs

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "htm/abort_reason.hpp"
+#include "obs/sink.hpp"
 #include "vm/builtins.hpp"
 #include "vm/prelude.hpp"
 
@@ -104,6 +105,11 @@ void Engine::load_program(const std::vector<std::string>& sources) {
                                     htm_ ? htm_.get() : nullptr);
   length_table_ = std::make_unique<tle::LengthTable>(
       program_->num_yield_points, config_.tle);
+  if (config_.obs_sink != nullptr && config_.obs_sink->enabled()) {
+    const obs::ObsConfig& oc = config_.obs_sink->config();
+    obs_ = std::make_unique<obs::RunObserver>(oc.ring_capacity, oc.sample,
+                                              config_.seed);
+  }
 
   // Main thread.
   threads_.emplace_back();
@@ -276,6 +282,35 @@ RunStats Engine::run() {
   stats.fraction_length_one = length_table_->fraction_at_length_one();
   stats.results = results_;
   stats.output = stdout_;
+
+  if (obs_ && config_.obs_sink != nullptr) {
+    obs::RunMetrics m = obs_->finalize();
+    m.labels = config_.obs_sink->take_labels();
+    m.seed = config_.seed;
+    m.mode = std::string(sync_mode_name(config_.mode));
+    m.machine = config_.profile.machine.name;
+    m.begins = stats.htm.begins;
+    m.commits = stats.htm.commits;
+    m.aborts_by_reason = stats.htm.aborts_by_reason;
+    m.gil_fallbacks = stats.gil_fallbacks;
+    m.ctx_switch_aborts = stats.ctx_switch_aborts;
+    m.length_adjustments = stats.length_adjustments;
+    m.insns_retired = stats.insns_retired;
+    m.total_cycles = stats.total_cycles;
+    m.virtual_seconds = stats.virtual_seconds;
+    m.cycles.begin_end = stats.breakdown.begin_end;
+    m.cycles.tx_success = stats.breakdown.tx_success;
+    m.cycles.tx_aborted = stats.breakdown.tx_aborted;
+    m.cycles.gil_held = stats.breakdown.gil_held;
+    m.cycles.gil_wait = stats.breakdown.gil_wait;
+    m.cycles.blocked_io = stats.breakdown.blocked_io;
+    m.cycles.other = stats.breakdown.other;
+    for (auto& [yp, ym] : m.per_yield_point) {
+      ym.final_length = length_table_->length(yp);
+      ym.length_adjustments = length_table_->adjustments_at(yp);
+    }
+    config_.obs_sink->finish_run(std::move(m), obs_->drain_events());
+  }
   return stats;
 }
 
@@ -369,7 +404,10 @@ bool Engine::gil_try_acquire_or_enqueue(SchedThread& st) {
   const Cycles now = machine_->clock(st.cpu);
   if (gil_->try_acquire(st.cpu, st.vm->tid(), now)) {
     st.holds_gil = true;
-    if (config_.mode == SyncMode::kHtm) ++gil_fallbacks_;
+    if (config_.mode == SyncMode::kHtm) {
+      ++gil_fallbacks_;
+      if (obs_) obs_->on_gil_fallback(now, st.vm->tid(), st.cpu, st.tx_yp);
+    }
     charge_bucket(st, Bucket::kGilHeld,
                   config_.profile.machine.cost.gil_acquire);
     return true;
@@ -399,7 +437,13 @@ void Engine::gil_release_and_handoff(SchedThread& st) {
                                     machine_->clock(next.cpu));
   GILFREE_CHECK(ok);
   next.holds_gil = true;
-  if (config_.mode == SyncMode::kHtm) ++gil_fallbacks_;
+  if (config_.mode == SyncMode::kHtm) {
+    ++gil_fallbacks_;
+    if (obs_) {
+      obs_->on_gil_fallback(machine_->clock(next.cpu), next.vm->tid(),
+                            next.cpu, next.tx_yp);
+    }
+  }
   next.status = ThreadStatus::kRunnable;
   machine_->set_busy(next.cpu, true);
   const Cycles since = next.gil_wait_since;
@@ -556,6 +600,10 @@ void Engine::transaction_begin(SchedThread& st, i32 yp) {
 
 bool Engine::attempt_tx(SchedThread& st) {
   ++transactions_started_;
+  if (obs_) {
+    obs_->on_tx_begin(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
+                      st.tx_yp, st.tx_length);
+  }
   const AbortReason begin_result = htm_->tx_begin(st.cpu);
   if (begin_result != AbortReason::kNone) {
     handle_abort(st, begin_result);
@@ -612,9 +660,20 @@ void Engine::transaction_end(SchedThread& st) {
     cpu_tx_tid_[st.cpu] = -1;
   st.breakdown.tx_success += st.tx_pending_cycles;
   st.tx_pending_cycles = 0;
+  if (obs_) {
+    obs_->on_tx_commit(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
+                       st.tx_yp, st.tx_length);
+  }
 }
 
 void Engine::handle_abort(SchedThread& st, AbortReason reason) {
+  // One abort event per HtmStats abort: every facility-level abort path
+  // (eager begin refusal, doomed commit, TxAbort mid-bytecode, context
+  // switch) funnels through exactly one handle_abort call.
+  if (obs_) {
+    obs_->on_tx_abort(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
+                      st.tx_yp, st.tx_length, reason);
+  }
   // Roll the interpreter back to the TBEGIN snapshot; the HTM facility has
   // already discarded the speculative stores.
   if (st.in_tx) {
@@ -921,7 +980,13 @@ std::string Engine::take_request_payload(i64 request_id) {
 
 void Engine::respond(i64 request_id, std::string_view payload) {
   if (!server_) return vm::Host::respond(request_id, payload);
-  server_->respond(request_id, payload, now_cycles());
+  const Cycles now = now_cycles();
+  if (obs_) {
+    const Cycles issued = server_->request_issued_at(request_id);
+    obs_->on_request(now, cur().vm->tid(), request_id,
+                     now > issued ? now - issued : 0);
+  }
+  server_->respond(request_id, payload, now);
 }
 
 bool Engine::server_shutdown() {

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "gil/gil.hpp"
 #include "htm/htm.hpp"
+#include "obs/observer.hpp"
 #include "runtime/options.hpp"
 #include "runtime/run_stats.hpp"
 #include "sim/machine.hpp"
@@ -41,6 +42,12 @@ class ServerPort {
   virtual void respond(i64 request_id, std::string_view body, Cycles now) = 0;
   /// True when every request has been issued and completed.
   virtual bool shutdown(Cycles now) = 0;
+  /// When the request was issued by the client, for per-request latency
+  /// tagging in the observability layer; 0 when the port does not track it.
+  virtual Cycles request_issued_at(i64 request_id) {
+    (void)request_id;
+    return 0;
+  }
 };
 
 class Engine : public vm::Host {
@@ -185,6 +192,10 @@ class Engine : public vm::Host {
   std::unique_ptr<vm::Interp> interp_;
   std::unique_ptr<gil::Gil> gil_;
   std::unique_ptr<tle::LengthTable> length_table_;
+  /// Flight recorder + metrics aggregator; null unless config_.obs_sink is
+  /// set. Fed at every transaction begin/commit/abort, GIL fallback, and
+  /// completed request; drained into the sink at the end of run().
+  std::unique_ptr<obs::RunObserver> obs_;
   Rng rng_;
 
   // deque: stable references across spawn_thread growth mid-step.

@@ -7,6 +7,10 @@
 #include "vm/heap.hpp"
 #include "vm/options.hpp"
 
+namespace gilfree::obs {
+class Sink;
+}
+
 namespace gilfree::runtime {
 
 enum class SyncMode : u8 {
@@ -47,6 +51,12 @@ struct EngineConfig {
   /// Hard cap on total retired instructions (safety net against deadlocks
   /// in buggy workloads); 0 = unlimited.
   u64 max_insns = 0;
+
+  /// Observability sink (not owned). When set, the engine records
+  /// begin/commit/abort/fallback/request events into a flight recorder and
+  /// delivers the run's trace + metrics to the sink at the end of run().
+  /// Null disables observability entirely (no per-event overhead).
+  obs::Sink* obs_sink = nullptr;
 
   /// Convenience: paper configurations.
   static EngineConfig gil(htm::SystemProfile p);

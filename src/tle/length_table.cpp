@@ -12,6 +12,7 @@ LengthTable::LengthTable(u32 num_yield_points, const TleConfig& config)
   transaction_length_.assign(n_, 0);  // 0 = not yet initialized (Fig. 3 l.5)
   transaction_counter_.assign(n_, 0);
   abort_counter_.assign(n_, 0);
+  adjustments_at_.assign(n_, 0);
 }
 
 u32 LengthTable::index(i32 yp) const {
@@ -58,7 +59,12 @@ void LengthTable::adjust_transaction_length(i32 yp) {
           : shortened;
   transaction_counter_[i] = 0;
   abort_counter_[i] = 0;
+  ++adjustments_at_[i];
   ++adjustments_;
+}
+
+u64 LengthTable::adjustments_at(i32 yp) const {
+  return adjustments_at_[index(yp)];
 }
 
 u32 LengthTable::length(i32 yp) const {
@@ -95,6 +101,7 @@ void LengthTable::reset() {
   std::fill(transaction_length_.begin(), transaction_length_.end(), 0);
   std::fill(transaction_counter_.begin(), transaction_counter_.end(), 0);
   std::fill(abort_counter_.begin(), abort_counter_.end(), 0);
+  std::fill(adjustments_at_.begin(), adjustments_at_.end(), 0);
   adjustments_ = 0;
 }
 

@@ -40,6 +40,10 @@ class LengthTable {
   u32 num_yield_points() const { return n_; }
   u64 adjustments() const { return adjustments_; }
 
+  /// Shrink events charged to one yield point — the per-site view of
+  /// adjustments(), exported by the observability layer.
+  u64 adjustments_at(i32 yp) const;
+
   /// Distribution of current lengths over yield points that ever started a
   /// transaction (the paper reports "40% of the frequently executed yield
   /// points had the transaction length of 1").
@@ -58,6 +62,7 @@ class LengthTable {
   std::vector<u32> transaction_length_;
   std::vector<u32> transaction_counter_;
   std::vector<u32> abort_counter_;
+  std::vector<u32> adjustments_at_;
   u64 adjustments_ = 0;
 };
 

@@ -1,0 +1,198 @@
+// trace_report: turns a JSON Lines transaction trace (--trace-out= of any
+// bench/example binary) back into the per-yield-point summary tables the
+// paper prints — begins, commits, aborts by reason, GIL fallbacks, and the
+// abort ratio, per run.
+//
+//   $ ./build/bench/fig8_abort_ratios --quick --trace-out=t.jsonl
+//   $ ./build/tools/trace_report t.jsonl
+//   $ ./build/tools/trace_report t.jsonl --csv --run=3 --top=10
+//
+// The input schema is documented field-by-field in docs/OBSERVABILITY.md.
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "htm/abort_reason.hpp"
+#include "obs/json.hpp"
+
+using namespace gilfree;
+
+namespace {
+
+struct YpRow {
+  u64 begins = 0;
+  u64 commits = 0;
+  u64 fallbacks = 0;
+  std::array<u64, htm::kNumAbortReasons> aborts{};
+
+  u64 total_aborts() const {
+    u64 t = 0;
+    for (u64 a : aborts) t += a;
+    return t;
+  }
+};
+
+struct RunAccum {
+  std::map<std::string, std::string> labels;
+  std::map<i64, YpRow> by_yp;
+  u64 requests = 0;
+  double latency_sum = 0.0;
+  u64 events = 0;
+};
+
+int reason_index(const std::string& name) {
+  for (std::size_t r = 0; r < htm::kNumAbortReasons; ++r) {
+    if (name == htm::abort_reason_name(static_cast<htm::AbortReason>(r)))
+      return static_cast<int>(r);
+  }
+  return -1;
+}
+
+void print_run(u32 run_id, const RunAccum& acc, bool csv, long top) {
+  std::cout << "== run " << run_id;
+  for (const auto& [k, v] : acc.labels) std::cout << " " << k << "=" << v;
+  std::cout << " ==\n";
+
+  std::vector<std::string> headers = {"yp", "begins", "commits", "aborts",
+                                      "abort_pct", "fallbacks"};
+  for (std::size_t r = 1; r < htm::kNumAbortReasons; ++r)
+    headers.push_back(
+        std::string(htm::abort_reason_name(static_cast<htm::AbortReason>(r))));
+  TablePrinter table(headers);
+
+  // Sort yield points by begins, busiest first, like the paper's per-site
+  // discussion; --top limits the rows.
+  std::vector<std::pair<i64, const YpRow*>> order;
+  for (const auto& [yp, row] : acc.by_yp) order.emplace_back(yp, &row);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->begins > b.second->begins;
+                   });
+  if (top > 0 && order.size() > static_cast<std::size_t>(top))
+    order.resize(static_cast<std::size_t>(top));
+
+  YpRow total;
+  for (const auto& [yp, row] : acc.by_yp) {
+    (void)yp;
+    total.begins += row.begins;
+    total.commits += row.commits;
+    total.fallbacks += row.fallbacks;
+    for (std::size_t r = 0; r < total.aborts.size(); ++r)
+      total.aborts[r] += row.aborts[r];
+  }
+
+  auto add = [&](const std::string& name, const YpRow& row) {
+    std::vector<std::string> cells = {
+        name, std::to_string(row.begins), std::to_string(row.commits),
+        std::to_string(row.total_aborts()),
+        TablePrinter::num(row.begins ? 100.0 * row.total_aborts() /
+                                           static_cast<double>(row.begins)
+                                     : 0.0,
+                          2),
+        std::to_string(row.fallbacks)};
+    for (std::size_t r = 1; r < row.aborts.size(); ++r)
+      cells.push_back(std::to_string(row.aborts[r]));
+    table.add_row(cells);
+  };
+  for (const auto& [yp, row] : order)
+    add(yp < 0 ? "entry" : std::to_string(yp), *row);
+  add("TOTAL", total);
+
+  if (csv) {
+    std::cout << table.to_csv();
+  } else {
+    std::cout << table.to_string();
+  }
+  if (acc.requests > 0) {
+    std::cout << "requests: " << acc.requests << ", mean latency "
+              << TablePrinter::num(acc.latency_sum /
+                                       static_cast<double>(acc.requests),
+                                   0)
+              << " cycles\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  const long only_run = flags.get_int("run", -1);
+  const long top = flags.get_int("top", 0);
+  flags.reject_unknown();
+
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: trace_report <trace.jsonl> [--csv] [--run=N] "
+                 "[--top=N]\n";
+    return 2;
+  }
+  const std::string path = *flags.positional().begin();
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "trace_report: cannot open " << path << "\n";
+    return 2;
+  }
+
+  std::map<u32, RunAccum> runs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    obs::JsonValue v;
+    try {
+      v = obs::JsonValue::parse(line);
+    } catch (const std::exception& e) {
+      std::cerr << "trace_report: " << path << ":" << lineno << ": "
+                << e.what() << "\n";
+      return 1;
+    }
+    const std::string ev = v.at("ev").as_string();
+    const u32 run = static_cast<u32>(v.at("run").as_u64());
+    if (only_run >= 0 && run != static_cast<u32>(only_run)) continue;
+    RunAccum& acc = runs[run];
+    if (ev == "run") {
+      for (const auto& [k, lv] : v.at("labels").as_object())
+        acc.labels[k] = lv.as_string();
+      continue;
+    }
+    ++acc.events;
+    if (ev == "tx_begin") {
+      ++acc.by_yp[v.at("yp").as_i64()].begins;
+    } else if (ev == "tx_commit") {
+      ++acc.by_yp[v.at("yp").as_i64()].commits;
+    } else if (ev == "tx_abort") {
+      const int r = reason_index(v.at("reason").as_string());
+      if (r < 0) {
+        std::cerr << "trace_report: " << path << ":" << lineno
+                  << ": unknown abort reason\n";
+        return 1;
+      }
+      ++acc.by_yp[v.at("yp").as_i64()].aborts[static_cast<std::size_t>(r)];
+    } else if (ev == "gil_fallback") {
+      ++acc.by_yp[v.at("yp").as_i64()].fallbacks;
+    } else if (ev == "request") {
+      ++acc.requests;
+      acc.latency_sum += v.at("latency").as_number();
+    } else {
+      std::cerr << "trace_report: " << path << ":" << lineno
+                << ": unknown event kind \"" << ev << "\"\n";
+      return 1;
+    }
+  }
+
+  if (runs.empty()) {
+    std::cout << "(no events" << (only_run >= 0 ? " for that run" : "")
+              << " in " << path << ")\n";
+    return 0;
+  }
+  for (const auto& [run_id, acc] : runs) print_run(run_id, acc, csv, top);
+  return 0;
+}
