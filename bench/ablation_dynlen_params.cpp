@@ -14,15 +14,16 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   const std::string bench_name = flags.get("benchmark", "FT");
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
   const auto& w = workloads::npb(bench_name);
   const auto base = workloads::run_workload(
-      make_config(profile, {"GIL", 0}), w, 1, scale);
+      make_config(profile, {"GIL", 0}, fault_cfg), w, 1, scale);
 
   auto run_with = [&](const char* variant, auto mutate) {
-    auto cfg = make_config(profile, {"HTM-dynamic", -1});
+    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg);
     mutate(cfg);
     observe(cfg, sink,
             {{"figure", "ablation_dynlen_params"},

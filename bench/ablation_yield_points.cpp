@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -24,9 +25,9 @@ int main(int argc, char** argv) {
 
   for (const auto& w : workloads::npb_workloads()) {
     const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}), w, 1, scale);
+        make_config(profile, {"GIL", 0}, fault_cfg), w, 1, scale);
 
-    auto with_cfg = make_config(profile, {"HTM-dynamic", -1});
+    auto with_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg);
     observe(with_cfg, sink,
             {{"figure", "ablation_yield_points"},
              {"machine", profile.machine.name},
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
     const auto with_yp =
         workloads::run_workload(std::move(with_cfg), w, threads, scale);
 
-    auto without_cfg = make_config(profile, {"HTM-dynamic", -1});
+    auto without_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg);
     without_cfg.vm.extended_yield_points = false;
     observe(without_cfg, sink,
             {{"figure", "ablation_yield_points"},

@@ -7,13 +7,16 @@
 // `--quick` shrinks thread sweeps for smoke runs.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "fault/fault_config.hpp"
 #include "htm/profile.hpp"
 #include "obs/sink.hpp"
 #include "runtime/engine.hpp"
@@ -36,11 +39,17 @@ inline std::vector<NamedConfig> paper_configs() {
 }
 
 inline runtime::EngineConfig make_config(const htm::SystemProfile& profile,
-                                         const NamedConfig& nc) {
-  if (nc.fixed_length == 0) return runtime::EngineConfig::gil(profile);
-  if (nc.fixed_length < 0)
-    return runtime::EngineConfig::htm_dynamic(profile);
-  return runtime::EngineConfig::htm_fixed(profile, nc.fixed_length);
+                                         const NamedConfig& nc,
+                                         const fault::FaultConfig& fault = {}) {
+  runtime::EngineConfig cfg =
+      nc.fixed_length == 0 ? runtime::EngineConfig::gil(profile)
+      : nc.fixed_length < 0
+          ? runtime::EngineConfig::htm_dynamic(profile)
+          : runtime::EngineConfig::htm_fixed(profile, nc.fixed_length);
+  // The campaign only bites in HTM mode; stamping it everywhere keeps the
+  // call sites uniform.
+  cfg.fault = fault;
+  return cfg;
 }
 
 /// Thread counts per machine, as in Fig. 5 (zEC12 up to 12, Xeon up to 8).
@@ -69,6 +78,20 @@ inline void observe(runtime::EngineConfig& cfg, obs::Sink& sink,
   if (!sink.enabled()) return;
   sink.next_labels(std::move(labels));
   cfg.obs_sink = &sink;
+}
+
+/// Uniform fault-campaign wiring (docs/ROBUSTNESS.md): every harness
+/// accepts the --fault-* flags via fault::FaultConfig::from_flags and
+/// stamps the campaign into each engine configuration it runs. Semantic
+/// errors (bad yield-point lists, out-of-range factors) exit with a clear
+/// message like the flag parser itself.
+inline fault::FaultConfig parse_fault_flags(const CliFlags& flags) {
+  try {
+    return fault::FaultConfig::from_flags(flags);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
 }
 
 }  // namespace gilfree::bench

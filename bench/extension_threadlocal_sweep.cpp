@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -27,13 +28,13 @@ int main(int argc, char** argv) {
 
   for (const char* name : {"FT", "BT", "MG"}) {
     const auto& w = workloads::npb(name);
-    auto base_cfg = make_config(profile, {"GIL", 0});
+    auto base_cfg = make_config(profile, {"GIL", 0}, fault_cfg);
     base_cfg.heap.initial_slots = 90'000;  // force several GCs
     const auto base = workloads::run_workload(std::move(base_cfg), w, 1,
                                               scale);
 
     for (bool tls_sweep : {false, true}) {
-      auto cfg = make_config(profile, {"HTM-16", 16});
+      auto cfg = make_config(profile, {"HTM-16", 16}, fault_cfg);
       cfg.heap.initial_slots = 90'000;
       cfg.heap.thread_local_sweep = tls_sweep;
       cfg.heap.sweep_deal_threads = threads + 1;

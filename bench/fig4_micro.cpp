@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(flags.get_int("scale", quick ? 1 : 2));
   const std::string machine = flags.get("machine", "zec12");
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
     TablePrinter table({"threads", "GIL", "HTM-1", "HTM-16", "HTM-dynamic"});
 
     const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}), *w, 1, scale);
+        make_config(profile, {"GIL", 0}, fault_cfg), *w, 1, scale);
     const double base_elapsed = base.elapsed_us;
 
     for (unsigned threads : thread_counts(profile, quick)) {
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
       for (const NamedConfig& nc :
            {NamedConfig{"GIL", 0}, NamedConfig{"HTM-1", 1},
             NamedConfig{"HTM-16", 16}, NamedConfig{"HTM-dynamic", -1}}) {
-        auto cfg = make_config(profile, nc);
+        auto cfg = make_config(profile, nc, fault_cfg);
         observe(cfg, sink,
                 {{"figure", "fig4_micro"},
                  {"machine", profile.machine.name},

@@ -7,10 +7,12 @@
 // optimistic again.
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "fault/fault_injector.hpp"
 #include "htm/htm.hpp"
 #include "htm/profile.hpp"
 #include "obs/observer.hpp"
@@ -25,11 +27,22 @@ int main(int argc, char** argv) {
       static_cast<u32>(flags.get_int("iters", 10'000));
   const auto report_every = static_cast<u32>(flags.get_int("every", 500));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  fault::FaultConfig fault_cfg;
+  try {
+    fault_cfg = fault::FaultConfig::from_flags(flags);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::xeon_e3();
   sim::Machine machine(profile.machine);
   htm::HtmFacility htm(profile.htm, &machine);
+  // This probe has no Engine, so the campaign attaches straight to the
+  // facility (spurious/capacity faults perturb the learning curve).
+  fault::FaultInjector injector(fault_cfg, profile.machine.num_cpus());
+  if (fault_cfg.enabled()) htm.set_fault_injector(&injector);
 
   // This probe drives the HtmFacility directly (no Engine), so it feeds the
   // observer by hand: yield point 0, transaction "length" = KB written.

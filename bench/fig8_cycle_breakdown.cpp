@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
                       "blocked_io", "other"});
 
   for (const auto& w : workloads::npb_workloads()) {
-    auto cfg = make_config(profile, {"HTM-dynamic", -1});
+    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg);
     observe(cfg, sink,
             {{"figure", "fig8_cycle_breakdown"},
              {"machine", profile.machine.name},

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const bool quick = flags.get_bool("quick", false);
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -43,15 +44,17 @@ int main(int argc, char** argv) {
 
     std::vector<double> base;
     for (const auto& w : workloads::npb_workloads()) {
+      auto bcfg = kind.make(profile);
+      bcfg.fault = fault_cfg;
       base.push_back(
-          workloads::run_workload(kind.make(profile), w, 1, scale)
-              .elapsed_us);
+          workloads::run_workload(std::move(bcfg), w, 1, scale).elapsed_us);
     }
     for (unsigned threads : thread_counts(profile, quick)) {
       std::vector<std::string> row = {std::to_string(threads)};
       std::size_t i = 0;
       for (const auto& w : workloads::npb_workloads()) {
         auto cfg = kind.make(profile);
+        cfg.fault = fault_cfg;
         observe(cfg, sink,
                 {{"figure", "fig9_scalability"},
                  {"machine", profile.machine.name},

@@ -1,0 +1,146 @@
+// Robustness campaign: throughput degradation of the TLE engine vs the
+// pure-GIL engine under escalating injected-fault rates, plus quarantine
+// engagement / recovery behavior (docs/ROBUSTNESS.md).
+//
+// Phases:
+//   1. GIL baseline (the degradation floor: HTM should never fall far
+//      below it, because every fallback path ends at the GIL).
+//   2. HTM-dynamic fault-free (the recovery target).
+//   3. Spurious-abort storms with escalating rates (Poisson arrivals).
+//   4. Persistent aborts at every yield point for the whole run: the
+//      quarantine breaker must route execution to the GIL, keeping
+//      throughput within ~10% of the pure-GIL run.
+//   5. The same persistent campaign limited to the first third of the
+//      fault-free run's cycles: quarantine must exit after the window and
+//      throughput must recover towards the fault-free HTM run.
+//
+// Any --fault-* flags add a sixth, user-defined campaign phase.
+//
+//   $ ./build/bench/robustness_campaign --quick
+//   $ ./build/bench/robustness_campaign --csv --trace-out=t.jsonl
+//         --metrics-out=m.json
+#include "bench/bench_common.hpp"
+
+using namespace gilfree;
+using namespace gilfree::bench;
+
+namespace {
+
+struct PhaseResult {
+  std::string name;
+  workloads::RunPoint p;
+  fault::FaultConfig campaign;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool csv = flags.get_bool("csv", false);
+  const bool quick = flags.get_bool("quick", false);
+  const auto scale =
+      static_cast<unsigned>(flags.get_int("scale", quick ? 1 : 2));
+  const std::string machine = flags.get("machine", "zec12");
+  const auto threads = static_cast<unsigned>(flags.get_int("threads", 4));
+  obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  const fault::FaultConfig custom = parse_fault_flags(flags);
+  flags.reject_unknown();
+
+  const auto profile = htm::SystemProfile::by_name(machine);
+  const workloads::Workload& w = workloads::micro_while();
+
+  auto run_phase = [&](const std::string& name, const NamedConfig& nc,
+                       const fault::FaultConfig& fc) {
+    auto cfg = make_config(profile, nc, fc);
+    observe(cfg, sink,
+            {{"figure", "robustness_campaign"},
+             {"machine", profile.machine.name},
+             {"workload", w.name},
+             {"threads", std::to_string(threads)},
+             {"config", nc.name},
+             {"phase", name}});
+    return PhaseResult{name, workloads::run_workload(std::move(cfg), w,
+                                                     threads, scale),
+                       fc};
+  };
+
+  std::vector<PhaseResult> phases;
+  phases.push_back(run_phase("gil-baseline", {"GIL", 0}, {}));
+  phases.push_back(run_phase("htm-fault-free", {"HTM-dynamic", -1}, {}));
+  const double gil_us = phases[0].p.elapsed_us;
+  const double htm_us = phases[1].p.elapsed_us;
+  const Cycles htm_cycles = phases[1].p.stats.total_cycles;
+
+  for (Cycles mean : std::vector<Cycles>{200'000, 50'000, 10'000}) {
+    fault::FaultConfig fc;
+    fc.spurious_mean_cycles = mean;
+    phases.push_back(run_phase("spurious-" + std::to_string(mean),
+                               {"HTM-dynamic", -1}, fc));
+  }
+
+  {
+    fault::FaultConfig fc;
+    fc.persistent_all_yps = true;
+    phases.push_back(
+        run_phase("persistent-all", {"HTM-dynamic", -1}, fc));
+  }
+
+  {
+    // Persistent aborts only during the first third of the fault-free
+    // run's virtual time; quarantine must engage, then exit and recover.
+    fault::FaultConfig fc;
+    fc.persistent_all_yps = true;
+    fc.persistent_window.until = htm_cycles / 3;
+    phases.push_back(
+        run_phase("persistent-window", {"HTM-dynamic", -1}, fc));
+  }
+
+  if (custom.enabled())
+    phases.push_back(run_phase("custom", {"HTM-dynamic", -1}, custom));
+
+  std::cout << "== Robustness campaign: " << w.name << " on "
+            << profile.machine.name << ", " << threads
+            << " threads (1.00 = pure-GIL throughput) ==\n";
+  TablePrinter table({"phase", "vs_gil", "vs_htm", "abort_pct",
+                      "gil_fallbacks", "quarantine", "q_exits", "watchdog",
+                      "faults", "held_pct", "wait_pct"});
+  for (const PhaseResult& ph : phases) {
+    const runtime::RunStats& s = ph.p.stats;
+    const double bt = static_cast<double>(s.breakdown.total());
+    table.add_row(
+        {ph.name, TablePrinter::num(gil_us / ph.p.elapsed_us, 2),
+         TablePrinter::num(htm_us / ph.p.elapsed_us, 2),
+         TablePrinter::num(100.0 * s.abort_ratio(), 1),
+         std::to_string(s.gil_fallbacks),
+         std::to_string(s.quarantine_enters),
+         std::to_string(s.quarantine_exits),
+         std::to_string(s.watchdog_events),
+         std::to_string(s.faults.total()),
+         TablePrinter::num(100.0 * s.breakdown.gil_held / bt, 1),
+         TablePrinter::num(100.0 * s.breakdown.gil_wait / bt, 1)});
+  }
+  emit(table, csv);
+
+  // The two headline robustness properties, checked here so sweep scripts
+  // and CI can assert on the exit code without parsing the table.
+  const PhaseResult& all = phases[5];
+  const PhaseResult& window = phases[6];
+  bool ok = true;
+  if (all.p.elapsed_us > gil_us * 1.10) {
+    std::cout << "FAIL: persistent-all ran " << all.p.elapsed_us / gil_us
+              << "x the pure-GIL time (quarantine should cap this at "
+                 "~1.10x)\n";
+    ok = false;
+  }
+  if (all.p.stats.quarantine_enters == 0) {
+    std::cout << "FAIL: persistent-all never engaged the quarantine\n";
+    ok = false;
+  }
+  if (window.p.stats.quarantine_exits == 0) {
+    std::cout << "FAIL: persistent-window never recovered (no quarantine "
+                 "exits)\n";
+    ok = false;
+  }
+  std::cout << (ok ? "campaign OK\n" : "campaign FAILED\n");
+  return ok ? 0 : 1;
+}

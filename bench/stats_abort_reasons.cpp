@@ -57,11 +57,12 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   flags.reject_unknown();
 
   // NPB on zEC12 with HTM-dynamic.
   for (const auto& w : workloads::npb_workloads()) {
-    auto cfg = make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1});
+    auto cfg = make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1}, fault_cfg);
     observe(cfg, sink,
             {{"figure", "stats_abort_reasons"},
              {"machine", "zEC12"},
@@ -78,7 +79,7 @@ int main(int argc, char** argv) {
 
   // Rails on the Xeon (87% overflow aborts in the paper).
   {
-    auto cfg = make_config(htm::SystemProfile::xeon_e3(), {"HTM-dynamic", -1});
+    auto cfg = make_config(htm::SystemProfile::xeon_e3(), {"HTM-dynamic", -1}, fault_cfg);
     httpsim::DriverConfig d;
     d.clients = 4;
     d.total_requests = 600;

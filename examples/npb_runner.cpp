@@ -6,8 +6,10 @@
 //
 // Engines: gil | htm-1 | htm-16 | htm-256 | dynamic | fine | unsynced.
 #include <iostream>
+#include <stdexcept>
 
 #include "common/cli.hpp"
+#include "fault/fault_config.hpp"
 #include "obs/sink.hpp"
 #include "workloads/runner.hpp"
 
@@ -21,6 +23,13 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 4));
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  fault::FaultConfig fault_cfg;
+  try {
+    fault_cfg = fault::FaultConfig::from_flags(flags);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -40,6 +49,7 @@ int main(int argc, char** argv) {
     std::cerr << "unknown engine: " << engine << "\n";
     return 2;
   }
+  cfg.fault = fault_cfg;
 
   if (sink.enabled()) {
     sink.next_labels({{"example", "npb_runner"},

@@ -8,8 +8,10 @@
 // Mutex — the canonical pattern the paper's TLE executes as transactions
 // that only serialize when they actually conflict.
 #include <iostream>
+#include <stdexcept>
 
 #include "common/cli.hpp"
+#include "fault/fault_config.hpp"
 #include "obs/sink.hpp"
 #include "runtime/engine.hpp"
 
@@ -18,12 +20,20 @@ int main(int argc, char** argv) {
 
   CliFlags flags(argc, argv);
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  fault::FaultConfig fault_cfg;
+  try {
+    fault_cfg = fault::FaultConfig::from_flags(flags);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   flags.reject_unknown();
 
   // Pick the machine (zEC12 or Xeon E3-1275 v3) and the engine: GIL (stock
   // CRuby), fixed-length TLE, or the paper's dynamic-length TLE.
   runtime::EngineConfig config =
       runtime::EngineConfig::htm_dynamic(htm::SystemProfile::zec12());
+  config.fault = fault_cfg;
   if (sink.enabled()) {
     sink.next_labels({{"example", "quickstart"}, {"config", "HTM-dynamic"}});
     config.obs_sink = &sink;

@@ -4,8 +4,10 @@
 //
 //   $ ./build/examples/web_server --clients=4 --requests=200
 #include <iostream>
+#include <stdexcept>
 
 #include "common/cli.hpp"
+#include "fault/fault_config.hpp"
 #include "httpsim/bench_server.hpp"
 #include "httpsim/server_programs.hpp"
 #include "obs/sink.hpp"
@@ -18,6 +20,13 @@ int main(int argc, char** argv) {
   const auto requests = static_cast<u32>(flags.get_int("requests", 200));
   const bool rails = flags.get_bool("rails", false);
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
+  fault::FaultConfig fault_cfg;
+  try {
+    fault_cfg = fault::FaultConfig::from_flags(flags);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::xeon_e3();
@@ -34,6 +43,7 @@ int main(int argc, char** argv) {
 
   const char* server = rails ? "Rails" : "WEBrick";
   auto observe = [&](runtime::EngineConfig cfg, const char* name) {
+    cfg.fault = fault_cfg;
     if (sink.enabled()) {
       sink.next_labels({{"example", "web_server"},
                         {"machine", profile.machine.name},

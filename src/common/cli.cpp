@@ -1,5 +1,7 @@
 #include "common/cli.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -8,16 +10,23 @@
 
 namespace gilfree {
 
-CliFlags::CliFlags(int argc, char** argv) {
+CliFlags::CliFlags(int argc, char** argv, bool throw_errors)
+    : throw_errors_(throw_errors) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (starts_with(arg, "--")) {
       auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        flags_[arg.substr(2)] = "true";
-      } else {
-        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      }
+      std::string name =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      if (name.empty())
+        fail("malformed flag '" + arg + "': empty flag name");
+      flags_[name] = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+    } else if (arg.size() > 1 && arg[0] == '-' &&
+               !std::isdigit(static_cast<unsigned char>(arg[1])) &&
+               arg[1] != '.') {
+      // Single-dash flags would otherwise be swallowed as positionals and
+      // silently ignored. Negative numbers stay positional.
+      fail("unrecognized argument '" + arg + "': flags use --name=value");
     } else {
       positional_.insert(arg);
     }
@@ -40,14 +49,22 @@ long CliFlags::get_int(const std::string& name, long def) const {
   consumed_.insert(name);
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtol(it->second.c_str(), nullptr, 10);
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0')
+    fail("flag --" + name + " expects an integer, got '" + it->second + "'");
+  return v;
 }
 
 double CliFlags::get_double(const std::string& name, double def) const {
   consumed_.insert(name);
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end == nullptr || *end != '\0')
+    fail("flag --" + name + " expects a number, got '" + it->second + "'");
+  return v;
 }
 
 bool CliFlags::get_bool(const std::string& name, bool def) const {
@@ -60,9 +77,14 @@ bool CliFlags::get_bool(const std::string& name, bool def) const {
 void CliFlags::reject_unknown() const {
   for (const auto& [k, v] : flags_) {
     (void)v;
-    if (consumed_.count(k) == 0)
-      throw std::invalid_argument("unknown flag: --" + k);
+    if (consumed_.count(k) == 0) fail("unknown flag: --" + k);
   }
+}
+
+void CliFlags::fail(const std::string& msg) const {
+  if (throw_errors_) throw std::invalid_argument(msg);
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(2);
 }
 
 }  // namespace gilfree

@@ -13,7 +13,13 @@ class CliFlags {
  public:
   /// Parses argv of the form: --name=value or bare --name (value "true").
   /// Positional arguments are collected separately.
-  CliFlags(int argc, char** argv);
+  ///
+  /// Malformed input (single-dash flags, empty flag names, non-numeric
+  /// values handed to get_int/get_double, unknown flags at
+  /// reject_unknown()) prints `error: ...` to stderr and exits with
+  /// status 2 — sweep scripts fail fast. Tests construct with
+  /// `throw_errors = true` to get std::invalid_argument instead.
+  CliFlags(int argc, char** argv, bool throw_errors = false);
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def) const;
@@ -23,13 +29,16 @@ class CliFlags {
 
   const std::set<std::string>& positional() const { return positional_; }
 
-  /// Call after all get()s: throws if the user passed a flag nobody read.
+  /// Call after all get()s: errors if the user passed a flag nobody read.
   void reject_unknown() const;
 
  private:
+  [[noreturn]] void fail(const std::string& msg) const;
+
   std::map<std::string, std::string> flags_;
   std::set<std::string> positional_;
   mutable std::set<std::string> consumed_;
+  bool throw_errors_ = false;
 };
 
 }  // namespace gilfree

@@ -1,0 +1,95 @@
+// Configuration of one fault-injection campaign.
+//
+// Every knob is deterministic: arrival processes are seeded, and windows are
+// expressed in virtual cycles of the CPU observing the fault, so the same
+// seed and flags reproduce the same campaign bit for bit. A window with
+// `until == 0` is open-ended; a campaign with no knob set is disabled and
+// costs nothing (the engine never constructs an injector).
+//
+// docs/ROBUSTNESS.md documents the uniform `--fault-*` flags every bench and
+// example binary accepts.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gilfree {
+class CliFlags;
+}
+
+namespace gilfree::fault {
+
+/// A [from, until) virtual-cycle window; until == 0 means "forever".
+struct FaultWindow {
+  Cycles from = 0;
+  Cycles until = 0;
+
+  bool contains(Cycles now) const {
+    return now >= from && (until == 0 || now < until);
+  }
+};
+
+struct FaultConfig {
+  /// Seeds the injector's per-CPU arrival RNGs (independent of the engine
+  /// seed so campaigns can be varied while the workload stays fixed).
+  u64 seed = 0xfa017fa017fa017fULL;
+
+  // --- Spurious transient aborts (Poisson arrival) -------------------------
+  /// Mean cycles between injected transient aborts per CPU; 0 disables.
+  /// Inter-arrival times are exponential, i.e. arrivals form a Poisson
+  /// process, like the baseline interrupt model.
+  Cycles spurious_mean_cycles = 0;
+  FaultWindow spurious_window;
+
+  // --- Persistent-abort windows pinned to yield points ---------------------
+  /// During the window, every transaction attempt at a targeted yield point
+  /// aborts at TBEGIN with a persistent (capacity-style) reason.
+  bool persistent_all_yps = false;      ///< Target every yield point.
+  std::vector<i32> persistent_yps;      ///< Targeted ids (-1 = thread entry).
+  FaultWindow persistent_window;
+
+  bool persistent_targets(i32 yp) const {
+    if (persistent_all_yps) return true;
+    for (i32 p : persistent_yps)
+      if (p == yp) return true;
+    return false;
+  }
+  bool persistent_enabled() const {
+    return persistent_all_yps || !persistent_yps.empty();
+  }
+
+  // --- Interrupt storms ----------------------------------------------------
+  /// Overrides HtmConfig::interrupt_mean_cycles inside the window; 0
+  /// disables. Storm aborts surface as ordinary kInterrupt aborts.
+  Cycles interrupt_storm_mean_cycles = 0;
+  FaultWindow interrupt_window;
+
+  // --- Temporary capacity reduction (cache pressure) -----------------------
+  /// Multiplies the effective read/write line capacity inside the window;
+  /// 1.0 disables. Clamped to [0, 1]; a clipped limit never drops below 1.
+  double capacity_factor = 1.0;
+  FaultWindow capacity_window;
+
+  // --- Delayed GIL hand-off ------------------------------------------------
+  /// Extra wakeup latency added to every GIL hand-off inside the window;
+  /// 0 disables. Models a slow futex path / preempted releaser.
+  Cycles gil_handoff_delay_cycles = 0;
+  FaultWindow handoff_window;
+
+  bool enabled() const {
+    return spurious_mean_cycles != 0 || persistent_enabled() ||
+           interrupt_storm_mean_cycles != 0 || capacity_factor < 1.0 ||
+           gil_handoff_delay_cycles != 0;
+  }
+
+  /// Reads the uniform campaign flags: --fault-seed=, --fault-spurious-mean=,
+  /// --fault-spurious-from/until=, --fault-persistent-yps=all|id,id,...,
+  /// --fault-persistent-from/until=, --fault-interrupt-mean=,
+  /// --fault-interrupt-from/until=, --fault-capacity-factor=,
+  /// --fault-capacity-from/until=, --fault-handoff-delay=,
+  /// --fault-handoff-from/until=. Call before CliFlags::reject_unknown().
+  static FaultConfig from_flags(const CliFlags& flags);
+};
+
+}  // namespace gilfree::fault

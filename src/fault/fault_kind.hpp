@@ -1,0 +1,33 @@
+// Fault-kind vocabulary of the injection layer. A standalone header with no
+// dependencies so the observability layer can name fault kinds in the trace
+// schema without linking against the injector.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace gilfree::fault {
+
+/// Number of FaultKind values; sizes kind-indexed statistics arrays.
+constexpr std::size_t kNumFaultKinds = 5;
+
+enum class FaultKind : unsigned char {
+  kSpurious = 0,    ///< Injected transient abort (Poisson arrival).
+  kPersistent,      ///< Injected persistent abort pinned to a yield point.
+  kInterruptStorm,  ///< Interrupt-rate override window was in effect.
+  kCapacity,        ///< Capacity-reduction window clipped a footprint limit.
+  kHandoffDelay,    ///< Extra latency added to a GIL hand-off wakeup.
+};
+
+constexpr std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSpurious: return "spurious";
+    case FaultKind::kPersistent: return "persistent";
+    case FaultKind::kInterruptStorm: return "interrupt-storm";
+    case FaultKind::kCapacity: return "capacity";
+    case FaultKind::kHandoffDelay: return "handoff-delay";
+  }
+  return "?";
+}
+
+}  // namespace gilfree::fault

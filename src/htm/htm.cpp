@@ -1,5 +1,7 @@
 #include "htm/htm.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace gilfree::htm {
@@ -20,15 +22,21 @@ HtmFacility::HtmFacility(const HtmConfig& config, sim::Machine* machine)
   GILFREE_CHECK(config_.line_bytes == machine_->config().line_bytes);
   tx_.resize(machine_->num_cpus());
   stats_.resize(machine_->num_cpus());
-  Rng seeder(config_.seed);
-  for (u32 i = 0; i < machine_->num_cpus(); ++i) rng_.push_back(seeder.split());
+  seed_rngs();
   if (config_.learning) {
     learning_.emplace(machine_->num_cpus(), config_.learning_up,
-                      config_.learning_decay_txns, seeder.next_u64());
+                      config_.learning_decay_txns, learning_seed_);
   }
 }
 
-AbortReason HtmFacility::tx_begin(CpuId cpu) {
+void HtmFacility::seed_rngs() {
+  rng_.clear();
+  Rng seeder(config_.seed);
+  for (u32 i = 0; i < machine_->num_cpus(); ++i) rng_.push_back(seeder.split());
+  learning_seed_ = seeder.next_u64();
+}
+
+AbortReason HtmFacility::tx_begin(CpuId cpu, i32 yp) {
   TxState& t = tx_.at(cpu);
   GILFREE_CHECK_MSG(!t.active, "nested transactions are not supported");
   ++stats_.at(cpu).begins;
@@ -43,6 +51,16 @@ AbortReason HtmFacility::tx_begin(CpuId cpu) {
     return AbortReason::kOverflowWrite;
   }
 
+  if (injector_ && injector_->begin_fault(cpu, yp, machine_->clock(cpu))) {
+    // Injected persistent fault pinned to this yield point: refuse the
+    // transaction with a capacity code (persistent, like the real ISAs
+    // report unretryable conditions). Not overflow evidence for the
+    // learning model — the footprint never existed.
+    ++stats_.at(cpu).aborts_by_reason[static_cast<int>(
+        AbortReason::kOverflowWrite)];
+    return AbortReason::kOverflowWrite;
+  }
+
   t.active = true;
   t.detached = false;
   t.doom = AbortReason::kNone;
@@ -52,9 +70,10 @@ AbortReason HtmFacility::tx_begin(CpuId cpu) {
 
   const Cycles now = machine_->clock(cpu);
   if (t.next_interrupt <= now) {
-    t.next_interrupt =
-        now + static_cast<Cycles>(rng_.at(cpu).next_exponential(
-                  static_cast<double>(config_.interrupt_mean_cycles)));
+    Cycles mean = config_.interrupt_mean_cycles;
+    if (injector_) mean = injector_->interrupt_mean(cpu, now, mean);
+    t.next_interrupt = now + static_cast<Cycles>(rng_.at(cpu).next_exponential(
+                                 static_cast<double>(mean)));
   }
   return AbortReason::kNone;
 }
@@ -103,13 +122,16 @@ u64 HtmFacility::tx_load(CpuId cpu, const u64* addr, bool shared) {
   GILFREE_CHECK(t.active);
   if (t.doom != AbortReason::kNone) abort_self(cpu, t.doom);
   maybe_interrupt(cpu);
+  maybe_spurious(cpu);
 
   // Read own speculative writes.
   if (auto it = t.redo.find(addr); it != t.redo.end()) return it->second;
 
   const LineId line = line_of(addr);
   if (t.read_lines.insert(line).second) {
-    if (t.read_lines.size() > effective_max_read(cpu)) {
+    if (t.read_lines.size() > faulted_limit(cpu, effective_max_read(cpu))) {
+      if (injector_ && t.read_lines.size() <= effective_max_read(cpu))
+        injector_->capacity_clip(cpu, machine_->clock(cpu));
       if (learning_) learning_->on_overflow(cpu);
       abort_self(cpu, AbortReason::kOverflowRead);
     }
@@ -130,10 +152,13 @@ void HtmFacility::tx_store(CpuId cpu, u64* addr, u64 value, bool shared) {
   GILFREE_CHECK(t.active);
   if (t.doom != AbortReason::kNone) abort_self(cpu, t.doom);
   maybe_interrupt(cpu);
+  maybe_spurious(cpu);
 
   const LineId line = line_of(addr);
   if (t.write_lines.insert(line).second) {
-    if (t.write_lines.size() > effective_max_write(cpu)) {
+    if (t.write_lines.size() > faulted_limit(cpu, effective_max_write(cpu))) {
+      if (injector_ && t.write_lines.size() <= effective_max_write(cpu))
+        injector_->capacity_clip(cpu, machine_->clock(cpu));
       if (learning_) learning_->on_overflow(cpu);
       abort_self(cpu, AbortReason::kOverflowWrite);
     }
@@ -242,6 +267,20 @@ void HtmFacility::maybe_interrupt(CpuId cpu) {
   }
 }
 
+void HtmFacility::maybe_spurious(CpuId cpu) {
+  // Injected spurious aborts look like transient conflicts to the software:
+  // retryable, no footprint evidence.
+  if (injector_ && injector_->spurious_due(cpu, machine_->clock(cpu)))
+    abort_self(cpu, AbortReason::kConflict);
+}
+
+u32 HtmFacility::faulted_limit(CpuId cpu, u32 max) const {
+  if (!injector_) return max;
+  const double f = injector_->capacity_factor(machine_->clock(cpu));
+  if (f >= 1.0) return max;
+  return std::max<u32>(1, static_cast<u32>(static_cast<double>(max) * f));
+}
+
 void HtmFacility::abort_self(CpuId cpu, AbortReason reason) {
   rollback(cpu, reason);
   throw TxAbort{reason};
@@ -251,7 +290,10 @@ void HtmFacility::reset() {
   for (auto& t : tx_) t = TxState{};
   for (auto& s : stats_) s = HtmStats{};
   table_ = ConflictTable{};
+  conflict_lines_.clear();
+  seed_rngs();
   if (learning_) learning_->reset();
+  if (injector_) injector_->reset();
 }
 
 }  // namespace gilfree::htm

@@ -28,6 +28,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/fault_injector.hpp"
 #include "htm/abort_reason.hpp"
 #include "htm/htm_config.hpp"
 #include "htm/conflict_table.hpp"
@@ -60,9 +61,12 @@ class HtmFacility {
 
   /// TBEGIN/XBEGIN. Returns kNone when the CPU entered transactional
   /// execution; otherwise the transaction aborted immediately (learning
-  /// model) and the caller sees the abort reason, exactly like the fallback
-  /// path of XBEGIN.
-  AbortReason tx_begin(CpuId cpu);
+  /// model or an injected begin-time fault) and the caller sees the abort
+  /// reason, exactly like the fallback path of XBEGIN. `yp` is the yield
+  /// point the TLE layer starts this transaction at (-1 = thread entry /
+  /// unknown); it only targets fault-injection campaigns — the hardware
+  /// model itself ignores it.
+  AbortReason tx_begin(CpuId cpu, i32 yp = -1);
 
   /// TEND/XEND. On success applies the redo log to memory and returns kNone;
   /// if the transaction was doomed in the meantime, rolls back and returns
@@ -128,7 +132,18 @@ class HtmFacility {
     return reinterpret_cast<std::uintptr_t>(addr) / config_.line_bytes;
   }
 
-  /// Clears all transactional state and statistics.
+  /// Attaches a fault-injection campaign (not owned; null detaches). The
+  /// facility consults it at TBEGIN, at every transactional access, and
+  /// when sampling interrupt arrivals.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() { return injector_; }
+
+  /// Clears all transactional state, statistics, and diagnostics (including
+  /// the conflict-line histogram and the TSX learning model), and re-derives
+  /// the per-CPU RNG streams from the configured seed, so back-to-back runs
+  /// in one process are independent and identically distributed.
   void reset();
 
  private:
@@ -146,6 +161,10 @@ class HtmFacility {
   void detach(CpuId cpu);
   void rollback(CpuId cpu, AbortReason reason);
   void maybe_interrupt(CpuId cpu);
+  void maybe_spurious(CpuId cpu);
+  void seed_rngs();
+  /// Footprint limit after any injected capacity reduction (never below 1).
+  u32 faulted_limit(CpuId cpu, u32 max) const;
   [[noreturn]] void abort_self(CpuId cpu, AbortReason reason);
 
   HtmConfig config_;
@@ -154,7 +173,9 @@ class HtmFacility {
   std::vector<TxState> tx_;
   std::vector<HtmStats> stats_;
   std::vector<Rng> rng_;
+  u64 learning_seed_ = 0;  ///< Derived in seed_rngs(); reused by reset().
   std::optional<TsxLearningModel> learning_;
+  fault::FaultInjector* injector_ = nullptr;
   bool collect_conflicts_ = false;
   std::unordered_map<LineId, u64> conflict_lines_;
 };

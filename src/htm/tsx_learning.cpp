@@ -10,6 +10,7 @@ TsxLearningModel::TsxLearningModel(u32 num_cpus, double up, double decay_txns,
     : up_(up),
       decay_factor_(std::exp(-1.0 / std::max(1.0, decay_txns))),
       pessimism_(num_cpus, 0.0),
+      seed_(seed),
       rng_(seed) {}
 
 bool TsxLearningModel::eager_abort(CpuId cpu) {
@@ -27,6 +28,7 @@ void TsxLearningModel::on_non_overflow(CpuId cpu) {
 
 void TsxLearningModel::reset() {
   std::fill(pessimism_.begin(), pessimism_.end(), 0.0);
+  rng_ = Rng(seed_);  // replay the same eager-abort coin flips after reset
 }
 
 }  // namespace gilfree::htm

@@ -38,6 +38,7 @@ class TsxLearningModel {
   double up_;
   double decay_factor_;
   std::vector<double> pessimism_;
+  u64 seed_;
   Rng rng_;
 };
 

@@ -35,6 +35,22 @@ void append_length_map(std::string& out, const std::map<u32, u64>& m) {
   out.push_back('}');
 }
 
+void append_fault_counts(
+    std::string& out, const std::array<u64, fault::kNumFaultKinds>& counts) {
+  out.push_back('{');
+  bool first = true;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(out,
+                       fault::fault_kind_name(static_cast<fault::FaultKind>(k)));
+    out.push_back(':');
+    json_append_number(out, counts[k]);
+  }
+  out.push_back('}');
+}
+
 void append_yield_point(std::string& out, i32 yp,
                         const YieldPointMetrics& m) {
   out += "{\"yp\":";
@@ -51,6 +67,10 @@ void append_yield_point(std::string& out, i32 yp,
   json_append_number(out, static_cast<u64>(m.final_length));
   out += ",\"length_adjustments\":";
   json_append_number(out, m.length_adjustments);
+  out += ",\"quarantine_enters\":";
+  json_append_number(out, m.quarantine_enters);
+  out += ",\"quarantine_exits\":";
+  json_append_number(out, m.quarantine_exits);
   out += ",\"aborts_by_reason\":";
   append_reason_counts(out, m.aborts_by_reason);
   out += ",\"begins_by_length\":";
@@ -129,6 +149,18 @@ void append_run(std::string& out, const RunMetrics& m) {
   json_append_number(out, m.total_cycles);
   out += ",\"virtual_seconds\":";
   json_append_number(out, m.virtual_seconds);
+  out += ",\"quarantine\":{\"enters\":";
+  json_append_number(out, m.quarantine_enters);
+  out += ",\"probes\":";
+  json_append_number(out, m.quarantine_probes);
+  out += ",\"exits\":";
+  json_append_number(out, m.quarantine_exits);
+  out += "},\"watchdog_events\":";
+  json_append_number(out, m.watchdog_events);
+  out += ",\"faults_injected\":";
+  json_append_number(out, m.faults_injected());
+  out += ",\"faults_by_kind\":";
+  append_fault_counts(out, m.faults_by_kind);
   out += ",\"cycles\":";
   append_cycles(out, m.cycles);
   out += ",\"yield_points\":[";
@@ -178,6 +210,12 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
       t.aborts_by_reason[r] += m.aborts_by_reason[r];
     t.gil_fallbacks += m.gil_fallbacks;
     t.requests.completed += m.requests.completed;
+    t.quarantine_enters += m.quarantine_enters;
+    t.quarantine_probes += m.quarantine_probes;
+    t.quarantine_exits += m.quarantine_exits;
+    t.watchdog_events += m.watchdog_events;
+    for (std::size_t k = 0; k < t.faults_by_kind.size(); ++k)
+      t.faults_by_kind[k] += m.faults_by_kind[k];
   }
   out += "\"runs\":";
   json_append_number(out, static_cast<u64>(runs.size()));
@@ -191,6 +229,16 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
   append_reason_counts(out, t.aborts_by_reason);
   out += ",\"gil_fallbacks\":";
   json_append_number(out, t.gil_fallbacks);
+  out += ",\"quarantine\":{\"enters\":";
+  json_append_number(out, t.quarantine_enters);
+  out += ",\"probes\":";
+  json_append_number(out, t.quarantine_probes);
+  out += ",\"exits\":";
+  json_append_number(out, t.quarantine_exits);
+  out += "},\"watchdog_events\":";
+  json_append_number(out, t.watchdog_events);
+  out += ",\"faults_injected\":";
+  json_append_number(out, t.faults_injected());
   out += ",\"requests_completed\":";
   json_append_number(out, t.requests.completed);
   out += "}}\n";

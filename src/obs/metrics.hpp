@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault_kind.hpp"
 #include "htm/abort_reason.hpp"
 
 namespace gilfree::obs {
@@ -29,6 +30,8 @@ struct YieldPointMetrics {
   std::map<u32, u64> begins_by_length;
   u32 final_length = 0;        ///< Length-table entry at the end of the run.
   u64 length_adjustments = 0;  ///< Fig. 3 shrink events at this yield point.
+  u64 quarantine_enters = 0;   ///< Circuit-breaker trips at this yield point.
+  u64 quarantine_exits = 0;    ///< Successful recovery probes.
 
   u64 total_aborts() const {
     u64 t = 0;
@@ -86,6 +89,19 @@ struct RunMetrics {
   u64 insns_retired = 0;
   Cycles total_cycles = 0;
   double virtual_seconds = 0.0;
+
+  // Robustness counters (docs/ROBUSTNESS.md).
+  u64 quarantine_enters = 0;
+  u64 quarantine_probes = 0;
+  u64 quarantine_exits = 0;
+  u64 watchdog_events = 0;
+  std::array<u64, fault::kNumFaultKinds> faults_by_kind{};
+
+  u64 faults_injected() const {
+    u64 t = 0;
+    for (u64 f : faults_by_kind) t += f;
+    return t;
+  }
 
   CycleMetrics cycles;
   std::map<i32, YieldPointMetrics> per_yield_point;

@@ -76,6 +76,66 @@ void RunObserver::on_request(Cycles t, u32 tid, i64 req_id, Cycles latency) {
   recorder_.record(e);
 }
 
+void RunObserver::on_quarantine_enter(Cycles t, u32 tid, CpuId cpu, i32 yp) {
+  ++metrics_.quarantine_enters;
+  ++yp_metrics(yp).quarantine_enters;
+  TraceEvent e;
+  e.kind = EventKind::kQuarantineEnter;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  recorder_.record(e);
+}
+
+void RunObserver::on_quarantine_probe(Cycles t, u32 tid, CpuId cpu, i32 yp) {
+  ++metrics_.quarantine_probes;
+  TraceEvent e;
+  e.kind = EventKind::kQuarantineProbe;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  recorder_.record(e);
+}
+
+void RunObserver::on_quarantine_exit(Cycles t, u32 tid, CpuId cpu, i32 yp) {
+  ++metrics_.quarantine_exits;
+  ++yp_metrics(yp).quarantine_exits;
+  TraceEvent e;
+  e.kind = EventKind::kQuarantineExit;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  recorder_.record(e);
+}
+
+void RunObserver::on_fault(Cycles t, u32 tid, CpuId cpu,
+                           fault::FaultKind kind) {
+  ++metrics_.faults_by_kind[static_cast<std::size_t>(kind)];
+  TraceEvent e;
+  e.kind = EventKind::kFault;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.detail = static_cast<u8>(kind);
+  recorder_.record(e);
+}
+
+void RunObserver::on_watchdog(Cycles t, u32 tid, CpuId cpu, i32 yp,
+                              WatchdogKind kind) {
+  ++metrics_.watchdog_events;
+  TraceEvent e;
+  e.kind = EventKind::kWatchdog;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  e.detail = static_cast<u8>(kind);
+  recorder_.record(e);
+}
+
 RunMetrics RunObserver::finalize() {
   metrics_.trace_sample = recorder_.sample();
   metrics_.events_seen = recorder_.seen();

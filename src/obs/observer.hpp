@@ -30,6 +30,14 @@ class RunObserver {
   void on_gil_fallback(Cycles t, u32 tid, CpuId cpu, i32 yp);
   void on_request(Cycles t, u32 tid, i64 req_id, Cycles latency);
 
+  // Robustness events (docs/ROBUSTNESS.md): quarantine state transitions,
+  // injected faults, and starvation-watchdog reports.
+  void on_quarantine_enter(Cycles t, u32 tid, CpuId cpu, i32 yp);
+  void on_quarantine_probe(Cycles t, u32 tid, CpuId cpu, i32 yp);
+  void on_quarantine_exit(Cycles t, u32 tid, CpuId cpu, i32 yp);
+  void on_fault(Cycles t, u32 tid, CpuId cpu, fault::FaultKind kind);
+  void on_watchdog(Cycles t, u32 tid, CpuId cpu, i32 yp, WatchdogKind kind);
+
   /// Moves the aggregates out (per-yield-point tables, request latencies,
   /// recorder accounting). The caller fills in engine-level totals (cycle
   /// breakdown, HtmStats mirrors, labels) afterwards.

@@ -48,6 +48,24 @@ std::string trace_event_to_jsonl(const TraceEvent& e, u32 run) {
       out += ",\"latency\":";
       json_append_number(out, e.latency);
       break;
+    case EventKind::kQuarantineEnter:
+    case EventKind::kQuarantineProbe:
+    case EventKind::kQuarantineExit:
+      out += ",\"yp\":";
+      json_append_number(out, static_cast<i64>(e.yp));
+      break;
+    case EventKind::kFault:
+      out += ",\"kind\":";
+      json_append_string(
+          out, fault::fault_kind_name(static_cast<fault::FaultKind>(e.detail)));
+      break;
+    case EventKind::kWatchdog:
+      out += ",\"kind\":";
+      json_append_string(out,
+                         watchdog_kind_name(static_cast<WatchdogKind>(e.detail)));
+      out += ",\"yp\":";
+      json_append_number(out, static_cast<i64>(e.yp));
+      break;
   }
   out.push_back('}');
   return out;
@@ -76,6 +94,13 @@ bool FlightRecorder::sample_decision(const TraceEvent& e) {
       return e.tid < tid_sampled_.size() && tid_sampled_[e.tid] != 0;
     case EventKind::kGilFallback:
     case EventKind::kRequest:
+      return rng_.next_double() < sample_;
+    case EventKind::kQuarantineEnter:
+    case EventKind::kQuarantineProbe:
+    case EventKind::kQuarantineExit:
+    case EventKind::kWatchdog:
+      return true;  // rare state transitions: always keep
+    case EventKind::kFault:
       return rng_.next_double() < sample_;
   }
   return true;

@@ -18,17 +18,23 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/fault_kind.hpp"
 #include "htm/abort_reason.hpp"
 
 namespace gilfree::obs {
 
 enum class EventKind : u8 {
-  kTxBegin,      ///< TBEGIN attempt entered transactional execution or
-                 ///< eager-aborted (the matching kTxAbort follows).
-  kTxCommit,     ///< TEND succeeded; the transaction's work reached memory.
-  kTxAbort,      ///< The transaction died: reason says why.
-  kGilFallback,  ///< Execution reverted to the GIL (Fig. 1 fallback path).
-  kRequest,      ///< httpsim request completed; latency is response-arrival.
+  kTxBegin,          ///< TBEGIN attempt entered transactional execution or
+                     ///< eager-aborted (the matching kTxAbort follows).
+  kTxCommit,         ///< TEND succeeded; the transaction's work reached memory.
+  kTxAbort,          ///< The transaction died: reason says why.
+  kGilFallback,      ///< Execution reverted to the GIL (Fig. 1 fallback path).
+  kRequest,          ///< httpsim request completed; latency is response-arrival.
+  kQuarantineEnter,  ///< Yield point tripped the circuit breaker → GIL route.
+  kQuarantineProbe,  ///< Recovery probe attempt at a quarantined yield point.
+  kQuarantineExit,   ///< A probe committed; the yield point left quarantine.
+  kFault,            ///< The fault injector fired (detail = fault::FaultKind).
+  kWatchdog,         ///< Starvation watchdog report (detail = WatchdogKind).
 };
 
 constexpr std::string_view event_kind_name(EventKind k) {
@@ -38,6 +44,28 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kTxAbort: return "tx_abort";
     case EventKind::kGilFallback: return "gil_fallback";
     case EventKind::kRequest: return "request";
+    case EventKind::kQuarantineEnter: return "quarantine_enter";
+    case EventKind::kQuarantineProbe: return "quarantine_probe";
+    case EventKind::kQuarantineExit: return "quarantine_exit";
+    case EventKind::kFault: return "fault";
+    case EventKind::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+/// What the starvation watchdog detected (TraceEvent::detail of kWatchdog).
+enum class WatchdogKind : u8 {
+  kAbortLoop,  ///< Consecutive aborts without progress exceeded the budget.
+  kSpinLoop,   ///< GIL-release spin rounds exceeded the budget.
+  kGilWait,    ///< One GIL wait exceeded the cycle budget.
+};
+inline constexpr std::size_t kNumWatchdogKinds = 3;
+
+constexpr std::string_view watchdog_kind_name(WatchdogKind k) {
+  switch (k) {
+    case WatchdogKind::kAbortLoop: return "abort-loop";
+    case WatchdogKind::kSpinLoop: return "spin-loop";
+    case WatchdogKind::kGilWait: return "gil-wait";
   }
   return "?";
 }
@@ -56,6 +84,8 @@ struct TraceEvent {
   htm::AbortReason reason = htm::AbortReason::kNone;  ///< kTxAbort only.
   i64 req = -1;         ///< Request id (kRequest only).
   Cycles latency = 0;   ///< Request latency in cycles (kRequest only).
+  u8 detail = 0;        ///< fault::FaultKind (kFault) / WatchdogKind
+                        ///< (kWatchdog); 0 otherwise.
 };
 
 /// Encodes one event as a single JSON Lines record (no trailing newline).

@@ -67,12 +67,32 @@ EngineConfig EngineConfig::unsynced(htm::SystemProfile p) {
 }
 
 Engine::Engine(EngineConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      backoff_rng_(config_.seed ^ 0xbacc0ffbacc0ffULL) {
   machine_ = std::make_unique<sim::Machine>(config_.profile.machine);
   cpu_tx_tid_.assign(machine_->num_cpus(), -1);
   if (config_.mode == SyncMode::kHtm) {
     htm_ = std::make_unique<htm::HtmFacility>(config_.profile.htm,
                                               machine_.get());
+    if (config_.fault.enabled()) {
+      fault_ = std::make_unique<fault::FaultInjector>(config_.fault,
+                                                      machine_->num_cpus());
+      fault_->set_listener(this);
+      htm_->set_fault_injector(fault_.get());
+    }
+  }
+}
+
+void Engine::on_fault_injected(fault::FaultKind kind, CpuId cpu, Cycles t) {
+  if (obs_) obs_->on_fault(t, current_tid_, cpu, kind);
+}
+
+void Engine::report_watchdog(SchedThread& st, obs::WatchdogKind kind) {
+  ++watchdog_events_;
+  if (obs_) {
+    obs_->on_watchdog(machine_->clock(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
+                      kind);
   }
 }
 
@@ -280,6 +300,11 @@ RunStats Engine::run() {
   stats.gil_fallbacks = gil_fallbacks_;
   stats.length_adjustments = length_table_->adjustments();
   stats.fraction_length_one = length_table_->fraction_at_length_one();
+  stats.quarantine_enters = length_table_->quarantine_enters();
+  stats.quarantine_probes = length_table_->quarantine_probes();
+  stats.quarantine_exits = length_table_->quarantine_exits();
+  stats.watchdog_events = watchdog_events_;
+  if (fault_) stats.faults = fault_->stats();
   stats.results = results_;
   stats.output = stdout_;
 
@@ -308,6 +333,8 @@ RunStats Engine::run() {
     for (auto& [yp, ym] : m.per_yield_point) {
       ym.final_length = length_table_->length(yp);
       ym.length_adjustments = length_table_->adjustments_at(yp);
+      ym.quarantine_enters = length_table_->quarantine_enters_at(yp);
+      ym.quarantine_exits = length_table_->quarantine_exits_at(yp);
     }
     config_.obs_sink->finish_run(std::move(m), obs_->drain_events());
   }
@@ -425,14 +452,16 @@ void Engine::gil_release_and_handoff(SchedThread& st) {
   const Cycles now = machine_->clock(st.cpu);
   const i32 head = gil_->release(st.cpu, st.vm->tid(), now);
   st.holds_gil = false;
+  st.gil_slice_yields_left = 0;  // a quarantined slice ends with its GIL
   if (head < 0) return;
 
   // Direct hand-off to the head waiter.
   SchedThread& next = threads_[static_cast<u32>(head)];
   ensure_cpu_tx_free(next.cpu, next.vm->tid());
   gil_->remove_waiter(static_cast<u32>(head));
-  machine_->advance_to(next.cpu,
-                       now + config_.profile.machine.cost.wakeup_latency);
+  Cycles wake = config_.profile.machine.cost.wakeup_latency;
+  if (fault_) wake += fault_->gil_handoff_delay(next.cpu, now);
+  machine_->advance_to(next.cpu, now + wake);
   const bool ok = gil_->try_acquire(next.cpu, static_cast<u32>(head),
                                     machine_->clock(next.cpu));
   GILFREE_CHECK(ok);
@@ -448,7 +477,12 @@ void Engine::gil_release_and_handoff(SchedThread& st) {
   machine_->set_busy(next.cpu, true);
   const Cycles since = next.gil_wait_since;
   const Cycles waited_until = machine_->clock(next.cpu);
-  next.breakdown.gil_wait += waited_until > since ? waited_until - since : 0;
+  const Cycles waited = waited_until > since ? waited_until - since : 0;
+  next.breakdown.gil_wait += waited;
+  next.watchdog_abort_streak = 0;  // the hand-off itself is forced progress
+  if (config_.watchdog.enabled && waited > config_.watchdog.gil_wait_budget) {
+    report_watchdog(next, obs::WatchdogKind::kGilWait);
+  }
   charge_bucket(next, Bucket::kGilHeld,
                 config_.profile.machine.cost.gil_acquire);
 }
@@ -496,14 +530,27 @@ void Engine::step_htm_mode(SchedThread& st) {
       // only when the abort path exhausts its retries.
       if (st.holds_gil) {  // handed the GIL while parked
         st.pending_spin = false;
+        st.watchdog_spin_streak = 0;
         return;
       }
       if (gil_->is_acquired()) {
+        // Starvation watchdog: a releaser that never lets go (or a hand-off
+        // chain that keeps skipping us) would spin here forever. Force a
+        // blocking acquisition — the wait queue guarantees a hand-off.
+        if (config_.watchdog.enabled &&
+            ++st.watchdog_spin_streak >= config_.watchdog.spin_streak_budget) {
+          st.watchdog_spin_streak = 0;
+          report_watchdog(st, obs::WatchdogKind::kSpinLoop);
+          st.pending_spin = false;
+          (void)gil_try_acquire_or_enqueue(st);
+          return;
+        }
         st.pending_begin_yp = yp;
         park(st, config_.tle.spin_wait_cycles, /*is_io=*/false);
         return;
       }
       st.pending_spin = false;
+      st.watchdog_spin_streak = 0;
       st.skip_yield_once = true;
       (void)attempt_tx(st);
       return;
@@ -513,6 +560,35 @@ void Engine::step_htm_mode(SchedThread& st) {
   }
   GILFREE_CHECK_MSG(st.in_tx || st.holds_gil,
                     "HTM-mode thread stepping outside tx and GIL");
+
+  // Quarantined GIL slice (docs/ROBUSTNESS.md): run like the stock GIL
+  // interpreter — original yield points only, released after a fixed count
+  // of them — instead of paying the per-yield-point counter maintenance of
+  // the HTM build at every extended yield point. The slice ends on a yield
+  // count rather than a cycle deadline so the boundary (and the trace events
+  // it emits) does not move with host allocation addresses.
+  if (st.holds_gil && st.quarantine_slice_pending) {
+    st.quarantine_slice_pending = false;
+    st.gil_slice_yields_left = config_.tle.quarantine_slice_yields;
+  }
+  if (st.holds_gil && st.gil_slice_yields_left != 0) {
+    st.skip_yield_once = false;
+    const vm::Insn& qin = interp_->current_insn(*st.vm);
+    if (qin.yp >= 0 && !vm::is_extended_yield_op(qin.op)) {
+      charge(config_.profile.machine.cost.yield_check);
+      if (--st.gil_slice_yields_left == 0) {
+        // Slice over: hand the GIL off and re-route (quarantine keeps the
+        // yield point on the GIL; a due probe re-tries HTM).
+        transaction_end(st);
+        if (!st.holds_gil) {
+          transaction_begin(st, qin.yp);
+          if (!(st.in_tx || st.holds_gil)) return;  // queued / parked
+        }
+      }
+    }
+    execute_insn(st);
+    return;
+  }
 
   const vm::Insn& in = interp_->current_insn(*st.vm);
   bool is_yield_point =
@@ -570,10 +646,34 @@ void Engine::transaction_begin(SchedThread& st, i32 yp) {
     return;
   }
 
-  // Fig. 1 line 5 (+ Fig. 3): runs once per begin, not per retry.
   st.tx_yp = yp;
-  st.tx_length = length_table_->set_transaction_length(yp);
-  st.transient_retry_counter = config_.tle.transient_retry_max;
+
+  // Quarantine circuit breaker (docs/ROBUSTNESS.md): a yield point that
+  // keeps aborting at minimum length is routed straight to the GIL for a
+  // long slice; recovery probes re-try HTM on an exponential backoff.
+  const tle::Route route = length_table_->begin_route(yp);
+  if (route == tle::Route::kGil) {
+    ensure_cpu_tx_free(st.cpu, st.vm->tid());
+    // The slice deadline is armed once the GIL actually arrives (the
+    // thread may sit in the hand-off queue first).
+    st.quarantine_slice_pending = true;
+    (void)gil_try_acquire_or_enqueue(st);
+    return;
+  }
+
+  // Fig. 1 line 5 (+ Fig. 3): runs once per begin, not per retry.
+  if (route == tle::Route::kProbe) {
+    // Minimum-footprint probe; one shot, back to the GIL on any abort.
+    st.tx_length = config_.tle.min_length;
+    st.transient_retry_counter = 1;
+    if (obs_) {
+      obs_->on_quarantine_probe(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
+                                yp);
+    }
+  } else {
+    st.tx_length = length_table_->set_transaction_length(yp);
+    st.transient_retry_counter = config_.tle.transient_retry_max;
+  }
   st.gil_retry_counter = config_.tle.gil_retry_max;
   st.first_retry = true;
   // Publish the planned length to the thread structure (Fig. 2 line 10's
@@ -604,7 +704,7 @@ bool Engine::attempt_tx(SchedThread& st) {
     obs_->on_tx_begin(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
                       st.tx_yp, st.tx_length);
   }
-  const AbortReason begin_result = htm_->tx_begin(st.cpu);
+  const AbortReason begin_result = htm_->tx_begin(st.cpu, st.tx_yp);
   if (begin_result != AbortReason::kNone) {
     handle_abort(st, begin_result);
     return false;
@@ -645,6 +745,7 @@ bool Engine::attempt_tx(SchedThread& st) {
 void Engine::transaction_end(SchedThread& st) {
   // Fig. 2 lines 1-4.
   if (st.holds_gil) {
+    st.watchdog_abort_streak = 0;  // a completed GIL slice is progress
     gil_release_and_handoff(st);
     return;
   }
@@ -660,9 +761,14 @@ void Engine::transaction_end(SchedThread& st) {
     cpu_tx_tid_[st.cpu] = -1;
   st.breakdown.tx_success += st.tx_pending_cycles;
   st.tx_pending_cycles = 0;
+  st.watchdog_abort_streak = 0;
   if (obs_) {
     obs_->on_tx_commit(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
                        st.tx_yp, st.tx_length);
+  }
+  if (length_table_->on_commit(st.tx_yp) && obs_) {
+    obs_->on_quarantine_exit(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
+                             st.tx_yp);
   }
 }
 
@@ -694,7 +800,24 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
   // Fig. 1 lines 17-20: adjust on the first retry only.
   if (st.first_retry) {
     st.first_retry = false;
-    length_table_->adjust_transaction_length(st.tx_yp);
+    const tle::AdjustOutcome adj =
+        length_table_->adjust_transaction_length(st.tx_yp);
+    if (adj.entered_quarantine && obs_) {
+      obs_->on_quarantine_enter(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
+                                st.tx_yp);
+    }
+  }
+
+  // Starvation watchdog: a thread stuck in an abort loop (every retry and
+  // fallback path below can, pathologically, abort again before making
+  // progress) is forced onto the GIL, which guarantees a slice.
+  if (config_.watchdog.enabled &&
+      ++st.watchdog_abort_streak >= config_.watchdog.abort_streak_budget) {
+    st.watchdog_abort_streak = 0;
+    report_watchdog(st, obs::WatchdogKind::kAbortLoop);
+    st.force_gil = false;
+    (void)gil_try_acquire_or_enqueue(st);
+    return;
   }
 
   // A require_nontx abort must reach the GIL regardless of retry counters.
@@ -719,6 +842,15 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
     return;
   }
 
+  // Anti-lemming: the transaction died on the GIL word, but the GIL is free
+  // again — the lock-holder it collided with is gone. Retry immediately
+  // without burning transient budget instead of following it into the
+  // fallback (the watchdog above bounds the pathological case).
+  if (config_.tle.anti_lemming && reason == AbortReason::kExplicit) {
+    (void)attempt_tx(st);
+    return;
+  }
+
   // Fig. 1 lines 28-29.
   if (htm::is_persistent(reason)) {
     (void)gil_try_acquire_or_enqueue(st);
@@ -728,6 +860,24 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
   // Fig. 1 lines 31-35: transient retry.
   --st.transient_retry_counter;
   if (st.transient_retry_counter > 0) {
+    if (config_.tle.anti_lemming) {
+      // Randomized (seeded) exponential backoff de-synchronizes the retry
+      // convoy: conflicting peers re-arrive spread out instead of in
+      // lockstep.
+      const u32 attempt = static_cast<u32>(std::max<i32>(
+          1, config_.tle.transient_retry_max - st.transient_retry_counter));
+      const double jitter = 0.5 + backoff_rng_.next_double();
+      const Cycles delay = static_cast<Cycles>(
+          static_cast<double>(config_.tle.transient_backoff_base
+                              << std::min<u32>(attempt - 1, 16)) *
+          jitter);
+      // Burn the delay on this CPU without leaving the scheduler slot: a
+      // park here would turn the jittered wake time into a scheduling
+      // decision and make the event order timing-sensitive.
+      st.breakdown.tx_aborted += machine_->advance(st.cpu, delay);
+      (void)attempt_tx(st);
+      return;
+    }
     (void)attempt_tx(st);
     return;
   }

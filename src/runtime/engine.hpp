@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
 #include "gil/gil.hpp"
 #include "htm/htm.hpp"
 #include "obs/observer.hpp"
@@ -50,7 +51,7 @@ class ServerPort {
   }
 };
 
-class Engine : public vm::Host {
+class Engine : public vm::Host, public fault::FaultListener {
  public:
   explicit Engine(EngineConfig config);
   ~Engine() override;
@@ -74,6 +75,14 @@ class Engine : public vm::Host {
   tle::LengthTable* length_table() {
     return length_table_ ? length_table_.get() : nullptr;
   }
+  fault::FaultInjector* fault_injector() {
+    return fault_ ? fault_.get() : nullptr;
+  }
+
+  // --- fault::FaultListener ------------------------------------------------
+  /// Forwards every injected fault into the observability layer as a
+  /// `fault` trace event attributed to the currently scheduled thread.
+  void on_fault_injected(fault::FaultKind kind, CpuId cpu, Cycles t) override;
 
   // --- vm::Host --------------------------------------------------------------
   u64 mem_load(const u64* p, bool shared) override;
@@ -142,11 +151,22 @@ class Engine : public vm::Host {
     bool tx_vanished = false;  ///< The hardware transaction was killed by a
                                ///< context switch while this thread was off
                                ///< the CPU; process the abort on resume.
+    bool quarantine_slice_pending = false;  ///< Queued for a quarantined GIL
+                                            ///< slice; arm the cycle deadline
+                                            ///< when the GIL arrives.
+    u32 gil_slice_yields_left = 0;  ///< Nonzero while running a quarantined
+                                    ///< GIL slice (stock-GIL stepping):
+                                    ///< original-yield-point checks left.
     bool skip_yield_once = false;  ///< The current instruction's yield point
                                    ///< was already consumed (a transaction
                                    ///< just began / was rolled back there);
                                    ///< Fig. 2's retry label is after the
                                    ///< yield logic.
+
+    // Starvation watchdog streaks (reset on any completed transaction or
+    // GIL slice).
+    u32 watchdog_abort_streak = 0;
+    u32 watchdog_spin_streak = 0;
 
     CycleBreakdown breakdown;
     Cycles tx_pending_cycles = 0;  ///< Work since TBEGIN, bucketed at commit.
@@ -178,6 +198,9 @@ class Engine : public vm::Host {
   void park(SchedThread& st, Cycles delay, bool is_io);
   void unpark(SchedThread& st);
 
+  /// Counts + reports one starvation-watchdog event for this thread.
+  void report_watchdog(SchedThread& st, obs::WatchdogKind kind);
+
   void charge_bucket(SchedThread& st, Bucket b, Cycles c);
   SchedThread& cur() { return threads_[current_tid_]; }
 
@@ -186,6 +209,9 @@ class Engine : public vm::Host {
   EngineConfig config_;
   std::unique_ptr<sim::Machine> machine_;
   std::unique_ptr<htm::HtmFacility> htm_;
+  /// Fault-injection campaign; created only in HTM mode when
+  /// config_.fault.enabled(), and attached to the HTM facility.
+  std::unique_ptr<fault::FaultInjector> fault_;
   std::unique_ptr<vm::Program> program_;
   std::unique_ptr<vm::ClassRegistry> classes_;
   std::unique_ptr<vm::Heap> heap_;
@@ -197,6 +223,9 @@ class Engine : public vm::Host {
   /// completed request; drained into the sink at the end of run().
   std::unique_ptr<obs::RunObserver> obs_;
   Rng rng_;
+  /// Dedicated stream for anti-lemming backoff jitter: keeps the VM-visible
+  /// rng_ sequence (Kernel#rand etc.) independent of retry timing.
+  Rng backoff_rng_;
 
   // deque: stable references across spawn_thread growth mid-step.
   std::deque<SchedThread> threads_;
@@ -219,6 +248,7 @@ class Engine : public vm::Host {
   u64 transactions_started_ = 0;
   u64 ctx_switch_aborts_ = 0;
   u64 gil_fallbacks_ = 0;
+  u64 watchdog_events_ = 0;
   u64 live_peak_ = 0;
 
   std::string stdout_;

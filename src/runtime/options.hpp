@@ -2,6 +2,7 @@
 // on which simulated machine, with which paper options.
 #pragma once
 
+#include "fault/fault_config.hpp"
 #include "htm/profile.hpp"
 #include "tle/tle_config.hpp"
 #include "vm/heap.hpp"
@@ -30,12 +31,31 @@ constexpr std::string_view sync_mode_name(SyncMode m) {
   return "?";
 }
 
+/// Starvation watchdog (docs/ROBUSTNESS.md): converts unbounded abort/spin
+/// loops and pathological GIL waits into forced progress plus structured
+/// `watchdog` trace events. Budgets are sized so healthy runs never trip.
+struct WatchdogConfig {
+  bool enabled = true;
+  /// Consecutive handle_abort calls without a completed transaction or GIL
+  /// slice before the thread is forced onto the GIL.
+  u32 abort_streak_budget = 64;
+  /// Consecutive spin_and_gil_acquire rounds before a blocking acquisition.
+  u32 spin_streak_budget = 256;
+  /// A single GIL wait longer than this is reported (the hand-off itself is
+  /// the forced progress).
+  Cycles gil_wait_budget = 50'000'000;
+};
+
 struct EngineConfig {
   SyncMode mode = SyncMode::kHtm;
   htm::SystemProfile profile = htm::SystemProfile::zec12();
   vm::HeapConfig heap;
   vm::VmOptions vm;
   tle::TleConfig tle;
+  /// Fault-injection campaign (HTM mode only). Disabled by default; the
+  /// engine constructs an injector only when some knob is set.
+  fault::FaultConfig fault;
+  WatchdogConfig watchdog;
   u64 seed = 0x6112024;
 
   /// GIL-mode timer quantum (§3.2: 250 ms real; scaled to the simulator's

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "fault/fault_injector.hpp"
 #include "gil/gil.hpp"
 #include "htm/htm.hpp"
 #include "vm/heap.hpp"
@@ -56,6 +57,13 @@ struct RunStats {
   u64 gil_fallbacks = 0;         ///< Times execution reverted to the GIL.
   u64 length_adjustments = 0;
   double fraction_length_one = 0.0;
+
+  // Robustness (docs/ROBUSTNESS.md).
+  u64 quarantine_enters = 0;   ///< Yield-point circuit-breaker trips.
+  u64 quarantine_probes = 0;   ///< Recovery probe attempts.
+  u64 quarantine_exits = 0;    ///< Probes that committed (left quarantine).
+  u64 watchdog_events = 0;     ///< Starvation-watchdog reports.
+  fault::FaultStats faults;    ///< Injected-fault campaign totals.
 
   std::map<std::string, double> results;  ///< __record'ed values.
   std::string output;                     ///< puts/print output.

@@ -13,6 +13,13 @@ LengthTable::LengthTable(u32 num_yield_points, const TleConfig& config)
   transaction_counter_.assign(n_, 0);
   abort_counter_.assign(n_, 0);
   adjustments_at_.assign(n_, 0);
+  quarantined_.assign(n_, 0);
+  probing_.assign(n_, 0);
+  floor_streak_.assign(n_, 0);
+  probe_backoff_.assign(n_, 0);
+  probe_wait_.assign(n_, 0);
+  enters_at_.assign(n_, 0);
+  exits_at_.assign(n_, 0);
 }
 
 u32 LengthTable::index(i32 yp) const {
@@ -33,20 +40,55 @@ u32 LengthTable::set_transaction_length(i32 yp) {
   return transaction_length_[i];
 }
 
-void LengthTable::adjust_transaction_length(i32 yp) {
-  if (config_.fixed_length > 0) return;  // Fig. 3 line 12
+AdjustOutcome LengthTable::adjust_transaction_length(i32 yp) {
+  AdjustOutcome out;
   const u32 i = index(yp);
-  if (transaction_length_[i] <= config_.min_length) return;
+
+  if (config_.quarantine_enabled) {
+    if (probing_[i]) {
+      // The recovery probe aborted: double the backoff and stay quarantined.
+      probing_[i] = 0;
+      probe_backoff_[i] = std::min(config_.quarantine_probe_max,
+                                   std::max<u32>(1, probe_backoff_[i] * 2));
+      probe_wait_[i] = probe_backoff_[i];
+      out.probe_failed = true;
+      return out;
+    }
+    if (quarantined_[i]) return out;  // GIL-slice path; nothing to learn
+    // The breaker's input: consecutive aborted transactions (on_commit
+    // resets the streak) while the length can shrink no further. Fixed-mode
+    // configurations have no shrink at all, so every abort is at the floor.
+    const bool at_floor = config_.fixed_length > 0 ||
+                          (transaction_length_[i] != 0 &&
+                           transaction_length_[i] <= config_.min_length);
+    if (at_floor) {
+      if (++floor_streak_[i] >= config_.quarantine_abort_streak) {
+        quarantined_[i] = 1;
+        floor_streak_[i] = 0;
+        probe_backoff_[i] = std::max<u32>(1, config_.quarantine_probe_initial);
+        probe_wait_[i] = probe_backoff_[i];
+        ++enters_at_[i];
+        ++quarantine_enters_;
+        out.entered_quarantine = true;
+        return out;
+      }
+    } else {
+      floor_streak_[i] = 0;
+    }
+  }
+
+  if (config_.fixed_length > 0) return out;  // Fig. 3 line 12
+  if (transaction_length_[i] <= config_.min_length) return out;
   // Fig. 3 line 14 as printed ("counter <= PROFILING_PERIOD") is vacuous
   // because line 8 saturates the counter at PROFILING_PERIOD; the evident
   // intent — and our implementation — is that a yield point which survives a
   // whole profiling period under the abort threshold reaches steady state
   // and stops being monitored.
-  if (transaction_counter_[i] >= config_.profiling_period) return;
+  if (transaction_counter_[i] >= config_.profiling_period) return out;
   const u32 num_aborts = abort_counter_[i];
   if (num_aborts <= config_.adjustment_threshold) {
     abort_counter_[i] = num_aborts + 1;
-    return;
+    return out;
   }
   // Shorten and restart the profiling period (Fig. 3 lines 19-21).
   const u32 shortened = std::max(
@@ -61,6 +103,50 @@ void LengthTable::adjust_transaction_length(i32 yp) {
   abort_counter_[i] = 0;
   ++adjustments_at_[i];
   ++adjustments_;
+  return out;
+}
+
+Route LengthTable::begin_route(i32 yp) {
+  if (!config_.quarantine_enabled) return Route::kHtm;
+  const u32 i = index(yp);
+  if (!quarantined_[i]) return Route::kHtm;
+  if (probe_wait_[i] > 0) {
+    --probe_wait_[i];
+    return Route::kGil;
+  }
+  probing_[i] = 1;
+  ++quarantine_probes_;
+  return Route::kProbe;
+}
+
+bool LengthTable::on_commit(i32 yp) {
+  const u32 i = index(yp);
+  floor_streak_[i] = 0;
+  if (!probing_[i]) return false;
+  // A recovery probe committed: leave quarantine, and drop the Fig. 3 entry
+  // so the length re-learns from INITIAL_TRANSACTION_LENGTH.
+  probing_[i] = 0;
+  quarantined_[i] = 0;
+  probe_backoff_[i] = 0;
+  probe_wait_[i] = 0;
+  transaction_length_[i] = 0;
+  transaction_counter_[i] = 0;
+  abort_counter_[i] = 0;
+  ++exits_at_[i];
+  ++quarantine_exits_;
+  return true;
+}
+
+bool LengthTable::quarantined(i32 yp) const {
+  return quarantined_[index(yp)] != 0;
+}
+
+u64 LengthTable::quarantine_enters_at(i32 yp) const {
+  return enters_at_[index(yp)];
+}
+
+u64 LengthTable::quarantine_exits_at(i32 yp) const {
+  return exits_at_[index(yp)];
 }
 
 u64 LengthTable::adjustments_at(i32 yp) const {
@@ -103,6 +189,16 @@ void LengthTable::reset() {
   std::fill(abort_counter_.begin(), abort_counter_.end(), 0);
   std::fill(adjustments_at_.begin(), adjustments_at_.end(), 0);
   adjustments_ = 0;
+  std::fill(quarantined_.begin(), quarantined_.end(), 0);
+  std::fill(probing_.begin(), probing_.end(), 0);
+  std::fill(floor_streak_.begin(), floor_streak_.end(), 0);
+  std::fill(probe_backoff_.begin(), probe_backoff_.end(), 0);
+  std::fill(probe_wait_.begin(), probe_wait_.end(), 0);
+  std::fill(enters_at_.begin(), enters_at_.end(), 0);
+  std::fill(exits_at_.begin(), exits_at_.end(), 0);
+  quarantine_enters_ = 0;
+  quarantine_exits_ = 0;
+  quarantine_probes_ = 0;
 }
 
 }  // namespace gilfree::tle

@@ -10,6 +10,13 @@
 // The tables are plain (non-transactional) memory, as in the paper: they
 // are written outside transactions (before TBEGIN / in the abort handler),
 // and must survive aborts.
+//
+// On top of Fig. 3 the table implements a per-yield-point *quarantine*
+// (circuit breaker, docs/ROBUSTNESS.md): a yield point that keeps aborting
+// with no intervening commit even at its minimum transaction length is
+// routed straight to the GIL, and HTM is re-probed with exponential backoff.
+// A successful probe resets the yield point's Fig. 3 entry so the length
+// re-learns from scratch.
 #pragma once
 
 #include <vector>
@@ -19,6 +26,19 @@
 #include "tle/tle_config.hpp"
 
 namespace gilfree::tle {
+
+/// Where a transaction about to start at a yield point should go.
+enum class Route : u8 {
+  kHtm,    ///< Normal transactional attempt.
+  kGil,    ///< Quarantined: take the GIL for one slice, no TBEGIN.
+  kProbe,  ///< Quarantined, probe due: one minimum-length HTM attempt.
+};
+
+/// What adjust_transaction_length observed (beyond the Fig. 3 shrink).
+struct AdjustOutcome {
+  bool entered_quarantine = false;  ///< This abort tripped the breaker.
+  bool probe_failed = false;        ///< A recovery probe aborted; backed off.
+};
 
 class LengthTable {
  public:
@@ -33,8 +53,28 @@ class LengthTable {
   u32 set_transaction_length(i32 yp);
 
   /// Fig. 3 adjust_transaction_length: called on the *first* retry of an
-  /// aborted transaction (Fig. 1 lines 17-20).
-  void adjust_transaction_length(i32 yp);
+  /// aborted transaction (Fig. 1 lines 17-20). Also advances the quarantine
+  /// breaker: aborts at the floor length extend the streak, a streak of
+  /// `quarantine_abort_streak` enters quarantine, and an abort of a recovery
+  /// probe doubles the probe backoff.
+  AdjustOutcome adjust_transaction_length(i32 yp);
+
+  /// Consulted before every transaction begin: kHtm for healthy yield
+  /// points; quarantined ones alternate kGil slices with kProbe attempts on
+  /// the exponential-backoff schedule.
+  Route begin_route(i32 yp);
+
+  /// Called on every successful commit at `yp`. Resets the abort streak;
+  /// a committing recovery probe leaves quarantine (the Fig. 3 entry
+  /// restarts from scratch) and the call returns true.
+  bool on_commit(i32 yp);
+
+  bool quarantined(i32 yp) const;
+  u64 quarantine_enters() const { return quarantine_enters_; }
+  u64 quarantine_exits() const { return quarantine_exits_; }
+  u64 quarantine_probes() const { return quarantine_probes_; }
+  u64 quarantine_enters_at(i32 yp) const;
+  u64 quarantine_exits_at(i32 yp) const;
 
   u32 length(i32 yp) const;
   u32 num_yield_points() const { return n_; }
@@ -64,6 +104,18 @@ class LengthTable {
   std::vector<u32> abort_counter_;
   std::vector<u32> adjustments_at_;
   u64 adjustments_ = 0;
+
+  // Quarantine state (all per yield point).
+  std::vector<u8> quarantined_;
+  std::vector<u8> probing_;        ///< A recovery probe is in flight.
+  std::vector<u32> floor_streak_;  ///< Consecutive floor-length aborts.
+  std::vector<u32> probe_backoff_; ///< Current backoff (GIL slices).
+  std::vector<u32> probe_wait_;    ///< Slices left before the next probe.
+  std::vector<u32> enters_at_;
+  std::vector<u32> exits_at_;
+  u64 quarantine_enters_ = 0;
+  u64 quarantine_exits_ = 0;
+  u64 quarantine_probes_ = 0;
 };
 
 }  // namespace gilfree::tle

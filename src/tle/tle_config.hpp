@@ -31,6 +31,35 @@ struct TleConfig {
   /// Cycles spent spinning per round while waiting for a GIL release
   /// (spin_and_gil_acquire, Fig. 1 lines 40-45).
   Cycles spin_wait_cycles = 400;
+
+  // --- Yield-point quarantine (circuit breaker; docs/ROBUSTNESS.md) -------
+  /// When a yield point keeps aborting even at its minimum transaction
+  /// length, route it straight to the GIL instead of burning retry cycles,
+  /// and probe HTM again with exponential backoff.
+  bool quarantine_enabled = true;
+  /// Consecutive aborted transactions (no intervening commit) at the floor
+  /// length that trip the breaker.
+  u32 quarantine_abort_streak = 24;
+  /// GIL slices between recovery probes: starts at `probe_initial`, doubles
+  /// per failed probe up to `probe_max`.
+  u32 quarantine_probe_initial = 4;
+  u32 quarantine_probe_max = 64;
+  /// Original-yield-point checks per GIL slice while quarantined.
+  /// Quarantined slices run like the stock GIL interpreter — original yield
+  /// points only — so the fallback does not pay the per-yield-point counter
+  /// maintenance of the HTM build at every extended yield point. The slice
+  /// length is a yield-point count (not a cycle deadline) so slice
+  /// boundaries, and the trace events they emit, stay independent of host
+  /// allocation addresses.
+  u32 quarantine_slice_yields = 3000;
+
+  // --- Anti-lemming retry (docs/ROBUSTNESS.md) -----------------------------
+  /// Avoid retry convoys: a GIL-word abort whose GIL is already free again
+  /// retries without burning transient budget, and transient retries back
+  /// off for a randomized (seeded) exponentially growing delay instead of
+  /// retrying in lockstep.
+  bool anti_lemming = true;
+  Cycles transient_backoff_base = 150;
 };
 
 }  // namespace gilfree::tle

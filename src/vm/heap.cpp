@@ -94,9 +94,14 @@ Heap::~Heap() = default;
 
 void Heap::add_arena_block(u32 rvalues) {
   ArenaBlock block;
-  block.storage = std::make_unique<RBasic[]>(rvalues + 1);
+  // Over-allocate and align the block to the worst-case line size: which
+  // RVALUEs share a cache line must depend on their arena offsets only, not
+  // on where malloc happened to place the block, or the simulated conflict
+  // pattern (and the trace it produces) would vary with host addresses.
+  const u32 pad = static_cast<u32>(kLineAlign / sizeof(RBasic)) + 1;
+  block.storage = std::make_unique<RBasic[]>(rvalues + pad);
   auto base = reinterpret_cast<std::uintptr_t>(block.storage.get());
-  base = (base + 63) & ~std::uintptr_t{63};
+  base = (base + kLineAlign - 1) & ~(kLineAlign - 1);
   block.base = reinterpret_cast<RBasic*>(base);
   block.count = rvalues;
   block.mark.assign(rvalues, false);

@@ -46,18 +46,27 @@ constexpr u64 kFrameFlagConstructor = 1;
 
 class VmThread {
  public:
+  /// Stack storage is aligned to the worst-case cache-line size (zEC12,
+  /// 256 B) so the number of lines a frame spans — and with it the
+  /// transactional footprint the simulator counts — depends only on stack
+  /// offsets, never on where malloc placed the backing array.
+  static constexpr u64 kStackAlignSlots = 256 / sizeof(u64);
+
   VmThread(u32 tid, u32 stack_slots)
       : tid_(tid), stack_slots_(stack_slots),
-        stack_(std::make_unique<u64[]>(stack_slots)) {
+        storage_(std::make_unique<u64[]>(stack_slots + kStackAlignSlots)) {
     GILFREE_CHECK(stack_slots >= 1024);
+    auto v = reinterpret_cast<std::uintptr_t>(storage_.get());
+    v = (v + kStackAlignSlots * 8 - 1) & ~(kStackAlignSlots * 8 - 1);
+    stack_ = reinterpret_cast<u64*>(v);
   }
 
   u32 tid() const { return tid_; }
   ThreadRegs& regs() { return regs_; }
   const ThreadRegs& regs() const { return regs_; }
 
-  u64* stack_base() { return stack_.get(); }
-  const u64* stack_base() const { return stack_.get(); }
+  u64* stack_base() { return stack_; }
+  const u64* stack_base() const { return stack_; }
   u32 stack_slots() const { return stack_slots_; }
 
   u64* slot(u64 index) {
@@ -92,7 +101,8 @@ class VmThread {
  private:
   u32 tid_;
   u32 stack_slots_;
-  std::unique_ptr<u64[]> stack_;
+  std::unique_ptr<u64[]> storage_;
+  u64* stack_ = nullptr;  ///< Line-aligned start within storage_.
   ThreadRegs regs_;
   bool finished_ = false;
   Value result_ = Value::nil();

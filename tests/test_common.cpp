@@ -110,7 +110,7 @@ TEST(StrUtil, SplitTrimPrefixes) {
 TEST(Cli, ParsesFlagsAndRejectsUnknown) {
   const char* argv[] = {"prog", "--threads=12", "--fast", "pos",
                         "--ratio=0.5"};
-  CliFlags flags(5, const_cast<char**>(argv));
+  CliFlags flags(5, const_cast<char**>(argv), /*throw_errors=*/true);
   EXPECT_EQ(flags.get_int("threads", 1), 12);
   EXPECT_TRUE(flags.get_bool("fast", false));
   EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0.0), 0.5);
@@ -119,8 +119,35 @@ TEST(Cli, ParsesFlagsAndRejectsUnknown) {
   EXPECT_NO_THROW(flags.reject_unknown());
 
   const char* argv2[] = {"prog", "--tpyo=1"};
-  CliFlags flags2(2, const_cast<char**>(argv2));
+  CliFlags flags2(2, const_cast<char**>(argv2), /*throw_errors=*/true);
   EXPECT_THROW(flags2.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Cli, RejectsMalformedFlagsAndValues) {
+  // Single-dash flags are an error, not a silent positional.
+  const char* dash[] = {"prog", "-threads=12"};
+  EXPECT_THROW(CliFlags(2, const_cast<char**>(dash), /*throw_errors=*/true),
+               std::invalid_argument);
+
+  // An empty flag name is an error.
+  const char* empty[] = {"prog", "--=3"};
+  EXPECT_THROW(CliFlags(2, const_cast<char**>(empty), /*throw_errors=*/true),
+               std::invalid_argument);
+
+  // Negative numbers remain positionals (not misread as flags).
+  const char* neg[] = {"prog", "-3"};
+  CliFlags negf(2, const_cast<char**>(neg), /*throw_errors=*/true);
+  EXPECT_EQ(negf.positional().count("-3"), 1u);
+
+  // Non-numeric values for numeric getters are an error, including
+  // trailing garbage that strtol/strtod would silently accept.
+  const char* bad[] = {"prog", "--threads=twelve", "--ratio=0.5x",
+                       "--seed=12"};
+  CliFlags badf(4, const_cast<char**>(bad), /*throw_errors=*/true);
+  EXPECT_THROW(badf.get_int("threads", 1), std::invalid_argument);
+  EXPECT_THROW(badf.get_double("ratio", 0.0), std::invalid_argument);
+  EXPECT_EQ(badf.get_int("seed", 0), 12);
+  EXPECT_EQ(badf.get("threads", ""), "twelve");  // get() is still fine
 }
 
 TEST(Table, AlignedAndCsv) {

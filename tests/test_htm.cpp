@@ -218,6 +218,60 @@ TEST(TsxLearning, RecoversGraduallyAfterOverflows) {
   EXPECT_LT(iters, 5'000);
 }
 
+TEST(Htm, ResetClearsConflictDiagnosticsStatsAndLearning) {
+  Fixture f(SystemProfile::xeon_e3());  // includes the TSX learning model
+  f.htm.set_collect_conflicts(true);
+  u64 word = 1;
+  ASSERT_EQ(f.htm.tx_begin(0), AbortReason::kNone);
+  (void)f.htm.tx_load(0, &word, true);
+  f.htm.nontx_store(1, &word, 9);  // dooms CPU 0's transaction
+  EXPECT_EQ(f.htm.tx_commit(0), AbortReason::kConflict);
+  ASSERT_FALSE(f.htm.conflict_lines().empty());
+  ASSERT_GT(f.htm.total_stats().begins, 0u);
+
+  f.htm.reset();
+  EXPECT_TRUE(f.htm.conflict_lines().empty())
+      << "the conflict-line histogram must not leak across runs";
+  EXPECT_EQ(f.htm.total_stats().begins, 0u);
+  EXPECT_EQ(f.htm.total_stats().total_aborts(), 0u);
+  EXPECT_FALSE(f.htm.in_tx(0));
+}
+
+TEST(Htm, ResetRederivesRngStreamsForIdenticalReplay) {
+  // Back-to-back runs in one process must be identically distributed:
+  // reset() re-derives the interrupt/learning RNG streams from the seed, so
+  // replaying the same access pattern reproduces the same statistics.
+  auto profile = SystemProfile::xeon_e3();
+  profile.htm.interrupt_mean_cycles = 2'000;
+  Fixture f(profile);
+  u64 word = 0;
+  auto drive = [&] {
+    for (int t = 0; t < 400; ++t) {
+      if (f.htm.tx_begin(0) != AbortReason::kNone) {
+        f.machine.advance(0, 200);
+        continue;
+      }
+      try {
+        for (int i = 0; i < 4; ++i) {
+          f.machine.advance(0, 300);
+          (void)f.htm.tx_load(0, &word, true);
+        }
+        (void)f.htm.tx_commit(0);
+      } catch (const TxAbort&) {
+      }
+    }
+    return f.htm.total_stats();
+  };
+  const HtmStats a = drive();
+  ASSERT_GT(a.total_aborts(), 0u) << "interrupts must fire in this setup";
+  f.htm.reset();
+  const HtmStats b = drive();
+  EXPECT_EQ(a.begins, b.begins);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.eager_aborts, b.eager_aborts);
+  EXPECT_EQ(a.aborts_by_reason, b.aborts_by_reason);
+}
+
 TEST(ConflictTable, ReaderWriterTracking) {
   ConflictTable t;
   EXPECT_EQ(t.add_reader(10, 0), 0u);

@@ -86,6 +86,102 @@ TEST(LengthTable, PseudoYieldPointForThreadStart) {
   EXPECT_EQ(t.set_transaction_length(-1), 255u);  // does not throw
 }
 
+// --- Yield-point quarantine (circuit breaker; docs/ROBUSTNESS.md) -----------
+
+tle::TleConfig quarantine_config() {
+  auto c = dynamic_config();
+  c.quarantine_enabled = true;
+  c.quarantine_abort_streak = 6;
+  c.quarantine_probe_initial = 2;
+  c.quarantine_probe_max = 8;
+  c.initial_transaction_length = 1;  // every abort is a floor-length abort
+  return c;
+}
+
+/// Aborts `n` transactions at `yp`; returns true if one tripped the breaker.
+bool abort_n(tle::LengthTable& t, i32 yp, int n) {
+  bool entered = false;
+  for (int i = 0; i < n; ++i) {
+    (void)t.set_transaction_length(yp);
+    entered = t.adjust_transaction_length(yp).entered_quarantine || entered;
+  }
+  return entered;
+}
+
+TEST(Quarantine, FloorAbortStreakTripsTheBreaker) {
+  tle::LengthTable t(4, quarantine_config());
+  EXPECT_FALSE(abort_n(t, 0, 5)) << "below the streak threshold";
+  EXPECT_TRUE(abort_n(t, 0, 1)) << "the 6th consecutive floor abort trips";
+  EXPECT_TRUE(t.quarantined(0));
+  EXPECT_FALSE(t.quarantined(1)) << "quarantine is per yield point";
+  EXPECT_EQ(t.quarantine_enters(), 1u);
+  EXPECT_EQ(t.quarantine_enters_at(0), 1u);
+  EXPECT_EQ(t.begin_route(1), tle::Route::kHtm);
+}
+
+TEST(Quarantine, CommitResetsTheAbortStreak) {
+  tle::LengthTable t(4, quarantine_config());
+  EXPECT_FALSE(abort_n(t, 0, 5));
+  EXPECT_FALSE(t.on_commit(0)) << "a healthy commit is not a probe exit";
+  EXPECT_FALSE(abort_n(t, 0, 5)) << "the streak restarted at the commit";
+  EXPECT_FALSE(t.quarantined(0));
+}
+
+TEST(Quarantine, ProbesOnExponentialBackoffAndExitsOnCommit) {
+  tle::LengthTable t(4, quarantine_config());
+  ASSERT_TRUE(abort_n(t, 0, 6));
+
+  // probe_initial = 2 GIL slices, then one minimum-length HTM probe.
+  EXPECT_EQ(t.begin_route(0), tle::Route::kGil);
+  EXPECT_EQ(t.begin_route(0), tle::Route::kGil);
+  EXPECT_EQ(t.begin_route(0), tle::Route::kProbe);
+  EXPECT_EQ(t.quarantine_probes(), 1u);
+
+  // The probe aborts: backoff doubles to 4, then 8, then caps at 8.
+  for (const int gap : {4, 8, 8}) {
+    EXPECT_TRUE(t.adjust_transaction_length(0).probe_failed);
+    for (int i = 0; i < gap; ++i)
+      EXPECT_EQ(t.begin_route(0), tle::Route::kGil) << "gap " << gap;
+    EXPECT_EQ(t.begin_route(0), tle::Route::kProbe);
+  }
+
+  // A committing probe leaves quarantine.
+  EXPECT_TRUE(t.on_commit(0));
+  EXPECT_FALSE(t.quarantined(0));
+  EXPECT_EQ(t.quarantine_exits(), 1u);
+  EXPECT_EQ(t.quarantine_exits_at(0), 1u);
+  EXPECT_EQ(t.begin_route(0), tle::Route::kHtm);
+}
+
+TEST(Quarantine, ExitRestartsTheLengthEntryFromScratch) {
+  auto cfg = dynamic_config();
+  cfg.quarantine_enabled = true;
+  cfg.quarantine_abort_streak = 6;
+  cfg.quarantine_probe_initial = 1;
+  tle::LengthTable t(2, cfg);
+  // Drive the Fig. 3 entry down to the floor, then through quarantine.
+  for (int round = 0; round < 2'000 && !t.quarantined(0); ++round) {
+    (void)t.set_transaction_length(0);
+    (void)t.adjust_transaction_length(0);
+  }
+  ASSERT_TRUE(t.quarantined(0));
+  EXPECT_EQ(t.length(0), 1u);
+  EXPECT_EQ(t.begin_route(0), tle::Route::kGil);
+  EXPECT_EQ(t.begin_route(0), tle::Route::kProbe);
+  ASSERT_TRUE(t.on_commit(0));
+  EXPECT_EQ(t.set_transaction_length(0), 255u)
+      << "the length re-learns from INITIAL_TRANSACTION_LENGTH after exit";
+}
+
+TEST(Quarantine, DisabledConfigNeverRoutesAwayFromHtm) {
+  auto cfg = quarantine_config();
+  cfg.quarantine_enabled = false;
+  tle::LengthTable t(2, cfg);
+  EXPECT_FALSE(abort_n(t, 0, 100));
+  EXPECT_EQ(t.begin_route(0), tle::Route::kHtm);
+  EXPECT_EQ(t.quarantine_enters(), 0u);
+}
+
 // --- Gil ---------------------------------------------------------------------
 
 TEST(Gil, AcquireReleaseAndWaiters) {

@@ -44,6 +44,31 @@ struct RunAccum {
   u64 requests = 0;
   double latency_sum = 0.0;
   u64 events = 0;
+
+  // Robustness events (docs/ROBUSTNESS.md): quarantine transitions per
+  // yield point, injected faults by kind, watchdog reports by kind.
+  std::map<i64, u64> quarantine_enters;
+  std::map<i64, u64> quarantine_probes;
+  std::map<i64, u64> quarantine_exits;
+  std::map<std::string, u64> faults_by_kind;
+  std::map<std::string, u64> watchdog_by_kind;
+
+  u64 total(const std::map<i64, u64>& m) const {
+    u64 t = 0;
+    for (const auto& [k, v] : m) {
+      (void)k;
+      t += v;
+    }
+    return t;
+  }
+  u64 total_s(const std::map<std::string, u64>& m) const {
+    u64 t = 0;
+    for (const auto& [k, v] : m) {
+      (void)k;
+      t += v;
+    }
+    return t;
+  }
 };
 
 int reason_index(const std::string& name) {
@@ -116,6 +141,46 @@ void print_run(u32 run_id, const RunAccum& acc, bool csv, long top) {
                                    0)
               << " cycles\n";
   }
+
+  // Fault-campaign summary: only printed when the run saw robustness
+  // events, so fault-free traces keep the original report shape.
+  const u64 faults = acc.total_s(acc.faults_by_kind);
+  const u64 quarantines = acc.total(acc.quarantine_enters) +
+                          acc.total(acc.quarantine_probes) +
+                          acc.total(acc.quarantine_exits);
+  const u64 watchdogs = acc.total_s(acc.watchdog_by_kind);
+  if (faults + quarantines + watchdogs > 0) {
+    std::cout << "-- robustness --\n";
+    if (faults > 0) {
+      std::cout << "faults injected: " << faults;
+      for (const auto& [k, n] : acc.faults_by_kind)
+        std::cout << "  " << k << "=" << n;
+      std::cout << "\n";
+    }
+    if (quarantines > 0) {
+      TablePrinter q({"yp", "quarantine_enters", "probes", "exits"});
+      std::map<i64, std::array<u64, 3>> rows;
+      for (const auto& [yp, n] : acc.quarantine_enters) rows[yp][0] = n;
+      for (const auto& [yp, n] : acc.quarantine_probes) rows[yp][1] = n;
+      for (const auto& [yp, n] : acc.quarantine_exits) rows[yp][2] = n;
+      for (const auto& [yp, r] : rows) {
+        q.add_row({yp < 0 ? "entry" : std::to_string(yp),
+                   std::to_string(r[0]), std::to_string(r[1]),
+                   std::to_string(r[2])});
+      }
+      if (csv) {
+        std::cout << q.to_csv();
+      } else {
+        std::cout << q.to_string();
+      }
+    }
+    if (watchdogs > 0) {
+      std::cout << "watchdog events: " << watchdogs;
+      for (const auto& [k, n] : acc.watchdog_by_kind)
+        std::cout << "  " << k << "=" << n;
+      std::cout << "\n";
+    }
+  }
   std::cout << "\n";
 }
 
@@ -181,6 +246,16 @@ int main(int argc, char** argv) {
     } else if (ev == "request") {
       ++acc.requests;
       acc.latency_sum += v.at("latency").as_number();
+    } else if (ev == "quarantine_enter") {
+      ++acc.quarantine_enters[v.at("yp").as_i64()];
+    } else if (ev == "quarantine_probe") {
+      ++acc.quarantine_probes[v.at("yp").as_i64()];
+    } else if (ev == "quarantine_exit") {
+      ++acc.quarantine_exits[v.at("yp").as_i64()];
+    } else if (ev == "fault") {
+      ++acc.faults_by_kind[v.at("kind").as_string()];
+    } else if (ev == "watchdog") {
+      ++acc.watchdog_by_kind[v.at("kind").as_string()];
     } else {
       std::cerr << "trace_report: " << path << ":" << lineno
                 << ": unknown event kind \"" << ev << "\"\n";
