@@ -1,112 +1,182 @@
-// google-benchmark micro-benchmarks of the building blocks whose costs §5.6
-// discusses: TBEGIN/TEND round trips, the per-yield-point check, inline-
-// cache hits vs method-table lookups, and the interpreter dispatch itself.
-// These measure the *simulator's host cost*, pairing each operation with
-// the virtual cycles it charges.
-#include <benchmark/benchmark.h>
+// micro_overhead: host-cost comparison of the interpreter dispatch modes.
+//
+// The simulator's *virtual* cycle streams are mode-invariant by design (the
+// differential test asserts it); what the dispatch overhaul buys is host
+// time per simulated bytecode. This benchmark runs the §5.6-style fixnum
+// While loop under the GIL engine in five configurations —
+//
+//   seed-switch            switch dispatch with the host fast path disabled:
+//                          one virtual call per charge and per memory access,
+//                          the pre-overhaul ("seed") interpreter cost profile
+//   switch                 portable switch dispatch, no fusion, eager clocks
+//   threaded               computed-goto dispatch (falls back to switch when
+//                          the build has GILFREE_COMPUTED_GOTO off)
+//   threaded+fuse          + superinstruction pairs
+//   threaded+fuse+batched  + batched cycle charging (span-deferred clocks)
+//
+// — verifies that simulated cycles, results, and retired-instruction counts
+// are identical across all five, and reports host ns per simulated bytecode
+// (minimum over --repeats) plus the percentage reduction against the
+// seed-switch baseline. Results are written as JSON (BENCH_interp.json) for
+// the CI perf-smoke gate.
+//
+//   $ ./build/bench/micro_overhead --repeats=5 --json=BENCH_interp.json
+//   $ ./build/bench/micro_overhead --quick            # fewer, shorter runs
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "htm/htm.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
 #include "htm/profile.hpp"
 #include "runtime/engine.hpp"
-#include "vm/compiler.hpp"
+#include "vm/interp.hpp"
+#include "vm/options.hpp"
 
 using namespace gilfree;
 
-static void BM_HtmBeginCommitEmpty(benchmark::State& state) {
-  auto profile = htm::SystemProfile::zec12();
-  sim::Machine machine(profile.machine);
-  htm::HtmFacility htm(profile.htm, &machine);
-  u64 word = 0;
-  for (auto _ : state) {
-    machine.advance(0, 100);
-    benchmark::DoNotOptimize(htm.tx_begin(0));
-    htm.tx_store(0, &word, 1, true);
-    benchmark::DoNotOptimize(htm.tx_commit(0));
-  }
-}
-BENCHMARK(BM_HtmBeginCommitEmpty);
+namespace {
 
-static void BM_HtmTxStoreFootprint(benchmark::State& state) {
-  auto profile = htm::SystemProfile::xeon_e3();
-  sim::Machine machine(profile.machine);
-  htm::HtmFacility htm(profile.htm, &machine);
-  std::vector<u64> buf(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    machine.advance(0, 100);
-    (void)htm.tx_begin(0);
-    try {
-      for (auto& slot : buf) htm.tx_store(0, &slot, 1, true);
-      (void)htm.tx_commit(0);
-    } catch (const htm::TxAbort&) {
-    }
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<i64>(buf.size()));
-}
-BENCHMARK(BM_HtmTxStoreFootprint)->Arg(16)->Arg(256)->Arg(2048);
+struct BenchConfig {
+  const char* name;
+  vm::DispatchMode dispatch;
+  bool fuse;
+  bool batched;
+  bool fast_path;
+};
 
-static void BM_CompileNpbSizedProgram(benchmark::State& state) {
-  const std::string src = R"(
-def work(n)
-  acc = 0.0
-  i = 0
-  while i < n
-    acc = acc + i.to_f * 1.5
-    i += 1
-  end
-  acc
-end
-x = work(10)
-)";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vm::compile_source(src));
-  }
-}
-BENCHMARK(BM_CompileNpbSizedProgram);
+constexpr BenchConfig kConfigs[] = {
+    {"seed-switch", vm::DispatchMode::kSwitch, false, false, false},
+    {"switch", vm::DispatchMode::kSwitch, false, false, true},
+    {"threaded", vm::DispatchMode::kThreaded, false, false, true},
+    {"threaded+fuse", vm::DispatchMode::kThreaded, true, false, true},
+    {"threaded+fuse+batched", vm::DispatchMode::kThreaded, true, true, true},
+};
 
-static void BM_InterpreterFixnumLoop(benchmark::State& state) {
-  // Host cost of simulating one bytecode, GIL engine (no HTM overhead).
-  for (auto _ : state) {
-    state.PauseTiming();
-    runtime::Engine engine(
-        runtime::EngineConfig::gil(htm::SystemProfile::xeon_e3()));
-    engine.load_program({R"(
-x = 0
-i = 0
-while i < 20000
-  x += i
-  i += 1
-end
-__record("x", x)
-)"});
-    state.ResumeTiming();
-    const auto stats = engine.run();
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<i64>(stats.insns_retired));
-  }
-}
-BENCHMARK(BM_InterpreterFixnumLoop)->Unit(benchmark::kMillisecond);
+struct BenchResult {
+  std::string effective_dispatch;
+  double host_ns_total = 0.0;  ///< Minimum over repeats.
+  u64 insns = 0;
+  Cycles sim_cycles = 0;
+  u64 fused = 0;
+  double result_x = 0.0;
 
-static void BM_InterpreterFixnumLoopHtm(benchmark::State& state) {
-  for (auto _ : state) {
-    state.PauseTiming();
-    runtime::Engine engine(
-        runtime::EngineConfig::htm_dynamic(htm::SystemProfile::xeon_e3()));
-    engine.load_program({R"(
-x = 0
-i = 0
-while i < 20000
-  x += i
-  i += 1
-end
-__record("x", x)
-)"});
-    state.ResumeTiming();
-    const auto stats = engine.run();
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<i64>(stats.insns_retired));
+  double ns_per_insn() const {
+    return insns ? host_ns_total / static_cast<double>(insns) : 0.0;
   }
-}
-BENCHMARK(BM_InterpreterFixnumLoopHtm)->Unit(benchmark::kMillisecond);
+};
 
-BENCHMARK_MAIN();
+std::string while_program(long iters) {
+  return "x = 0\ni = 0\nwhile i < " + std::to_string(iters) +
+         "\n  x += i\n  i += 1\nend\n__record(\"x\", x)\n";
+}
+
+BenchResult run_config(const BenchConfig& bc, const std::string& src,
+                       long repeats) {
+  BenchResult r;
+  for (long rep = 0; rep < repeats; ++rep) {
+    runtime::EngineConfig cfg =
+        runtime::EngineConfig::gil(htm::SystemProfile::xeon_e3());
+    cfg.vm.dispatch = bc.dispatch;
+    cfg.vm.fuse_superinsns = bc.fuse;
+    cfg.vm.batched_charging = bc.batched;
+    cfg.vm.host_fast_path = bc.fast_path;
+    runtime::Engine engine(std::move(cfg));
+    engine.load_program({src});
+    const auto t0 = std::chrono::steady_clock::now();
+    const runtime::RunStats stats = engine.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    if (rep == 0 || ns < r.host_ns_total) r.host_ns_total = ns;
+    r.insns = stats.insns_retired;
+    r.sim_cycles = stats.total_cycles;
+    r.fused = stats.interp.fused_instructions;
+    r.result_x = stats.results.at("x");
+    r.effective_dispatch = engine.interp().dispatch_mode_name();
+  }
+  return r;
+}
+
+void write_json(const std::string& path, long iters, long repeats,
+                const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  GILFREE_CHECK_MSG(out.good(), "cannot write " << path);
+  const double base = results[0].ns_per_insn();
+  out << "{\"schema\":\"gilfree.bench_interp/1\","
+      << "\"machine\":\"XeonE3-1275v3\",\"engine\":\"GIL\","
+      << "\"program\":\"while_fixnum_loop\",\"iters\":" << iters
+      << ",\"repeats\":" << repeats << ",\"baseline\":\"seed-switch\","
+      << "\"threaded_available\":"
+      << (vm::Interp::threaded_dispatch_available() ? "true" : "false")
+      << ",\"configs\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchConfig& bc = kConfigs[i];
+    const BenchResult& r = results[i];
+    const double red =
+        base > 0.0 ? 100.0 * (1.0 - r.ns_per_insn() / base) : 0.0;
+    if (i) out << ",";
+    out << "{\"name\":\"" << bc.name << "\",\"dispatch\":\""
+        << r.effective_dispatch << "\",\"fuse\":"
+        << (bc.fuse ? "true" : "false")
+        << ",\"batched\":" << (bc.batched ? "true" : "false")
+        << ",\"host_fast_path\":" << (bc.fast_path ? "true" : "false")
+        << ",\"host_ns_total\":" << r.host_ns_total
+        << ",\"host_ns_per_insn\":" << r.ns_per_insn()
+        << ",\"insns\":" << r.insns << ",\"sim_cycles\":" << r.sim_cycles
+        << ",\"fused_instructions\":" << r.fused
+        << ",\"reduction_pct\":" << red << "}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const long iters = flags.get_int("iters", quick ? 5000 : 20000);
+  const long repeats = flags.get_int("repeats", quick ? 3 : 5);
+  const std::string json_path = flags.get("json", "BENCH_interp.json");
+  flags.reject_unknown();
+
+  const std::string src = while_program(iters);
+  std::vector<BenchResult> results;
+  for (const BenchConfig& bc : kConfigs) {
+    results.push_back(run_config(bc, src, repeats));
+    std::cerr << "measured " << bc.name << "\n";
+  }
+
+  // The dispatch mode must never change what is simulated — only how fast
+  // the host simulates it.
+  const BenchResult& base = results[0];
+  for (const BenchResult& r : results) {
+    GILFREE_CHECK_MSG(r.sim_cycles == base.sim_cycles,
+                      "simulated cycles diverged across dispatch modes");
+    GILFREE_CHECK_MSG(r.insns == base.insns,
+                      "retired instruction counts diverged");
+    GILFREE_CHECK_MSG(r.result_x == base.result_x,
+                      "program results diverged");
+  }
+
+  TablePrinter table({"config", "dispatch", "host_ns/insn", "reduction_pct",
+                      "fused_insns", "sim_cycles", "insns"});
+  const double base_ns = base.ns_per_insn();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    const double red =
+        base_ns > 0.0 ? 100.0 * (1.0 - r.ns_per_insn() / base_ns) : 0.0;
+    table.add_row({kConfigs[i].name, r.effective_dispatch,
+                   TablePrinter::num(r.ns_per_insn(), 2),
+                   TablePrinter::num(red, 1), std::to_string(r.fused),
+                   std::to_string(r.sim_cycles), std::to_string(r.insns)});
+  }
+  std::cout << table.to_string();
+  write_json(json_path, iters, repeats, results);
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

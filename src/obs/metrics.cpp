@@ -149,7 +149,15 @@ void append_run(std::string& out, const RunMetrics& m) {
   json_append_number(out, m.total_cycles);
   out += ",\"virtual_seconds\":";
   json_append_number(out, m.virtual_seconds);
-  out += ",\"quarantine\":{\"enters\":";
+  out += ",\"interp\":{\"dispatch_mode\":";
+  json_append_string(out, m.dispatch_mode);
+  out += ",\"fused_instructions\":";
+  json_append_number(out, m.fused_instructions);
+  out += ",\"ic_method_hit_rate\":";
+  json_append_number(out, m.ic_method_hit_rate);
+  out += ",\"ic_ivar_hit_rate\":";
+  json_append_number(out, m.ic_ivar_hit_rate);
+  out += "},\"quarantine\":{\"enters\":";
   json_append_number(out, m.quarantine_enters);
   out += ",\"probes\":";
   json_append_number(out, m.quarantine_probes);

@@ -72,6 +72,10 @@ Engine::Engine(EngineConfig config)
       backoff_rng_(config_.seed ^ 0xbacc0ffbacc0ffULL) {
   machine_ = std::make_unique<sim::Machine>(config_.profile.machine);
   cpu_tx_tid_.assign(machine_->num_cpus(), -1);
+  // Cost constants are valid even while the fast path is inactive (boot):
+  // charge_fast falls back to the virtual charge() with the same amounts.
+  fast.mem_access_cost = config_.profile.machine.cost.mem_access;
+  fast.dispatch_cost = config_.profile.machine.cost.dispatch;
   if (config_.mode == SyncMode::kHtm) {
     htm_ = std::make_unique<htm::HtmFacility>(config_.profile.htm,
                                               machine_.get());
@@ -91,8 +95,7 @@ void Engine::on_fault_injected(fault::FaultKind kind, CpuId cpu, Cycles t) {
 void Engine::report_watchdog(SchedThread& st, obs::WatchdogKind kind) {
   ++watchdog_events_;
   if (obs_) {
-    obs_->on_watchdog(machine_->clock(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
-                      kind);
+    obs_->on_watchdog(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp, kind);
   }
 }
 
@@ -212,6 +215,7 @@ i32 Engine::pick_next() {
 }
 
 void Engine::unpark(SchedThread& st) {
+  flush_fastpath();  // advance_to is a max(): pending must land first
   machine_->advance_to(st.cpu, st.wake_at);
   const Cycles waited =
       st.wake_at > st.parked_since ? st.wake_at - st.parked_since : 0;
@@ -235,7 +239,7 @@ void Engine::park(SchedThread& st, Cycles delay, bool is_io) {
     st.reacquire_gil = true;
   }
   st.status = ThreadStatus::kParked;
-  st.parked_since = machine_->clock(st.cpu);
+  st.parked_since = now_of(st.cpu);
   st.wake_at = st.parked_since + delay;
   st.parked_for_io = is_io;
   machine_->set_busy(st.cpu, false);
@@ -247,13 +251,17 @@ RunStats Engine::run() {
 
   const bool trace = std::getenv("GILFREE_TRACE") != nullptr;
   u64 iterations = 0;
+  init_fastpath();
   // A thread runs a short burst per scheduling decision; interleaving at
   // ~burst granularity is indistinguishable for footprint-based conflict
-  // detection and an order of magnitude faster to simulate.
+  // detection and an order of magnitude faster to simulate. The burst is a
+  // fuel budget: the interpreter runs spans of up to `fuel` instructions
+  // between yield-point checks instead of one dispatch-loop trip per insn.
   constexpr int kBurst = 12;
   while (count_live_threads() > 0) {
     const i32 tid = pick_next();
     if (trace && ++iterations % 1'000'000 == 0) {
+      flush_fastpath();
       std::fprintf(stderr,
                    "[trace] iter=%llu insns=%llu time=%llu pick=%d\n",
                    static_cast<unsigned long long>(iterations),
@@ -273,11 +281,13 @@ RunStats Engine::run() {
       }
     }
     if (tid < 0) continue;
-    for (int burst = 0; burst < kBurst; ++burst) {
-      step_thread(static_cast<u32>(tid));
+    int fuel = kBurst;
+    while (fuel > 0) {
+      step_thread(static_cast<u32>(tid), fuel);
       const SchedThread& st = threads_[static_cast<u32>(tid)];
       if (st.status != ThreadStatus::kRunnable) break;
     }
+    flush_fastpath();  // pick_next and the trace block read raw clocks
     if (config_.max_insns != 0 &&
         interp_->stats().insns_retired > config_.max_insns) {
       GILFREE_CHECK_MSG(false, "instruction budget exceeded ("
@@ -285,6 +295,7 @@ RunStats Engine::run() {
     }
   }
 
+  flush_fastpath();
   RunStats stats;
   stats.total_cycles = machine_->global_time();
   stats.virtual_seconds = machine_->seconds(stats.total_cycles);
@@ -323,6 +334,18 @@ RunStats Engine::run() {
     m.insns_retired = stats.insns_retired;
     m.total_cycles = stats.total_cycles;
     m.virtual_seconds = stats.virtual_seconds;
+    m.dispatch_mode = interp_->dispatch_mode_name();
+    m.fused_instructions = stats.interp.fused_instructions;
+    const auto hit_rate = [](u64 hits, u64 misses) {
+      const u64 total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    };
+    m.ic_method_hit_rate =
+        hit_rate(stats.interp.ic_method_hits, stats.interp.ic_method_misses);
+    m.ic_ivar_hit_rate =
+        hit_rate(stats.interp.ic_ivar_hits, stats.interp.ic_ivar_misses);
     m.cycles.begin_end = stats.breakdown.begin_end;
     m.cycles.tx_success = stats.breakdown.tx_success;
     m.cycles.tx_aborted = stats.breakdown.tx_aborted;
@@ -341,7 +364,7 @@ RunStats Engine::run() {
   return stats;
 }
 
-void Engine::step_thread(u32 tid) {
+void Engine::step_thread(u32 tid, int& fuel) {
   current_tid_ = tid;
   SchedThread& st = threads_[tid];
   GILFREE_CHECK(st.status == ThreadStatus::kRunnable);
@@ -352,39 +375,45 @@ void Engine::step_thread(u32 tid) {
   // onto a CPU aborts the transaction resident there (the victim processes
   // the abort when it resumes).
   ensure_cpu_tx_free(st.cpu, tid);
+  sync_fastpath();
 
+  const int fuel_before = fuel;
   switch (config_.mode) {
     case SyncMode::kGil:
-      step_gil_mode(st);
+      step_gil_mode(st, fuel);
       break;
     case SyncMode::kHtm:
-      step_htm_mode(st);
+      step_htm_mode(st, fuel);
       break;
     case SyncMode::kFineGrained:
     case SyncMode::kUnsynced:
-      step_free_mode(st);
+      step_free_mode(st, fuel);
       break;
   }
+  // Scheduling-only steps (pending begins, spin retries, GIL hand-offs)
+  // still consume a burst slot even though no instruction retired.
+  if (fuel == fuel_before) --fuel;
 }
 
 // ---------------------------------------------------------------------------
 // GIL engine (original CRuby, §3.2)
 // ---------------------------------------------------------------------------
 
-void Engine::step_gil_mode(SchedThread& st) {
+void Engine::step_gil_mode(SchedThread& st, int& fuel) {
   GILFREE_CHECK(st.holds_gil);
-
-  // Timer thread: every quantum, flag the running thread (§3.2).
-  const Cycles now = machine_->clock(st.cpu);
-  if (now >= next_timer_deadline_) {
-    *heap_->tcb_slot(st.vm->tid(), vm::kTcbInterruptFlag) = 1;
-    next_timer_deadline_ = now + config_.gil_quantum;
-  }
 
   const vm::Insn& in = interp_->current_insn(*st.vm);
   // Original yield points only: back-branches and leave (§3.2). The
   // extended set exists only in the HTM build (§5.1).
   if (in.yp >= 0 && !vm::is_extended_yield_op(in.op)) {
+    // Timer thread: every quantum, flag the running thread (§3.2). The
+    // deadline is checked where the flag is consumed — at yield points —
+    // so spans between yield points need no per-instruction clock reads.
+    const Cycles now = now_of(st.cpu);
+    if (now >= next_timer_deadline_) {
+      *heap_->tcb_slot(st.vm->tid(), vm::kTcbInterruptFlag) = 1;
+      next_timer_deadline_ = now + config_.gil_quantum;
+    }
     charge(config_.profile.machine.cost.yield_check);
     u64* flag = heap_->tcb_slot(st.vm->tid(), vm::kTcbInterruptFlag);
     if (*flag != 0 && count_live_threads() > 1 &&
@@ -395,7 +424,7 @@ void Engine::step_gil_mode(SchedThread& st) {
     }
     *flag = 0;
   }
-  execute_insn(st);
+  execute_span(st, fuel, vm::YieldStop::kOriginal);
 }
 
 void Engine::gil_yield(SchedThread& st) {
@@ -405,7 +434,7 @@ void Engine::gil_yield(SchedThread& st) {
   // Re-enter the queue; woken by hand-off.
   gil_->enqueue_waiter(st.vm->tid());
   st.status = ThreadStatus::kWaitGil;
-  st.gil_wait_since = machine_->clock(st.cpu);
+  st.gil_wait_since = now_of(st.cpu);
   machine_->set_busy(st.cpu, false);
 }
 
@@ -428,7 +457,7 @@ void Engine::ensure_cpu_tx_free(CpuId cpu, u32 incoming_tid) {
 
 bool Engine::gil_try_acquire_or_enqueue(SchedThread& st) {
   ensure_cpu_tx_free(st.cpu, st.vm->tid());
-  const Cycles now = machine_->clock(st.cpu);
+  const Cycles now = now_of(st.cpu);
   if (gil_->try_acquire(st.cpu, st.vm->tid(), now)) {
     st.holds_gil = true;
     if (config_.mode == SyncMode::kHtm) {
@@ -449,7 +478,7 @@ bool Engine::gil_try_acquire_or_enqueue(SchedThread& st) {
 void Engine::gil_release_and_handoff(SchedThread& st) {
   charge_bucket(st, Bucket::kGilHeld,
                 config_.profile.machine.cost.gil_release);
-  const Cycles now = machine_->clock(st.cpu);
+  const Cycles now = now_of(st.cpu);
   const i32 head = gil_->release(st.cpu, st.vm->tid(), now);
   st.holds_gil = false;
   st.gil_slice_yields_left = 0;  // a quarantined slice ends with its GIL
@@ -491,7 +520,14 @@ void Engine::gil_release_and_handoff(SchedThread& st) {
 // HTM engine (TLE, §4)
 // ---------------------------------------------------------------------------
 
-void Engine::step_htm_mode(SchedThread& st) {
+void Engine::step_htm_mode(SchedThread& st, int& fuel) {
+  // Which instructions the interpreter must stop at while speculating (or
+  // holding the GIL outside a quarantine slice) — the §4.2 extended set, or
+  // the original set when the extension is configured off.
+  const vm::YieldStop txstop = config_.vm.extended_yield_points
+                                   ? vm::YieldStop::kAll
+                                   : vm::YieldStop::kOriginal;
+
   // A context switch killed this thread's transaction while it was off-CPU.
   if (st.in_tx && st.tx_vanished) {
     st.tx_vanished = false;
@@ -507,7 +543,9 @@ void Engine::step_htm_mode(SchedThread& st) {
     st.resume_nontx = false;
     GILFREE_CHECK(!st.in_tx);
     if (!st.holds_gil) {
-      execute_insn(st);
+      int one = 1;
+      execute_span(st, one, vm::YieldStop::kNone);
+      --fuel;
       if (st.status == ThreadStatus::kRunnable && !st.in_tx &&
           !st.holds_gil && st.pending_begin_yp < -1 && !st.vm->finished()) {
         // Completed: resume transactional execution at the next insn.
@@ -584,9 +622,13 @@ void Engine::step_htm_mode(SchedThread& st) {
           transaction_begin(st, qin.yp);
           if (!(st.in_tx || st.holds_gil)) return;  // queued / parked
         }
+        // Continue under whatever regime the re-route chose.
+        st.skip_yield_once = false;  // this instruction executes now
+        execute_span(st, fuel, st.in_tx ? txstop : vm::YieldStop::kOriginal);
+        return;
       }
     }
-    execute_insn(st);
+    execute_span(st, fuel, vm::YieldStop::kOriginal);
     return;
   }
 
@@ -609,7 +651,10 @@ void Engine::step_htm_mode(SchedThread& st) {
     }
     if (!(st.in_tx || st.holds_gil)) return;  // begin parked / queued
   }
-  execute_insn(st);
+  // The span executes the current instruction unconditionally: its yield
+  // point was handled (or skipped) above, so the skip flag is spent.
+  st.skip_yield_once = false;
+  execute_span(st, fuel, txstop);
 }
 
 void Engine::transaction_yield(SchedThread& st, i32 yp) {
@@ -667,8 +712,7 @@ void Engine::transaction_begin(SchedThread& st, i32 yp) {
     st.tx_length = config_.tle.min_length;
     st.transient_retry_counter = 1;
     if (obs_) {
-      obs_->on_quarantine_probe(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
-                                yp);
+      obs_->on_quarantine_probe(now_of(st.cpu), st.vm->tid(), st.cpu, yp);
     }
   } else {
     st.tx_length = length_table_->set_transaction_length(yp);
@@ -701,8 +745,8 @@ void Engine::transaction_begin(SchedThread& st, i32 yp) {
 bool Engine::attempt_tx(SchedThread& st) {
   ++transactions_started_;
   if (obs_) {
-    obs_->on_tx_begin(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
-                      st.tx_yp, st.tx_length);
+    obs_->on_tx_begin(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
+                      st.tx_length);
   }
   const AbortReason begin_result = htm_->tx_begin(st.cpu, st.tx_yp);
   if (begin_result != AbortReason::kNone) {
@@ -739,6 +783,7 @@ bool Engine::attempt_tx(SchedThread& st) {
     handle_abort(st, ab.reason);
     return false;
   }
+  sync_fastpath();  // in_tx: charges now land in tx_pending_cycles
   return true;
 }
 
@@ -763,13 +808,13 @@ void Engine::transaction_end(SchedThread& st) {
   st.tx_pending_cycles = 0;
   st.watchdog_abort_streak = 0;
   if (obs_) {
-    obs_->on_tx_commit(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
-                       st.tx_yp, st.tx_length);
+    obs_->on_tx_commit(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
+                       st.tx_length);
   }
   if (length_table_->on_commit(st.tx_yp) && obs_) {
-    obs_->on_quarantine_exit(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
-                             st.tx_yp);
+    obs_->on_quarantine_exit(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp);
   }
+  sync_fastpath();
 }
 
 void Engine::handle_abort(SchedThread& st, AbortReason reason) {
@@ -777,8 +822,8 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
   // (eager begin refusal, doomed commit, TxAbort mid-bytecode, context
   // switch) funnels through exactly one handle_abort call.
   if (obs_) {
-    obs_->on_tx_abort(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
-                      st.tx_yp, st.tx_length, reason);
+    obs_->on_tx_abort(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
+                      st.tx_length, reason);
   }
   // Roll the interpreter back to the TBEGIN snapshot; the HTM facility has
   // already discarded the speculative stores.
@@ -803,7 +848,7 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
     const tle::AdjustOutcome adj =
         length_table_->adjust_transaction_length(st.tx_yp);
     if (adj.entered_quarantine && obs_) {
-      obs_->on_quarantine_enter(machine_->clock(st.cpu), st.vm->tid(), st.cpu,
+      obs_->on_quarantine_enter(now_of(st.cpu), st.vm->tid(), st.cpu,
                                 st.tx_yp);
     }
   }
@@ -888,23 +933,25 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
 // FineGrained / Unsynced engines
 // ---------------------------------------------------------------------------
 
-void Engine::step_free_mode(SchedThread& st) { execute_insn(st); }
+void Engine::step_free_mode(SchedThread& st, int& fuel) {
+  execute_span(st, fuel, vm::YieldStop::kNone);
+}
 
 // ---------------------------------------------------------------------------
 // Instruction execution (all modes)
 // ---------------------------------------------------------------------------
 
-void Engine::execute_insn(SchedThread& st) {
-  const vm::Insn& in = interp_->current_insn(*st.vm);
-  charge(config_.profile.machine.cost.dispatch + vm::op_extra_cost(in.op));
+void Engine::execute_span(SchedThread& st, int& fuel, vm::YieldStop stop) {
+  sync_fastpath();  // the yield logic above may have moved tx / GIL state
   try {
-    interp_->step(*st.vm);
+    interp_->run_span(*st.vm, fuel, stop);
   } catch (const TxAbort& ab) {
     handle_abort(st, ab.reason);
     return;
   } catch (const ParkRequest& pr) {
     // Rewind to re-execute the blocking instruction after waking; its yield
-    // point was already consumed on the way in.
+    // point was already consumed on the way in. (Blocking instructions are
+    // sends, never fused heads, so a one-instruction rewind is exact.)
     GILFREE_CHECK(!st.in_tx);
     st.vm->regs().pc -= 1;
     st.skip_yield_once = true;
@@ -947,7 +994,7 @@ void Engine::on_finished(SchedThread& st) {
 
   // Wake joiners blocked on this thread's exit.
   const i32 self_tid = static_cast<i32>(st.vm->tid());
-  const Cycles now = machine_->clock(st.cpu);
+  const Cycles now = now_of(st.cpu);
   for (auto& other : threads_) {
     if (other.status == ThreadStatus::kParked &&
         other.join_target == self_tid) {
@@ -960,6 +1007,36 @@ void Engine::on_finished(SchedThread& st) {
 // ---------------------------------------------------------------------------
 // vm::Host implementation
 // ---------------------------------------------------------------------------
+
+void Engine::init_fastpath() {
+  if (!config_.vm.host_fast_path) return;  // benchmark baseline: stay virtual
+  fast.smt_slowdown = config_.profile.machine.cost.smt_slowdown;
+  fast.mem_access_cost = config_.profile.machine.cost.mem_access;
+  fast.dispatch_cost = config_.profile.machine.cost.dispatch;
+  // Batched clock charging is only sound without an HTM facility: the
+  // facility samples the machine clock inside tx_begin/tx_load/tx_store
+  // (interrupt model), which would observe a stale clock mid-span.
+  defer_clock_ = (htm_ == nullptr) && config_.vm.batched_charging;
+  fastpath_on_ = true;
+  sync_fastpath();
+}
+
+void Engine::sync_fastpath() {
+  if (!fastpath_on_) return;
+  flush_fastpath();  // pending cycles belong to the previous clock
+  SchedThread& st = cur();
+  fast.clock = machine_->clock_slot(st.cpu);
+  fast.busy_self = machine_->busy_flag(st.cpu);
+  fast.busy_sib = machine_->sibling_busy_flag(st.cpu);
+  fast.bucket = st.in_tx       ? &st.tx_pending_cycles
+                : st.holds_gil ? &st.breakdown.gil_held
+                               : &st.breakdown.other;
+  fast.defer_clock = defer_clock_;
+  // In-transaction accesses must flow through tx_load/tx_store (footprint
+  // growth, conflict detection, interrupt-model clock sampling); outside
+  // transactions a thread-private line can never conflict.
+  fast.direct_private_mem = (htm_ == nullptr) || !st.in_tx;
+}
 
 void Engine::charge_bucket(SchedThread& st, Bucket b, Cycles c) {
   const Cycles charged = machine_->advance(st.cpu, c);
@@ -980,6 +1057,12 @@ void Engine::charge_bucket(SchedThread& st, Bucket b, Cycles c) {
 }
 
 void Engine::charge(Cycles c) {
+  if (fast.clock != nullptr) {
+    // Active fast path: same bucket/clock the slow path below would pick
+    // (sync_fastpath maintains the mapping across tx/GIL transitions).
+    charge_fast(c);
+    return;
+  }
   SchedThread& st = cur();
   if (st.in_tx) {
     charge_bucket(st, Bucket::kTxWork, c);
@@ -1059,6 +1142,9 @@ vm::Value Engine::spawn_thread(vm::Value proc_val,
                                std::vector<vm::Value> args) {
   SchedThread& creator = cur();
   GILFREE_CHECK(!creator.in_tx);
+  // The child's clock is initialized from the creator's, and advance_to is
+  // a max(): batched cycles must land first.
+  flush_fastpath();
   const u32 tid = static_cast<u32>(threads_.size());
   GILFREE_CHECK_MSG(tid < heap_->config().max_threads,
                     "too many VM threads");
@@ -1081,25 +1167,30 @@ vm::Value Engine::spawn_thread(vm::Value proc_val,
 
   interp_->init_proc_frame(*st.vm, proc_val, args);
 
+  // new_thread_object / init_proc_frame above charge allocation cycles,
+  // which batched mode defers: flush again so the child starts at the
+  // creator's true clock.
+  const Cycles now = now_of(creator.cpu);
   switch (config_.mode) {
     case SyncMode::kGil:
       st.status = ThreadStatus::kWaitGil;
       gil_->enqueue_waiter(tid);
-      st.gil_wait_since = machine_->clock(creator.cpu);
-      machine_->advance_to(st.cpu, machine_->clock(creator.cpu));
+      st.gil_wait_since = now;
+      machine_->advance_to(st.cpu, now);
       break;
     case SyncMode::kHtm:
       st.status = ThreadStatus::kRunnable;
       st.pending_begin_yp = -1;
-      machine_->advance_to(st.cpu, machine_->clock(creator.cpu));
+      machine_->advance_to(st.cpu, now);
       machine_->set_busy(st.cpu, true);
       break;
     default:
       st.status = ThreadStatus::kRunnable;
-      machine_->advance_to(st.cpu, machine_->clock(creator.cpu));
+      machine_->advance_to(st.cpu, now);
       machine_->set_busy(st.cpu, true);
       break;
   }
+  live_peak_ = std::max<u64>(live_peak_, live_count_);
   return st.vm->thread_object;
 }
 
@@ -1116,7 +1207,7 @@ void Engine::record_result(std::string_view key, double value) {
   results_[std::string(key)] = value;
 }
 
-Cycles Engine::now_cycles() { return machine_->clock(cur().cpu); }
+Cycles Engine::now_cycles() { return now_of(cur().cpu); }
 
 i64 Engine::accept_request() {
   if (!server_) return vm::Host::accept_request();
@@ -1147,14 +1238,14 @@ bool Engine::server_shutdown() {
 void Engine::internal_allocator_lock(Cycles hold) {
   if (config_.mode != SyncMode::kFineGrained) return;
   SchedThread& st = cur();
-  const Cycles now = machine_->clock(st.cpu);
+  const Cycles now = now_of(st.cpu);
   if (allocator_busy_until_ > now) {
     const Cycles wait = allocator_busy_until_ - now;
     machine_->advance_to(st.cpu, allocator_busy_until_);
     st.breakdown.gil_wait += wait;  // reported as lock-wait time
   }
   charge(hold);
-  allocator_busy_until_ = machine_->clock(st.cpu);
+  allocator_busy_until_ = now_of(st.cpu);
 }
 
 }  // namespace gilfree::runtime

@@ -51,7 +51,10 @@ class ServerPort {
   }
 };
 
-class Engine : public vm::Host, public fault::FaultListener {
+// `final` closes the virtual-dispatch seam: the compiler can devirtualize
+// Host calls made through Engine&/Engine*, and the HostFastPath below
+// bypasses the vtable entirely on the interpreter's hot paths.
+class Engine final : public vm::Host, public fault::FaultListener {
  public:
   explicit Engine(EngineConfig config);
   ~Engine() override;
@@ -172,13 +175,14 @@ class Engine : public vm::Host, public fault::FaultListener {
     Cycles tx_pending_cycles = 0;  ///< Work since TBEGIN, bucketed at commit.
   };
 
-  // Scheduling loop.
+  // Scheduling loop. `fuel` is the remaining instruction budget of the
+  // current scheduling burst; each step consumes at least one unit.
   i32 pick_next();
-  void step_thread(u32 tid);
-  void step_gil_mode(SchedThread& st);
-  void step_htm_mode(SchedThread& st);
-  void step_free_mode(SchedThread& st);
-  void execute_insn(SchedThread& st);
+  void step_thread(u32 tid, int& fuel);
+  void step_gil_mode(SchedThread& st, int& fuel);
+  void step_htm_mode(SchedThread& st, int& fuel);
+  void step_free_mode(SchedThread& st, int& fuel);
+  void execute_span(SchedThread& st, int& fuel, vm::YieldStop stop);
   void on_finished(SchedThread& st);
   u32 count_live_threads() const;
   u32 pick_cpu() const;
@@ -203,6 +207,27 @@ class Engine : public vm::Host, public fault::FaultListener {
 
   void charge_bucket(SchedThread& st, Bucket b, Cycles c);
   SchedThread& cur() { return threads_[current_tid_]; }
+
+  // --- Host fast path (vm::HostFastPath wiring) ----------------------------
+  /// Activates the fast path at run() start: cost constants, batching policy.
+  void init_fastpath();
+  /// Re-points clock / busy / bucket pointers at the current thread's state.
+  /// Must run after every transition of current thread, CPU, in_tx, or
+  /// holds_gil; flushes pending cycles to the old clock first.
+  void sync_fastpath();
+  /// Lands deferred (batched) cycles on the owning CPU clock. Required
+  /// before any clock *read*; clock writes commute with the batch.
+  void flush_fastpath() {
+    if (fast.pending != 0 && fast.clock != nullptr) {
+      *fast.clock += fast.pending;
+      fast.pending = 0;
+    }
+  }
+  /// Flush-then-read of a CPU clock (the only safe read under batching).
+  Cycles now_of(CpuId cpu) {
+    flush_fastpath();
+    return machine_->clock(cpu);
+  }
 
   vm::Heap::RootSet collect_roots();
 
@@ -241,6 +266,8 @@ class Engine : public vm::Host, public fault::FaultListener {
   Bucket current_bucket_ = Bucket::kOther;
   bool loaded_ = false;
   bool running_ = false;
+  bool fastpath_on_ = false;  ///< Set by init_fastpath(); off during boot.
+  bool defer_clock_ = false;  ///< Batched clock charging (GIL / free modes).
 
   Cycles next_timer_deadline_ = 0;
   Cycles allocator_busy_until_ = 0;  ///< FineGrained internal-lock timeline.

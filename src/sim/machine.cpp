@@ -6,12 +6,14 @@
 
 namespace gilfree::sim {
 
+const u8 Machine::kNeverBusy = 0;
+
 Machine::Machine(MachineConfig config) : config_(std::move(config)) {
   GILFREE_CHECK(config_.cores > 0);
   GILFREE_CHECK(config_.smt_per_core == 1 || config_.smt_per_core == 2);
   GILFREE_CHECK((config_.line_bytes & (config_.line_bytes - 1)) == 0);
   clocks_.assign(num_cpus(), 0);
-  busy_.assign(num_cpus(), false);
+  busy_.assign(num_cpus(), 0);
 }
 
 CpuId Machine::sibling_of(CpuId cpu) const {
@@ -48,7 +50,7 @@ Cycles Machine::global_time() const {
 
 void Machine::reset() {
   std::fill(clocks_.begin(), clocks_.end(), 0);
-  std::fill(busy_.begin(), busy_.end(), false);
+  std::fill(busy_.begin(), busy_.end(), 0);
 }
 
 MachineConfig zec12_machine() {

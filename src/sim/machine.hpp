@@ -44,6 +44,23 @@ class Machine {
   /// Local clock of a hardware thread.
   Cycles clock(CpuId cpu) const { return clocks_.at(cpu); }
 
+  /// Direct pointer to a CPU's clock word, for the engine's non-virtual
+  /// charge fast path (vm::HostFastPath). The pointer stays valid for the
+  /// machine's lifetime; writers must replicate advance()'s per-charge SMT
+  /// inflation (see HostFastPath::charge semantics in vm/host.hpp).
+  Cycles* clock_slot(CpuId cpu) { return &clocks_.at(cpu); }
+
+  /// Live busy flag of a CPU (0 / 1), readable through a stable pointer.
+  const u8* busy_flag(CpuId cpu) const { return &busy_.at(cpu); }
+
+  /// Busy flag of the SMT sibling, or a permanently-zero byte when the
+  /// topology has no sibling — `*busy_flag(cpu) && *sibling_busy_flag(cpu)`
+  /// is then exactly smt_contended(cpu), with no branch on the topology.
+  const u8* sibling_busy_flag(CpuId cpu) const {
+    const CpuId sib = sibling_of(cpu);
+    return sib == kInvalidCpu ? &kNeverBusy : &busy_.at(sib);
+  }
+
   /// Charges `cycles` of work to `cpu`, inflated by the SMT slowdown when
   /// the sibling thread is marked busy. Returns the cycles actually charged.
   Cycles advance(CpuId cpu, Cycles cycles);
@@ -54,8 +71,8 @@ class Machine {
 
   /// SMT contention accounting: a CPU is "busy" while its mapped software
   /// thread is executing (not parked).
-  void set_busy(CpuId cpu, bool busy) { busy_.at(cpu) = busy; }
-  bool busy(CpuId cpu) const { return busy_.at(cpu); }
+  void set_busy(CpuId cpu, bool busy) { busy_.at(cpu) = busy ? 1 : 0; }
+  bool busy(CpuId cpu) const { return busy_.at(cpu) != 0; }
 
   /// True when both hardware threads of this CPU's core are busy; the HTM
   /// model halves per-transaction capacity in that case (§5.4).
@@ -74,7 +91,10 @@ class Machine {
  private:
   MachineConfig config_;
   std::vector<Cycles> clocks_;
-  std::vector<bool> busy_;
+  /// u8 (not vector<bool>): the host fast path reads flags through raw
+  /// pointers so mid-span busy changes are visible without resyncing.
+  std::vector<u8> busy_;
+  static const u8 kNeverBusy;
 };
 
 /// Machine profile of the 12-core IBM zEC12 LPAR used in the paper (§2.2,

@@ -60,49 +60,6 @@ std::string_view op_name(Op op) {
   return "?";
 }
 
-Cycles op_extra_cost(Op op) {
-  switch (op) {
-    // Calls pay for frame setup / teardown and argument shuffling.
-    case Op::kSend: return 34;
-    case Op::kInvokeBlock: return 26;
-    case Op::kLeave: return 12;
-    // Allocating instructions pay their allocation cost in the heap layer;
-    // this is just the instruction-local work.
-    case Op::kNewArray: return 16;
-    case Op::kNewHash: return 24;
-    case Op::kNewRange: return 10;
-    case Op::kPutString: return 14;
-    // Variable accesses beyond the raw memory traffic.
-    case Op::kGetIvar:
-    case Op::kSetIvar: return 8;
-    case Op::kGetCvar:
-    case Op::kSetCvar: return 10;
-    case Op::kGetGlobal:
-    case Op::kSetGlobal: return 6;
-    case Op::kGetConst:
-    case Op::kSetConst: return 6;
-    // Specialized operators: a type check plus the ALU op.
-    case Op::kOptPlus:
-    case Op::kOptMinus:
-    case Op::kOptMult:
-    case Op::kOptLt:
-    case Op::kOptLe:
-    case Op::kOptGt:
-    case Op::kOptGe:
-    case Op::kOptEq:
-    case Op::kOptNeq:
-    case Op::kOptNot:
-    case Op::kOptUMinus: return 4;
-    case Op::kOptDiv:
-    case Op::kOptMod: return 14;
-    case Op::kOptAref:
-    case Op::kOptAset:
-    case Op::kOptLtLt:
-    case Op::kOptLength: return 6;
-    default: return 2;
-  }
-}
-
 namespace {
 void disasm_iseq(const Program& p, i32 id, std::ostringstream& os) {
   const ISeq& seq = p.iseq(id);
@@ -114,6 +71,7 @@ void disasm_iseq(const Program& p, i32 id, std::ostringstream& os) {
     os << " a=" << in.a << " b=" << in.b << " c=" << in.c;
     if (in.ic >= 0) os << " ic=" << in.ic;
     if (in.yp >= 0) os << " yp=" << in.yp;
+    if (in.fuse) os << " fuse";
     os << "\n";
   }
 }

@@ -174,6 +174,10 @@ class Heap {
   u64* ic_slot(u32 site, u32 word);
   void ensure_ic_capacity(u32 sites);
 
+  /// Base of the IC slab; the interpreter derives site slots with plain
+  /// arithmetic after asserting capacity once (ensure_ic_capacity).
+  u64* ic_base() { return ic_base_; }
+
   // --- GC --------------------------------------------------------------------
 
   /// Ranges of slots to scan conservatively for roots (thread stacks) plus

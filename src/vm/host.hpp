@@ -29,6 +29,31 @@ struct ParkRequest {
   i32 wake_on_thread_exit = -1;
 };
 
+/// Non-virtual fast-path state the engine wires into its Host after boot.
+/// Plain pointers into the simulated machine keep this header free of sim
+/// dependencies while letting the interpreter charge cycles and touch
+/// thread-private memory without a virtual call per access.
+///
+/// Inactive (clock == nullptr, the default) every helper falls back to the
+/// virtual interface, so mock hosts in tests need no wiring.
+struct HostFastPath {
+  Cycles* clock = nullptr;        ///< Current CPU's clock; null → inactive.
+  Cycles* bucket = nullptr;       ///< Breakdown bucket charges accumulate in.
+  const u8* busy_self = nullptr;  ///< Live busy flags: contention is read at
+  const u8* busy_sib = nullptr;   ///< charge time, never cached stale.
+  double smt_slowdown = 1.0;
+  /// Defer clock writes into `pending` (flushed by the engine at span
+  /// boundaries and before any clock read). Bucket accounting stays eager.
+  bool defer_clock = false;
+  /// Thread-private (shared=false) lines may bypass the virtual memory seam
+  /// entirely. Engine-maintained: false inside transactions, where accesses
+  /// must grow the footprint and sample the interrupt model.
+  bool direct_private_mem = false;
+  Cycles pending = 0;             ///< Deferred, already-inflated cycles.
+  Cycles mem_access_cost = 3;
+  Cycles dispatch_cost = 14;
+};
+
 class Host {
  public:
   virtual ~Host() = default;
@@ -100,6 +125,53 @@ class Host {
 
   /// True once the request generator is exhausted (server loop should end).
   virtual bool server_shutdown();
+
+  // --- Non-virtual hot path -------------------------------------------------
+
+  /// Fast-path state; engines activate it, mock hosts leave it inactive.
+  HostFastPath fast;
+
+  /// Charge `c` cycles without a virtual call. Replicates
+  /// sim::Machine::advance exactly: per-charge SMT inflation with the same
+  /// double→integer truncation, so batched and eager charging produce
+  /// bit-identical clocks.
+  void charge_fast(Cycles c) {
+    if (fast.clock == nullptr) {
+      charge(c);
+      return;
+    }
+    const Cycles charged =
+        (*fast.busy_self && *fast.busy_sib)
+            ? static_cast<Cycles>(static_cast<double>(c) * fast.smt_slowdown)
+            : c;
+    *fast.bucket += charged;
+    if (fast.defer_clock) {
+      fast.pending += charged;
+    } else {
+      *fast.clock += charged;
+    }
+  }
+
+  /// Thread-private slot access (the VM stack). Outside transactions these
+  /// lines can never conflict — they are touched by exactly one thread and
+  /// never enter the HTM conflict table — so the access reduces to a cycle
+  /// charge plus a raw load/store.
+  u64 priv_load(const u64* p) {
+    if (fast.direct_private_mem && fast.clock != nullptr) {
+      charge_fast(fast.mem_access_cost);
+      return *p;
+    }
+    return mem_load(p, /*shared=*/false);
+  }
+
+  void priv_store(u64* p, u64 v) {
+    if (fast.direct_private_mem && fast.clock != nullptr) {
+      charge_fast(fast.mem_access_cost);
+      *p = v;
+      return;
+    }
+    mem_store(p, v, /*shared=*/false);
+  }
 };
 
 }  // namespace gilfree::vm

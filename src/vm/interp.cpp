@@ -29,10 +29,20 @@ void BuiltinCtx::need_args(u32 n) const {
                     " for " + std::to_string(n) + ")");
 }
 
+bool Interp::threaded_dispatch_available() {
+#ifdef GILFREE_COMPUTED_GOTO
+  return true;
+#else
+  return false;
+#endif
+}
+
 Interp::Interp(Program* program, Heap* heap, ClassRegistry* classes,
                Host* host, const VmOptions& options)
     : program_(program), heap_(heap), classes_(classes), host_(host),
-      options_(options) {
+      options_(options),
+      threaded_(options.dispatch == DispatchMode::kThreaded &&
+                threaded_dispatch_available()) {
   GILFREE_CHECK(program_ && heap_ && classes_ && host_);
   auto& sym = program_->symbols;
   sym_initialize_ = sym.intern("initialize");
@@ -55,7 +65,10 @@ Interp::Interp(Program* program, Heap* heap, ClassRegistry* classes,
 }
 
 void Interp::boot() {
+  // Capacity is asserted once here; the hot path then derives IC slot
+  // addresses from the cached base without per-access bounds checks.
   heap_->ensure_ic_capacity(program_->num_ic_sites);
+  ic_base_ = heap_->ic_base();
 
   // Class objects for the builtin classes.
   for (ClassId c = 0; c < classes_->num_classes(); ++c) {
@@ -164,7 +177,7 @@ const Insn& Interp::current_insn(const VmThread& t) const {
 
 void Interp::push(VmThread& t, Value v) {
   ThreadRegs& r = t.regs();
-  host_->mem_store(t.slot(r.sp), v.bits(), /*shared=*/false);
+  host_->priv_store(t.slot(r.sp), v.bits());
   ++r.sp;
 }
 
@@ -172,19 +185,19 @@ Value Interp::pop(VmThread& t) {
   ThreadRegs& r = t.regs();
   GILFREE_CHECK(r.sp > 0);
   --r.sp;
-  return Value::from_bits(host_->mem_load(t.slot(r.sp), false));
+  return Value::from_bits(host_->priv_load(t.slot(r.sp)));
 }
 
 Value Interp::stack_at(VmThread& t, u64 index) {
-  return Value::from_bits(host_->mem_load(t.slot(index), false));
+  return Value::from_bits(host_->priv_load(t.slot(index)));
 }
 
 u64 Interp::load_frame(VmThread& t, u64 fp, u32 slot) {
-  return host_->mem_load(t.slot(fp + slot), false);
+  return host_->priv_load(t.slot(fp + slot));
 }
 
 void Interp::store_frame(VmThread& t, u64 fp, u32 slot, u64 v) {
-  host_->mem_store(t.slot(fp + slot), v, false);
+  host_->priv_store(t.slot(fp + slot), v);
 }
 
 u64 Interp::env_fp_at_level(VmThread& t, u32 level) {
@@ -222,7 +235,7 @@ void Interp::push_frame(VmThread& t, i32 iseq_id, Value self, u64 env_parent,
   for (u32 i = 0; i < seq.num_locals; ++i) {
     u64 v;
     if (i < seq.num_params && i < argc) {
-      v = host_->mem_load(t.slot(r.sp - argc + i), false);
+      v = host_->priv_load(t.slot(r.sp - argc + i));
     } else {
       v = Value::nil().bits();
     }
@@ -298,9 +311,9 @@ void Interp::do_send(VmThread& t, const Insn& in) {
   // Inline cache (2 slots in the shared IC slab).
   i32 midx = -1;
   if (in.ic >= 0) {
-    const u64 tag = host_->mem_load(heap_->ic_slot(in.ic, 0), true);
+    const u64 tag = host_->mem_load(ic_slot_fast(in.ic, 0), true);
     if (tag == guard + 1) {
-      midx = static_cast<i32>(host_->mem_load(heap_->ic_slot(in.ic, 1), true));
+      midx = static_cast<i32>(host_->mem_load(ic_slot_fast(in.ic, 1), true));
       ++stats_.ic_method_hits;
       host_->charge(2);
     }
@@ -311,12 +324,12 @@ void Interp::do_send(VmThread& t, const Insn& in) {
     ++stats_.ic_method_misses;
     host_->charge(42);  // hash-table method search (§4.4)
     if (in.ic >= 0 && midx >= 0) {
-      const u64 tag = host_->mem_load(heap_->ic_slot(in.ic, 0), true);
+      const u64 tag = host_->mem_load(ic_slot_fast(in.ic, 0), true);
       // §4.4 (d): HTM-friendly method caches are filled only when empty, so
       // polymorphic sites stop writing the shared cache line on every miss.
       if (!options_.htm_friendly_method_caches || tag == 0) {
-        host_->mem_store(heap_->ic_slot(in.ic, 0), guard + 1, true);
-        host_->mem_store(heap_->ic_slot(in.ic, 1), static_cast<u64>(midx),
+        host_->mem_store(ic_slot_fast(in.ic, 0), guard + 1, true);
+        host_->mem_store(ic_slot_fast(in.ic, 1), static_cast<u64>(midx),
                          true);
       }
     }
@@ -429,12 +442,12 @@ u32 Interp::ivar_resolve(VmThread& t, const Insn& in, Value recv,
                         ? (u64{classes_->ivar_table_id(cls)} << 1) | 1
                         : u64{cls} << 1;
   if (in.ic >= 0) {
-    const u64 tag = host_->mem_load(heap_->ic_slot(in.ic, 0), true);
+    const u64 tag = host_->mem_load(ic_slot_fast(in.ic, 0), true);
     if (tag == guard + 1) {
       ++stats_.ic_ivar_hits;
       host_->charge(2);
       return static_cast<u32>(
-          host_->mem_load(heap_->ic_slot(in.ic, 1), true));
+          host_->mem_load(ic_slot_fast(in.ic, 1), true));
     }
   }
   ++stats_.ic_ivar_misses;
@@ -443,8 +456,8 @@ u32 Interp::ivar_resolve(VmThread& t, const Insn& in, Value recv,
   if (in.ic >= 0 && index != ClassRegistry::kNoIvar) {
     // Ivar caches are refilled on every miss in both modes; the §4.4 change
     // is the guard, which makes misses rare.
-    host_->mem_store(heap_->ic_slot(in.ic, 0), guard + 1, true);
-    host_->mem_store(heap_->ic_slot(in.ic, 1), index, true);
+    host_->mem_store(ic_slot_fast(in.ic, 0), guard + 1, true);
+    host_->mem_store(ic_slot_fast(in.ic, 1), index, true);
   }
   return index;
 }
@@ -806,247 +819,335 @@ void Interp::do_opt_aset(VmThread& t, const Insn& in) {
 
 // --- main dispatch ------------------------------------------------------------
 
-void Interp::step(VmThread& t) {
+namespace {
+#define GILFREE_OP_ENUM_ENTRY(Name) Op::k##Name,
+constexpr Op kOpOrder[] = {GILFREE_FOR_EACH_OP(GILFREE_OP_ENUM_ENTRY)};
+#undef GILFREE_OP_ENUM_ENTRY
+static_assert(sizeof(kOpOrder) / sizeof(kOpOrder[0]) == kNumOps,
+              "GILFREE_FOR_EACH_OP must list every opcode exactly once");
+static_assert(
+    [] {
+      for (std::size_t i = 0; i < kNumOps; ++i)
+        if (static_cast<std::size_t>(kOpOrder[i]) != i) return false;
+      return true;
+    }(),
+    "GILFREE_FOR_EACH_OP must list opcodes in enum order");
+
+/// True when `in` ends a span under `stop`: the engine must run its
+/// yield-point logic before this instruction executes.
+inline bool yield_relevant(const Insn& in, YieldStop stop) {
+  if (in.yp < 0) return false;
+  if (stop == YieldStop::kAll) return true;
+  return stop == YieldStop::kOriginal && !is_extended_yield_op(in.op);
+}
+}  // namespace
+
+// Dual-mode dispatch: the opcode bodies live in one switch; computed-goto
+// builds additionally attach a label to each case, and threaded mode jumps
+// straight to the body through a label table indexed by opcode (`break`
+// still exits the switch normally either way). The portable switch remains
+// the configure-time fallback, and both modes execute identical code per
+// opcode — only host-level dispatch overhead differs.
+#ifdef GILFREE_COMPUTED_GOTO
+#define GILFREE_OPC(Name) case Op::k##Name: L_##Name:
+#else
+#define GILFREE_OPC(Name) case Op::k##Name:
+#endif
+
+void Interp::run_span(VmThread& t, int& fuel, YieldStop stop) {
   GILFREE_CHECK(!t.finished());
   ThreadRegs& r = t.regs();
-  const ISeq& seq = program_->iseq(r.iseq);
-  GILFREE_CHECK_MSG(r.pc < seq.insns.size(),
-                    "pc out of range in " << seq.name);
-  const Insn& in = seq.insns[r.pc];
-  ++r.pc;  // Default fallthrough; control-flow ops overwrite.
-  ++stats_.insns_retired;
+  const bool fuse = options_.fuse_superinsns;
+#ifdef GILFREE_COMPUTED_GOTO
+#define GILFREE_LABEL_ENTRY(Name) &&L_##Name,
+  static const void* const kLabels[] = {
+      GILFREE_FOR_EACH_OP(GILFREE_LABEL_ENTRY)};
+#undef GILFREE_LABEL_ENTRY
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumOps);
+  const bool threaded = threaded_;
+#endif
 
-  switch (in.op) {
-    case Op::kNop:
-      break;
-    case Op::kPutNil:
-      push(t, Value::nil());
-      break;
-    case Op::kPutTrue:
-      push(t, Value::true_v());
-      break;
-    case Op::kPutFalse:
-      push(t, Value::false_v());
-      break;
-    case Op::kPutSelf:
-      push(t, Value::from_bits(load_frame(t, r.fp, kFrSelf)));
-      break;
-    case Op::kPutObject:
-      push(t, literal_values_.at(static_cast<u32>(in.a)));
-      break;
-    case Op::kPutString: {
-      // CRuby's putstring duplicates the literal: one allocation per
-      // execution.
-      const Value lit = literal_values_.at(static_cast<u32>(in.a));
-      const std::string s = objops::string_to_cpp(*host_, lit.obj());
-      push(t, heap_->new_string(*host_, s));
-      ++stats_.allocations;
-      break;
+  const Insn* in = nullptr;
+  i32 tail_iseq = -1;
+  u32 tail_pc = 0;
+  bool first = true;
+  for (;;) {
+    const ISeq& seq = program_->iseqs[static_cast<u32>(r.iseq)];
+    GILFREE_CHECK_MSG(r.pc < seq.insns.size(),
+                      "pc out of range in " << seq.name);
+    in = &seq.insns[r.pc];
+    if (!first && yield_relevant(*in, stop)) return;
+    first = false;
+
+    // Superinstruction pair: execute head and tail back to back, skipping
+    // one dispatch-loop round trip. Declined when the tail is
+    // yield-relevant in this stop mode (fusion never moves a yield point)
+    // or when the burst budget cannot cover both instructions.
+    tail_iseq = -1;
+    if (fuse && in->fuse != 0 && fuel >= 2 &&
+        !yield_relevant(seq.insns[r.pc + 1], stop)) {
+      tail_iseq = r.iseq;
+      tail_pc = r.pc + 1;
     }
-    case Op::kNewArray: {
-      const auto n = static_cast<u32>(in.a);
-      const Value arr = heap_->new_array(*host_, std::max<u32>(4, n));
-      ++stats_.allocations;
-      for (u32 i = 0; i < n; ++i) {
-        const Value v = stack_at(t, r.sp - n + i);
-        objops::array_push(*host_, *heap_, arr.obj(), v);
-      }
-      r.sp -= n;
-      push(t, arr);
-      break;
-    }
-    case Op::kNewHash: {
-      const auto n = static_cast<u32>(in.a);  // 2 * pairs
-      const Value h = heap_->new_hash(*host_);
-      ++stats_.allocations;
-      for (u32 i = 0; i < n; i += 2) {
-        const Value k = stack_at(t, r.sp - n + i);
-        const Value v = stack_at(t, r.sp - n + i + 1);
-        objops::hash_set(*host_, *heap_, h.obj(), k, v);
-      }
-      r.sp -= n;
-      push(t, h);
-      break;
-    }
-    case Op::kNewRange: {
-      const Value hi = pop(t);
-      const Value lo = pop(t);
-      push(t, heap_->new_range(*host_, lo, hi, in.a != 0));
-      ++stats_.allocations;
-      break;
-    }
-    case Op::kPop:
-      (void)pop(t);
-      break;
-    case Op::kDup: {
-      const Value v = stack_at(t, r.sp - 1);
-      push(t, v);
-      break;
-    }
-    case Op::kGetLocal: {
-      const u64 fp = env_fp_at_level(t, static_cast<u32>(in.b));
-      push(t, Value::from_bits(
-                  load_frame(t, fp, kFrameHeaderSlots +
-                                        static_cast<u32>(in.a))));
-      break;
-    }
-    case Op::kSetLocal: {
-      const Value v = pop(t);
-      const u64 fp = env_fp_at_level(t, static_cast<u32>(in.b));
-      store_frame(t, fp, kFrameHeaderSlots + static_cast<u32>(in.a),
-                  v.bits());
-      break;
-    }
-    case Op::kGetIvar:
-      do_getivar(t, in);
-      break;
-    case Op::kSetIvar:
-      do_setivar(t, in);
-      break;
-    case Op::kGetCvar:
-      do_cvar(t, in, /*set=*/false);
-      break;
-    case Op::kSetCvar:
-      do_cvar(t, in, /*set=*/true);
-      break;
-    case Op::kGetGlobal:
-      push(t, Value::from_bits(host_->mem_load(
-                  heap_->global_var_slot(static_cast<u32>(in.a)), true)));
-      break;
-    case Op::kSetGlobal: {
-      const Value v = pop(t);
-      host_->mem_store(heap_->global_var_slot(static_cast<u32>(in.a)),
-                       v.bits(), true);
-      break;
-    }
-    case Op::kGetConst: {
-      const Value v = Value::from_bits(host_->mem_load(
-          heap_->constant_slot(static_cast<u32>(in.a)), true));
-      if (v.is_undef())
-        throw RubyError("uninitialized constant " +
-                        program_->symbols.name(
-                            program_->constant_names.at(
-                                static_cast<u32>(in.a))));
-      push(t, v);
-      break;
-    }
-    case Op::kSetConst: {
-      const Value v = pop(t);
-      host_->mem_store(heap_->constant_slot(static_cast<u32>(in.a)),
-                       v.bits(), true);
-      break;
-    }
-    case Op::kSend:
-      do_send(t, in);
-      break;
-    case Op::kInvokeBlock:
-      do_invokeblock(t, in);
-      break;
-    case Op::kLeave:
-      do_leave(t);
-      break;
-    case Op::kJump:
-      r.pc = static_cast<u32>(in.a);
-      break;
-    case Op::kBranchIf: {
-      const Value v = pop(t);
-      if (v.truthy()) r.pc = static_cast<u32>(in.a);
-      break;
-    }
-    case Op::kBranchUnless: {
-      const Value v = pop(t);
-      if (!v.truthy()) r.pc = static_cast<u32>(in.a);
-      break;
-    }
-    case Op::kDefineMethod:
-      do_define_method(t, in);
-      break;
-    case Op::kDefineClass:
-      do_define_class(t, in);
-      break;
-    case Op::kOptPlus:
-    case Op::kOptMinus:
-    case Op::kOptMult:
-    case Op::kOptDiv:
-    case Op::kOptMod:
-    case Op::kOptEq:
-    case Op::kOptNeq:
-    case Op::kOptLt:
-    case Op::kOptLe:
-    case Op::kOptGt:
-    case Op::kOptGe:
-      do_opt_binary(t, in);
-      break;
-    case Op::kOptUMinus: {
-      const Value a = pop(t);
-      if (a.is_fixnum()) {
-        push(t, Value::fixnum(-a.fixnum_val()));
-      } else if (objops::value_is_float(*host_, a)) {
-        push(t, heap_->new_float(*host_,
-                                 -objops::value_to_double(*host_, a)));
+
+  exec_one:
+    host_->charge_fast(host_->fast.dispatch_cost + op_extra_cost(in->op));
+    ++r.pc;  // Default fallthrough; control-flow ops overwrite.
+    ++stats_.insns_retired;
+    --fuel;
+#ifdef GILFREE_COMPUTED_GOTO
+    if (threaded) goto* kLabels[static_cast<u8>(in->op)];
+#endif
+    switch (in->op) {
+      GILFREE_OPC(Nop)
+        break;
+      GILFREE_OPC(PutNil)
+        push(t, Value::nil());
+        break;
+      GILFREE_OPC(PutTrue)
+        push(t, Value::true_v());
+        break;
+      GILFREE_OPC(PutFalse)
+        push(t, Value::false_v());
+        break;
+      GILFREE_OPC(PutSelf)
+        push(t, Value::from_bits(load_frame(t, r.fp, kFrSelf)));
+        break;
+      GILFREE_OPC(PutObject)
+        push(t, literal_values_.at(static_cast<u32>(in->a)));
+        break;
+      GILFREE_OPC(PutString) {
+        // CRuby's putstring duplicates the literal: one allocation per
+        // execution.
+        const Value lit = literal_values_.at(static_cast<u32>(in->a));
+        const std::string s = objops::string_to_cpp(*host_, lit.obj());
+        push(t, heap_->new_string(*host_, s));
         ++stats_.allocations;
-      } else {
-        throw RubyError("unary minus on non-numeric value");
-      }
-      break;
-    }
-    case Op::kOptNot: {
-      const Value a = pop(t);
-      push(t, Value::boolean(!a.truthy()));
-      break;
-    }
-    case Op::kOptAref:
-      do_opt_aref(t, in);
-      break;
-    case Op::kOptAset:
-      do_opt_aset(t, in);
-      break;
-    case Op::kOptLtLt: {
-      const Value v = stack_at(t, r.sp - 1);
-      const Value recv = stack_at(t, r.sp - 2);
-      if (recv.is_object() && obj_type(*host_, recv.obj()) == ObjType::kArray) {
-        r.sp -= 2;
-        objops::array_push(*host_, *heap_, recv.obj(), v);
-        push(t, recv);  // a << v evaluates to a (chaining)
         break;
       }
-      if (recv.is_object() && obj_type(*host_, recv.obj()) == ObjType::kString &&
-          v.is_object() && obj_type(*host_, v.obj()) == ObjType::kString) {
-        r.sp -= 2;
-        objops::string_append(*host_, *heap_, recv.obj(), v.obj());
-        push(t, recv);
+      GILFREE_OPC(NewArray) {
+        const auto n = static_cast<u32>(in->a);
+        const Value arr = heap_->new_array(*host_, std::max<u32>(4, n));
+        ++stats_.allocations;
+        for (u32 i = 0; i < n; ++i) {
+          const Value v = stack_at(t, r.sp - n + i);
+          objops::array_push(*host_, *heap_, arr.obj(), v);
+        }
+        r.sp -= n;
+        push(t, arr);
         break;
       }
-      send_generic(t, sym_ltlt_, 1, -1);
-      break;
-    }
-    case Op::kOptLength: {
-      const Value recv = stack_at(t, r.sp - 1);
-      if (recv.is_object()) {
-        RBasic* o = recv.obj();
-        if (obj_type(*host_, o) == ObjType::kArray) {
-          r.sp -= 1;
-          push(t, Value::fixnum(objops::array_len(*host_, o)));
-          break;
+      GILFREE_OPC(NewHash) {
+        const auto n = static_cast<u32>(in->a);  // 2 * pairs
+        const Value h = heap_->new_hash(*host_);
+        ++stats_.allocations;
+        for (u32 i = 0; i < n; i += 2) {
+          const Value k = stack_at(t, r.sp - n + i);
+          const Value v = stack_at(t, r.sp - n + i + 1);
+          objops::hash_set(*host_, *heap_, h.obj(), k, v);
         }
-        if (obj_type(*host_, o) == ObjType::kString) {
-          r.sp -= 1;
-          push(t, Value::fixnum(objops::string_len(*host_, o)));
-          break;
-        }
-        if (obj_type(*host_, o) == ObjType::kHash) {
-          r.sp -= 1;
-          push(t, Value::fixnum(objops::hash_size(*host_, o)));
-          break;
-        }
+        r.sp -= n;
+        push(t, h);
+        break;
       }
-      send_generic(t, sym_length_, 0, -1);
-      break;
+      GILFREE_OPC(NewRange) {
+        const Value hi = pop(t);
+        const Value lo = pop(t);
+        push(t, heap_->new_range(*host_, lo, hi, in->a != 0));
+        ++stats_.allocations;
+        break;
+      }
+      GILFREE_OPC(Pop)
+        (void)pop(t);
+        break;
+      GILFREE_OPC(Dup) {
+        const Value v = stack_at(t, r.sp - 1);
+        push(t, v);
+        break;
+      }
+      GILFREE_OPC(GetLocal) {
+        const u64 fp = env_fp_at_level(t, static_cast<u32>(in->b));
+        push(t, Value::from_bits(
+                    load_frame(t, fp, kFrameHeaderSlots +
+                                          static_cast<u32>(in->a))));
+        break;
+      }
+      GILFREE_OPC(SetLocal) {
+        const Value v = pop(t);
+        const u64 fp = env_fp_at_level(t, static_cast<u32>(in->b));
+        store_frame(t, fp, kFrameHeaderSlots + static_cast<u32>(in->a),
+                    v.bits());
+        break;
+      }
+      GILFREE_OPC(GetIvar)
+        do_getivar(t, *in);
+        break;
+      GILFREE_OPC(SetIvar)
+        do_setivar(t, *in);
+        break;
+      GILFREE_OPC(GetCvar)
+        do_cvar(t, *in, /*set=*/false);
+        break;
+      GILFREE_OPC(SetCvar)
+        do_cvar(t, *in, /*set=*/true);
+        break;
+      GILFREE_OPC(GetGlobal)
+        push(t, Value::from_bits(host_->mem_load(
+                    heap_->global_var_slot(static_cast<u32>(in->a)), true)));
+        break;
+      GILFREE_OPC(SetGlobal) {
+        const Value v = pop(t);
+        host_->mem_store(heap_->global_var_slot(static_cast<u32>(in->a)),
+                         v.bits(), true);
+        break;
+      }
+      GILFREE_OPC(GetConst) {
+        const Value v = Value::from_bits(host_->mem_load(
+            heap_->constant_slot(static_cast<u32>(in->a)), true));
+        if (v.is_undef())
+          throw RubyError("uninitialized constant " +
+                          program_->symbols.name(
+                              program_->constant_names.at(
+                                  static_cast<u32>(in->a))));
+        push(t, v);
+        break;
+      }
+      GILFREE_OPC(SetConst) {
+        const Value v = pop(t);
+        host_->mem_store(heap_->constant_slot(static_cast<u32>(in->a)),
+                         v.bits(), true);
+        break;
+      }
+      GILFREE_OPC(Send)
+        do_send(t, *in);
+        break;
+      GILFREE_OPC(InvokeBlock)
+        do_invokeblock(t, *in);
+        break;
+      GILFREE_OPC(Leave)
+        do_leave(t);
+        break;
+      GILFREE_OPC(Jump)
+        r.pc = static_cast<u32>(in->a);
+        break;
+      GILFREE_OPC(BranchIf) {
+        const Value v = pop(t);
+        if (v.truthy()) r.pc = static_cast<u32>(in->a);
+        break;
+      }
+      GILFREE_OPC(BranchUnless) {
+        const Value v = pop(t);
+        if (!v.truthy()) r.pc = static_cast<u32>(in->a);
+        break;
+      }
+      GILFREE_OPC(DefineMethod)
+        do_define_method(t, *in);
+        break;
+      GILFREE_OPC(DefineClass)
+        do_define_class(t, *in);
+        break;
+      GILFREE_OPC(OptPlus)
+      GILFREE_OPC(OptMinus)
+      GILFREE_OPC(OptMult)
+      GILFREE_OPC(OptDiv)
+      GILFREE_OPC(OptMod)
+      GILFREE_OPC(OptEq)
+      GILFREE_OPC(OptNeq)
+      GILFREE_OPC(OptLt)
+      GILFREE_OPC(OptLe)
+      GILFREE_OPC(OptGt)
+      GILFREE_OPC(OptGe)
+        do_opt_binary(t, *in);
+        break;
+      GILFREE_OPC(OptUMinus) {
+        const Value a = pop(t);
+        if (a.is_fixnum()) {
+          push(t, Value::fixnum(-a.fixnum_val()));
+        } else if (objops::value_is_float(*host_, a)) {
+          push(t, heap_->new_float(*host_,
+                                   -objops::value_to_double(*host_, a)));
+          ++stats_.allocations;
+        } else {
+          throw RubyError("unary minus on non-numeric value");
+        }
+        break;
+      }
+      GILFREE_OPC(OptNot) {
+        const Value a = pop(t);
+        push(t, Value::boolean(!a.truthy()));
+        break;
+      }
+      GILFREE_OPC(OptAref)
+        do_opt_aref(t, *in);
+        break;
+      GILFREE_OPC(OptAset)
+        do_opt_aset(t, *in);
+        break;
+      GILFREE_OPC(OptLtLt) {
+        const Value v = stack_at(t, r.sp - 1);
+        const Value recv = stack_at(t, r.sp - 2);
+        if (recv.is_object() &&
+            obj_type(*host_, recv.obj()) == ObjType::kArray) {
+          r.sp -= 2;
+          objops::array_push(*host_, *heap_, recv.obj(), v);
+          push(t, recv);  // a << v evaluates to a (chaining)
+          break;
+        }
+        if (recv.is_object() &&
+            obj_type(*host_, recv.obj()) == ObjType::kString &&
+            v.is_object() && obj_type(*host_, v.obj()) == ObjType::kString) {
+          r.sp -= 2;
+          objops::string_append(*host_, *heap_, recv.obj(), v.obj());
+          push(t, recv);
+          break;
+        }
+        send_generic(t, sym_ltlt_, 1, -1);
+        break;
+      }
+      GILFREE_OPC(OptLength) {
+        const Value recv = stack_at(t, r.sp - 1);
+        if (recv.is_object()) {
+          RBasic* o = recv.obj();
+          if (obj_type(*host_, o) == ObjType::kArray) {
+            r.sp -= 1;
+            push(t, Value::fixnum(objops::array_len(*host_, o)));
+            break;
+          }
+          if (obj_type(*host_, o) == ObjType::kString) {
+            r.sp -= 1;
+            push(t, Value::fixnum(objops::string_len(*host_, o)));
+            break;
+          }
+          if (obj_type(*host_, o) == ObjType::kHash) {
+            r.sp -= 1;
+            push(t, Value::fixnum(objops::hash_size(*host_, o)));
+            break;
+          }
+        }
+        send_generic(t, sym_length_, 0, -1);
+        break;
+      }
+      case Op::kMaxOp:
+        GILFREE_CHECK(false);
     }
-    case Op::kMaxOp:
-      GILFREE_CHECK(false);
+
+    if (t.finished()) return;
+    if (tail_iseq >= 0) {
+      // The head may have grown a frame instead of completing in place (an
+      // opt_ fallback dispatching a bytecode method); fuse only when
+      // control actually reached the annotated tail.
+      if (r.iseq == tail_iseq && r.pc == tail_pc) {
+        ++stats_.fused_instructions;
+        tail_iseq = -1;
+        in = &program_->iseqs[static_cast<u32>(r.iseq)].insns[r.pc];
+        goto exec_one;
+      }
+      tail_iseq = -1;
+    }
+    if (fuel <= 0) return;
   }
 }
+#undef GILFREE_OPC
 
 std::pair<const u64*, std::size_t> Interp::root_range(const VmThread& t) {
   return {t.stack_base(), t.regs().sp};

@@ -57,6 +57,18 @@ struct InterpStats {
   u64 ic_ivar_hits = 0;
   u64 ic_ivar_misses = 0;
   u64 allocations = 0;
+  /// Instructions executed as the tail of a fused superinstruction pair
+  /// (host-time accounting only; simulated cycles are mode-invariant).
+  u64 fused_instructions = 0;
+};
+
+/// Which instructions end an interpreter span: the engine runs its
+/// yield-point logic between spans, so the mask must cover exactly the
+/// instructions the current engine mode treats as yield points.
+enum class YieldStop : u8 {
+  kNone,      ///< Run until the burst budget is exhausted (free modes).
+  kOriginal,  ///< Stop at back-branches / leave (GIL mode, §3.2).
+  kAll,       ///< Stop at every yield point incl. the §4.2 extended set.
 };
 
 class Interp {
@@ -75,10 +87,29 @@ class Interp {
   void init_proc_frame(VmThread& t, Value proc_val,
                        const std::vector<Value>& args);
 
-  /// Executes exactly one instruction of `t`. The caller has already run
-  /// yield-point logic. Throws htm::TxAbort (propagated from the Host) and
-  /// RubyError.
-  void step(VmThread& t);
+  /// Executes a span of instructions of `t`: the current instruction
+  /// unconditionally (the caller has already run yield-point logic for it),
+  /// then further instructions until the next one matching `stop`, until
+  /// `fuel` instructions have retired, or until the thread finishes. Charges
+  /// dispatch + per-opcode cycles before each instruction. Throws
+  /// htm::TxAbort and vm::ParkRequest (propagated from the Host, possibly
+  /// mid-span) and RubyError.
+  void run_span(VmThread& t, int& fuel, YieldStop stop);
+
+  /// Executes exactly one instruction (a span with fuel 1).
+  void step(VmThread& t) {
+    int fuel = 1;
+    run_span(t, fuel, YieldStop::kNone);
+  }
+
+  /// True when this build can execute computed-goto dispatch.
+  static bool threaded_dispatch_available();
+
+  /// Effective dispatch mode ("threaded" / "switch") after the configure-
+  /// time fallback is applied to options().dispatch.
+  const char* dispatch_mode_name() const {
+    return threaded_ ? "threaded" : "switch";
+  }
 
   /// Instruction the thread will execute next.
   const Insn& current_insn(const VmThread& t) const;
@@ -134,11 +165,19 @@ class Interp {
 
   u32 ivar_resolve(VmThread& t, const Insn& in, Value recv, bool create);
 
+  /// IC slab address; capacity was asserted once in boot(), so per-access
+  /// slot derivation is a plain add (heap.ic_slot re-checks every call).
+  u64* ic_slot_fast(i32 site, u32 word) const {
+    return ic_base_ + u64{static_cast<u32>(site)} * 2 + word;
+  }
+
   Program* program_;
   Heap* heap_;
   ClassRegistry* classes_;
   Host* host_;
   VmOptions options_;
+  bool threaded_ = false;  ///< Effective dispatch after build fallback.
+  u64* ic_base_ = nullptr;
 
   std::vector<Value> literal_values_;
   Value main_object_ = Value::nil();

@@ -2,7 +2,19 @@
 // maps to one ablation in the evaluation.
 #pragma once
 
+#include "common/types.hpp"
+
 namespace gilfree::vm {
+
+/// How the interpreter dispatches opcodes. kThreaded uses computed-goto
+/// (labels-as-values) when the build enables GILFREE_COMPUTED_GOTO and
+/// silently falls back to the portable switch otherwise; both produce
+/// bit-identical simulated cycle streams — only host time differs.
+enum class DispatchMode : u8 { kSwitch, kThreaded };
+
+constexpr const char* dispatch_mode_name(DispatchMode m) {
+  return m == DispatchMode::kThreaded ? "threaded" : "switch";
+}
 
 struct VmOptions {
   /// §4.2: treat getlocal/getinstancevariable/getclassvariable/send/
@@ -21,6 +33,29 @@ struct VmOptions {
   /// §4.4 (d) ivar caches: guard by ivar-table identity instead of class
   /// identity, eliminating misses across shape-compatible classes.
   bool ivar_cache_table_guard = true;
+
+  /// Opcode dispatch strategy (host-time only; see DispatchMode).
+  DispatchMode dispatch = DispatchMode::kThreaded;
+
+  /// Execute compiler-annotated superinstruction pairs (getlocal+opt_*,
+  /// opt_*+setlocal) back-to-back, skipping one dispatch-loop round trip.
+  /// Fused pairs charge the same cycles and hit the same yield points as
+  /// the unfused sequence; `--no-fuse` disables for ablation.
+  bool fuse_superinsns = true;
+
+  /// Accumulate cycle charges in a host-local counter and flush to the
+  /// simulated clock at span boundaries instead of per charge. Only applied
+  /// in modes whose semantics never read the clock mid-span (GIL /
+  /// FineGrained / Unsynced); HTM mode always charges eagerly because the
+  /// facility samples the clock at every transactional access.
+  bool batched_charging = true;
+
+  /// Route cycle charges and private-line accesses through the host fast
+  /// path (resolved pointers into the machine) instead of the virtual
+  /// Machine interface. Off reproduces the pre-overhaul host cost profile —
+  /// one virtual call per charge and per memory access — and exists solely
+  /// as the micro_overhead baseline; simulated behaviour is identical.
+  bool host_fast_path = true;
 };
 
 }  // namespace gilfree::vm

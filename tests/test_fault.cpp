@@ -21,6 +21,7 @@
 #include "obs/json.hpp"
 #include "obs/sink.hpp"
 #include "runtime/engine.hpp"
+#include "testutil_programs.hpp"
 #include "workloads/workload.hpp"
 
 namespace gilfree {
@@ -227,81 +228,12 @@ TEST(FaultEngine, IdenticalSeedAndCampaignReplayAnIdenticalTrace) {
 
 // --- Mid-bytecode abort unwinding as a property -----------------------------
 //
-// Seeded random MiniRuby programs exercise every extended-yield-point opcode
-// (locals, instance variables, class variables, sends, operators, array
-// element access) across threads. Per-thread state is thread-local and the
-// only shared accumulation is commutative and mutex-protected, so the final
-// recorded sum is schedule-independent: any divergence from the pure-GIL run
-// means an abort rolled back VM state incorrectly.
+// Seeded random MiniRuby programs (tests/testutil_programs.hpp) exercise
+// every extended-yield-point opcode across threads; the recorded sum is
+// schedule-independent, so any divergence from the pure-GIL run means an
+// abort rolled back VM state incorrectly.
 
-std::string random_program(u64 seed) {
-  Rng rng(seed);
-  std::ostringstream body;
-  const int stmts = 4 + static_cast<int>(rng.next_below(5));
-  for (int s = 0; s < stmts; ++s) {
-    switch (rng.next_below(5)) {
-      case 0:
-        body << "      x = x + " << 1 + rng.next_below(7) << "\n";
-        break;
-      case 1:
-        body << "      x = x - " << 1 + rng.next_below(3) << "\n";
-        break;
-      case 2:
-        body << "      a[" << rng.next_below(4) << "] = a["
-             << rng.next_below(4) << "] + " << 1 + rng.next_below(5) << "\n";
-        break;
-      case 3:
-        body << "      b = b.bump(" << 1 + rng.next_below(9) << ")\n";
-        break;
-      default:
-        body << "      x = x + b.base + b.get\n";
-        break;
-    }
-  }
-  std::ostringstream src;
-  src << R"RUBY(
-class Box
-  def initialize
-    @@base = 3
-    @v = 1
-  end
-  def bump(k)
-    @v = @v + k
-    self
-  end
-  def get
-    @v
-  end
-  def base
-    @@base
-  end
-end
-$mutex = Mutex.new
-$sum = 0
-threads = []
-3.times do |t|
-  threads << Thread.new(t) do |tid|
-    x = tid + 1
-    a = [0, 0, 0, 0]
-    b = Box.new
-    i = 0
-    while i < 150
-)RUBY";
-  src << body.str();
-  src << R"RUBY(      i = i + 1
-    end
-    $mutex.synchronize do
-      $sum = $sum + x + a[0] + a[1] + a[2] + a[3] + b.get
-    end
-  end
-end
-threads.each do |t|
-  t.join
-end
-__record("sum", $sum)
-)RUBY";
-  return src.str();
-}
+using testutil::random_program;
 
 runtime::RunStats run_src(EngineConfig cfg, const std::string& src) {
   cfg.heap.initial_slots = 80'000;

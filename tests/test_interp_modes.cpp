@@ -1,0 +1,180 @@
+// Differential test for the interpreter hot-path overhaul: dispatch mode
+// (switch vs computed-goto), superinstruction fusion, batched cycle
+// charging, and the host fast path are HOST-time optimizations only. For
+// any program, machine profile, and engine, every combination must produce
+//
+//   - the same recorded results and program output,
+//   - the same total simulated cycles and retired-instruction counts,
+//   - a byte-identical observability trace,
+//   - the same exported metrics document once the two host-only fields
+//     (dispatch_mode, fused_instructions) are normalized away, and
+//   - the same per-yield-point TLE length-table state after the run
+//     (HTM engines), i.e. the §4.2 yield-point placement and the Fig. 3
+//     learning dynamics are unchanged by fusion and dispatch.
+//
+// Programs come from the seeded generator shared with test_fault, so every
+// extended-yield-point opcode family is covered.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "htm/profile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "runtime/engine.hpp"
+#include "testutil_programs.hpp"
+#include "vm/interp.hpp"
+#include "vm/options.hpp"
+
+namespace gilfree {
+namespace {
+
+using runtime::EngineConfig;
+
+struct ModeConfig {
+  const char* name;
+  vm::DispatchMode dispatch;
+  bool fuse;
+  bool batched;
+  bool fast_path;
+};
+
+// The full dispatch × fusion × batching cube, plus the virtual-host
+// baseline (host_fast_path off: one virtual call per charge and access —
+// the pre-overhaul cost profile).
+constexpr ModeConfig kModes[] = {
+    {"switch", vm::DispatchMode::kSwitch, false, false, true},
+    {"switch+fuse", vm::DispatchMode::kSwitch, true, false, true},
+    {"switch+batched", vm::DispatchMode::kSwitch, false, true, true},
+    {"switch+fuse+batched", vm::DispatchMode::kSwitch, true, true, true},
+    {"threaded", vm::DispatchMode::kThreaded, false, false, true},
+    {"threaded+fuse", vm::DispatchMode::kThreaded, true, false, true},
+    {"threaded+batched", vm::DispatchMode::kThreaded, false, true, true},
+    {"threaded+fuse+batched", vm::DispatchMode::kThreaded, true, true, true},
+    {"virtual-host", vm::DispatchMode::kSwitch, false, false, false},
+};
+
+struct Observed {
+  runtime::RunStats stats;
+  obs::RunMetrics metrics;
+  std::string trace;
+  std::vector<u32> lengths;  ///< Final length-table state, incl. pseudo yp.
+};
+
+/// metrics_to_json with the two host-only fields zeroed, so documents from
+/// different dispatch configurations compare equal iff everything simulated
+/// (begins, commits, aborts, cycle breakdown, per-yield-point detail, IC
+/// hit rates, ...) is identical.
+std::string normalized_metrics(obs::RunMetrics m) {
+  m.dispatch_mode.clear();
+  m.fused_instructions = 0;
+  return obs::metrics_to_json({std::move(m)});
+}
+
+Observed run_mode(const EngineConfig& base, const ModeConfig& mc,
+                  const std::string& src) {
+  obs::ObsConfig oc;
+  oc.trace_path = ::testing::TempDir() + "interp_modes_trace.jsonl";
+  Observed o;
+  {
+    obs::Sink sink(oc);
+    EngineConfig cfg = base;
+    cfg.vm.dispatch = mc.dispatch;
+    cfg.vm.fuse_superinsns = mc.fuse;
+    cfg.vm.batched_charging = mc.batched;
+    cfg.vm.host_fast_path = mc.fast_path;
+    cfg.heap.initial_slots = 80'000;
+    cfg.obs_sink = &sink;
+    runtime::Engine engine(std::move(cfg));
+    engine.load_program({src});
+    o.stats = engine.run();
+    if (const tle::LengthTable* lt = engine.length_table())
+      for (u32 yp = 0; yp < lt->num_yield_points(); ++yp)
+        o.lengths.push_back(lt->length(static_cast<i32>(yp)));
+    sink.flush();
+    o.metrics = sink.runs().at(0);
+  }
+  std::ifstream f(oc.trace_path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  o.trace = buf.str();
+  std::remove(oc.trace_path.c_str());
+  return o;
+}
+
+void expect_equivalent(const Observed& base, const Observed& other,
+                       const std::string& label) {
+  EXPECT_EQ(other.stats.total_cycles, base.stats.total_cycles) << label;
+  EXPECT_EQ(other.stats.insns_retired, base.stats.insns_retired) << label;
+  EXPECT_EQ(other.stats.results, base.stats.results) << label;
+  EXPECT_EQ(other.stats.output, base.stats.output) << label;
+  EXPECT_EQ(other.lengths, base.lengths)
+      << label << ": per-yield-point length-table state diverged";
+  EXPECT_EQ(other.trace, base.trace)
+      << label << ": trace must be byte-identical across dispatch modes";
+  EXPECT_EQ(normalized_metrics(other.metrics), normalized_metrics(base.metrics))
+      << label << ": metrics (minus host-only fields) diverged";
+}
+
+void run_cube(const EngineConfig& base, const std::string& src,
+              const std::string& tag) {
+  const Observed baseline = run_mode(base, kModes[0], src);
+  ASSERT_FALSE(baseline.trace.empty()) << tag;
+  for (std::size_t i = 1; i < std::size(kModes); ++i) {
+    const Observed o = run_mode(base, kModes[i], src);
+    expect_equivalent(baseline, o, tag + "/" + kModes[i].name);
+  }
+}
+
+TEST(InterpModes, GilEngineIsHostModeInvariant) {
+  u64 seed = 1;
+  for (const htm::SystemProfile& profile :
+       {htm::SystemProfile::zec12(), htm::SystemProfile::xeon_e3()}) {
+    const std::string src = testutil::random_program(seed++);
+    run_cube(EngineConfig::gil(profile), src,
+             std::string("GIL/") + profile.machine.name);
+  }
+}
+
+TEST(InterpModes, HtmEngineIsHostModeInvariant) {
+  u64 seed = 3;
+  for (const htm::SystemProfile& profile :
+       {htm::SystemProfile::zec12(), htm::SystemProfile::xeon_e3()}) {
+    const std::string src = testutil::random_program(seed++);
+    run_cube(EngineConfig::htm_dynamic(profile), src,
+             std::string("HTM/") + profile.machine.name);
+  }
+}
+
+TEST(InterpModes, FusionFiresAndIsReportedHonestly) {
+  const std::string src = testutil::random_program(7);
+  const EngineConfig base = EngineConfig::gil(htm::SystemProfile::zec12());
+
+  const Observed fused = run_mode(base, {"f", vm::DispatchMode::kThreaded,
+                                         true, true, true},
+                                  src);
+  const Observed plain = run_mode(base, {"p", vm::DispatchMode::kThreaded,
+                                         false, true, true},
+                                  src);
+  EXPECT_GT(fused.stats.interp.fused_instructions, 0u)
+      << "compiler-annotated pairs must actually fuse";
+  EXPECT_EQ(plain.stats.interp.fused_instructions, 0u);
+  EXPECT_EQ(fused.metrics.fused_instructions,
+            fused.stats.interp.fused_instructions);
+
+  // The exported dispatch mode reflects the build fallback honestly.
+  const char* expect_threaded =
+      vm::Interp::threaded_dispatch_available() ? "threaded" : "switch";
+  EXPECT_EQ(fused.metrics.dispatch_mode, expect_threaded);
+
+  const Observed sw =
+      run_mode(base, {"s", vm::DispatchMode::kSwitch, false, false, true}, src);
+  EXPECT_EQ(sw.metrics.dispatch_mode, "switch");
+}
+
+}  // namespace
+}  // namespace gilfree

@@ -6,6 +6,11 @@
 //   $ ./build/bench/fig8_abort_ratios --quick --trace-out=t.jsonl
 //   $ ./build/tools/trace_report t.jsonl
 //   $ ./build/tools/trace_report t.jsonl --csv --run=3 --top=10
+//   $ ./build/tools/trace_report t.jsonl --metrics=m.json
+//
+// --metrics= additionally reads a "gilfree.metrics/1" document
+// (--metrics-out= of the same binary) and prints each run's interpreter
+// hot-path summary: dispatch mode, fused superinstructions, IC hit rates.
 //
 // The input schema is documented field-by-field in docs/OBSERVABILITY.md.
 #include <algorithm>
@@ -184,6 +189,51 @@ void print_run(u32 run_id, const RunAccum& acc, bool csv, long top) {
   std::cout << "\n";
 }
 
+/// Prints the per-run interpreter block of a "gilfree.metrics/1" document.
+/// Returns false (after a diagnostic) when the file cannot be parsed.
+bool print_interp_metrics(const std::string& path, long only_run) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "trace_report: cannot open " << path << "\n";
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  obs::JsonValue doc;
+  try {
+    doc = obs::JsonValue::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_report: " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  std::cout << "== interpreter (" << path << ") ==\n";
+  TablePrinter table({"run", "mode", "machine", "dispatch", "fused_insns",
+                      "insns", "ic_method_hit", "ic_ivar_hit"});
+  for (const obs::JsonValue& run : doc.at("runs").as_array()) {
+    const u32 id = static_cast<u32>(run.at("run").as_u64());
+    if (only_run >= 0 && id != static_cast<u32>(only_run)) continue;
+    // Absent on documents written before the interp block existed.
+    const bool has_interp = run.has("interp");
+    const obs::JsonValue* interp = has_interp ? &run.at("interp") : nullptr;
+    table.add_row(
+        {std::to_string(id), run.at("mode").as_string(),
+         run.at("machine").as_string(),
+         has_interp ? interp->at("dispatch_mode").as_string() : "-",
+         has_interp ? std::to_string(interp->at("fused_instructions").as_u64())
+                    : "-",
+         std::to_string(run.at("insns_retired").as_u64()),
+         has_interp
+             ? TablePrinter::num(
+                   100.0 * interp->at("ic_method_hit_rate").as_number(), 2)
+             : "-",
+         has_interp ? TablePrinter::num(
+                          100.0 * interp->at("ic_ivar_hit_rate").as_number(), 2)
+                    : "-"});
+  }
+  std::cout << table.to_string() << "\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,13 +241,16 @@ int main(int argc, char** argv) {
   const bool csv = flags.get_bool("csv", false);
   const long only_run = flags.get_int("run", -1);
   const long top = flags.get_int("top", 0);
+  const std::string metrics_path = flags.get("metrics", "");
   flags.reject_unknown();
 
   if (flags.positional().size() != 1) {
     std::cerr << "usage: trace_report <trace.jsonl> [--csv] [--run=N] "
-                 "[--top=N]\n";
+                 "[--top=N] [--metrics=metrics.json]\n";
     return 2;
   }
+  if (!metrics_path.empty() && !print_interp_metrics(metrics_path, only_run))
+    return 1;
   const std::string path = *flags.positional().begin();
   std::ifstream in(path);
   if (!in.good()) {
