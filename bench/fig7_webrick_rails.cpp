@@ -24,6 +24,9 @@ void run_panel(const htm::SystemProfile& profile, const std::string& program,
   std::vector<std::string> headers = {"clients"};
   for (const auto& nc : paper_configs()) headers.push_back(nc.name);
   TablePrinter table(headers);
+  // Closed-loop request latency is the companion view of the throughput
+  // panel: same runs, per-request arrival→response percentiles in cycles.
+  TablePrinter latency_table(headers);
 
   auto run_one = [&](const NamedConfig& nc, u32 clients) {
     httpsim::DriverConfig d;
@@ -42,9 +45,13 @@ void run_panel(const htm::SystemProfile& profile, const std::string& program,
   const double base = run_one({"GIL", 0}, 1).throughput_rps;
   for (u32 clients = 1; clients <= 6; ++clients) {
     std::vector<std::string> row = {std::to_string(clients)};
+    std::vector<std::string> latency_row = {std::to_string(clients)};
     for (const auto& nc : paper_configs()) {
       const auto r = run_one(nc, clients);
       row.push_back(TablePrinter::num(r.throughput_rps / base, 2));
+      latency_row.push_back(
+          TablePrinter::num(r.latency_hist.percentile(50.0), 0) + "/" +
+          TablePrinter::num(r.latency_hist.percentile(99.0), 0));
       if (abort_table != nullptr && nc.fixed_length == -1) {
         abort_table->add_row({std::string(title), std::to_string(clients),
                               TablePrinter::num(
@@ -52,8 +59,11 @@ void run_panel(const htm::SystemProfile& profile, const std::string& program,
       }
     }
     table.add_row(row);
+    latency_table.add_row(latency_row);
   }
   emit(table, csv);
+  std::cout << "-- request latency p50/p99 (cycles) --\n";
+  emit(latency_table, csv);
   std::cout << "\n";
 }
 

@@ -31,7 +31,13 @@ HtmFacility::HtmFacility(const HtmConfig& config, sim::Machine* machine)
 
 void HtmFacility::seed_rngs() {
   rng_.clear();
-  Rng seeder(config_.seed);
+  // Shard 0 must reproduce the unsharded stream bit-for-bit, so the shard id
+  // only perturbs the seed when nonzero. reset() calls back into here, which
+  // keeps the (seed, shard_id) derivation across facility resets.
+  u64 seed = config_.seed;
+  if (config_.shard_id != 0)
+    seed = mix64(seed ^ (0x9e3779b97f4a7c15ULL * config_.shard_id));
+  Rng seeder(seed);
   for (u32 i = 0; i < machine_->num_cpus(); ++i) rng_.push_back(seeder.split());
   learning_seed_ = seeder.next_u64();
 }

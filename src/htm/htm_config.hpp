@@ -42,6 +42,14 @@ struct HtmConfig {
 
   /// PRNG seed for interrupt arrival sampling.
   u64 seed = 0x7311c2812425cfa6ULL;
+
+  /// Shard id of the owning engine in a multi-engine (sharded httpsim) run.
+  /// The facility derives its RNG streams from (seed, shard_id) so sibling
+  /// shards sample independent interrupt/learning streams, while shard 0
+  /// stays bit-identical to an unsharded run with the same seed — and
+  /// reset() re-derives from the same pair, so a reset facility never
+  /// collapses onto another shard's stream.
+  u32 shard_id = 0;
 };
 
 }  // namespace gilfree::htm

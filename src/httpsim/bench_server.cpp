@@ -1,30 +1,161 @@
 #include "httpsim/bench_server.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "common/check.hpp"
+#include "common/cli.hpp"
+#include "obs/sink.hpp"
 
 namespace gilfree::httpsim {
+
+namespace {
+
+/// Shared tail of both load models: run the engine over an attached driver
+/// and collect the result. `expected` is the number of scheduled requests;
+/// every one must either complete or be dropped by the admission queue.
+ServerRunResult run_one(runtime::EngineConfig cfg, const std::string& program,
+                        HttpDriver& driver, u32 expected) {
+  runtime::Engine engine(std::move(cfg));
+  engine.load_program({program});
+  engine.attach_server(&driver);
+
+  ServerRunResult result;
+  result.stats = engine.run();
+  result.completed = driver.completed();
+  result.dropped = driver.dropped();
+  GILFREE_CHECK_MSG(result.completed + result.dropped == expected,
+                    "server finished " << result.completed << " + "
+                                       << result.dropped << " dropped of "
+                                       << expected);
+  result.throughput_rps =
+      driver.throughput_rps(engine.config().profile.machine.ghz);
+  result.latency_mean_cycles = driver.latency().mean();
+  result.latency_max_cycles = driver.latency().max();
+  result.queue_mean_cycles = driver.queue_delay().mean();
+  result.latency_hist = driver.latency_hist();
+  result.queue_hist = driver.queue_hist();
+  result.last_response = driver.last_response_time();
+  result.request_log = driver.log_to_string();
+  result.records = driver.log();
+  return result;
+}
+
+}  // namespace
+
+ShardOptions ShardOptions::from_flags(const CliFlags& flags) {
+  ShardOptions o;
+  const long shards = flags.get_int("shards", o.shards);
+  if (shards < 1 || shards > 64)
+    throw std::invalid_argument("--shards must be in [1,64]");
+  o.shards = static_cast<u32>(shards);
+  o.router =
+      parse_router(flags.get("router", std::string(router_name(o.router))));
+  return o;
+}
 
 ServerRunResult run_server(runtime::EngineConfig cfg,
                            const std::string& program_source,
                            const DriverConfig& driver_config) {
   // One VM thread per request plus acceptor/main.
   cfg.heap.max_threads = driver_config.total_requests + 8;
-  ClosedLoopDriver driver(driver_config);
-  runtime::Engine engine(std::move(cfg));
-  engine.load_program({program_source});
-  engine.attach_server(&driver);
+  if (driver_config.arrival == Arrival::kClosed) {
+    ClosedLoopDriver driver(driver_config);
+    ServerRunResult r = run_one(std::move(cfg), program_source, driver,
+                                driver_config.total_requests);
+    GILFREE_CHECK(r.dropped == 0);  // closed loop never overruns the queue
+    return r;
+  }
+  auto schedule =
+      make_schedule(driver_config, cfg.profile.machine.ghz);
+  OpenLoopDriver driver(driver_config, std::move(schedule));
+  return run_one(std::move(cfg), program_source, driver, driver.scheduled());
+}
 
-  ServerRunResult result;
-  result.stats = engine.run();
-  result.completed = driver.completed();
-  GILFREE_CHECK_MSG(result.completed == driver_config.total_requests,
-                    "server completed " << result.completed << " of "
-                                        << driver_config.total_requests);
-  result.throughput_rps =
-      driver.throughput_rps(engine.config().profile.machine.ghz);
-  result.latency_mean_cycles = driver.latency().mean();
-  result.latency_max_cycles = driver.latency().max();
-  return result;
+ShardedRunResult run_sharded(const runtime::EngineConfig& base,
+                             const std::string& program_source,
+                             const DriverConfig& driver_config,
+                             const ShardOptions& options,
+                             obs::Sink* sink,
+                             std::map<std::string, std::string> labels) {
+  GILFREE_CHECK(options.shards >= 1 && options.shards <= 64);
+  const double ghz = base.profile.machine.ghz;
+
+  // Partition the load deterministically before any engine runs, so the
+  // partition depends only on (driver seed, router, shard count).
+  std::vector<DriverConfig> shard_cfg(options.shards, driver_config);
+  std::vector<std::vector<ScheduledRequest>> shard_sched(options.shards);
+  if (driver_config.arrival == Arrival::kClosed) {
+    GILFREE_CHECK_MSG(driver_config.clients >= options.shards,
+                      "closed-loop sharding needs >= 1 client per shard");
+    i64 next_id = driver_config.first_id;
+    for (u32 s = 0; s < options.shards; ++s) {
+      shard_cfg[s].clients = driver_config.clients / options.shards +
+                             (s < driver_config.clients % options.shards);
+      shard_cfg[s].total_requests =
+          driver_config.total_requests / options.shards +
+          (s < driver_config.total_requests % options.shards);
+      shard_cfg[s].first_id = next_id;
+      next_id += shard_cfg[s].total_requests;
+    }
+  } else {
+    const auto schedule = make_schedule(driver_config, ghz);
+    for (const ScheduledRequest& r : schedule) {
+      shard_sched[route_request(options.router, r.id, options.shards,
+                                driver_config.seed)]
+          .push_back(r);
+    }
+    // A shard's offered rate is its share of the global schedule, so the
+    // per-shard metrics annotations sum back to the configured --rps.
+    for (u32 s = 0; s < options.shards; ++s) {
+      shard_cfg[s].rps = driver_config.rps *
+                         static_cast<double>(shard_sched[s].size()) /
+                         static_cast<double>(schedule.size());
+    }
+  }
+
+  ShardedRunResult out;
+  std::vector<RequestRecord> merged;
+  for (u32 s = 0; s < options.shards; ++s) {
+    runtime::EngineConfig cfg = base;
+    cfg.shard_id = s;
+    cfg.shard_count = options.shards;
+    if (sink != nullptr) {
+      auto shard_labels = labels;
+      shard_labels["shard"] = std::to_string(s);
+      shard_labels["shards"] = std::to_string(options.shards);
+      sink->next_labels(std::move(shard_labels));
+      cfg.obs_sink = sink;
+    }
+    ServerRunResult r;
+    if (driver_config.arrival == Arrival::kClosed) {
+      cfg.heap.max_threads = shard_cfg[s].total_requests + 8;
+      ClosedLoopDriver driver(shard_cfg[s]);
+      r = run_one(std::move(cfg), program_source, driver,
+                  shard_cfg[s].total_requests);
+    } else {
+      cfg.heap.max_threads = static_cast<u32>(shard_sched[s].size()) + 8;
+      OpenLoopDriver driver(shard_cfg[s], shard_sched[s]);
+      r = run_one(std::move(cfg), program_source, driver, driver.scheduled());
+    }
+    out.latency_hist.merge(r.latency_hist);
+    out.queue_hist.merge(r.queue_hist);
+    out.completed += r.completed;
+    out.dropped += r.dropped;
+    out.makespan = std::max(out.makespan, r.last_response);
+    merged.insert(merged.end(), r.records.begin(), r.records.end());
+    out.shards.push_back(std::move(r));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.id < b.id;
+            });
+  out.request_log = format_request_log(merged, driver_config.paths);
+  if (out.makespan > 0) {
+    out.throughput_rps = static_cast<double>(out.completed) /
+                         (static_cast<double>(out.makespan) / (ghz * 1e9));
+  }
+  return out;
 }
 
 }  // namespace gilfree::httpsim

@@ -1,25 +1,85 @@
-// Runner for the WEBrick / Rails throughput experiments (Fig. 7).
+// Runners for the server-simulation experiments: the closed-loop WEBrick /
+// Rails throughput panels (Fig. 7) and the open-loop latency/queueing runs,
+// optionally sharded across multiple independent engines.
 #pragma once
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "httpsim/client_driver.hpp"
+#include "obs/latency_hist.hpp"
 #include "runtime/engine.hpp"
+
+namespace gilfree::obs {
+class Sink;
+}
 
 namespace gilfree::httpsim {
 
 struct ServerRunResult {
   double throughput_rps = 0.0;  ///< Requests per virtual second.
   u32 completed = 0;
-  double latency_mean_cycles = 0.0;  ///< Mean issue→response latency.
+  u32 dropped = 0;  ///< Tail-dropped by the bounded admission queue.
+  double latency_mean_cycles = 0.0;  ///< Mean arrival→response latency.
   double latency_max_cycles = 0.0;
+  double queue_mean_cycles = 0.0;  ///< Mean arrival→accept queueing delay.
+  obs::LatencyHistogram latency_hist;
+  obs::LatencyHistogram queue_hist;
+  Cycles last_response = 0;
+  /// Canonical per-request log (format_request_log); differential-test
+  /// ground truth, byte-identical across same-seed runs.
+  std::string request_log;
+  std::vector<RequestRecord> records;
   runtime::RunStats stats;
+
+  double latency_p(double p) const { return latency_hist.percentile(p); }
 };
 
-/// Runs `program_source` (webrick_source()/rails_source()) against a
-/// closed-loop driver with `driver_config` on the given engine config.
+/// Multi-engine sharding of one logical server run (--shards=, --router=).
+struct ShardOptions {
+  u32 shards = 1;
+  Router router = Router::kHash;
+
+  /// Reads --shards= and --router=; throws std::invalid_argument on
+  /// semantic errors (strict-CLI convention).
+  static ShardOptions from_flags(const CliFlags& flags);
+};
+
+/// A sharded run's merged view plus the per-shard results.
+struct ShardedRunResult {
+  std::vector<ServerRunResult> shards;
+  obs::LatencyHistogram latency_hist;  ///< Merged across shards.
+  obs::LatencyHistogram queue_hist;
+  u64 completed = 0;
+  u64 dropped = 0;
+  Cycles makespan = 0;  ///< Latest response across shards (shared t=0 epoch).
+  double throughput_rps = 0.0;  ///< completed / makespan.
+  std::string request_log;  ///< Global-id-ordered merge of the shard logs.
+};
+
+/// Runs `program_source` (webrick_source()/rails_source()) against the load
+/// described by `driver_config` — closed-loop or open-loop per
+/// driver_config.arrival — on the given engine config.
 ServerRunResult run_server(runtime::EngineConfig cfg,
                            const std::string& program_source,
                            const DriverConfig& driver_config);
+
+/// Runs one logical server workload split across `options.shards`
+/// independent engines. Every shard engine is cloned from `base` (with
+/// shard_id/shard_count set), shares the t=0 virtual epoch, and executes its
+/// deterministic slice of the load: the open-loop arrival schedule is
+/// pre-generated once and partitioned by the router; closed-loop clients and
+/// request counts are split round-robin. Shards run sequentially (they are
+/// independent simulations), and the merged result combines histograms,
+/// counts, and the global request log; throughput uses the makespan across
+/// shards. When `sink` is set, each shard's run is delivered to it tagged
+/// with `labels` plus shard=<i>/shards=<n>.
+ShardedRunResult run_sharded(const runtime::EngineConfig& base,
+                             const std::string& program_source,
+                             const DriverConfig& driver_config,
+                             const ShardOptions& options,
+                             obs::Sink* sink = nullptr,
+                             std::map<std::string, std::string> labels = {});
 
 }  // namespace gilfree::httpsim

@@ -1,61 +1,249 @@
 #include "httpsim/client_driver.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
 #include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace gilfree::httpsim {
 
-ClosedLoopDriver::ClosedLoopDriver(DriverConfig config)
-    : config_(std::move(config)) {
-  GILFREE_CHECK(config_.clients >= 1);
+Arrival parse_arrival(const std::string& s) {
+  if (s == "closed") return Arrival::kClosed;
+  if (s == "poisson") return Arrival::kPoisson;
+  if (s == "mmpp") return Arrival::kMmpp;
+  throw std::invalid_argument("--arrival must be closed, poisson, or mmpp (got \"" +
+                              s + "\")");
+}
+
+Router parse_router(const std::string& s) {
+  if (s == "hash") return Router::kHash;
+  if (s == "rr") return Router::kRoundRobin;
+  throw std::invalid_argument("--router must be hash or rr (got \"" + s +
+                              "\")");
+}
+
+DriverConfig DriverConfig::from_flags(const CliFlags& flags) {
+  DriverConfig d;
+  d.arrival =
+      parse_arrival(flags.get("arrival", std::string(arrival_name(d.arrival))));
+  const long clients = flags.get_int("clients", d.clients);
+  if (clients < 1) throw std::invalid_argument("--clients must be >= 1");
+  d.clients = static_cast<u32>(clients);
+  const long requests = flags.get_int("requests", d.total_requests);
+  if (requests < 1) throw std::invalid_argument("--requests must be >= 1");
+  d.total_requests = static_cast<u32>(requests);
+  const long turnaround =
+      flags.get_int("turnaround", static_cast<long>(d.client_turnaround));
+  if (turnaround < 0) throw std::invalid_argument("--turnaround must be >= 0");
+  d.client_turnaround = static_cast<Cycles>(turnaround);
+  d.rps = flags.get_double("rps", d.rps);
+  if (!(d.rps > 0.0)) throw std::invalid_argument("--rps must be > 0");
+  d.burst_factor = flags.get_double("burst-factor", d.burst_factor);
+  if (!(d.burst_factor >= 1.0))
+    throw std::invalid_argument("--burst-factor must be >= 1");
+  const long burst_on =
+      flags.get_int("burst-on", static_cast<long>(d.burst_on));
+  const long burst_off =
+      flags.get_int("burst-off", static_cast<long>(d.burst_off));
+  if (burst_on < 1 || burst_off < 1)
+    throw std::invalid_argument("--burst-on/--burst-off must be >= 1 cycles");
+  d.burst_on = static_cast<Cycles>(burst_on);
+  d.burst_off = static_cast<Cycles>(burst_off);
+  const long queue_limit = flags.get_int("queue-limit", d.queue_limit);
+  if (queue_limit < 1)
+    throw std::invalid_argument("--queue-limit must be >= 1");
+  d.queue_limit = static_cast<u32>(queue_limit);
+  d.churn = flags.get_double("churn", d.churn);
+  if (d.churn < 0.0 || d.churn > 1.0)
+    throw std::invalid_argument("--churn must be in [0,1]");
+  d.seed = static_cast<u64>(flags.get_int("load-seed", static_cast<long>(d.seed)));
+  return d;
+}
+
+std::vector<ScheduledRequest> make_schedule(const DriverConfig& config,
+                                            double ghz) {
+  GILFREE_CHECK_MSG(config.arrival != Arrival::kClosed,
+                    "closed-loop load has no pre-generated schedule");
+  GILFREE_CHECK(config.rps > 0.0);
+  GILFREE_CHECK(!config.paths.empty());
+  const double cycles_per_second = ghz * 1e9;
+  // Base (quiet-state) mean inter-arrival gap in cycles. For MMPP the quiet
+  // rate is normalized so the long-run average still meets config.rps:
+  //   rps = lambda_quiet * (1 - f_on) + lambda_quiet * factor * f_on
+  double quiet_gap = cycles_per_second / config.rps;
+  if (config.arrival == Arrival::kMmpp) {
+    const double f_on =
+        static_cast<double>(config.burst_on) /
+        static_cast<double>(config.burst_on + config.burst_off);
+    quiet_gap *= 1.0 - f_on + config.burst_factor * f_on;
+  }
+  const double burst_gap = quiet_gap / config.burst_factor;
+
+  Rng rng(mix64(config.seed ^ 0x6f70656e6c6f6f70ULL));  // "openloop"
+  std::vector<ScheduledRequest> schedule;
+  schedule.reserve(config.total_requests);
+  Cycles t = 0;
+  bool bursting = false;
+  Cycles next_switch = 0;
+  if (config.arrival == Arrival::kMmpp) {
+    next_switch = t + static_cast<Cycles>(std::max(
+                          1.0, rng.next_exponential(
+                                   static_cast<double>(config.burst_off))));
+  }
+  for (u32 i = 0; i < config.total_requests; ++i) {
+    for (;;) {
+      const double mean = bursting ? burst_gap : quiet_gap;
+      const double gap = std::max(1.0, rng.next_exponential(mean));
+      if (config.arrival == Arrival::kMmpp &&
+          t + static_cast<Cycles>(gap) >= next_switch) {
+        // Cross into the other modulation state and redraw (the exponential
+        // is memoryless, so discarding the truncated gap is exact).
+        t = next_switch;
+        bursting = !bursting;
+        const Cycles dwell = bursting ? config.burst_on : config.burst_off;
+        next_switch = t + static_cast<Cycles>(std::max(
+                              1.0, rng.next_exponential(
+                                       static_cast<double>(dwell))));
+        continue;
+      }
+      t += static_cast<Cycles>(gap);
+      break;
+    }
+    ScheduledRequest r;
+    r.id = config.first_id + static_cast<i64>(i);
+    r.at = t;
+    r.path = i % static_cast<u32>(config.paths.size());
+    r.close = rng.next_bool(config.churn);
+    schedule.push_back(r);
+  }
+  return schedule;
+}
+
+u32 route_request(Router router, i64 id, u32 shards, u64 seed) {
+  GILFREE_CHECK(shards >= 1);
+  const u64 uid = static_cast<u64>(id);
+  switch (router) {
+    case Router::kRoundRobin:
+      return static_cast<u32>(uid % shards);
+    case Router::kHash:
+      return static_cast<u32>(mix64(uid * 0x9e3779b97f4a7c15ULL ^ seed) %
+                              shards);
+  }
+  return 0;
+}
+
+// --- HttpDriver ------------------------------------------------------------
+
+HttpDriver::HttpDriver(DriverConfig config) : config_(std::move(config)) {
   GILFREE_CHECK(!config_.paths.empty());
+}
+
+RequestRecord& HttpDriver::locate(i64 request_id) {
+  return records_.at(static_cast<std::size_t>(request_id - config_.first_id));
+}
+
+Cycles HttpDriver::request_issued_at(i64 request_id) {
+  return locate(request_id).arrival;
+}
+
+Cycles HttpDriver::request_accepted_at(i64 request_id) {
+  return locate(request_id).accepted;
+}
+
+std::string HttpDriver::render_payload(const RequestRecord& r) const {
+  return "GET " + config_.paths[r.path] +
+         " HTTP/1.1\r\n"
+         "Host: sim.example.com\r\n"
+         "User-Agent: gilfree-driver/1.0\r\n"
+         "Accept: text/html\r\n"
+         "Connection: " +
+         (r.close ? "close" : "keep-alive") + "\r\n\r\n";
+}
+
+void HttpDriver::note_response(RequestRecord& r, std::string_view body,
+                               Cycles now) {
+  r.responded = now;
+  const Cycles lat = now > r.arrival ? now - r.arrival : 0;
+  const Cycles queued =
+      r.accepted > r.arrival ? r.accepted - r.arrival : 0;
+  latency_.add(static_cast<double>(lat));
+  latency_hist_.add(lat);
+  queue_delay_.add(static_cast<double>(queued));
+  queue_hist_.add(queued);
+  ++completed_;
+  GILFREE_CHECK(in_flight_ > 0);
+  --in_flight_;
+  last_response_ = std::max(last_response_, now);
+  response_bytes_ += body.size();
+}
+
+double HttpDriver::throughput_rps(double ghz) const {
+  if (completed_ == 0 || last_response_ == 0) return 0.0;
+  const double seconds = static_cast<double>(last_response_) / (ghz * 1e9);
+  return seconds > 0 ? completed_ / seconds : 0.0;
+}
+
+std::string format_request_log(const std::vector<RequestRecord>& records,
+                               const std::vector<std::string>& paths) {
+  std::ostringstream out;
+  for (const RequestRecord& r : records) {
+    out << r.id << '\t' << r.arrival << '\t' << r.accepted << '\t'
+        << r.responded << '\t' << paths.at(r.path) << '\t'
+        << (r.close ? "close" : "keep") << '\t'
+        << (r.dropped ? "drop" : "ok") << '\n';
+  }
+  return out.str();
+}
+
+std::string HttpDriver::log_to_string() const {
+  return format_request_log(records_, config_.paths);
+}
+
+// --- ClosedLoopDriver ------------------------------------------------------
+
+ClosedLoopDriver::ClosedLoopDriver(DriverConfig config)
+    : HttpDriver(std::move(config)) {
+  GILFREE_CHECK(config_.clients >= 1);
+  GILFREE_CHECK(config_.arrival == Arrival::kClosed);
   // Each client issues its first request at time ~0 (staggered slightly so
   // arrival order is deterministic and distinct).
-  const u32 first_wave =
-      std::min(config_.clients, config_.total_requests);
+  const u32 first_wave = std::min(config_.clients, config_.total_requests);
   for (u32 c = 0; c < first_wave; ++c) issue(c * 100);
 }
 
 void ClosedLoopDriver::issue(Cycles at) {
   GILFREE_CHECK(issued_ < config_.total_requests);
-  const i64 id = static_cast<i64>(issued_);
-  const std::string& path = config_.paths[issued_ % config_.paths.size()];
-  payloads_.push_back("GET " + path +
-                      " HTTP/1.1\r\n"
-                      "Host: sim.example.com\r\n"
-                      "User-Agent: gilfree-driver/1.0\r\n"
-                      "Accept: text/html\r\n"
-                      "Connection: keep-alive\r\n\r\n");
-  issue_times_.push_back(at);
+  RequestRecord r;
+  r.id = config_.first_id + static_cast<i64>(issued_);
+  r.arrival = at;
+  r.path = issued_ % static_cast<u32>(config_.paths.size());
+  records_.push_back(r);
   if (issued_ == 0 || at < first_issue_) first_issue_ = at;
   ++issued_;
   ++in_flight_;
-  arrivals_.push(Pending{at, id});
+  arrivals_.push(Pending{at, r.id});
 }
 
 i64 ClosedLoopDriver::accept(Cycles now) {
   if (arrivals_.empty() || arrivals_.top().at > now) return -1;
   const i64 id = arrivals_.top().id;
   arrivals_.pop();
+  locate(id).accepted = now;
   return id;
 }
 
 std::string ClosedLoopDriver::payload(i64 request_id) {
-  return payloads_.at(static_cast<std::size_t>(request_id));
-}
-
-Cycles ClosedLoopDriver::request_issued_at(i64 request_id) {
-  return issue_times_.at(static_cast<std::size_t>(request_id));
+  return render_payload(locate(request_id));
 }
 
 void ClosedLoopDriver::respond(i64 request_id, std::string_view body,
                                Cycles now) {
-  const Cycles issued = request_issued_at(request_id);
-  latency_.add(now > issued ? static_cast<double>(now - issued) : 0.0);
-  ++completed_;
-  GILFREE_CHECK(in_flight_ > 0);
-  --in_flight_;
-  last_response_ = std::max(last_response_, now);
-  response_bytes_ += body.size();
+  note_response(locate(request_id), body, now);
   if (issued_ < config_.total_requests) {
     issue(now + config_.client_turnaround);
   }
@@ -67,11 +255,85 @@ bool ClosedLoopDriver::shutdown(Cycles now) {
          arrivals_.empty();
 }
 
-double ClosedLoopDriver::throughput_rps(double ghz) const {
-  if (completed_ == 0 || last_response_ == 0) return 0.0;
-  const double seconds =
-      static_cast<double>(last_response_) / (ghz * 1e9);
-  return seconds > 0 ? completed_ / seconds : 0.0;
+void ClosedLoopDriver::annotate_request_metrics(obs::RequestMetrics& m) const {
+  m.arrival = std::string(arrival_name(Arrival::kClosed));
+  m.offered_rps = 0.0;  // closed loop: offered load tracks service rate
+  m.dropped = 0;
+}
+
+// --- OpenLoopDriver --------------------------------------------------------
+
+OpenLoopDriver::OpenLoopDriver(DriverConfig config,
+                               std::vector<ScheduledRequest> schedule)
+    : HttpDriver(std::move(config)) {
+  GILFREE_CHECK(config_.arrival != Arrival::kClosed);
+  records_.reserve(schedule.size());
+  ids_.reserve(schedule.size());
+  Cycles prev = 0;
+  for (const ScheduledRequest& s : schedule) {
+    GILFREE_CHECK_MSG(s.at >= prev, "schedule must be ascending in time");
+    prev = s.at;
+    RequestRecord r;
+    r.id = s.id;
+    r.arrival = s.at;
+    r.path = s.path;
+    r.close = s.close;
+    records_.push_back(r);
+    ids_.push_back(s.id);
+  }
+  if (!records_.empty()) first_issue_ = records_.front().arrival;
+}
+
+RequestRecord& OpenLoopDriver::locate(i64 request_id) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), request_id);
+  GILFREE_CHECK_MSG(it != ids_.end() && *it == request_id,
+                    "unknown request id " << request_id);
+  return records_[static_cast<std::size_t>(it - ids_.begin())];
+}
+
+void OpenLoopDriver::drain_arrivals(Cycles now) {
+  while (next_arrival_ < records_.size() &&
+         records_[next_arrival_].arrival <= now) {
+    RequestRecord& r = records_[next_arrival_];
+    if (queue_.size() >= config_.queue_limit) {
+      r.dropped = true;
+      ++dropped_;
+    } else {
+      queue_.push_back(next_arrival_);
+      ++issued_;
+    }
+    ++next_arrival_;
+  }
+}
+
+i64 OpenLoopDriver::accept(Cycles now) {
+  drain_arrivals(now);
+  if (queue_.empty()) return -1;
+  RequestRecord& r = records_[queue_.front()];
+  queue_.pop_front();
+  r.accepted = now;
+  ++in_flight_;
+  return r.id;
+}
+
+std::string OpenLoopDriver::payload(i64 request_id) {
+  return render_payload(locate(request_id));
+}
+
+void OpenLoopDriver::respond(i64 request_id, std::string_view body,
+                             Cycles now) {
+  note_response(locate(request_id), body, now);
+}
+
+bool OpenLoopDriver::shutdown(Cycles now) {
+  drain_arrivals(now);
+  return next_arrival_ >= records_.size() && queue_.empty() && in_flight_ == 0;
+}
+
+void OpenLoopDriver::annotate_request_metrics(obs::RequestMetrics& m) const {
+  m.arrival = std::string(arrival_name(config_.arrival));
+  m.offered_rps = config_.rps;
+  m.dropped = dropped_;
 }
 
 }  // namespace gilfree::httpsim

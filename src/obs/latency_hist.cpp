@@ -1,0 +1,86 @@
+#include "obs/latency_hist.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace gilfree::obs {
+
+u32 LatencyHistogram::bucket_of(u64 v) {
+  if (v < kSubBuckets) return static_cast<u32>(v);
+  // Octave of the most significant bit; sub-bucket from the next kSubBits
+  // bits. Octave g (>= 1) covers [8 << (g-1), 16 << (g-1)).
+  const u32 msb = 63 - static_cast<u32>(std::countl_zero(v));
+  const u32 g = msb - kSubBits + 1;
+  const u32 sub = static_cast<u32>((v >> (g - 1)) - kSubBuckets);
+  return g * kSubBuckets + sub;
+}
+
+u64 LatencyHistogram::bucket_lo(u32 i) {
+  if (i < kSubBuckets) return i;
+  const u32 g = i / kSubBuckets;
+  const u32 sub = i % kSubBuckets;
+  return static_cast<u64>(kSubBuckets + sub) << (g - 1);
+}
+
+u64 LatencyHistogram::bucket_hi(u32 i) {
+  if (i < kSubBuckets) return i + 1;
+  const u32 g = i / kSubBuckets;
+  return bucket_lo(i) + (u64{1} << (g - 1));
+}
+
+void LatencyHistogram::add(u64 v, u64 weight) {
+  if (weight == 0) return;
+  counts_[bucket_of(v)] += weight;
+  if (total_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  total_ += weight;
+  sum_ += v * weight;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  if (o.total_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  if (total_ == 0 || o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+  total_ += o.total_;
+  sum_ += o.sum_;
+}
+
+u64 LatencyHistogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the percentile sample, 1-based: the smallest rank such that
+  // rank/total >= p/100 (nearest-rank definition), at least 1.
+  u64 rank = static_cast<u64>(static_cast<double>(total_) * p / 100.0);
+  if (static_cast<double>(rank) * 100.0 < static_cast<double>(total_) * p ||
+      rank == 0)
+    ++rank;
+  if (rank > total_) rank = total_;
+  u64 cum = 0;
+  for (u32 i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      // Highest value equivalent to this bucket, clamped to the observed
+      // maximum so a lone sample reports itself exactly.
+      const u64 hi = bucket_hi(i) - 1;
+      return hi < max_ ? hi : max_;
+    }
+  }
+  return max_;  // unreachable: counts_ sums to total_
+}
+
+std::string LatencyHistogram::to_sparse_string() const {
+  std::string out;
+  for (u32 i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!out.empty()) out.push_back(',');
+    out += std::to_string(bucket_lo(i));
+    out.push_back(':');
+    out += std::to_string(counts_[i]);
+  }
+  return out;
+}
+
+}  // namespace gilfree::obs

@@ -89,6 +89,42 @@ void append_yield_point(std::string& out, i32 yp,
   out += "}}";
 }
 
+void append_requests(std::string& out, const RequestMetrics& r) {
+  out += "{\"completed\":";
+  json_append_number(out, r.completed);
+  out += ",\"dropped\":";
+  json_append_number(out, r.dropped);
+  out += ",\"latency_min\":";
+  json_append_number(out, r.latency_min);
+  out += ",\"latency_max\":";
+  json_append_number(out, r.latency_max);
+  out += ",\"latency_mean\":";
+  json_append_number(out, r.latency_mean());
+  out += ",\"latency_p50\":";
+  json_append_number(out, r.latency_hist.percentile(50.0));
+  out += ",\"latency_p90\":";
+  json_append_number(out, r.latency_hist.percentile(90.0));
+  out += ",\"latency_p99\":";
+  json_append_number(out, r.latency_hist.percentile(99.0));
+  out += ",\"latency_p999\":";
+  json_append_number(out, r.latency_hist.percentile(99.9));
+  out += ",\"queue_mean\":";
+  json_append_number(out, r.queue_mean());
+  out += ",\"queue_max\":";
+  json_append_number(out, r.queue_max);
+  out += ",\"queue_p50\":";
+  json_append_number(out, r.queue_hist.percentile(50.0));
+  out += ",\"queue_p99\":";
+  json_append_number(out, r.queue_hist.percentile(99.0));
+  out += ",\"arrival\":";
+  json_append_string(out, r.arrival);
+  out += ",\"offered_rps\":";
+  json_append_number(out, r.offered_rps);
+  out += ",\"latency_hist\":";
+  json_append_string(out, r.latency_hist.to_sparse_string());
+  out.push_back('}');
+}
+
 void append_cycles(std::string& out, const CycleMetrics& c) {
   out += "{\"begin_end\":";
   json_append_number(out, c.begin_end);
@@ -178,15 +214,9 @@ void append_run(std::string& out, const RunMetrics& m) {
     first = false;
     append_yield_point(out, yp, ym);
   }
-  out += "],\"requests\":{\"completed\":";
-  json_append_number(out, m.requests.completed);
-  out += ",\"latency_min\":";
-  json_append_number(out, m.requests.latency_min);
-  out += ",\"latency_max\":";
-  json_append_number(out, m.requests.latency_max);
-  out += ",\"latency_mean\":";
-  json_append_number(out, m.requests.latency_mean());
-  out += "},\"trace\":{\"sample\":";
+  out += "],\"requests\":";
+  append_requests(out, m.requests);
+  out += ",\"trace\":{\"sample\":";
   json_append_number(out, m.trace_sample);
   out += ",\"events_seen\":";
   json_append_number(out, m.events_seen);
@@ -217,7 +247,7 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
     for (std::size_t r = 0; r < t.aborts_by_reason.size(); ++r)
       t.aborts_by_reason[r] += m.aborts_by_reason[r];
     t.gil_fallbacks += m.gil_fallbacks;
-    t.requests.completed += m.requests.completed;
+    t.requests.merge(m.requests);
     t.quarantine_enters += m.quarantine_enters;
     t.quarantine_probes += m.quarantine_probes;
     t.quarantine_exits += m.quarantine_exits;
@@ -249,8 +279,31 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
   json_append_number(out, t.faults_injected());
   out += ",\"requests_completed\":";
   json_append_number(out, t.requests.completed);
+  // Cross-run (per-shard) request merge: the histograms add, so the
+  // percentiles here are the merged-population percentiles a single
+  // unsharded histogram of every request would report.
+  out += ",\"requests\":";
+  append_requests(out, t.requests);
   out += "}}\n";
   return out;
+}
+
+void RequestMetrics::merge(const RequestMetrics& o) {
+  if (o.completed > 0) {
+    if (completed == 0 || o.latency_min < latency_min)
+      latency_min = o.latency_min;
+    if (o.latency_max > latency_max) latency_max = o.latency_max;
+  }
+  completed += o.completed;
+  dropped += o.dropped;
+  latency_sum += o.latency_sum;
+  queue_sum += o.queue_sum;
+  if (o.queue_max > queue_max) queue_max = o.queue_max;
+  latency_hist.merge(o.latency_hist);
+  queue_hist.merge(o.queue_hist);
+  if (arrival.empty()) arrival = o.arrival;
+  // Shards split one offered stream: rates add when both sides carry one.
+  offered_rps += o.offered_rps;
 }
 
 }  // namespace gilfree::obs

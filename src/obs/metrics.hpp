@@ -13,6 +13,7 @@
 #include "common/types.hpp"
 #include "fault/fault_kind.hpp"
 #include "htm/abort_reason.hpp"
+#include "obs/latency_hist.hpp"
 
 namespace gilfree::obs {
 
@@ -40,18 +41,40 @@ struct YieldPointMetrics {
   }
 };
 
-/// httpsim per-request latency aggregate (cycles are virtual).
+/// httpsim per-request latency aggregate (cycles are virtual). Total latency
+/// is client arrival → server response, i.e. queue delay + service time; the
+/// queue component (arrival → accept) is additionally tracked on its own so
+/// open-loop runs expose queueing delay explicitly. Percentiles come from
+/// the fixed-bucket log2 histograms (docs/OBSERVABILITY.md).
 struct RequestMetrics {
   u64 completed = 0;
+  u64 dropped = 0;  ///< Admission-queue rejections (open-loop drivers only).
   Cycles latency_min = 0;
   Cycles latency_max = 0;
   Cycles latency_sum = 0;
+  Cycles queue_sum = 0;
+  Cycles queue_max = 0;
+  LatencyHistogram latency_hist;  ///< queue delay + service, per request.
+  LatencyHistogram queue_hist;    ///< queue delay alone, per request.
+
+  // Stamped by the attached ServerPort when the run finishes (engine calls
+  // ServerPort::annotate_request_metrics); empty/0 for ports that predate
+  // the open-loop drivers.
+  std::string arrival;       ///< Arrival process: "closed"/"poisson"/"mmpp".
+  double offered_rps = 0.0;  ///< Configured open-loop rate; 0 = closed loop.
 
   double latency_mean() const {
     return completed ? static_cast<double>(latency_sum) /
                            static_cast<double>(completed)
                      : 0.0;
   }
+  double queue_mean() const {
+    return completed ? static_cast<double>(queue_sum) /
+                           static_cast<double>(completed)
+                     : 0.0;
+  }
+  /// Cross-shard / cross-run merge: histograms add, extrema combine.
+  void merge(const RequestMetrics& o);
 };
 
 /// Fig. 8 cycle buckets, mirrored from runtime::CycleBreakdown (obs cannot

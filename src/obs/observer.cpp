@@ -61,11 +61,16 @@ void RunObserver::on_gil_fallback(Cycles t, u32 tid, CpuId cpu, i32 yp) {
   recorder_.record(e);
 }
 
-void RunObserver::on_request(Cycles t, u32 tid, i64 req_id, Cycles latency) {
+void RunObserver::on_request(Cycles t, u32 tid, i64 req_id, Cycles latency,
+                             Cycles queue) {
   RequestMetrics& r = metrics_.requests;
   if (r.completed == 0 || latency < r.latency_min) r.latency_min = latency;
   if (latency > r.latency_max) r.latency_max = latency;
   r.latency_sum += latency;
+  r.queue_sum += queue;
+  if (queue > r.queue_max) r.queue_max = queue;
+  r.latency_hist.add(latency);
+  r.queue_hist.add(queue);
   ++r.completed;
   TraceEvent e;
   e.kind = EventKind::kRequest;
@@ -73,6 +78,7 @@ void RunObserver::on_request(Cycles t, u32 tid, i64 req_id, Cycles latency) {
   e.tid = tid;
   e.req = req_id;
   e.latency = latency;
+  e.queue = queue;
   recorder_.record(e);
 }
 

@@ -28,7 +28,10 @@ class RunObserver {
   void on_tx_abort(Cycles t, u32 tid, CpuId cpu, i32 yp, u32 length,
                    htm::AbortReason reason);
   void on_gil_fallback(Cycles t, u32 tid, CpuId cpu, i32 yp);
-  void on_request(Cycles t, u32 tid, i64 req_id, Cycles latency);
+  /// `queue` is the arrival→accept component of `latency`; ports that do
+  /// not track accept times pass 0.
+  void on_request(Cycles t, u32 tid, i64 req_id, Cycles latency,
+                  Cycles queue = 0);
 
   // Robustness events (docs/ROBUSTNESS.md): quarantine state transitions,
   // injected faults, and starvation-watchdog reports.

@@ -47,6 +47,8 @@ std::string trace_event_to_jsonl(const TraceEvent& e, u32 run) {
       json_append_number(out, e.req);
       out += ",\"latency\":";
       json_append_number(out, e.latency);
+      out += ",\"queue\":";
+      json_append_number(out, e.queue);
       break;
     case EventKind::kQuarantineEnter:
     case EventKind::kQuarantineProbe:

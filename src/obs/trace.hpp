@@ -84,6 +84,9 @@ struct TraceEvent {
   htm::AbortReason reason = htm::AbortReason::kNone;  ///< kTxAbort only.
   i64 req = -1;         ///< Request id (kRequest only).
   Cycles latency = 0;   ///< Request latency in cycles (kRequest only).
+  Cycles queue = 0;     ///< Queue-delay component (arrival → accept) of the
+                        ///< latency (kRequest only; 0 for ports that do not
+                        ///< track accept times).
   u8 detail = 0;        ///< fault::FaultKind (kFault) / WatchdogKind
                         ///< (kWatchdog); 0 otherwise.
 };

@@ -76,6 +76,13 @@ Engine::Engine(EngineConfig config)
   // charge_fast falls back to the virtual charge() with the same amounts.
   fast.mem_access_cost = config_.profile.machine.cost.mem_access;
   fast.dispatch_cost = config_.profile.machine.cost.dispatch;
+  GILFREE_CHECK_MSG(config_.shard_id < std::max<u32>(config_.shard_count, 1),
+                    "shard_id " << config_.shard_id
+                                << " out of range for shard_count "
+                                << config_.shard_count);
+  // Each shard's HTM facility derives its RNG streams from (seed, shard_id):
+  // independent interrupt arrivals per shard, shard 0 ≡ unsharded.
+  config_.profile.htm.shard_id = config_.shard_id;
   if (config_.mode == SyncMode::kHtm) {
     htm_ = std::make_unique<htm::HtmFacility>(config_.profile.htm,
                                               machine_.get());
@@ -321,6 +328,7 @@ RunStats Engine::run() {
 
   if (obs_ && config_.obs_sink != nullptr) {
     obs::RunMetrics m = obs_->finalize();
+    if (server_ != nullptr) server_->annotate_request_metrics(m.requests);
     m.labels = config_.obs_sink->take_labels();
     m.seed = config_.seed;
     m.mode = std::string(sync_mode_name(config_.mode));
@@ -1224,8 +1232,11 @@ void Engine::respond(i64 request_id, std::string_view payload) {
   const Cycles now = now_cycles();
   if (obs_) {
     const Cycles issued = server_->request_issued_at(request_id);
+    const Cycles accepted = server_->request_accepted_at(request_id);
+    const Cycles queue =
+        accepted > issued && accepted <= now ? accepted - issued : 0;
     obs_->on_request(now, cur().vm->tid(), request_id,
-                     now > issued ? now - issued : 0);
+                     now > issued ? now - issued : 0, queue);
   }
   server_->respond(request_id, payload, now);
 }

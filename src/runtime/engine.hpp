@@ -49,6 +49,18 @@ class ServerPort {
     (void)request_id;
     return 0;
   }
+  /// When accept() dequeued the request, for queue-delay accounting; 0 when
+  /// the port does not track accept times.
+  virtual Cycles request_accepted_at(i64 request_id) {
+    (void)request_id;
+    return 0;
+  }
+  /// Stamps port-side request accounting (admission-queue drops, the arrival
+  /// process name, the offered rate) into the run's metrics document; called
+  /// once at the end of Engine::run(). Default: nothing to add.
+  virtual void annotate_request_metrics(obs::RequestMetrics& m) const {
+    (void)m;
+  }
 };
 
 // `final` closes the virtual-dispatch seam: the compiler can devirtualize

@@ -58,6 +58,19 @@ struct EngineConfig {
   WatchdogConfig watchdog;
   u64 seed = 0x6112024;
 
+  /// Multi-engine sharding (httpsim): this engine's shard id and the total
+  /// shard count of the run it belongs to. Every shard engine starts its
+  /// virtual clocks at the shared t=0 epoch and ticks at the same GHz, so
+  /// cross-shard timestamps (open-loop arrival times, merged latency
+  /// histograms, trace events) are directly comparable without any runtime
+  /// clock exchange — the coordination is the common epoch plus the
+  /// deterministic pre-partitioned arrival schedule. The shard id is also
+  /// mixed into the HTM facility's RNG derivation (htm::HtmConfig::shard_id)
+  /// so sibling shards draw independent interrupt/learning streams while
+  /// shard 0 stays bit-identical to the equivalent unsharded run.
+  u32 shard_id = 0;
+  u32 shard_count = 1;
+
   /// GIL-mode timer quantum (§3.2: 250 ms real; scaled to the simulator's
   /// shorter runs — the ratio to run length is what matters).
   Cycles gil_quantum = 1'000'000;

@@ -272,6 +272,65 @@ TEST(Htm, ResetRederivesRngStreamsForIdenticalReplay) {
   EXPECT_EQ(a.aborts_by_reason, b.aborts_by_reason);
 }
 
+TEST(Htm, ShardRngDerivationKeepsShardZeroIdenticalAndResetStable) {
+  // Multi-engine sharding derives each shard's RNG streams from
+  // (seed, shard_id). Three contracts: shard 0 is bit-identical to the
+  // unsharded facility, sibling shards draw an independent stream, and
+  // reset() re-derives the *shard* stream (not the unsharded one) so a
+  // shard replays identically after a reset.
+  auto profile = SystemProfile::xeon_e3();
+  profile.htm.interrupt_mean_cycles = 2'000;
+
+  auto drive = [](Fixture& f) {
+    u64 word = 0;
+    for (int t = 0; t < 400; ++t) {
+      if (f.htm.tx_begin(0) != AbortReason::kNone) {
+        f.machine.advance(0, 200);
+        continue;
+      }
+      try {
+        for (int i = 0; i < 4; ++i) {
+          f.machine.advance(0, 300);
+          (void)f.htm.tx_load(0, &word, true);
+        }
+        (void)f.htm.tx_commit(0);
+      } catch (const TxAbort&) {
+      }
+    }
+    return f.htm.total_stats();
+  };
+
+  Fixture unsharded(profile);
+  const HtmStats base = drive(unsharded);
+  ASSERT_GT(base.total_aborts(), 0u) << "interrupts must fire in this setup";
+
+  auto shard0_profile = profile;
+  shard0_profile.htm.shard_id = 0;
+  Fixture shard0(shard0_profile);
+  const HtmStats s0 = drive(shard0);
+  EXPECT_EQ(base.begins, s0.begins);
+  EXPECT_EQ(base.commits, s0.commits);
+  EXPECT_EQ(base.aborts_by_reason, s0.aborts_by_reason)
+      << "shard 0 must be bit-identical to the unsharded run";
+
+  auto shard1_profile = profile;
+  shard1_profile.htm.shard_id = 1;
+  Fixture shard1(shard1_profile);
+  const HtmStats s1 = drive(shard1);
+  EXPECT_NE(base.aborts_by_reason, s1.aborts_by_reason)
+      << "sibling shards must draw independent interrupt streams";
+
+  // Regression: reset() used to be equivalent only for shard 0; a sharded
+  // facility must come back on its own (seed, shard_id) stream.
+  shard1.htm.reset();
+  shard1.machine.reset();
+  const HtmStats replay = drive(shard1);
+  EXPECT_EQ(s1.begins, replay.begins);
+  EXPECT_EQ(s1.commits, replay.commits);
+  EXPECT_EQ(s1.aborts_by_reason, replay.aborts_by_reason)
+      << "reset() must re-derive the shard stream for identical replay";
+}
+
 TEST(ConflictTable, ReaderWriterTracking) {
   ConflictTable t;
   EXPECT_EQ(t.add_reader(10, 0), 0u);

@@ -1,0 +1,234 @@
+// Open-loop correctness: the arrival processes deliver the configured
+// offered rate, queueing behaves like a queue (delay >= 0, monotone with
+// offered load, bounded admission drops under overload), schedules are
+// seed-deterministic, and every new CLI flag rejects bad values with
+// std::invalid_argument (the strict-CLI convention of the bench binaries).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "htm/profile.hpp"
+#include "httpsim/bench_server.hpp"
+#include "httpsim/client_driver.hpp"
+#include "httpsim/server_programs.hpp"
+#include "runtime/engine.hpp"
+
+namespace gilfree {
+namespace {
+
+using httpsim::Arrival;
+using httpsim::DriverConfig;
+using httpsim::ShardOptions;
+
+constexpr double kGhz = 5.5;  // zEC12 clock; cycles <-> seconds conversion
+
+double measured_rps(const std::vector<httpsim::ScheduledRequest>& schedule) {
+  if (schedule.size() < 2) return 0.0;
+  const double span_s =
+      static_cast<double>(schedule.back().at) / (kGhz * 1e9);
+  return span_s > 0 ? static_cast<double>(schedule.size()) / span_s : 0.0;
+}
+
+TEST(OpenLoop, PoissonArrivalRateMatchesConfiguredRps) {
+  DriverConfig d;
+  d.arrival = Arrival::kPoisson;
+  d.total_requests = 4'000;
+  for (const double rps : {2'000.0, 50'000.0, 1'000'000.0}) {
+    d.rps = rps;
+    const auto schedule = httpsim::make_schedule(d, kGhz);
+    ASSERT_EQ(schedule.size(), d.total_requests);
+    const double measured = measured_rps(schedule);
+    // Relative standard error of a 4000-sample Poisson mean is ~1.6%;
+    // 10% tolerance is far outside noise but catches unit mistakes.
+    EXPECT_NEAR(measured / rps, 1.0, 0.10) << "rps=" << rps;
+  }
+}
+
+TEST(OpenLoop, MmppLongRunRateIsNormalizedToRps) {
+  DriverConfig d;
+  d.arrival = Arrival::kMmpp;
+  d.total_requests = 20'000;
+  d.rps = 100'000.0;
+  d.burst_factor = 8.0;
+  d.burst_on = 500'000;
+  d.burst_off = 1'500'000;
+  const auto schedule = httpsim::make_schedule(d, kGhz);
+  // The burst-state rate is burst_factor * the quiet rate; the quiet rate
+  // is scaled down so the long-run average still meets --rps. Bursty
+  // streams need more samples for the mean to settle; 15% is ~6 standard
+  // errors here.
+  EXPECT_NEAR(measured_rps(schedule) / d.rps, 1.0, 0.15);
+
+  // The stream really is bursty: the dispersion of per-window counts must
+  // exceed a Poisson stream's (index of dispersion ~1).
+  auto dispersion = [](const std::vector<httpsim::ScheduledRequest>& s) {
+    const Cycles window = 500'000;
+    std::vector<double> counts;
+    std::size_t i = 0;
+    for (Cycles t = 0; t < s.back().at; t += window) {
+      double n = 0;
+      while (i < s.size() && s[i].at < t + window) {
+        ++n;
+        ++i;
+      }
+      counts.push_back(n);
+    }
+    double mean = 0;
+    for (double c : counts) mean += c;
+    mean /= static_cast<double>(counts.size());
+    double var = 0;
+    for (double c : counts) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(counts.size());
+    return mean > 0 ? var / mean : 0.0;
+  };
+  DriverConfig p = d;
+  p.arrival = Arrival::kPoisson;
+  const auto poisson = httpsim::make_schedule(p, kGhz);
+  EXPECT_GT(dispersion(schedule), 2.0 * dispersion(poisson))
+      << "MMPP must be visibly burstier than Poisson at the same rate";
+}
+
+TEST(OpenLoop, ScheduleIsSeedDeterministic) {
+  DriverConfig d;
+  d.arrival = Arrival::kMmpp;
+  d.total_requests = 300;
+  d.churn = 0.3;
+  const auto a = httpsim::make_schedule(d, kGhz);
+  const auto b = httpsim::make_schedule(d, kGhz);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].close, b[i].close);
+  }
+  DriverConfig other = d;
+  other.seed = d.seed + 1;
+  const auto c = httpsim::make_schedule(other, kGhz);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_diff |= a[i].at != c[i].at;
+  EXPECT_TRUE(any_diff) << "different seeds must give different schedules";
+}
+
+TEST(OpenLoop, QueueDelayIsNonNegativeAndMonotoneWithOfferedLoad) {
+  const std::string program = httpsim::webrick_source();
+  const auto base =
+      runtime::EngineConfig::htm_dynamic(htm::SystemProfile::zec12());
+  DriverConfig d;
+  d.arrival = Arrival::kPoisson;
+  d.total_requests = 120;
+  d.queue_limit = 4'096;  // no drops: isolate pure queueing delay
+
+  double last_queue_mean = -1.0;
+  for (const double rps : {20'000.0, 200'000.0, 2'000'000.0}) {
+    d.rps = rps;
+    const auto r = httpsim::run_server(base, program, d);
+    EXPECT_EQ(r.completed, d.total_requests) << "rps=" << rps;
+    EXPECT_EQ(r.dropped, 0u) << "rps=" << rps;
+    for (const auto& rec : r.records) {
+      EXPECT_GE(rec.accepted, rec.arrival) << "rps=" << rps;
+      EXPECT_GE(rec.responded, rec.accepted) << "rps=" << rps;
+    }
+    EXPECT_GE(r.queue_mean_cycles, 0.0);
+    EXPECT_GT(r.queue_mean_cycles, last_queue_mean)
+        << "queue delay must grow with offered load (rps=" << rps << ")";
+    last_queue_mean = r.queue_mean_cycles;
+  }
+}
+
+TEST(OpenLoop, BoundedAdmissionQueueDropsUnderOverloadAndAccountsExactly) {
+  const std::string program = httpsim::webrick_source();
+  const auto base =
+      runtime::EngineConfig::gil(htm::SystemProfile::zec12());
+  DriverConfig d;
+  d.arrival = Arrival::kPoisson;
+  d.total_requests = 200;
+  d.rps = 5'000'000.0;  // far beyond the service rate
+  d.queue_limit = 8;
+  const auto r = httpsim::run_server(base, program, d);
+  EXPECT_GT(r.dropped, 0u) << "overload with a tiny queue must tail-drop";
+  EXPECT_EQ(r.completed + r.dropped, d.total_requests);
+  u32 dropped_in_log = 0;
+  for (const auto& rec : r.records) {
+    if (rec.dropped) {
+      ++dropped_in_log;
+      EXPECT_EQ(rec.accepted, 0u);
+      EXPECT_EQ(rec.responded, 0u);
+    }
+  }
+  EXPECT_EQ(dropped_in_log, r.dropped);
+}
+
+// --- strict-CLI rejection ---------------------------------------------------
+
+/// Builds throwing CliFlags from a single --flag=value argument and runs
+/// both from_flags parsers over it.
+void expect_rejected(const std::string& flag) {
+  std::string arg = flag;
+  std::vector<char*> argv = {const_cast<char*>("test"), arg.data()};
+  CliFlags flags(static_cast<int>(argv.size()), argv.data(),
+                 /*throw_errors=*/true);
+  EXPECT_THROW(
+      {
+        httpsim::DriverConfig::from_flags(flags);
+        httpsim::ShardOptions::from_flags(flags);
+      },
+      std::invalid_argument)
+      << flag;
+}
+
+TEST(OpenLoopCli, EveryNewFlagRejectsBadValues) {
+  expect_rejected("--arrival=sometimes");
+  expect_rejected("--rps=0");
+  expect_rejected("--rps=-50");
+  expect_rejected("--rps=fast");
+  expect_rejected("--burst-factor=0.5");
+  expect_rejected("--burst-on=0");
+  expect_rejected("--burst-off=0");
+  expect_rejected("--burst-on=often");
+  expect_rejected("--queue-limit=0");
+  expect_rejected("--churn=1.5");
+  expect_rejected("--churn=-0.1");
+  expect_rejected("--clients=0");
+  expect_rejected("--requests=0");
+  expect_rejected("--turnaround=-1");
+  expect_rejected("--shards=0");
+  expect_rejected("--shards=65");
+  expect_rejected("--shards=many");
+  expect_rejected("--router=random");
+}
+
+TEST(OpenLoopCli, GoodValuesParseIntoTheConfig) {
+  std::vector<std::string> args = {
+      "test",          "--arrival=mmpp",   "--rps=12500.5",
+      "--clients=6",   "--requests=321",   "--turnaround=999",
+      "--burst-factor=3", "--burst-on=1000", "--burst-off=2000",
+      "--queue-limit=32", "--churn=0.5",   "--load-seed=77",
+      "--shards=4",    "--router=rr"};
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  CliFlags flags(static_cast<int>(argv.size()), argv.data(),
+                 /*throw_errors=*/true);
+  const DriverConfig d = httpsim::DriverConfig::from_flags(flags);
+  const ShardOptions so = httpsim::ShardOptions::from_flags(flags);
+  flags.reject_unknown();  // every flag above must be consumed
+  EXPECT_EQ(d.arrival, Arrival::kMmpp);
+  EXPECT_DOUBLE_EQ(d.rps, 12500.5);
+  EXPECT_EQ(d.clients, 6u);
+  EXPECT_EQ(d.total_requests, 321u);
+  EXPECT_EQ(d.client_turnaround, 999u);
+  EXPECT_DOUBLE_EQ(d.burst_factor, 3.0);
+  EXPECT_EQ(d.burst_on, 1'000u);
+  EXPECT_EQ(d.burst_off, 2'000u);
+  EXPECT_EQ(d.queue_limit, 32u);
+  EXPECT_DOUBLE_EQ(d.churn, 0.5);
+  EXPECT_EQ(d.seed, 77u);
+  EXPECT_EQ(so.shards, 4u);
+  EXPECT_EQ(so.router, httpsim::Router::kRoundRobin);
+}
+
+}  // namespace
+}  // namespace gilfree

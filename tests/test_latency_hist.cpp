@@ -1,0 +1,151 @@
+// Property tests for the log2-linear latency histogram that backs the
+// metrics document's p50/p90/p99/p99.9 request-latency fields:
+//
+//   - the reported percentile is always within one bucket of the exact
+//     sorted-sample percentile (same bucket, never below the exact value),
+//   - merge(a, b) is indistinguishable from the histogram of the
+//     concatenated streams,
+//   - bucket geometry is a total order with bounded relative width,
+//   - exact aggregates (count, sum, min, max, mean) are not bucketed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/latency_hist.hpp"
+
+namespace gilfree::obs {
+namespace {
+
+/// Exact nearest-rank percentile over a sorted sample, the definition the
+/// histogram approximates: the ceil(p/100 * n)-th smallest value.
+u64 exact_percentile(const std::vector<u64>& sorted, double p) {
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  rank = std::max<std::size_t>(rank, 1);
+  rank = std::min(rank, sorted.size());
+  return sorted[rank - 1];
+}
+
+/// A latency-shaped random stream: log-uniform magnitudes so every octave
+/// of the histogram gets exercised, plus occasional zeros and exact small
+/// values for the width-1 buckets.
+std::vector<u64> random_stream(u64 seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<u64> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_bool(0.05)) {
+      values.push_back(rng.next_below(8));  // exact buckets
+    } else {
+      const u32 bits = static_cast<u32>(rng.next_below(40));
+      values.push_back(rng.next_below(u64{1} << (bits + 1)));
+    }
+  }
+  return values;
+}
+
+TEST(LatencyHist, BucketGeometryIsATotalOrderWithBoundedWidth) {
+  Rng rng(0xb0c4e7);
+  for (int i = 0; i < 20'000; ++i) {
+    const u32 bits = static_cast<u32>(rng.next_below(63));
+    const u64 v = rng.next_below(u64{1} << (bits + 1));
+    const u32 b = LatencyHistogram::bucket_of(v);
+    ASSERT_LT(b, LatencyHistogram::kNumBuckets);
+    ASSERT_LE(LatencyHistogram::bucket_lo(b), v);
+    ASSERT_LT(v, LatencyHistogram::bucket_hi(b));
+    if (v >= 8) {
+      // Relative width bound: width / lo <= 1 / kSubBuckets.
+      const double lo = static_cast<double>(LatencyHistogram::bucket_lo(b));
+      const double width =
+          static_cast<double>(LatencyHistogram::bucket_hi(b)) - lo;
+      ASSERT_LE(width, lo / LatencyHistogram::kSubBuckets + 1e-9);
+    }
+  }
+  // Buckets tile contiguously: each bucket ends where the next begins.
+  for (u32 b = 0; b + 1 < LatencyHistogram::kNumBuckets; ++b) {
+    ASSERT_EQ(LatencyHistogram::bucket_hi(b), LatencyHistogram::bucket_lo(b + 1));
+  }
+}
+
+TEST(LatencyHist, PercentilesLandInTheExactSamplesBucket) {
+  const double kPercentiles[] = {1.0, 10.0, 25.0, 50.0, 75.0,
+                                 90.0, 99.0, 99.9, 100.0};
+  for (u64 seed = 1; seed <= 24; ++seed) {
+    const std::size_t n = 50 + static_cast<std::size_t>(seed) * 37;
+    std::vector<u64> values = random_stream(seed * 0x9e3779b9, n);
+    LatencyHistogram h;
+    for (u64 v : values) h.add(v);
+    std::sort(values.begin(), values.end());
+    for (double p : kPercentiles) {
+      const u64 exact = exact_percentile(values, p);
+      const u64 reported = h.percentile(p);
+      EXPECT_EQ(LatencyHistogram::bucket_of(reported),
+                LatencyHistogram::bucket_of(exact))
+          << "seed " << seed << " p" << p << ": reported " << reported
+          << " vs exact " << exact;
+      EXPECT_GE(reported, exact)
+          << "seed " << seed << " p" << p
+          << ": bucket-max convention must never under-report";
+      EXPECT_LE(reported, values.back()) << "clamped to the observed max";
+    }
+  }
+}
+
+TEST(LatencyHist, SmallExactBucketsReportExactPercentiles) {
+  LatencyHistogram h;
+  for (u64 v : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u}) h.add(v);
+  EXPECT_EQ(h.percentile(50.0), 3u);
+  EXPECT_EQ(h.percentile(100.0), 7u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(LatencyHist, MergeEqualsHistogramOfConcatenation) {
+  for (u64 seed = 1; seed <= 12; ++seed) {
+    const auto a_values = random_stream(seed, 400);
+    const auto b_values = random_stream(seed ^ 0xffff, 273);
+
+    LatencyHistogram a, b, both;
+    for (u64 v : a_values) {
+      a.add(v);
+      both.add(v);
+    }
+    for (u64 v : b_values) {
+      b.add(v);
+      both.add(v);
+    }
+    a.merge(b);
+
+    EXPECT_EQ(a.total(), both.total());
+    EXPECT_EQ(a.sum(), both.sum());
+    EXPECT_EQ(a.min_value(), both.min_value());
+    EXPECT_EQ(a.max_value(), both.max_value());
+    EXPECT_EQ(a.to_sparse_string(), both.to_sparse_string())
+        << "per-bucket counts must match exactly";
+    for (double p : {50.0, 90.0, 99.0, 99.9}) {
+      EXPECT_EQ(a.percentile(p), both.percentile(p)) << "p" << p;
+    }
+  }
+}
+
+TEST(LatencyHist, ExactAggregatesAndEmptyBehavior) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.percentile(99.0), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.to_sparse_string(), "");
+
+  h.add(10);
+  h.add(1'000'000);
+  h.add(3, 2);  // weighted
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.sum(), 10u + 1'000'000u + 3u + 3u);
+  EXPECT_EQ(h.min_value(), 3u);
+  EXPECT_EQ(h.max_value(), 1'000'000u);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 4.0);
+}
+
+}  // namespace
+}  // namespace gilfree::obs

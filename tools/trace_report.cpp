@@ -25,6 +25,7 @@
 #include "common/table.hpp"
 #include "htm/abort_reason.hpp"
 #include "obs/json.hpp"
+#include "obs/latency_hist.hpp"
 
 using namespace gilfree;
 
@@ -48,6 +49,9 @@ struct RunAccum {
   std::map<i64, YpRow> by_yp;
   u64 requests = 0;
   double latency_sum = 0.0;
+  double queue_sum = 0.0;
+  obs::LatencyHistogram latency_hist;
+  obs::LatencyHistogram queue_hist;
   u64 events = 0;
 
   // Robustness events (docs/ROBUSTNESS.md): quarantine transitions per
@@ -144,7 +148,25 @@ void print_run(u32 run_id, const RunAccum& acc, bool csv, long top) {
               << TablePrinter::num(acc.latency_sum /
                                        static_cast<double>(acc.requests),
                                    0)
-              << " cycles\n";
+              << " cycles, p50 "
+              << TablePrinter::num(acc.latency_hist.percentile(50.0), 0)
+              << ", p90 "
+              << TablePrinter::num(acc.latency_hist.percentile(90.0), 0)
+              << ", p99 "
+              << TablePrinter::num(acc.latency_hist.percentile(99.0), 0)
+              << ", p99.9 "
+              << TablePrinter::num(acc.latency_hist.percentile(99.9), 0)
+              << "\n";
+    if (acc.queue_hist.total() > 0) {
+      std::cout << "queue delay: mean "
+                << TablePrinter::num(
+                       acc.queue_sum / static_cast<double>(acc.requests), 0)
+                << " cycles, p50 "
+                << TablePrinter::num(acc.queue_hist.percentile(50.0), 0)
+                << ", p99 "
+                << TablePrinter::num(acc.queue_hist.percentile(99.0), 0)
+                << "\n";
+    }
   }
 
   // Fault-campaign summary: only printed when the run saw robustness
@@ -298,7 +320,15 @@ int main(int argc, char** argv) {
       ++acc.by_yp[v.at("yp").as_i64()].fallbacks;
     } else if (ev == "request") {
       ++acc.requests;
-      acc.latency_sum += v.at("latency").as_number();
+      const double latency = v.at("latency").as_number();
+      acc.latency_sum += latency;
+      acc.latency_hist.add(static_cast<u64>(latency));
+      // Traces written before the open-loop work have no queue field.
+      if (v.has("queue")) {
+        const double queued = v.at("queue").as_number();
+        acc.queue_sum += queued;
+        acc.queue_hist.add(static_cast<u64>(queued));
+      }
     } else if (ev == "quarantine_enter") {
       ++acc.quarantine_enters[v.at("yp").as_i64()];
     } else if (ev == "quarantine_probe") {
