@@ -94,4 +94,16 @@ inline fault::FaultConfig parse_fault_flags(const CliFlags& flags) {
   }
 }
 
+/// Uniform allocator/GC wiring: every harness accepts the --gc-* flags via
+/// runtime::apply_gc_flags (per-thread arenas, lazy sweeping, sweep-deal
+/// policy). Semantic errors exit with a clear message like the flag parser.
+inline void parse_gc_flags(const CliFlags& flags, vm::HeapConfig& heap) {
+  try {
+    runtime::apply_gc_flags(flags, heap);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
 }  // namespace gilfree::bench

@@ -17,6 +17,11 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  // Optional --gc-* overrides (arenas, lazy sweep, deal policy) so the
+  // legacy two-variant table can be re-run on top of the new allocator
+  // features; bench/gc_scaling covers the full matrix.
+  vm::HeapConfig gc_overrides;
+  parse_gc_flags(flags, gc_overrides);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -38,6 +43,8 @@ int main(int argc, char** argv) {
       cfg.heap.initial_slots = 90'000;
       cfg.heap.thread_local_sweep = tls_sweep;
       cfg.heap.sweep_deal_threads = threads + 1;
+      parse_gc_flags(flags, cfg.heap);
+      cfg.heap.thread_local_sweep = tls_sweep;  // the variant axis wins
       observe(cfg, sink,
               {{"figure", "extension_threadlocal_sweep"},
                {"machine", profile.machine.name},

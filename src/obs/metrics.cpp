@@ -145,6 +145,42 @@ void append_cycles(std::string& out, const CycleMetrics& c) {
   out.push_back('}');
 }
 
+void append_gc(std::string& out, const GcMetrics& g) {
+  out += "{\"collections\":";
+  json_append_number(out, g.collections);
+  out += ",\"total_marked\":";
+  json_append_number(out, g.total_marked);
+  out += ",\"total_swept\":";
+  json_append_number(out, g.total_swept);
+  out += ",\"grown_blocks\":";
+  json_append_number(out, g.grown_blocks);
+  out += ",\"arena_refills\":";
+  json_append_number(out, g.arena_refills);
+  out += ",\"arena_grows\":";
+  json_append_number(out, g.arena_grows);
+  out += ",\"arena_shrinks\":";
+  json_append_number(out, g.arena_shrinks);
+  out += ",\"pool_segments\":";
+  json_append_number(out, g.pool_segments);
+  out += ",\"segment_slots_min\":";
+  json_append_number(out, static_cast<u64>(g.segment_slots_min));
+  out += ",\"segment_slots_max\":";
+  json_append_number(out, static_cast<u64>(g.segment_slots_max));
+  out += ",\"sweep_quanta\":";
+  json_append_number(out, g.sweep_quanta);
+  out += ",\"sweep_quantum_cycles\":";
+  json_append_number(out, g.sweep_quantum_cycles);
+  out += ",\"pause_max\":";
+  json_append_number(out, g.max_pause);
+  out += ",\"pause_p50\":";
+  json_append_number(out, g.pause_hist.percentile(50.0));
+  out += ",\"pause_p99\":";
+  json_append_number(out, g.pause_hist.percentile(99.0));
+  out += ",\"pause_hist\":";
+  json_append_string(out, g.pause_hist.to_sparse_string());
+  out.push_back('}');
+}
+
 void append_run(std::string& out, const RunMetrics& m) {
   out += "{\"run\":";
   json_append_number(out, static_cast<u64>(m.run_id));
@@ -193,7 +229,9 @@ void append_run(std::string& out, const RunMetrics& m) {
   json_append_number(out, m.ic_method_hit_rate);
   out += ",\"ic_ivar_hit_rate\":";
   json_append_number(out, m.ic_ivar_hit_rate);
-  out += "},\"quarantine\":{\"enters\":";
+  out += "},\"gc\":";
+  append_gc(out, m.gc);
+  out += ",\"quarantine\":{\"enters\":";
   json_append_number(out, m.quarantine_enters);
   out += ",\"probes\":";
   json_append_number(out, m.quarantine_probes);
@@ -248,6 +286,7 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
       t.aborts_by_reason[r] += m.aborts_by_reason[r];
     t.gil_fallbacks += m.gil_fallbacks;
     t.requests.merge(m.requests);
+    t.gc.merge(m.gc);
     t.quarantine_enters += m.quarantine_enters;
     t.quarantine_probes += m.quarantine_probes;
     t.quarantine_exits += m.quarantine_exits;
@@ -279,6 +318,8 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
   json_append_number(out, t.faults_injected());
   out += ",\"requests_completed\":";
   json_append_number(out, t.requests.completed);
+  out += ",\"gc\":";
+  append_gc(out, t.gc);
   // Cross-run (per-shard) request merge: the histograms add, so the
   // percentiles here are the merged-population percentiles a single
   // unsharded histogram of every request would report.
@@ -286,6 +327,27 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
   append_requests(out, t.requests);
   out += "}}\n";
   return out;
+}
+
+void GcMetrics::merge(const GcMetrics& o) {
+  collections += o.collections;
+  total_marked += o.total_marked;
+  total_swept += o.total_swept;
+  grown_blocks += o.grown_blocks;
+  arena_grows += o.arena_grows;
+  arena_shrinks += o.arena_shrinks;
+  pool_segments += o.pool_segments;
+  if (o.arena_refills > 0) {
+    if (arena_refills == 0 || o.segment_slots_min < segment_slots_min)
+      segment_slots_min = o.segment_slots_min;
+    if (o.segment_slots_max > segment_slots_max)
+      segment_slots_max = o.segment_slots_max;
+  }
+  arena_refills += o.arena_refills;
+  sweep_quanta += o.sweep_quanta;
+  sweep_quantum_cycles += o.sweep_quantum_cycles;
+  if (o.max_pause > max_pause) max_pause = o.max_pause;
+  pause_hist.merge(o.pause_hist);
 }
 
 void RequestMetrics::merge(const RequestMetrics& o) {

@@ -94,6 +94,29 @@ struct CycleMetrics {
   }
 };
 
+/// GC / allocator counters, mirrored from vm::GcStats (obs cannot depend on
+/// vm; the engine copies the numbers in). Zero/empty when the run never
+/// collected. docs/OBSERVABILITY.md documents the exported block.
+struct GcMetrics {
+  u64 collections = 0;
+  u64 total_marked = 0;
+  u64 total_swept = 0;
+  u64 grown_blocks = 0;
+  u64 arena_refills = 0;
+  u64 arena_grows = 0;
+  u64 arena_shrinks = 0;
+  u64 pool_segments = 0;
+  u32 segment_slots_min = 0;
+  u32 segment_slots_max = 0;
+  u64 sweep_quanta = 0;
+  Cycles sweep_quantum_cycles = 0;
+  Cycles max_pause = 0;
+  LatencyHistogram pause_hist;  ///< Stop-the-world pause per collection.
+
+  /// Cross-run merge: counters add, extrema combine, histograms add.
+  void merge(const GcMetrics& o);
+};
+
 /// Everything one engine run exports into the metrics document.
 struct RunMetrics {
   u32 run_id = 0;
@@ -133,6 +156,7 @@ struct RunMetrics {
   }
 
   CycleMetrics cycles;
+  GcMetrics gc;
   std::map<i32, YieldPointMetrics> per_yield_point;
   RequestMetrics requests;
 

@@ -354,6 +354,20 @@ RunStats Engine::run() {
         hit_rate(stats.interp.ic_method_hits, stats.interp.ic_method_misses);
     m.ic_ivar_hit_rate =
         hit_rate(stats.interp.ic_ivar_hits, stats.interp.ic_ivar_misses);
+    m.gc.collections = stats.gc.collections;
+    m.gc.total_marked = stats.gc.total_marked;
+    m.gc.total_swept = stats.gc.total_swept;
+    m.gc.grown_blocks = stats.gc.grown_blocks;
+    m.gc.arena_refills = stats.gc.arena_refills;
+    m.gc.arena_grows = stats.gc.arena_grows;
+    m.gc.arena_shrinks = stats.gc.arena_shrinks;
+    m.gc.pool_segments = stats.gc.pool_segments;
+    m.gc.segment_slots_min = stats.gc.segment_slots_min;
+    m.gc.segment_slots_max = stats.gc.segment_slots_max;
+    m.gc.sweep_quanta = stats.gc.sweep_quanta;
+    m.gc.sweep_quantum_cycles = stats.gc.sweep_quantum_cycles;
+    m.gc.max_pause = stats.gc.max_pause;
+    m.gc.pause_hist = stats.gc.pause_hist;
     m.cycles.begin_end = stats.breakdown.begin_end;
     m.cycles.tx_success = stats.breakdown.tx_success;
     m.cycles.tx_aborted = stats.breakdown.tx_aborted;

@@ -12,6 +12,10 @@ namespace gilfree::obs {
 class Sink;
 }
 
+namespace gilfree {
+class CliFlags;
+}
+
 namespace gilfree::runtime {
 
 enum class SyncMode : u8 {
@@ -98,5 +102,20 @@ struct EngineConfig {
   static EngineConfig fine_grained(htm::SystemProfile p);
   static EngineConfig unsynced(htm::SystemProfile p);
 };
+
+/// Applies the allocator/GC command-line flags to a heap config:
+///   --gc-arena[=bool]            per-thread allocation arenas
+///   --gc-arena-min=N             initial/minimum segment size (RVALUEs)
+///   --gc-arena-max=N             segment-size cap (RVALUEs)
+///   --gc-arena-hot-cycles=N      refill gap below which segments double
+///   --gc-arena-idle-cycles=N     refill gap above which segments halve
+///   --gc-lazy-sweep[=bool]       mark-only GC + per-block sweep quanta
+///   --gc-sweep-quantum=N         blocks swept per slow-path quantum
+///   --gc-sweep-deal=N            per-thread sweep dealing to N threads
+///   --gc-sweep-policy=linemate|rr  how dealt frees are placed
+/// Values are validated strictly; violations throw std::invalid_argument
+/// (CliFlags' own exit-2 / throw behaviour covers malformed numbers and
+/// unknown flags via reject_unknown()).
+void apply_gc_flags(const CliFlags& flags, vm::HeapConfig& heap);
 
 }  // namespace gilfree::runtime

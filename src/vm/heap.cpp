@@ -28,11 +28,34 @@ constexpr u32 kMallocRegionStride = 64;
 constexpr u32 kSpillHeaderSlots = 1;
 constexpr u64 kSpillMagic = 0x5b1ll << 40;
 
+/// RVALUEs per worst-case cache line (zEC12: 256 B / 64 B objects).
+constexpr u32 kObjsPerLine = kLineAlign / sizeof(RBasic);
+
+/// Sentinel for "this thread never carved a segment" (adaptation skips its
+/// first refill: there is no previous refill to measure a gap against).
+constexpr Cycles kNeverRefilled = ~0ull;
+
 }  // namespace
 
 Heap::Heap(const HeapConfig& config) : config_(config) {
   GILFREE_CHECK(config_.block_slots >= 1024);
   GILFREE_CHECK(config_.max_threads >= 1);
+  GILFREE_CHECK(config_.sweep_quantum_blocks >= 1);
+  if (config_.per_thread_arenas) {
+    GILFREE_CHECK_MSG(config_.thread_local_free_lists,
+                      "per_thread_arenas requires thread_local_free_lists "
+                      "(sweep fragments travel via the local lists)");
+    GILFREE_CHECK(config_.arena_min_segment >= kObjsPerLine &&
+                  config_.arena_min_segment % kObjsPerLine == 0);
+    GILFREE_CHECK(config_.arena_max_segment >= config_.arena_min_segment &&
+                  config_.arena_max_segment % kObjsPerLine == 0);
+  }
+  track_line_owners_ =
+      config_.per_thread_arenas ||
+      (config_.thread_local_sweep && config_.sweep_deal_threads > 0 &&
+       config_.sweep_deal_policy == HeapConfig::SweepDeal::kLineMate);
+  arena_seg_size_.assign(config_.max_threads, config_.arena_min_segment);
+  arena_last_refill_.assign(config_.max_threads, kNeverRefilled);
 
   // ---- control storage layout ----
   const u32 tcb_core_stride =
@@ -58,6 +81,8 @@ Heap::Heap(const HeapConfig& config) : config_(config) {
   current_thread_global_ = p + 64;  // line 2
   spill_class_heads_ = p + 96;      // lines 3-4 (18 classes, packed — the
                                     // shared-malloc contention point)
+  arena_pool_head_ = p + 160;       // line 5
+  arena_pool_count_ = p + 161;      // (same line: touched together per carve)
   u64* cursor = p + head_lines_slots;
 
   tcb_base_ = cursor;
@@ -105,17 +130,43 @@ void Heap::add_arena_block(u32 rvalues) {
   block.base = reinterpret_cast<RBasic*>(base);
   block.count = rvalues;
   block.mark.assign(rvalues, false);
+  if (track_line_owners_)
+    block.line_owner.assign((rvalues + kObjsPerLine - 1) / kObjsPerLine, -1);
 
-  // Link every RVALUE into the global free list (direct stores: the arena is
-  // grown at construction time or under the GIL during GC).
-  for (u32 i = 0; i < rvalues; ++i) {
-    RBasic* o = &block.base[i];
-    o->slots[0] = RBasic::make_header(ObjType::kFree, 0);
-    o->slots[1] = *global_free_head_;
-    *global_free_head_ = reinterpret_cast<u64>(o);
+  // Publish the fresh objects (direct stores: the arena is grown at
+  // construction time or under the GIL during GC).
+  if (config_.per_thread_arenas) {
+    // The whole line-aligned portion of the block becomes one pool segment
+    // (three stores) instead of a per-object chain.
+    for (u32 i = 0; i < rvalues; ++i)
+      block.base[i].slots[0] = RBasic::make_header(ObjType::kFree, 0);
+    const u32 seg = rvalues & ~(kObjsPerLine - 1);
+    if (seg > 0) {
+      RBasic* s = block.base;
+      s->slots[1] = *arena_pool_head_;
+      s->slots[2] = seg;
+      *arena_pool_head_ = reinterpret_cast<u64>(s);
+      *arena_pool_count_ += seg;
+      ++gc_stats_.pool_segments;
+    }
+    for (u32 i = seg; i < rvalues; ++i) {  // partial tail line, if any
+      RBasic* o = &block.base[i];
+      o->slots[1] = *global_free_head_;
+      *global_free_head_ = reinterpret_cast<u64>(o);
+      ++*global_free_count_;
+    }
+  } else {
+    // Link every RVALUE into the global free list.
+    for (u32 i = 0; i < rvalues; ++i) {
+      RBasic* o = &block.base[i];
+      o->slots[0] = RBasic::make_header(ObjType::kFree, 0);
+      o->slots[1] = *global_free_head_;
+      *global_free_head_ = reinterpret_cast<u64>(o);
+    }
+    *global_free_count_ += rvalues;
   }
-  *global_free_count_ += rvalues;
   total_objects_ += rvalues;
+  owner_block_cache_ = nullptr;  // blocks_ may reallocate below
   blocks_.push_back(std::move(block));
   ++gc_stats_.grown_blocks;
 }
@@ -133,7 +184,34 @@ RBasic* Heap::alloc_rvalue(Host& host, ObjType type, ClassId klass) {
   const u32 tid = host.current_tid();
   RBasic* obj = nullptr;
 
-  if (config_.thread_local_free_lists) {
+  if (config_.per_thread_arenas) {
+    u64* bump_slot = tcb_slot(tid, kTcbArenaBump);
+    u64* limit_slot = tcb_slot(tid, kTcbArenaLimit);
+    u64* head_slot = tcb_slot(tid, kTcbFreeListHead);
+    u64* count_slot = tcb_slot(tid, kTcbFreeListCount);
+    for (int round = 0; obj == nullptr; ++round) {
+      GILFREE_CHECK(round < 4);
+      const u64 bump = host.mem_load(bump_slot, true);
+      if (bump != 0 && bump < host.mem_load(limit_slot, true)) {
+        // Fast path: bump within the thread's private segment — two loads
+        // and one store, all on the thread's own TCB line.
+        host.mem_store(bump_slot, bump + sizeof(RBasic), true);
+        obj = reinterpret_cast<RBasic*>(bump);
+        break;
+      }
+      if (activate_stashed_segment(host, tid)) continue;
+      // Sweep fragments (partial lines) arrive on the local free list.
+      const u64 head = host.mem_load(head_slot, true);
+      if (head != 0) {
+        obj = reinterpret_cast<RBasic*>(head);
+        const u64 next = host.mem_load(&obj->slots[1], true);
+        host.mem_store(head_slot, next, true);
+        host.mem_store(count_slot, host.mem_load(count_slot, true) - 1, true);
+        break;
+      }
+      refill_thread_arena(host, tid);
+    }
+  } else if (config_.thread_local_free_lists) {
     u64* head_slot = tcb_slot(tid, kTcbFreeListHead);
     u64* count_slot = tcb_slot(tid, kTcbFreeListCount);
     u64 head = host.mem_load(head_slot, /*shared=*/true);
@@ -151,8 +229,13 @@ RBasic* Heap::alloc_rvalue(Host& host, ObjType type, ClassId klass) {
     // conflict source: every allocation hits the same line).
     u64 head = host.mem_load(global_free_head_, true);
     if (head == 0) {
-      collect_for_allocation(host);
-      head = host.mem_load(global_free_head_, true);
+      if (lazy_sweep_until(host, global_free_head_))
+        head = host.mem_load(global_free_head_, true);
+      if (head == 0) {
+        collect_for_allocation(host);
+        (void)lazy_sweep_until(host, global_free_head_);
+        head = host.mem_load(global_free_head_, true);
+      }
       GILFREE_CHECK(head != 0);
     }
     obj = reinterpret_cast<RBasic*>(head);
@@ -162,36 +245,23 @@ RBasic* Heap::alloc_rvalue(Host& host, ObjType type, ClassId klass) {
                    host.mem_load(global_free_count_, true) - 1, true);
   }
 
+  if (track_line_owners_) note_line_owner(obj, tid);
   host.mem_store(&obj->slots[0], RBasic::make_header(type, klass), true);
   host.charge(8);  // allocation bookkeeping beyond the memory traffic
   return obj;
 }
 
-void Heap::refill_thread_free_list(Host& host, u32 tid) {
-  host.internal_allocator_lock(60 + 3 * config_.free_list_refill);
+bool Heap::splice_global_to_local(Host& host, u32 tid) {
   u64* head_slot = tcb_slot(tid, kTcbFreeListHead);
   u64* count_slot = tcb_slot(tid, kTcbFreeListCount);
-
   // Splice up to `free_list_refill` objects in bulk from the global list
   // (§4.4: 256 objects per refill): walk the chain *reading* next pointers,
   // then cut it with three stores. Keeping the write set tiny matters — a
   // per-node rewrite would overflow the 8 KB store cache inside a
   // transaction. The chain walk's read footprint is the residual
   // allocation conflict of §5.6.
-  u64 ghead = host.mem_load(global_free_head_, true);
-  if (ghead == 0) {
-    collect_for_allocation(host);
-    // With the thread-local-sweep extension, the collector may have dealt
-    // objects straight onto this thread's list.
-    if (host.mem_load(head_slot, true) != 0) return;
-    ghead = host.mem_load(global_free_head_, true);
-    if (ghead == 0) {
-      // Everything went to other threads' lists: grow (we hold the GIL).
-      add_arena_block(config_.block_slots);
-      ghead = host.mem_load(global_free_head_, true);
-    }
-    GILFREE_CHECK(ghead != 0);
-  }
+  const u64 ghead = host.mem_load(global_free_head_, true);
+  if (ghead == 0) return false;
   u64 tail = ghead;
   u64 moved = 1;
   while (moved < config_.free_list_refill) {
@@ -212,6 +282,169 @@ void Heap::refill_thread_free_list(Host& host, u32 tid) {
                  true);
   host.mem_store(head_slot, ghead, true);
   host.mem_store(count_slot, host.mem_load(count_slot, true) + moved, true);
+  return true;
+}
+
+void Heap::refill_thread_free_list(Host& host, u32 tid) {
+  host.internal_allocator_lock(60 + 3 * config_.free_list_refill);
+  u64* head_slot = tcb_slot(tid, kTcbFreeListHead);
+  if (splice_global_to_local(host, tid)) return;
+  // Lazy sweeping: pending quanta may replenish the global list (or deal
+  // straight onto this thread's list) without a collection; no-op while
+  // the feature is off.
+  if (lazy_sweep_until(host, global_free_head_)) {
+    if (host.mem_load(head_slot, true) != 0) return;
+    if (splice_global_to_local(host, tid)) return;
+  }
+  collect_for_allocation(host);
+  // With the thread-local-sweep extension, the collector may have dealt
+  // objects straight onto this thread's list.
+  if (host.mem_load(head_slot, true) != 0) return;
+  if (lazy_blocks_pending_ > 0) {
+    host.require_nontx("lazy-sweep");
+    while (lazy_blocks_pending_ > 0) {
+      host.charge(sweep_quantum(host));
+      if (host.mem_load(head_slot, true) != 0) return;
+      if (host.mem_load(global_free_head_, true) != 0) break;
+    }
+  }
+  if (splice_global_to_local(host, tid)) return;
+  // Everything went to other threads' lists: grow (we hold the GIL).
+  add_arena_block(config_.block_slots);
+  GILFREE_CHECK(splice_global_to_local(host, tid));
+}
+
+void Heap::refill_thread_arena(Host& host, u32 tid) {
+  host.internal_allocator_lock(40);
+  for (int attempt = 0;; ++attempt) {
+    GILFREE_CHECK_MSG(attempt < 8, "arena refill made no progress");
+    if (carve_segment(host, tid)) return;
+    if (lazy_blocks_pending_ > 0) {
+      // Replenish the pool by sweeping pending blocks; quanta run outside
+      // any transaction and charge their cost incrementally.
+      host.require_nontx("lazy-sweep");
+      u64* head_slot = tcb_slot(tid, kTcbFreeListHead);
+      while (lazy_blocks_pending_ > 0) {
+        host.charge(sweep_quantum(host));
+        if (host.mem_load(arena_pool_head_, true) != 0) break;
+        if (host.mem_load(head_slot, true) != 0) return;  // fragments arrived
+      }
+      continue;
+    }
+    // Residual fragments on the global list (when dealing is off): splice
+    // them onto the local list via the §4.4(b) path.
+    if (splice_global_to_local(host, tid)) return;
+    if (attempt == 0) {
+      collect_for_allocation(host);
+      continue;
+    }
+    // A collection already ran and nothing reached this thread: grow (we
+    // hold the GIL); the fresh block arrives as one pool segment.
+    add_arena_block(config_.block_slots);
+  }
+}
+
+bool Heap::activate_stashed_segment(Host& host, u32 tid) {
+  // Thread-private: no shared allocator state is touched, so exhausting a
+  // bump window costs a handful of private-line operations as long as the
+  // stash holds segments.
+  u64* stash_slot = tcb_slot(tid, kTcbArenaStash);
+  const u64 stashed = host.mem_load(stash_slot, true);
+  if (stashed == 0) return false;
+  RBasic* s = reinterpret_cast<RBasic*>(stashed);
+  host.mem_store(stash_slot, host.mem_load(&s->slots[1], true), true);
+  const u64 count = host.mem_load(&s->slots[2], true);
+  host.mem_store(tcb_slot(tid, kTcbArenaBump), stashed, true);
+  host.mem_store(tcb_slot(tid, kTcbArenaLimit),
+                 reinterpret_cast<u64>(s + count), true);
+  host.charge(4);
+  return true;
+}
+
+bool Heap::carve_segment(Host& host, u32 tid) {
+  const u64 head = host.mem_load(arena_pool_head_, true);
+  if (head == 0) return false;
+
+  // Adapt the segment size to the thread's allocation rate, mirroring the
+  // dynamic transaction-length machinery in src/tle: a refill hot on the
+  // heels of the previous one doubles the next segment (up to the cap), a
+  // refill after an idle gap attenuates it back toward the minimum.
+  const Cycles now = host.now_cycles();
+  u32& seg = arena_seg_size_[tid];
+  Cycles& last = arena_last_refill_[tid];
+  if (last != kNeverRefilled) {
+    const Cycles gap = now - last;
+    if (gap < config_.arena_hot_refill_cycles) {
+      if (seg < config_.arena_max_segment) {
+        seg = std::min(seg * 2, config_.arena_max_segment);
+        ++gc_stats_.arena_grows;
+      }
+    } else if (gap > config_.arena_idle_cycles &&
+               seg > config_.arena_min_segment) {
+      seg = std::max(seg / 2, config_.arena_min_segment);
+      ++gc_stats_.arena_shrinks;
+    }
+  }
+  last = now;
+
+  // Take a whole *batch* of segments covering the adaptive target `seg` in
+  // one pool-head cut. After a GC the pool is fragmented into many small
+  // free runs; carving them one at a time would put the shared pool line in
+  // a transaction's write set every few allocations and make it the hottest
+  // conflict site in the system. The batch's first segment becomes the
+  // active bump window, the rest go onto the thread-private stash.
+  u64* bump_slot = tcb_slot(tid, kTcbArenaBump);
+  u64* limit_slot = tcb_slot(tid, kTcbArenaLimit);
+  RBasic* first = reinterpret_cast<RBasic*>(head);
+  const u64 first_count = host.mem_load(&first->slots[2], true);
+  u64 take;
+  if (first_count > seg) {
+    // Oversized head segment (typically a freshly grown block): split it —
+    // the remainder (still line-aligned, seg is a multiple of the line
+    // size) becomes the new head segment.
+    take = seg;
+    RBasic* rem = first + take;
+    const u64 next = host.mem_load(&first->slots[1], true);
+    host.mem_store(&rem->slots[1], next, true);
+    host.mem_store(&rem->slots[2], first_count - take, true);
+    host.mem_store(arena_pool_head_, reinterpret_cast<u64>(rem), true);
+    host.mem_store(bump_slot, head, true);
+    host.mem_store(limit_slot, reinterpret_cast<u64>(first + take), true);
+    note_line_owner_range(first, take, tid);
+  } else {
+    take = first_count;
+    note_line_owner_range(first, first_count, tid);
+    RBasic* last = first;
+    u64 cur = host.mem_load(&first->slots[1], true);
+    while (cur != 0 && take < seg) {
+      RBasic* c = reinterpret_cast<RBasic*>(cur);
+      const u64 n = host.mem_load(&c->slots[2], true);
+      if (take + n > 2 * u64{seg}) break;  // bound the overshoot
+      take += n;
+      note_line_owner_range(c, n, tid);
+      last = c;
+      cur = host.mem_load(&c->slots[1], true);
+    }
+    // Cut: the pool head advances past the batch, the batch chain becomes
+    // thread-private (terminated, first segment active, rest stashed).
+    host.mem_store(arena_pool_head_, cur, true);
+    host.mem_store(&last->slots[1], 0, true);
+    host.mem_store(tcb_slot(tid, kTcbArenaStash),
+                   host.mem_load(&first->slots[1], true), true);
+    host.mem_store(bump_slot, head, true);
+    host.mem_store(limit_slot, reinterpret_cast<u64>(first + first_count),
+                   true);
+  }
+  host.mem_store(arena_pool_count_,
+                 host.mem_load(arena_pool_count_, true) - take, true);
+
+  const u32 taken = static_cast<u32>(take);
+  if (gc_stats_.arena_refills == 0 || taken < gc_stats_.segment_slots_min)
+    gc_stats_.segment_slots_min = taken;
+  gc_stats_.segment_slots_max = std::max(gc_stats_.segment_slots_max, taken);
+  ++gc_stats_.arena_refills;
+  host.charge(20);  // carve bookkeeping beyond the memory traffic
+  return true;
 }
 
 void Heap::collect_for_allocation(Host& host) {
@@ -577,20 +810,247 @@ void Heap::mark_object(RBasic* o, std::vector<RBasic*>& stack) {
   }
 }
 
+u64 Heap::sweep_block(ArenaBlock& b, Host* host) {
+  if (b.needs_sweep) {
+    b.needs_sweep = false;
+    GILFREE_CHECK(lazy_blocks_pending_ > 0);
+    --lazy_blocks_pending_;
+  }
+  // Stop-the-world sweeps (host == nullptr) use direct stores — every
+  // transaction was doomed before run_gc. Lazy quanta run while other
+  // threads may be mid-transaction, so their mutating stores go through
+  // the host as non-transactional stores: a freed object sharing a cache
+  // line with a live one dooms the transactions that touched that line,
+  // exactly as a real HTM would.
+  auto ld = [&](u64* p) { return host ? host->mem_load(p, true) : *p; };
+  auto st = [&](u64* p, u64 v) {
+    if (host) {
+      host->mem_store(p, v, true);
+    } else {
+      *p = v;
+    }
+  };
+  auto release_spill = [&](u64 addr) {
+    if (host) {
+      free_spill(*host, addr);
+    } else {
+      free_spill_direct(addr);
+    }
+  };
+
+  const bool deal_local = config_.thread_local_sweep &&
+                          config_.thread_local_free_lists &&
+                          config_.sweep_deal_threads > 0;
+  const bool line_mate =
+      deal_local &&
+      config_.sweep_deal_policy == HeapConfig::SweepDeal::kLineMate;
+  // Round-robin fallback: contiguous runs of this many objects per thread,
+  // advancing only at line boundaries so one line's free objects never
+  // split across two threads' lists (the false-sharing caveat of the
+  // original per-256-run deal).
+  constexpr u32 kDealRun = 256;
+  auto free_one = [&](RBasic* o, u32 line) {
+    if (deal_local) {
+      u32 target;
+      if (line_mate && b.line_owner[line] >= 0) {
+        // All RVALUEs of this cache line go to the thread that last
+        // allocated it — steady state re-serves a line to its owner.
+        target = static_cast<u32>(b.line_owner[line]) %
+                 config_.sweep_deal_threads;
+      } else {
+        const u64 global_line = reinterpret_cast<u64>(o) / kLineAlign;
+        if (deal_run_ >= kDealRun && global_line != deal_line_) {
+          deal_run_ = 0;
+          deal_next_ = (deal_next_ + 1) % config_.sweep_deal_threads;
+        }
+        deal_line_ = global_line;
+        ++deal_run_;
+        target = deal_next_;
+      }
+      u64* head = tcb_slot(target, kTcbFreeListHead);
+      u64* count = tcb_slot(target, kTcbFreeListCount);
+      st(&o->slots[1], ld(head));
+      st(head, reinterpret_cast<u64>(o));
+      st(count, ld(count) + 1);
+    } else {
+      st(&o->slots[1], ld(global_free_head_));
+      st(global_free_head_, reinterpret_cast<u64>(o));
+      st(global_free_count_, ld(global_free_count_) + 1);
+    }
+  };
+  auto release_object = [&](RBasic* o) {
+    switch (o->type()) {
+      case ObjType::kObject:
+        if (o->slots[7]) release_spill(o->slots[7]);
+        break;
+      case ObjType::kString:
+      case ObjType::kArray:
+      case ObjType::kHash:
+        if (o->slots[3]) release_spill(o->slots[3]);
+        break;
+      case ObjType::kClass:
+        if (o->slots[2]) release_spill(o->slots[2]);
+        break;
+      default:
+        break;
+    }
+  };
+
+  u64 swept = 0;
+  if (!config_.per_thread_arenas) {
+    // List mode: every unmarked object is (re-)linked in address order —
+    // the seed allocator's sweep, byte for byte when dealing is off.
+    for (u32 i = 0; i < b.count; ++i) {
+      RBasic* o = &b.base[i];
+      if (b.mark[i]) {
+        b.mark[i] = false;
+        continue;
+      }
+      if (o->type() == ObjType::kFree) {
+        // Already free: re-link (lists were reset at GC start).
+        free_one(o, i / kObjsPerLine);
+        continue;
+      }
+      release_object(o);
+      st(&o->slots[0], RBasic::make_header(ObjType::kFree, 0));
+      free_one(o, i / kObjsPerLine);
+      ++swept;
+    }
+    return swept;
+  }
+
+  // Arena mode: maximal free runs are split into a line-aligned interior —
+  // pushed onto the segment pool with three stores — and partial-line
+  // fragments, which are dealt like list-mode frees.
+  u64 pool_added = 0;
+  u32 i = 0;
+  while (i < b.count) {
+    if (b.mark[i]) {
+      b.mark[i] = false;
+      ++i;
+      continue;
+    }
+    const u32 rs = i;
+    while (i < b.count && !b.mark[i]) {
+      RBasic* o = &b.base[i];
+      if (o->type() != ObjType::kFree) {
+        release_object(o);
+        st(&o->slots[0], RBasic::make_header(ObjType::kFree, 0));
+        ++swept;
+      }
+      ++i;
+    }
+    const u32 re = i;
+    const u32 seg_lo = (rs + kObjsPerLine - 1) & ~(kObjsPerLine - 1);
+    const u32 seg_hi = re & ~(kObjsPerLine - 1);
+    if (seg_hi > seg_lo) {
+      for (u32 j = rs; j < seg_lo; ++j) free_one(&b.base[j], j / kObjsPerLine);
+      for (u32 j = seg_hi; j < re; ++j) free_one(&b.base[j], j / kObjsPerLine);
+      RBasic* s = &b.base[seg_lo];
+      st(&s->slots[1], ld(arena_pool_head_));
+      st(&s->slots[2], seg_hi - seg_lo);
+      st(arena_pool_head_, reinterpret_cast<u64>(s));
+      pool_added += seg_hi - seg_lo;
+      ++gc_stats_.pool_segments;
+    } else {
+      for (u32 j = rs; j < re; ++j) free_one(&b.base[j], j / kObjsPerLine);
+    }
+  }
+  if (pool_added > 0)
+    st(arena_pool_count_, ld(arena_pool_count_) + pool_added);
+  return swept;
+}
+
+Cycles Heap::sweep_quantum(Host& host) {
+  Cycles cost = 0;
+  u32 blocks = 0;
+  while (blocks < config_.sweep_quantum_blocks && lazy_blocks_pending_ > 0) {
+    while (lazy_cursor_ < blocks_.size() && !blocks_[lazy_cursor_].needs_sweep)
+      ++lazy_cursor_;
+    GILFREE_CHECK(lazy_cursor_ < blocks_.size());
+    ArenaBlock& b = blocks_[lazy_cursor_];
+    const u64 freed = sweep_block(b, &host);
+    gc_stats_.last_swept += freed;
+    gc_stats_.total_swept += freed;
+    // Linear scan cost — the eager sweep's 3·objects term, paid per block;
+    // the relink stores charge through the host on top.
+    cost += 3ull * b.count;
+    ++blocks;
+    ++gc_stats_.sweep_quanta;
+  }
+  gc_stats_.sweep_quantum_cycles += cost;
+  return cost;
+}
+
+bool Heap::lazy_sweep_until(Host& host, u64* watch) {
+  if (lazy_blocks_pending_ == 0) return false;
+  host.require_nontx("lazy-sweep");
+  while (lazy_blocks_pending_ > 0) {
+    host.charge(sweep_quantum(host));
+    if (watch != nullptr && host.mem_load(watch, true) != 0) break;
+  }
+  return true;
+}
+
+void Heap::note_line_owner(RBasic* o, u32 tid) {
+  ArenaBlock* b = owner_block_cache_;
+  if (b == nullptr || o < b->base || o >= b->base + b->count) {
+    b = block_of(o);
+    owner_block_cache_ = b;
+  }
+  b->line_owner[static_cast<std::size_t>(o - b->base) / kObjsPerLine] =
+      static_cast<i16>(tid);
+}
+
+void Heap::note_line_owner_range(RBasic* s, u64 n, u32 tid) {
+  if (!track_line_owners_ || n == 0) return;
+  ArenaBlock* b = block_of(s);
+  const std::size_t lo = static_cast<std::size_t>(s - b->base) / kObjsPerLine;
+  std::fill(b->line_owner.begin() + static_cast<std::ptrdiff_t>(lo),
+            b->line_owner.begin() +
+                static_cast<std::ptrdiff_t>(lo + (n + kObjsPerLine - 1) /
+                                                     kObjsPerLine),
+            static_cast<i16>(tid));
+}
+
+u32 Heap::arena_segment_size(u32 tid) const {
+  GILFREE_CHECK(tid < config_.max_threads);
+  return arena_seg_size_[tid];
+}
+
 Cycles Heap::run_gc(const RootSet& roots) {
   GILFREE_CHECK(!in_gc_);
   in_gc_ = true;
   ++gc_stats_.collections;
 
-  // Thread-local free lists contain objects that the sweep below will
-  // re-link into the global list; flush them first (§4.4's design keeps this
+  // Abandon unfinished lazy quanta from the previous epoch: this epoch
+  // re-marks and re-flags every block, so unswept garbage (and its spill
+  // buffers) is simply rediscovered by this cycle's sweep.
+  if (lazy_blocks_pending_ > 0) {
+    for (auto& b : blocks_) b.needs_sweep = false;
+    lazy_blocks_pending_ = 0;
+  }
+  lazy_cursor_ = 0;
+
+  // Thread-local free lists (and arena segments) contain objects that the
+  // sweep below will re-link; flush them first (§4.4's design keeps this
   // safe because GC is stop-the-world).
   for (u32 t = 0; t < config_.max_threads; ++t) {
     *tcb_slot(t, kTcbFreeListHead) = 0;
     *tcb_slot(t, kTcbFreeListCount) = 0;
+    if (config_.per_thread_arenas) {
+      *tcb_slot(t, kTcbArenaBump) = 0;
+      *tcb_slot(t, kTcbArenaLimit) = 0;
+      *tcb_slot(t, kTcbArenaStash) = 0;  // the sweep re-pools the segments
+    }
   }
   *global_free_head_ = 0;
   *global_free_count_ = 0;
+  *arena_pool_head_ = 0;
+  *arena_pool_count_ = 0;
+  deal_next_ = 0;
+  deal_run_ = 0;
+  deal_line_ = ~0ull;
 
   // Mark.
   std::vector<RBasic*> stack;
@@ -615,87 +1075,53 @@ Cycles Heap::run_gc(const RootSet& roots) {
     mark_object(o, stack);
   }
 
-  // Sweep: every unmarked live object is freed; its spill buffers return to
-  // the malloc free lists. With the thread-local-sweep extension enabled,
-  // freed objects are dealt round-robin onto per-thread lists instead of
-  // the single global list (§5.6's proposed fix for allocation conflicts).
-  const bool deal_local = config_.thread_local_sweep &&
-                          config_.thread_local_free_lists &&
-                          config_.sweep_deal_threads > 0;
-  u32 deal_next = 0;
-  u32 deal_run = 0;
-  // Contiguous runs per thread: the sweep walks in address order, so runs
-  // keep cache-line-mates (4 RVALUEs per zEC12 line) on the same thread's
-  // list — dealing round-robin per object would *create* allocation false
-  // sharing instead of removing it.
-  constexpr u32 kDealRun = 256;
-  auto free_one = [&](RBasic* o) {
-    if (deal_local) {
-      u64* head = tcb_slot(deal_next, kTcbFreeListHead);
-      u64* count = tcb_slot(deal_next, kTcbFreeListCount);
-      o->slots[1] = *head;
-      *head = reinterpret_cast<u64>(o);
-      ++*count;
-      if (++deal_run == kDealRun) {
-        deal_run = 0;
-        deal_next = (deal_next + 1) % config_.sweep_deal_threads;
-      }
-    } else {
-      o->slots[1] = *global_free_head_;
-      *global_free_head_ = reinterpret_cast<u64>(o);
-      ++*global_free_count_;
-    }
-  };
-  u64 swept = 0;
-  for (auto& b : blocks_) {
-    for (u32 i = 0; i < b.count; ++i) {
-      RBasic* o = &b.base[i];
-      if (b.mark[i]) {
-        b.mark[i] = false;
-        continue;
-      }
-      const ObjType t = o->type();
-      if (t == ObjType::kFree) {
-        // Already free: re-link (lists were reset above).
-        free_one(o);
-        continue;
-      }
-      switch (t) {
-        case ObjType::kObject:
-          if (o->slots[7]) free_spill_direct(o->slots[7]);
-          break;
-        case ObjType::kString:
-        case ObjType::kArray:
-        case ObjType::kHash:
-          if (o->slots[3]) free_spill_direct(o->slots[3]);
-          break;
-        case ObjType::kClass:
-          if (o->slots[2]) free_spill_direct(o->slots[2]);
-          break;
-        default:
-          break;
-      }
-      o->slots[0] = RBasic::make_header(ObjType::kFree, 0);
-      free_one(o);
-      ++swept;
-    }
-  }
-
   gc_stats_.last_marked = marked;
-  gc_stats_.last_swept = swept;
   gc_stats_.total_marked += marked;
-  gc_stats_.total_swept += swept;
 
-  // Grow when the heap is too full to make progress (CRuby heap growth).
-  if (free_objects() <
-      static_cast<u64>(config_.growth_trigger *
-                       static_cast<double>(total_objects_))) {
-    add_arena_block(config_.block_slots);
+  Cycles pause;
+  if (config_.lazy_sweep) {
+    // Lazy sweep: the stop-the-world phase only marks and flags every block
+    // for deferred sweeping; allocation slow-paths pay the sweep in
+    // per-block quanta (sweep_quantum). The pause is the mark + root scan
+    // plus a per-block flagging pass.
+    gc_stats_.last_swept = 0;
+    for (auto& b : blocks_) b.needs_sweep = true;
+    lazy_blocks_pending_ = blocks_.size();
+
+    // Grow on the mark result — the free lists are empty until quanta run,
+    // so the eager free_objects() trigger would grow on every collection.
+    if (total_objects_ - marked <
+        static_cast<u64>(config_.growth_trigger *
+                         static_cast<double>(total_objects_))) {
+      add_arena_block(config_.block_slots);
+    }
+    pause = 14 * marked + root_slots + blocks_.size();
+  } else {
+    // Eager sweep: every unmarked object is freed in one stop-the-world
+    // pass; its spill buffers return to the malloc free lists (§5.6's
+    // allocation-conflict fix deals them onto per-thread lists).
+    u64 swept = 0;
+    for (auto& b : blocks_) swept += sweep_block(b, nullptr);
+
+    gc_stats_.last_swept = swept;
+    gc_stats_.total_swept += swept;
+
+    // Grow when the heap is too full to make progress (CRuby heap growth).
+    if (free_objects() <
+        static_cast<u64>(config_.growth_trigger *
+                         static_cast<double>(total_objects_))) {
+      add_arena_block(config_.block_slots);
+    }
+    // Cost: proportional to marked objects plus the linear sweep and root
+    // scan.
+    pause = 14 * marked + 3 * total_objects_ + root_slots;
   }
   in_gc_ = false;
 
-  // Cost: proportional to marked objects plus the linear sweep and root scan.
-  return 14 * marked + 3 * total_objects_ + root_slots;
+  gc_stats_.last_pause = pause;
+  if (pause > gc_stats_.max_pause) gc_stats_.max_pause = pause;
+  gc_stats_.pause_hist.add(pause);
+  return pause;
 }
 
 std::string Heap::describe_address(const void* addr) const {
@@ -706,14 +1132,26 @@ std::string Heap::describe_address(const void* addr) const {
   if (within(gil_word_, 32)) return "gil-word";
   if (within(global_free_head_, 32)) return "free-list-head";
   if (within(current_thread_global_, 32)) return "current-thread-global";
-  if (within(spill_class_heads_, 160)) return "malloc-class-heads";
+  if (within(spill_class_heads_, 64)) return "malloc-class-heads";
+  if (within(arena_pool_head_, 32)) return "arena-pool";
   if (within(tcb_base_, u64{config_.max_threads} * tcb_stride_)) return "tcb";
   if (within(tcb_malloc_base_, u64{config_.max_threads} * 64))
     return "tcb-malloc-cache";
   if (within(global_vars_, config_.global_table_slots)) return "globals";
   if (within(constants_, config_.global_table_slots)) return "constants";
   if (within(ic_base_, config_.ic_table_slots)) return "inline-caches";
-  if (block_of(addr) != nullptr) return "arena";
+  if (const ArenaBlock* b = block_of(addr); b != nullptr) {
+    // With per-thread arenas (or line-mate dealing) on, attribute the line
+    // to the thread whose segment it belongs to so conflict histograms
+    // separate private-segment traffic from shared-arena traffic.
+    if (!b->line_owner.empty()) {
+      const auto* o = static_cast<const RBasic*>(addr);
+      const i16 owner =
+          b->line_owner[static_cast<std::size_t>(o - b->base) / kObjsPerLine];
+      if (owner >= 0) return "arena-t" + std::to_string(owner);
+    }
+    return "arena";
+  }
   for (const auto& blk : spill_blocks_) {
     if (p >= blk.get() && p < blk.get() + (4ull << 20) + 32) return "spill";
   }
@@ -721,9 +1159,22 @@ std::string Heap::describe_address(const void* addr) const {
 }
 
 u64 Heap::free_objects() const {
-  u64 n = *global_free_count_;
-  for (u32 t = 0; t < config_.max_threads; ++t)
-    n += *const_cast<Heap*>(this)->tcb_slot(t, kTcbFreeListCount);
+  u64 n = *global_free_count_ + *arena_pool_count_;
+  Heap* self = const_cast<Heap*>(this);
+  for (u32 t = 0; t < config_.max_threads; ++t) {
+    n += *self->tcb_slot(t, kTcbFreeListCount);
+    if (config_.per_thread_arenas) {
+      const u64 bump = *self->tcb_slot(t, kTcbArenaBump);
+      const u64 limit = *self->tcb_slot(t, kTcbArenaLimit);
+      if (bump != 0 && limit > bump) n += (limit - bump) / sizeof(RBasic);
+      u64 stash = *self->tcb_slot(t, kTcbArenaStash);
+      while (stash != 0) {
+        const RBasic* s = reinterpret_cast<const RBasic*>(stash);
+        n += s->slots[2];
+        stash = s->slots[1];
+      }
+    }
+  }
   return n;
 }
 

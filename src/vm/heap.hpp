@@ -14,6 +14,10 @@
 //   * Thread control blocks hold the per-thread fields the paper added
 //     (yield_point_counter, local free-list head...) and are optionally
 //     padded to dedicated cache lines to avoid false sharing (§4.4).
+//   * The §7 future-work directions are implemented as opt-in extensions:
+//     per-thread allocation arenas (bump segments carved from a shared
+//     pool, size adapted to each thread's allocation rate), line-mate-aware
+//     sweep dealing, and lazy incremental sweeping in per-block quanta.
 #pragma once
 
 #include <functional>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/latency_hist.hpp"
 #include "vm/host.hpp"
 #include "vm/object.hpp"
 
@@ -48,10 +53,46 @@ struct HeapConfig {
 
   /// §5.6/§7 future-work extension: "the lazy sweeping should be done on a
   /// thread-local basis" — the sweeper deals freed objects directly onto
-  /// the live threads' local free lists (round-robin), so steady-state
-  /// allocation touches the global list head far less often.
-  bool thread_local_sweep = false;
+  /// the live threads' local free lists, so steady-state allocation touches
+  /// the global list head far less often. On by default; it only activates
+  /// when sweep_deal_threads > 0, so the default heap behaves exactly like
+  /// the seed allocator.
+  bool thread_local_sweep = true;
   u32 sweep_deal_threads = 0;  ///< Live threads to deal to (0 = disabled).
+
+  /// How the sweeper places freed objects on per-thread lists. kLineMate
+  /// keeps every RVALUE of one cache line (4 per zEC12 line) on a single
+  /// thread's list, preferring the thread that last allocated that line —
+  /// the round-robin run deal could split a line's free objects across two
+  /// threads at run boundaries and manufacture allocation false sharing.
+  /// kRoundRobin keeps the legacy run deal (line-aligned now) for A/B runs.
+  enum class SweepDeal : u8 { kLineMate, kRoundRobin };
+  SweepDeal sweep_deal_policy = SweepDeal::kLineMate;
+
+  /// Per-thread allocation arenas: each thread bump-allocates from a
+  /// private line-aligned segment carved from a shared segment pool. A
+  /// carve touches ~4 shared slots instead of walking a 256-node free-list
+  /// chain, so the transactional read footprint of the allocation slow
+  /// path — the paper's dominant residual conflict source (§5.6) —
+  /// shrinks accordingly. Requires thread_local_free_lists (sweep
+  /// fragments still travel via the lists).
+  bool per_thread_arenas = false;
+  /// Initial/maximum segment size in RVALUEs (multiples of 4 = one zEC12
+  /// line). Segment size adapts online, mirroring tle's dynamic
+  /// transaction-length machinery: a refill hot on the heels of the
+  /// previous one doubles the next segment up to the cap; a refill after
+  /// an idle gap halves it back toward the minimum.
+  u32 arena_min_segment = 64;
+  u32 arena_max_segment = 8192;
+  Cycles arena_hot_refill_cycles = 200'000;
+  Cycles arena_idle_cycles = 2'000'000;
+
+  /// Lazy incremental sweeping: run_gc only marks stop-the-world; blocks
+  /// are swept in per-block quanta on allocation slow paths (outside
+  /// transactions, normally GIL-held), charging cycles incrementally
+  /// instead of one giant pause.
+  bool lazy_sweep = false;
+  u32 sweep_quantum_blocks = 1;  ///< Blocks swept per slow-path quantum.
 
   /// Thread-local spill (malloc) caches — HEAPPOOLS on z/OS, default on
   /// Linux. Refill granularity models how much of malloc remains shared.
@@ -78,6 +119,9 @@ enum TcbField : u32 {
   kTcbInterruptFlag = 3,    ///< GIL-mode timer flag (§3.2).
   kTcbCurrentThread = 4,    ///< Thread-local home of the ex-global
                             ///< "running thread" pointer (§4.4 removal (a)).
+  kTcbArenaBump = 5,        ///< Per-thread arena: next free RVALUE address.
+  kTcbArenaLimit = 6,       ///< One past the segment's last RVALUE.
+  kTcbArenaStash = 7,       ///< Private chain of not-yet-active segments.
   kTcbMallocCacheBase = 8,  ///< Two slots (head, count) per size class.
 };
 
@@ -88,6 +132,24 @@ struct GcStats {
   u64 total_marked = 0;
   u64 total_swept = 0;
   u64 grown_blocks = 0;
+
+  // Per-thread-arena extension (zero while the feature is off).
+  u64 arena_refills = 0;      ///< Segments carved from the shared pool.
+  u64 arena_grows = 0;        ///< Adaptive segment-size doublings.
+  u64 arena_shrinks = 0;      ///< Idle attenuations.
+  u64 pool_segments = 0;      ///< Free-line runs the sweep turned into pool segments.
+  u32 segment_slots_min = 0;  ///< Smallest / largest segment carved so far.
+  u32 segment_slots_max = 0;
+
+  // Lazy incremental sweeping (zero while the feature is off).
+  u64 sweep_quanta = 0;            ///< Per-block quanta performed on slow paths.
+  Cycles sweep_quantum_cycles = 0; ///< Cycles those quanta charged.
+
+  // Stop-the-world pause per collection (mark+sweep when eager, mark only
+  // when lazy). The histogram feeds the metrics document's percentiles.
+  Cycles last_pause = 0;
+  Cycles max_pause = 0;
+  obs::LatencyHistogram pause_hist;
 };
 
 class Heap {
@@ -133,6 +195,10 @@ class Heap {
   /// §4.4(b): bulk refill of a thread's local free list from the global one.
   void refill_thread_free_list(Host& host, u32 tid);
 
+  /// Per-thread-arena slow path: carve a fresh segment (or replenish via
+  /// lazy sweep quanta / the global list / a full GC) for `tid`.
+  void refill_thread_arena(Host& host, u32 tid);
+
   /// Capacity in slots of a spill allocation (size class payload).
   static u32 spill_capacity_slots(u64 payload_addr);
 
@@ -158,6 +224,17 @@ class Heap {
   /// Global free-list head/count (own cache line).
   u64* global_free_head() { return global_free_head_; }
   u64* global_free_count() { return global_free_count_; }
+
+  /// Per-thread-arena segment pool head/count (own cache line; the only
+  /// shared allocator state a segment carve touches).
+  u64* arena_pool_head() { return arena_pool_head_; }
+  u64* arena_pool_count() { return arena_pool_count_; }
+
+  /// Current adaptive segment size for a thread (tests/metrics).
+  u32 arena_segment_size(u32 tid) const;
+
+  /// Arena blocks still awaiting their lazy sweep quantum.
+  u64 lazy_blocks_pending() const { return lazy_blocks_pending_; }
 
   /// The interpreter-global "current running thread" pointer that §4.4
   /// removal (a) moves into the TCB. One slot, shared line.
@@ -212,15 +289,43 @@ class Heap {
  private:
   struct ArenaBlock {
     std::unique_ptr<RBasic[]> storage;
-    RBasic* base = nullptr;  ///< 64-byte aligned start.
+    RBasic* base = nullptr;  ///< Line-aligned start.
     u32 count = 0;
     std::vector<bool> mark;
+    /// Last thread to allocate each cache line of the block (-1 = never;
+    /// 4 RVALUEs per zEC12 line). Drives line-mate-aware sweep dealing and
+    /// the arena-t<N> conflict-region classification; only populated when
+    /// a feature that needs it is on.
+    std::vector<i16> line_owner;
+    bool needs_sweep = false;  ///< Awaiting its lazy sweep quantum.
   };
 
   static constexpr u32 kNumSpillClasses = 18;  ///< 32 B .. 4 MB chunks.
 
   void add_arena_block(u32 rvalues);
   void collect_for_allocation(Host& host);
+  /// Splices up to free_list_refill objects from the global list onto
+  /// `tid`'s local list; false when the global list is empty.
+  bool splice_global_to_local(Host& host, u32 tid);
+  /// Pops a segment from `tid`'s private stash into its bump window; false
+  /// when the stash is empty. No shared allocator state is touched.
+  bool activate_stashed_segment(Host& host, u32 tid);
+  /// Cuts a batch of segments covering the thread's adaptive target from
+  /// the shared pool (first segment active, rest stashed); false when the
+  /// pool is empty.
+  bool carve_segment(Host& host, u32 tid);
+  /// Sweeps up to sweep_quantum_blocks pending blocks via host-mediated
+  /// (conflict-visible) stores; returns the cycle cost to charge.
+  Cycles sweep_quantum(Host& host);
+  /// Runs pending quanta until `watch` (a free-list/pool head) becomes
+  /// non-zero or no block is left; false if nothing was pending.
+  bool lazy_sweep_until(Host& host, u64* watch);
+  /// Sweeps one block. Direct stores when host == nullptr (stop-the-world
+  /// under the GIL); host-mediated non-transactional stores otherwise.
+  /// Returns the number of newly freed (previously live) objects.
+  u64 sweep_block(ArenaBlock& b, Host* host);
+  void note_line_owner(RBasic* o, u32 tid);
+  void note_line_owner_range(RBasic* s, u64 n, u32 tid);
   u64 pop_or_carve_chunk(Host& host, u32 cls);
   void grow_spill_region(Host& host, u32 needed_slots);
   void mark_value(Value v, std::vector<RBasic*>& stack);
@@ -240,6 +345,8 @@ class Heap {
   u64* gil_word_ = nullptr;
   u64* global_free_head_ = nullptr;
   u64* global_free_count_ = nullptr;
+  u64* arena_pool_head_ = nullptr;
+  u64* arena_pool_count_ = nullptr;
   u64* current_thread_global_ = nullptr;
   u64* spill_class_heads_ = nullptr;  ///< One slot per size class.
   u64* tcb_base_ = nullptr;
@@ -259,6 +366,22 @@ class Heap {
 
   GcStats gc_stats_;
   bool in_gc_ = false;
+
+  // Per-thread arena adaptation state (host-invisible, like tle's length
+  // table lives in the engine, not in simulated memory).
+  bool track_line_owners_ = false;
+  std::vector<u32> arena_seg_size_;
+  std::vector<Cycles> arena_last_refill_;
+  ArenaBlock* owner_block_cache_ = nullptr;  ///< block_of cache, hot path.
+
+  // Lazy-sweep progress.
+  u64 lazy_blocks_pending_ = 0;
+  std::size_t lazy_cursor_ = 0;
+
+  // Sweep-deal cursor (persists across lazy quanta within one GC epoch).
+  u32 deal_next_ = 0;
+  u32 deal_run_ = 0;
+  u64 deal_line_ = ~0ull;
 };
 
 }  // namespace gilfree::vm

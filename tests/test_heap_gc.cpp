@@ -1,7 +1,19 @@
 // Heap, allocator, and GC unit tests: free-list bulk splice, spill size
-// classes, mark & sweep reachability, heap growth, region classification.
+// classes, mark & sweep reachability, heap growth, region classification,
+// per-thread arena carving/conservation, sweep-deal line invariants, lazy
+// incremental sweeping, and a trace-differential test pinning the default
+// configuration to the seed allocator's behaviour.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/sink.hpp"
+#include "runtime/engine.hpp"
+#include "testutil_programs.hpp"
 #include "vm/heap.hpp"
 #include "vm/objops.hpp"
 
@@ -27,13 +39,14 @@ class DirectHost : public Host {
   void write_stdout(std::string_view) override {}
   u64 random_u64() override { return 4; }
   void record_result(std::string_view, double) override {}
-  Cycles now_cycles() override { return 0; }
+  Cycles now_cycles() override { return now; }
 
   Heap* heap = nullptr;
   Heap::RootSet roots;
   u32 tid = 0;
   u64 gc_calls = 0;
   Cycles charged = 0;
+  Cycles now = 0;
 };
 
 HeapConfig small_config() {
@@ -195,6 +208,248 @@ TEST(Heap, DescribeAddressClassifiesRegions) {
   EXPECT_EQ(heap.describe_address(spill_ptr(spill)), "spill");
   int local = 0;
   EXPECT_EQ(heap.describe_address(&local), "other");
+}
+
+HeapConfig arena_config() {
+  HeapConfig c = small_config();
+  c.per_thread_arenas = true;
+  c.arena_min_segment = 8;
+  c.arena_max_segment = 64;
+  return c;
+}
+
+/// Property: across refills, segment carving, stash activation, GC, and
+/// (optionally) lazy sweep quanta, no RVALUE slot is lost or duplicated —
+/// after a GC that frees everything, exactly total_objects() allocations
+/// succeed without another collection, and they are all distinct.
+void check_arena_conservation(bool lazy) {
+  HeapConfig cfg = arena_config();
+  cfg.lazy_sweep = lazy;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+
+  // Touch the allocator from several threads first so segments, stashes,
+  // and local lists are in play, then free everything.
+  for (int i = 0; i < 600; ++i) {
+    host.tid = static_cast<u32>(i) % cfg.max_threads;
+    (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  }
+  heap.run_gc(host.roots);  // no roots: everything is garbage
+
+  const u64 total = heap.total_objects();
+  if (!lazy) {
+    EXPECT_EQ(heap.free_objects(), total);
+  }
+
+  host.tid = 0;
+  const u64 gc_before = host.gc_calls;
+  std::set<const RBasic*> seen;
+  for (u64 i = 0; i < total; ++i) {
+    RBasic* o = heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+    ASSERT_TRUE(heap.is_heap_object(o));
+    ASSERT_TRUE(seen.insert(o).second)
+        << "slot handed out twice at allocation " << i;
+  }
+  EXPECT_EQ(host.gc_calls, gc_before)
+      << "re-allocating every freed slot must not need another GC";
+  EXPECT_EQ(heap.free_objects(), 0u);
+  EXPECT_EQ(heap.lazy_blocks_pending(), 0u);
+}
+
+TEST(HeapArena, ConservesSlotsAcrossRefillAndGc) {
+  check_arena_conservation(/*lazy=*/false);
+}
+
+TEST(HeapArena, ConservesSlotsAcrossRefillAndLazySweep) {
+  check_arena_conservation(/*lazy=*/true);
+}
+
+TEST(HeapArena, SegmentSizeAdaptsToAllocationRate) {
+  HeapConfig cfg = arena_config();
+  cfg.arena_hot_refill_cycles = 1'000;
+  cfg.arena_idle_cycles = 10'000;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+
+  EXPECT_EQ(heap.arena_segment_size(0), cfg.arena_min_segment);
+  // Back-to-back refills (virtual time frozen): every carve looks hot, so
+  // the segment doubles up to the cap.
+  for (int i = 0; i < 150; ++i)
+    (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_EQ(heap.arena_segment_size(0), cfg.arena_max_segment);
+  EXPECT_GE(heap.gc_stats().arena_grows, 3u);
+
+  // An idle gap attenuates the next carve.
+  const u64 shrinks_before = heap.gc_stats().arena_shrinks;
+  host.now = 1'000'000;
+  for (int i = 0; i < static_cast<int>(cfg.arena_max_segment) + 1; ++i)
+    (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_GT(heap.gc_stats().arena_shrinks, shrinks_before);
+}
+
+TEST(HeapArena, DescribeAddressClassifiesThreadSegments) {
+  Heap heap(arena_config());
+  DirectHost host;
+  host.heap = &heap;
+  EXPECT_EQ(heap.describe_address(heap.arena_pool_head()), "arena-pool");
+  host.tid = 2;
+  RBasic* o = heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_EQ(heap.describe_address(o), "arena-t2");
+  host.tid = 0;
+  RBasic* p = heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  EXPECT_EQ(heap.describe_address(p), "arena-t0");
+}
+
+/// Walks every dealt free list and asserts no cache line's RVALUEs are
+/// split across two threads' lists (the false-sharing caveat the line-mate
+/// deal and the line-aligned round-robin fallback both fix).
+void check_no_line_split(Heap& heap, u32 deal_threads) {
+  std::map<u64, u32> line_to_thread;
+  u64 dealt = 0;
+  for (u32 t = 0; t < deal_threads; ++t) {
+    u64 head = *heap.tcb_slot(t, kTcbFreeListHead);
+    while (head != 0) {
+      const u64 line = head / 256;  // worst-case (zEC12) line
+      auto [it, fresh] = line_to_thread.emplace(line, t);
+      ASSERT_TRUE(fresh || it->second == t)
+          << "line " << line << " split between threads " << it->second
+          << " and " << t;
+      ++dealt;
+      head = reinterpret_cast<RBasic*>(head)->slots[1];
+    }
+  }
+  EXPECT_GT(dealt, 0u);
+}
+
+TEST(HeapSweepDeal, LineMateDealKeepsLineMatesTogether) {
+  HeapConfig cfg = small_config();
+  cfg.sweep_deal_threads = 3;
+  cfg.sweep_deal_policy = HeapConfig::SweepDeal::kLineMate;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+  for (int i = 0; i < 900; ++i) {
+    host.tid = static_cast<u32>(i / 300);  // three owner phases
+    (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  }
+  heap.run_gc(host.roots);
+  EXPECT_EQ(*heap.global_free_count(), 0u) << "dealing bypasses the global list";
+  check_no_line_split(heap, cfg.sweep_deal_threads);
+}
+
+TEST(HeapSweepDeal, RoundRobinDealIsLineAligned) {
+  HeapConfig cfg = small_config();
+  cfg.sweep_deal_threads = 2;
+  cfg.sweep_deal_policy = HeapConfig::SweepDeal::kRoundRobin;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+  for (int i = 0; i < 600; ++i)
+    (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  heap.run_gc(host.roots);
+  check_no_line_split(heap, cfg.sweep_deal_threads);
+}
+
+TEST(HeapLazySweep, ShrinksPauseAndSweepsOnSlowPaths) {
+  auto run = [](bool lazy) {
+    HeapConfig cfg = small_config();
+    cfg.lazy_sweep = lazy;
+    Heap heap(cfg);
+    DirectHost host;
+    host.heap = &heap;
+    for (int i = 0; i < 5000; ++i)
+      (void)heap.new_float(host, i);  // garbage; forces collections
+    return std::pair<Cycles, GcStats>(heap.gc_stats().max_pause,
+                                      heap.gc_stats());
+  };
+  const auto [eager_pause, eager_stats] = run(false);
+  const auto [lazy_pause, lazy_stats] = run(true);
+  ASSERT_GT(eager_stats.collections, 0u);
+  ASSERT_GT(lazy_stats.collections, 0u);
+  EXPECT_LT(lazy_pause, eager_pause)
+      << "mark-only stop-the-world must beat mark+sweep";
+  EXPECT_GT(lazy_stats.sweep_quanta, 0u);
+  EXPECT_GT(lazy_stats.sweep_quantum_cycles, 0u);
+  // Both modes account every pause in the histogram.
+  EXPECT_EQ(eager_stats.pause_hist.total(), eager_stats.collections);
+  EXPECT_EQ(lazy_stats.pause_hist.total(), lazy_stats.collections);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: with the new allocator features disabled (the default
+// configuration), whole-engine simulated traces are byte-identical to the
+// seed allocator's explicit configuration, on both HTM profiles. This pins
+// "flags off == seed path" at the level the paper's experiments run at.
+// ---------------------------------------------------------------------------
+
+struct TraceRun {
+  runtime::RunStats stats;
+  std::string trace;
+};
+
+TraceRun run_traced(runtime::EngineConfig cfg, const std::string& src) {
+  obs::ObsConfig oc;
+  oc.trace_path = ::testing::TempDir() + "heap_gc_diff_trace.jsonl";
+  TraceRun out;
+  {
+    obs::Sink sink(oc);
+    cfg.heap.initial_slots = 1024;  // tiny heap: force collections
+    cfg.heap.block_slots = 1024;
+    cfg.obs_sink = &sink;
+    runtime::Engine engine(std::move(cfg));
+    engine.load_program({src});
+    out.stats = engine.run();
+    sink.flush();
+  }
+  std::ifstream f(oc.trace_path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  out.trace = buf.str();
+  std::remove(oc.trace_path.c_str());
+  return out;
+}
+
+TEST(HeapDifferential, DefaultConfigMatchesSeedAllocatorTraces) {
+  // Float arithmetic allocates an RVALUE per iteration, so this coda turns
+  // the (mostly tagged-integer) random program into a GC-pressure workload.
+  const std::string alloc_coda = R"RUBY(
+f = 0.5
+j = 0
+while j < 4000
+  f = f + 1.5
+  j = j + 1
+end
+__record("f", f)
+)RUBY";
+  u64 seed = 11;
+  for (const htm::SystemProfile& profile :
+       {htm::SystemProfile::zec12(), htm::SystemProfile::xeon_e3()}) {
+    const std::string src = testutil::random_program(seed++) + alloc_coda;
+    auto base = runtime::EngineConfig::htm_dynamic(profile);
+
+    // Seed allocator, spelled out: no dealing, no arenas, eager sweep.
+    auto seed_cfg = base;
+    seed_cfg.heap.thread_local_sweep = false;
+    seed_cfg.heap.sweep_deal_policy = HeapConfig::SweepDeal::kRoundRobin;
+    seed_cfg.heap.per_thread_arenas = false;
+    seed_cfg.heap.lazy_sweep = false;
+    const TraceRun expect = run_traced(seed_cfg, src);
+    ASSERT_FALSE(expect.trace.empty());
+    ASSERT_GT(expect.stats.gc.collections, 0u)
+        << "differential must exercise the collector";
+
+    // Default configuration: the new features exist but are off.
+    const TraceRun got = run_traced(base, src);
+    EXPECT_EQ(got.trace, expect.trace)
+        << profile.machine.name
+        << ": default heap config diverged from the seed allocator";
+    EXPECT_EQ(got.stats.total_cycles, expect.stats.total_cycles)
+        << profile.machine.name;
+    EXPECT_EQ(got.stats.results, expect.stats.results)
+        << profile.machine.name;
+  }
 }
 
 TEST(Heap, PaddingChangesTcbStride) {
