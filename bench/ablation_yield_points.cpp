@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -25,9 +26,9 @@ int main(int argc, char** argv) {
 
   for (const auto& w : workloads::npb_workloads()) {
     const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}, fault_cfg), w, 1, scale);
+        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg), w, 1, scale);
 
-    auto with_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg);
+    auto with_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
     observe(with_cfg, sink,
             {{"figure", "ablation_yield_points"},
              {"machine", profile.machine.name},
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
     const auto with_yp =
         workloads::run_workload(std::move(with_cfg), w, threads, scale);
 
-    auto without_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg);
+    auto without_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
     without_cfg.vm.extended_yield_points = false;
     observe(without_cfg, sink,
             {{"figure", "ablation_yield_points"},

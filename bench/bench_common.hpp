@@ -20,6 +20,7 @@
 #include "htm/profile.hpp"
 #include "obs/sink.hpp"
 #include "runtime/engine.hpp"
+#include "stm/stm_config.hpp"
 #include "workloads/runner.hpp"
 
 namespace gilfree::bench {
@@ -40,15 +41,17 @@ inline std::vector<NamedConfig> paper_configs() {
 
 inline runtime::EngineConfig make_config(const htm::SystemProfile& profile,
                                          const NamedConfig& nc,
-                                         const fault::FaultConfig& fault = {}) {
+                                         const fault::FaultConfig& fault = {},
+                                         const stm::StmConfig& stm = {}) {
   runtime::EngineConfig cfg =
       nc.fixed_length == 0 ? runtime::EngineConfig::gil(profile)
       : nc.fixed_length < 0
           ? runtime::EngineConfig::htm_dynamic(profile)
           : runtime::EngineConfig::htm_fixed(profile, nc.fixed_length);
-  // The campaign only bites in HTM mode; stamping it everywhere keeps the
-  // call sites uniform.
+  // The campaign and the STM tier only bite in HTM mode; stamping them
+  // everywhere keeps the call sites uniform.
   cfg.fault = fault;
+  cfg.stm = stm;
   return cfg;
 }
 
@@ -100,6 +103,19 @@ inline fault::FaultConfig parse_fault_flags(const CliFlags& flags) {
 inline void parse_gc_flags(const CliFlags& flags, vm::HeapConfig& heap) {
   try {
     runtime::apply_gc_flags(flags, heap);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+/// Uniform STM-tier wiring (docs/TIERS.md): every harness accepts the
+/// --stm / --gil-subscription= / --stm-* flags via stm::StmConfig::from_flags
+/// and stamps the tier into each HTM engine configuration it runs. Semantic
+/// errors exit with a clear message like the flag parser itself.
+inline stm::StmConfig parse_stm_flags(const CliFlags& flags) {
+  try {
+    return stm::StmConfig::from_flags(flags);
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     std::exit(2);

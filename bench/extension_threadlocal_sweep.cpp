@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   // Optional --gc-* overrides (arenas, lazy sweep, deal policy) so the
   // legacy two-variant table can be re-run on top of the new allocator
   // features; bench/gc_scaling covers the full matrix.
@@ -33,13 +34,13 @@ int main(int argc, char** argv) {
 
   for (const char* name : {"FT", "BT", "MG"}) {
     const auto& w = workloads::npb(name);
-    auto base_cfg = make_config(profile, {"GIL", 0}, fault_cfg);
+    auto base_cfg = make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg);
     base_cfg.heap.initial_slots = 90'000;  // force several GCs
     const auto base = workloads::run_workload(std::move(base_cfg), w, 1,
                                               scale);
 
     for (bool tls_sweep : {false, true}) {
-      auto cfg = make_config(profile, {"HTM-16", 16}, fault_cfg);
+      auto cfg = make_config(profile, {"HTM-16", 16}, fault_cfg, stm_cfg);
       cfg.heap.initial_slots = 90'000;
       cfg.heap.thread_local_sweep = tls_sweep;
       cfg.heap.sweep_deal_threads = threads + 1;

@@ -19,7 +19,8 @@ namespace {
 void run_panel(const htm::SystemProfile& profile, const std::string& program,
                const char* title, u32 requests, bool csv,
                TablePrinter* abort_table, obs::Sink& sink,
-               const fault::FaultConfig& fault_cfg) {
+               const fault::FaultConfig& fault_cfg,
+               const stm::StmConfig& stm_cfg) {
   std::cout << "== Fig.7 " << title << " (throughput, 1 = 1-client GIL) ==\n";
   std::vector<std::string> headers = {"clients"};
   for (const auto& nc : paper_configs()) headers.push_back(nc.name);
@@ -32,7 +33,7 @@ void run_panel(const htm::SystemProfile& profile, const std::string& program,
     httpsim::DriverConfig d;
     d.clients = clients;
     d.total_requests = requests;
-    auto cfg = make_config(profile, nc, fault_cfg);
+    auto cfg = make_config(profile, nc, fault_cfg, stm_cfg);
     observe(cfg, sink,
             {{"figure", "fig7_webrick_rails"},
              {"machine", profile.machine.name},
@@ -77,16 +78,17 @@ int main(int argc, char** argv) {
       static_cast<u32>(flags.get_int("requests", quick ? 150 : 300));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   flags.reject_unknown();
 
   TablePrinter abort_table({"server", "clients", "abort_ratio_pct"});
 
   run_panel(htm::SystemProfile::zec12(), httpsim::webrick_source(),
-            "WEBrick / zEC12", requests, csv, &abort_table, sink, fault_cfg);
+            "WEBrick / zEC12", requests, csv, &abort_table, sink, fault_cfg, stm_cfg);
   run_panel(htm::SystemProfile::xeon_e3(), httpsim::webrick_source(),
-            "WEBrick / XeonE3-1275v3", requests, csv, &abort_table, sink, fault_cfg);
+            "WEBrick / XeonE3-1275v3", requests, csv, &abort_table, sink, fault_cfg, stm_cfg);
   run_panel(htm::SystemProfile::xeon_e3(), httpsim::rails_source(),
-            "Rails / XeonE3-1275v3", requests, csv, &abort_table, sink, fault_cfg);
+            "Rails / XeonE3-1275v3", requests, csv, &abort_table, sink, fault_cfg, stm_cfg);
 
   std::cout << "== Fig.7 right: abort ratios of HTM-dynamic ==\n";
   emit(abort_table, csv);

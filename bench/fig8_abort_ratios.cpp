@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   flags.reject_unknown();
 
   for (const char* machine : {"zec12", "xeon"}) {
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
       if (threads == 1) continue;  // single-threaded runs use the GIL
       std::vector<std::string> row = {std::to_string(threads)};
       for (const auto& w : workloads::npb_workloads()) {
-        auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg);
+        auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
         observe(cfg, sink,
                 {{"figure", "fig8_abort_ratios"},
                  {"machine", profile.machine.name},

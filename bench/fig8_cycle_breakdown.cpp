@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
                       "blocked_io", "other"});
 
   for (const auto& w : workloads::npb_workloads()) {
-    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg);
+    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
     observe(cfg, sink,
             {{"figure", "fig8_cycle_breakdown"},
              {"machine", profile.machine.name},

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
     for (const auto& w : workloads::npb_workloads()) {
       auto bcfg = kind.make(profile);
       bcfg.fault = fault_cfg;
+      bcfg.stm = stm_cfg;
       base.push_back(
           workloads::run_workload(std::move(bcfg), w, 1, scale).elapsed_us);
     }
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
       for (const auto& w : workloads::npb_workloads()) {
         auto cfg = kind.make(profile);
         cfg.fault = fault_cfg;
+        cfg.stm = stm_cfg;
         observe(cfg, sink,
                 {{"figure", "fig9_scalability"},
                  {"machine", profile.machine.name},

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   const std::string json_path = flags.get("json", "");
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   // --gc-* overrides apply on top of each variant's feature selection
   // (segment sizes, adaptation windows, sweep quantum).
   vm::HeapConfig gc_overrides;
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
   };
 
   const auto base = workloads::run_workload(
-      pressured(make_config(profile, {"GIL", 0}, fault_cfg)), w, 1, scale);
+      pressured(make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg)), w, 1, scale);
 
   const Variant variants[] = {
       {"global-list", false, 0, vm::HeapConfig::SweepDeal::kRoundRobin, false},
@@ -99,7 +100,7 @@ int main(int argc, char** argv) {
                       "pause_max", "sweep_quanta"});
   for (const Variant& v : variants) {
     for (bool lazy : {false, true}) {
-      auto cfg = pressured(make_config(profile, {"HTM-16", 16}, fault_cfg));
+      auto cfg = pressured(make_config(profile, {"HTM-16", 16}, fault_cfg, stm_cfg));
       cfg.heap.thread_local_free_lists = v.local_lists;
       cfg.heap.sweep_deal_threads = v.deal_threads;
       cfg.heap.sweep_deal_policy = v.policy;

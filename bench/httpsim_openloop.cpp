@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   const u64 seed = static_cast<u64>(flags.get_int("seed", 0x6112024));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   httpsim::DriverConfig driver_cfg;
   httpsim::ShardOptions shard_opts;
   try {
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto cfg = make_config(profile, *nc, fault_cfg);
+  auto cfg = make_config(profile, *nc, fault_cfg, stm_cfg);
   cfg.seed = seed;
 
   std::map<std::string, std::string> labels = {

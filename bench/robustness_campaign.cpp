@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 4));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig custom = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
 
   auto run_phase = [&](const std::string& name, const NamedConfig& nc,
                        const fault::FaultConfig& fc) {
-    auto cfg = make_config(profile, nc, fc);
+    auto cfg = make_config(profile, nc, fc, stm_cfg);
     observe(cfg, sink,
             {{"figure", "robustness_campaign"},
              {"machine", profile.machine.name},

@@ -58,11 +58,12 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads", 12));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
+  const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   flags.reject_unknown();
 
   // NPB on zEC12 with HTM-dynamic.
   for (const auto& w : workloads::npb_workloads()) {
-    auto cfg = make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1}, fault_cfg);
+    auto cfg = make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
     observe(cfg, sink,
             {{"figure", "stats_abort_reasons"},
              {"machine", "zEC12"},
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
 
   // Rails on the Xeon (87% overflow aborts in the paper).
   {
-    auto cfg = make_config(htm::SystemProfile::xeon_e3(), {"HTM-dynamic", -1}, fault_cfg);
+    auto cfg = make_config(htm::SystemProfile::xeon_e3(), {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
     httpsim::DriverConfig d;
     d.clients = 4;
     d.total_requests = 600;

@@ -11,6 +11,7 @@
 #include "common/cli.hpp"
 #include "fault/fault_config.hpp"
 #include "obs/sink.hpp"
+#include "stm/stm_config.hpp"
 #include "workloads/runner.hpp"
 
 using namespace gilfree;
@@ -24,8 +25,10 @@ int main(int argc, char** argv) {
   const auto scale = static_cast<unsigned>(flags.get_int("scale", 1));
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   fault::FaultConfig fault_cfg;
+  stm::StmConfig stm_cfg;
   try {
     fault_cfg = fault::FaultConfig::from_flags(flags);
+    stm_cfg = stm::StmConfig::from_flags(flags);
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.fault = fault_cfg;
+  cfg.stm = stm_cfg;
 
   if (sink.enabled()) {
     sink.next_labels({{"example", "npb_runner"},

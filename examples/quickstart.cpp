@@ -14,6 +14,7 @@
 #include "fault/fault_config.hpp"
 #include "obs/sink.hpp"
 #include "runtime/engine.hpp"
+#include "stm/stm_config.hpp"
 
 int main(int argc, char** argv) {
   using namespace gilfree;
@@ -21,8 +22,10 @@ int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   fault::FaultConfig fault_cfg;
+  stm::StmConfig stm_cfg;
   try {
     fault_cfg = fault::FaultConfig::from_flags(flags);
+    stm_cfg = stm::StmConfig::from_flags(flags);
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
   runtime::EngineConfig config =
       runtime::EngineConfig::htm_dynamic(htm::SystemProfile::zec12());
   config.fault = fault_cfg;
+  config.stm = stm_cfg;
   if (sink.enabled()) {
     sink.next_labels({{"example", "quickstart"}, {"config", "HTM-dynamic"}});
     config.obs_sink = &sink;

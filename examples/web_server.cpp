@@ -8,6 +8,7 @@
 
 #include "common/cli.hpp"
 #include "fault/fault_config.hpp"
+#include "stm/stm_config.hpp"
 #include "httpsim/bench_server.hpp"
 #include "httpsim/server_programs.hpp"
 #include "obs/sink.hpp"
@@ -21,8 +22,10 @@ int main(int argc, char** argv) {
   const bool rails = flags.get_bool("rails", false);
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   fault::FaultConfig fault_cfg;
+  stm::StmConfig stm_cfg;
   try {
     fault_cfg = fault::FaultConfig::from_flags(flags);
+    stm_cfg = stm::StmConfig::from_flags(flags);
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
   const char* server = rails ? "Rails" : "WEBrick";
   auto observe = [&](runtime::EngineConfig cfg, const char* name) {
     cfg.fault = fault_cfg;
+    cfg.stm = stm_cfg;
     if (sink.enabled()) {
       sink.next_labels({{"example", "web_server"},
                         {"machine", profile.machine.name},

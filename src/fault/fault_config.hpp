@@ -44,7 +44,10 @@ struct FaultConfig {
 
   // --- Persistent-abort windows pinned to yield points ---------------------
   /// During the window, every transaction attempt at a targeted yield point
-  /// aborts at TBEGIN with a persistent (capacity-style) reason.
+  /// aborts at TBEGIN with a persistent (capacity-style) reason. With the
+  /// STM tier enabled (--stm, docs/TIERS.md) persistent aborts escalate
+  /// HTM → STM instead of serializing straight onto the GIL, which is how
+  /// the tier-crossover bench demonstrates the tier under this campaign.
   bool persistent_all_yps = false;      ///< Target every yield point.
   std::vector<i32> persistent_yps;      ///< Targeted ids (-1 = thread entry).
   FaultWindow persistent_window;

@@ -23,6 +23,7 @@ bool Gil::try_acquire(CpuId cpu, u32 tid, Cycles now) {
   owner_ = static_cast<i32>(tid);
   acquired_at_ = now;
   ++stats_.acquisitions;
+  if (acquire_listener_ != nullptr) acquire_listener_->on_gil_acquired();
   return true;
 }
 

@@ -25,6 +25,16 @@ struct GilStats {
   Cycles held_cycles = 0;    ///< Total cycles the GIL was held.
 };
 
+/// Observes successful GIL acquisitions. The tier-2 software-transaction
+/// engine registers here for eager GIL subscription: the acquisition write
+/// dooms every live software transaction, as if the GIL word were in each
+/// of their read sets (docs/TIERS.md).
+class AcquireListener {
+ public:
+  virtual ~AcquireListener() = default;
+  virtual void on_gil_acquired() = 0;
+};
+
 class Gil {
  public:
   /// `word` is the slot holding GIL.acquired; `htm` may be null (pure GIL
@@ -51,6 +61,11 @@ class Gil {
   i32 head_waiter() const;
   std::size_t num_waiters() const { return waiters_.size(); }
 
+  /// Attaches an acquisition listener (not owned; null detaches).
+  void set_acquire_listener(AcquireListener* listener) {
+    acquire_listener_ = listener;
+  }
+
   const GilStats& stats() const { return stats_; }
   void note_yield() { ++stats_.yields; }
   void reset_stats() { stats_ = GilStats{}; }
@@ -58,6 +73,7 @@ class Gil {
  private:
   u64* word_;
   htm::HtmFacility* htm_;
+  AcquireListener* acquire_listener_ = nullptr;
   i32 owner_ = -1;
   Cycles acquired_at_ = 0;
   std::deque<u32> waiters_;

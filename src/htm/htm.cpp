@@ -93,7 +93,10 @@ AbortReason HtmFacility::tx_commit(CpuId cpu) {
     return reason;
   }
   // Commit: drain the store buffer to memory in one atomic step.
-  for (const auto& [addr, value] : t.redo) *const_cast<u64*>(addr) = value;
+  for (const auto& [addr, value] : t.redo) {
+    *const_cast<u64*>(addr) = value;
+    if (write_listener_ != nullptr) write_listener_->on_nontx_write(addr);
+  }
   detach(cpu);
   t.active = false;
   t.redo.clear();
@@ -197,6 +200,7 @@ void HtmFacility::nontx_store(CpuId cpu, u64* addr, u64 value) {
     doom_mask(holders, AbortReason::kConflict);
   }
   *addr = value;
+  if (write_listener_ != nullptr) write_listener_->on_nontx_write(addr);
 }
 
 void HtmFacility::check_doom(CpuId cpu) {

@@ -53,6 +53,17 @@ struct HtmStats {
   void merge(const HtmStats& o);
 };
 
+/// Observes every write that reaches simulated memory outside transactional
+/// speculation: non-transactional stores and the redo-log drain of a
+/// committing hardware transaction. The tier-2 software-transaction engine
+/// registers here so commit-time validation can detect writes it did not
+/// perform itself (docs/TIERS.md).
+class MemWriteListener {
+ public:
+  virtual ~MemWriteListener() = default;
+  virtual void on_nontx_write(const u64* addr) = 0;
+};
+
 class HtmFacility {
  public:
   HtmFacility(const HtmConfig& config, sim::Machine* machine);
@@ -132,6 +143,12 @@ class HtmFacility {
     return reinterpret_cast<std::uintptr_t>(addr) / config_.line_bytes;
   }
 
+  /// Attaches a memory-write listener (not owned; null detaches). Called
+  /// for every nontx_store and for every redo-log entry a commit publishes.
+  void set_write_listener(MemWriteListener* listener) {
+    write_listener_ = listener;
+  }
+
   /// Attaches a fault-injection campaign (not owned; null detaches). The
   /// facility consults it at TBEGIN, at every transactional access, and
   /// when sampling interrupt arrivals.
@@ -176,6 +193,7 @@ class HtmFacility {
   u64 learning_seed_ = 0;  ///< Derived in seed_rngs(); reused by reset().
   std::optional<TsxLearningModel> learning_;
   fault::FaultInjector* injector_ = nullptr;
+  MemWriteListener* write_listener_ = nullptr;
   bool collect_conflicts_ = false;
   std::unordered_map<LineId, u64> conflict_lines_;
 };

@@ -125,6 +125,49 @@ void append_requests(std::string& out, const RequestMetrics& r) {
   out.push_back('}');
 }
 
+void append_stm_causes(
+    std::string& out,
+    const std::array<u64, stm::kNumStmAbortCauses>& counts) {
+  out.push_back('{');
+  bool first = true;
+  for (std::size_t c = 1; c < counts.size(); ++c) {  // skip kNone
+    if (counts[c] == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    json_append_string(
+        out, stm::stm_abort_cause_name(static_cast<stm::StmAbortCause>(c)));
+    out.push_back(':');
+    json_append_number(out, counts[c]);
+  }
+  out.push_back('}');
+}
+
+void append_stm(std::string& out, const StmMetrics& s) {
+  out += "{\"begins\":";
+  json_append_number(out, s.begins);
+  out += ",\"commits\":";
+  json_append_number(out, s.commits);
+  out += ",\"aborts\":";
+  json_append_number(out, s.total_aborts());
+  out += ",\"aborts_by_cause\":";
+  append_stm_causes(out, s.aborts_by_cause);
+  out += ",\"escalations\":";
+  json_append_number(out, s.escalations);
+  out += ",\"gil_fallbacks\":";
+  json_append_number(out, s.gil_fallbacks);
+  out += ",\"validated_entries\":";
+  json_append_number(out, s.validated_entries);
+  out += ",\"committed_writes\":";
+  json_append_number(out, s.committed_writes);
+  out += ",\"zombie_kills\":";
+  json_append_number(out, s.zombie_kills);
+  out += ",\"max_read_lines\":";
+  json_append_number(out, s.max_read_lines);
+  out += ",\"max_write_entries\":";
+  json_append_number(out, s.max_write_entries);
+  out.push_back('}');
+}
+
 void append_cycles(std::string& out, const CycleMetrics& c) {
   out += "{\"begin_end\":";
   json_append_number(out, c.begin_end);
@@ -132,6 +175,11 @@ void append_cycles(std::string& out, const CycleMetrics& c) {
   json_append_number(out, c.tx_success);
   out += ",\"tx_aborted\":";
   json_append_number(out, c.tx_aborted);
+  if (c.stm_work != 0) {
+    // Conditional so STM-less runs keep the pre-STM document bytes.
+    out += ",\"stm_work\":";
+    json_append_number(out, c.stm_work);
+  }
   out += ",\"gil_held\":";
   json_append_number(out, c.gil_held);
   out += ",\"gil_wait\":";
@@ -243,6 +291,11 @@ void append_run(std::string& out, const RunMetrics& m) {
   json_append_number(out, m.faults_injected());
   out += ",\"faults_by_kind\":";
   append_fault_counts(out, m.faults_by_kind);
+  if (m.stm.any()) {
+    // Conditional so STM-less runs keep the pre-STM document bytes.
+    out += ",\"stm\":";
+    append_stm(out, m.stm);
+  }
   out += ",\"cycles\":";
   append_cycles(out, m.cycles);
   out += ",\"yield_points\":[";
@@ -293,6 +346,19 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
     t.watchdog_events += m.watchdog_events;
     for (std::size_t k = 0; k < t.faults_by_kind.size(); ++k)
       t.faults_by_kind[k] += m.faults_by_kind[k];
+    t.stm.begins += m.stm.begins;
+    t.stm.commits += m.stm.commits;
+    for (std::size_t c = 0; c < t.stm.aborts_by_cause.size(); ++c)
+      t.stm.aborts_by_cause[c] += m.stm.aborts_by_cause[c];
+    t.stm.escalations += m.stm.escalations;
+    t.stm.gil_fallbacks += m.stm.gil_fallbacks;
+    t.stm.validated_entries += m.stm.validated_entries;
+    t.stm.committed_writes += m.stm.committed_writes;
+    t.stm.zombie_kills += m.stm.zombie_kills;
+    if (m.stm.max_read_lines > t.stm.max_read_lines)
+      t.stm.max_read_lines = m.stm.max_read_lines;
+    if (m.stm.max_write_entries > t.stm.max_write_entries)
+      t.stm.max_write_entries = m.stm.max_write_entries;
   }
   out += "\"runs\":";
   json_append_number(out, static_cast<u64>(runs.size()));
@@ -316,6 +382,10 @@ std::string metrics_to_json(const std::vector<RunMetrics>& runs) {
   json_append_number(out, t.watchdog_events);
   out += ",\"faults_injected\":";
   json_append_number(out, t.faults_injected());
+  if (t.stm.any()) {
+    out += ",\"stm\":";
+    append_stm(out, t.stm);
+  }
   out += ",\"requests_completed\":";
   json_append_number(out, t.requests.completed);
   out += ",\"gc\":";

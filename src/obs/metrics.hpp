@@ -14,6 +14,7 @@
 #include "fault/fault_kind.hpp"
 #include "htm/abort_reason.hpp"
 #include "obs/latency_hist.hpp"
+#include "stm/abort_cause.hpp"
 
 namespace gilfree::obs {
 
@@ -83,15 +84,44 @@ struct CycleMetrics {
   Cycles begin_end = 0;
   Cycles tx_success = 0;
   Cycles tx_aborted = 0;
+  /// Work inside committed software transactions (tier 2, docs/TIERS.md).
+  /// Emitted into the JSON document only when nonzero, so runs without the
+  /// STM tier keep the pre-STM document bytes.
+  Cycles stm_work = 0;
   Cycles gil_held = 0;
   Cycles gil_wait = 0;
   Cycles blocked_io = 0;
   Cycles other = 0;
 
   Cycles total() const {
-    return begin_end + tx_success + tx_aborted + gil_held + gil_wait +
-           blocked_io + other;
+    return begin_end + tx_success + tx_aborted + stm_work + gil_held +
+           gil_wait + blocked_io + other;
   }
+};
+
+/// Tier-2 software-transaction counters, mirrored from stm::StmStats plus
+/// the engine's tier-transition totals (obs cannot depend on runtime; the
+/// engine copies the numbers in). All-zero — and omitted from the JSON
+/// document — when the STM tier never engaged (docs/TIERS.md).
+struct StmMetrics {
+  u64 begins = 0;
+  u64 commits = 0;
+  std::array<u64, stm::kNumStmAbortCauses> aborts_by_cause{};
+  u64 escalations = 0;     ///< Tier transitions HTM → STM.
+  u64 gil_fallbacks = 0;   ///< Tier transitions STM → GIL.
+  u64 validated_entries = 0;
+  u64 committed_writes = 0;
+  u64 zombie_kills = 0;    ///< Yield-point validations that killed a zombie.
+  u64 max_read_lines = 0;
+  u64 max_write_entries = 0;
+
+  u64 total_aborts() const {
+    u64 t = 0;
+    for (u64 a : aborts_by_cause) t += a;
+    return t;
+  }
+  /// True when the tier saw any traffic; gates the JSON block.
+  bool any() const { return begins + escalations + gil_fallbacks != 0; }
 };
 
 /// GC / allocator counters, mirrored from vm::GcStats (obs cannot depend on
@@ -156,6 +186,7 @@ struct RunMetrics {
   }
 
   CycleMetrics cycles;
+  StmMetrics stm;
   GcMetrics gc;
   std::map<i32, YieldPointMetrics> per_yield_point;
   RequestMetrics requests;

@@ -82,6 +82,50 @@ void RunObserver::on_request(Cycles t, u32 tid, i64 req_id, Cycles latency,
   recorder_.record(e);
 }
 
+void RunObserver::on_stm_begin(Cycles t, u32 tid, CpuId cpu, i32 yp) {
+  TraceEvent e;
+  e.kind = EventKind::kStmBegin;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  recorder_.record(e);
+}
+
+void RunObserver::on_stm_commit(Cycles t, u32 tid, CpuId cpu, i32 yp) {
+  TraceEvent e;
+  e.kind = EventKind::kStmCommit;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  recorder_.record(e);
+}
+
+void RunObserver::on_stm_abort(Cycles t, u32 tid, CpuId cpu, i32 yp,
+                               stm::StmAbortCause cause) {
+  TraceEvent e;
+  e.kind = EventKind::kStmAbort;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  e.detail = static_cast<u8>(cause);
+  recorder_.record(e);
+}
+
+void RunObserver::on_tier(Cycles t, u32 tid, CpuId cpu, i32 yp,
+                          TierTransition tr) {
+  TraceEvent e;
+  e.kind = EventKind::kTier;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.yp = yp;
+  e.detail = static_cast<u8>(tr);
+  recorder_.record(e);
+}
+
 void RunObserver::on_quarantine_enter(Cycles t, u32 tid, CpuId cpu, i32 yp) {
   ++metrics_.quarantine_enters;
   ++yp_metrics(yp).quarantine_enters;

@@ -35,6 +35,15 @@ class RunObserver {
 
   // Robustness events (docs/ROBUSTNESS.md): quarantine state transitions,
   // injected faults, and starvation-watchdog reports.
+  // Tier-2 software-transaction events (docs/TIERS.md). Trace-only: the
+  // engine stamps the exact `stm` metrics block from its own RunStats (the
+  // StmEngine is authoritative), so the observer does not aggregate them.
+  void on_stm_begin(Cycles t, u32 tid, CpuId cpu, i32 yp);
+  void on_stm_commit(Cycles t, u32 tid, CpuId cpu, i32 yp);
+  void on_stm_abort(Cycles t, u32 tid, CpuId cpu, i32 yp,
+                    stm::StmAbortCause cause);
+  void on_tier(Cycles t, u32 tid, CpuId cpu, i32 yp, TierTransition tr);
+
   void on_quarantine_enter(Cycles t, u32 tid, CpuId cpu, i32 yp);
   void on_quarantine_probe(Cycles t, u32 tid, CpuId cpu, i32 yp);
   void on_quarantine_exit(Cycles t, u32 tid, CpuId cpu, i32 yp);

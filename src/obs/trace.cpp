@@ -68,6 +68,25 @@ std::string trace_event_to_jsonl(const TraceEvent& e, u32 run) {
       out += ",\"yp\":";
       json_append_number(out, static_cast<i64>(e.yp));
       break;
+    case EventKind::kStmBegin:
+    case EventKind::kStmCommit:
+      out += ",\"yp\":";
+      json_append_number(out, static_cast<i64>(e.yp));
+      break;
+    case EventKind::kStmAbort:
+      out += ",\"yp\":";
+      json_append_number(out, static_cast<i64>(e.yp));
+      out += ",\"cause\":";
+      json_append_string(out, stm::stm_abort_cause_name(
+                                  static_cast<stm::StmAbortCause>(e.detail)));
+      break;
+    case EventKind::kTier:
+      out += ",\"yp\":";
+      json_append_number(out, static_cast<i64>(e.yp));
+      out += ",\"transition\":";
+      json_append_string(
+          out, tier_transition_name(static_cast<TierTransition>(e.detail)));
+      break;
   }
   out.push_back('}');
   return out;
@@ -83,9 +102,12 @@ FlightRecorder::FlightRecorder(std::size_t capacity, double sample, u64 seed)
 bool FlightRecorder::sample_decision(const TraceEvent& e) {
   if (sample_ >= 1.0) return true;
   switch (e.kind) {
-    case EventKind::kTxBegin: {
+    case EventKind::kTxBegin:
+    case EventKind::kStmBegin: {
       // One decision per transaction attempt group, remembered per thread so
-      // the matching commit/abort stays with its begin.
+      // the matching commit/abort stays with its begin. Software-transaction
+      // attempt groups reuse the same per-thread slot: a thread is in at
+      // most one transaction (of either tier) at a time.
       const bool keep = rng_.next_double() < sample_;
       if (e.tid >= tid_sampled_.size()) tid_sampled_.resize(e.tid + 1, 0);
       tid_sampled_[e.tid] = keep ? 1 : 0;
@@ -93,6 +115,8 @@ bool FlightRecorder::sample_decision(const TraceEvent& e) {
     }
     case EventKind::kTxCommit:
     case EventKind::kTxAbort:
+    case EventKind::kStmCommit:
+    case EventKind::kStmAbort:
       return e.tid < tid_sampled_.size() && tid_sampled_[e.tid] != 0;
     case EventKind::kGilFallback:
     case EventKind::kRequest:
@@ -101,6 +125,7 @@ bool FlightRecorder::sample_decision(const TraceEvent& e) {
     case EventKind::kQuarantineProbe:
     case EventKind::kQuarantineExit:
     case EventKind::kWatchdog:
+    case EventKind::kTier:
       return true;  // rare state transitions: always keep
     case EventKind::kFault:
       return rng_.next_double() < sample_;

@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "fault/fault_kind.hpp"
 #include "htm/abort_reason.hpp"
+#include "stm/abort_cause.hpp"
 
 namespace gilfree::obs {
 
@@ -35,6 +36,10 @@ enum class EventKind : u8 {
   kQuarantineExit,   ///< A probe committed; the yield point left quarantine.
   kFault,            ///< The fault injector fired (detail = fault::FaultKind).
   kWatchdog,         ///< Starvation watchdog report (detail = WatchdogKind).
+  kStmBegin,         ///< A tier-2 software transaction started (docs/TIERS.md).
+  kStmCommit,        ///< The software transaction validated and published.
+  kStmAbort,         ///< The software transaction died: detail says why.
+  kTier,             ///< Escalation-tier transition (detail = TierTransition).
 };
 
 constexpr std::string_view event_kind_name(EventKind k) {
@@ -49,6 +54,29 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kQuarantineExit: return "quarantine_exit";
     case EventKind::kFault: return "fault";
     case EventKind::kWatchdog: return "watchdog";
+    case EventKind::kStmBegin: return "stm_begin";
+    case EventKind::kStmCommit: return "stm_commit";
+    case EventKind::kStmAbort: return "stm_abort";
+    case EventKind::kTier: return "tier";
+  }
+  return "?";
+}
+
+/// Which escalation-tier boundary a kTier event crossed (docs/TIERS.md).
+/// HTM → GIL crossings keep their original kGilFallback event (emitted since
+/// the first release); only transitions involving the STM tier are new.
+enum class TierTransition : u8 {
+  kHtmToStm,  ///< HTM retries exhausted / persistent abort / quarantine.
+  kStmToGil,  ///< STM retries exhausted, overflow, or restricted operation.
+  kStmToHtm,  ///< A completed STM slice handed routing back to HTM.
+};
+inline constexpr std::size_t kNumTierTransitions = 3;
+
+constexpr std::string_view tier_transition_name(TierTransition t) {
+  switch (t) {
+    case TierTransition::kHtmToStm: return "htm-stm";
+    case TierTransition::kStmToGil: return "stm-gil";
+    case TierTransition::kStmToHtm: return "stm-htm";
   }
   return "?";
 }
@@ -88,7 +116,8 @@ struct TraceEvent {
                         ///< latency (kRequest only; 0 for ports that do not
                         ///< track accept times).
   u8 detail = 0;        ///< fault::FaultKind (kFault) / WatchdogKind
-                        ///< (kWatchdog); 0 otherwise.
+                        ///< (kWatchdog) / stm::StmAbortCause (kStmAbort) /
+                        ///< TierTransition (kTier); 0 otherwise.
 };
 
 /// Encodes one event as a single JSON Lines record (no trailing newline).

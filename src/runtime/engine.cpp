@@ -92,6 +92,14 @@ Engine::Engine(EngineConfig config)
       fault_->set_listener(this);
       htm_->set_fault_injector(fault_.get());
     }
+    if (config_.stm.enabled) {
+      // Both tiers conflict on the same line granularity, and the length
+      // table routes quarantined slices to the STM tier instead of the GIL.
+      config_.stm.line_bytes = config_.profile.htm.line_bytes;
+      config_.tle.stm_tier = true;
+      stm_ = std::make_unique<stm::StmEngine>(config_.stm, htm_.get());
+      htm_->set_write_listener(stm_.get());
+    }
   }
 }
 
@@ -133,6 +141,12 @@ void Engine::load_program(const std::vector<std::string>& sources) {
                                          classes_.get(), this, config_.vm);
   gil_ = std::make_unique<gil::Gil>(heap_->gil_word(),
                                     htm_ ? htm_.get() : nullptr);
+  if (stm_) {
+    stm_->set_gil_word(heap_->gil_word());
+    // Eager GIL subscription: every acquisition dooms all live software
+    // transactions, as if the GIL word were in each read set.
+    gil_->set_acquire_listener(stm_.get());
+  }
   length_table_ = std::make_unique<tle::LengthTable>(
       program_->num_yield_points, config_.tle);
   if (config_.obs_sink != nullptr && config_.obs_sink->enabled()) {
@@ -240,7 +254,7 @@ void Engine::unpark(SchedThread& st) {
 }
 
 void Engine::park(SchedThread& st, Cycles delay, bool is_io) {
-  GILFREE_CHECK(!st.in_tx);
+  GILFREE_CHECK(!st.in_tx && !st.in_stm);
   if (st.holds_gil) {
     gil_release_and_handoff(st);
     st.reacquire_gil = true;
@@ -322,6 +336,9 @@ RunStats Engine::run() {
   stats.quarantine_probes = length_table_->quarantine_probes();
   stats.quarantine_exits = length_table_->quarantine_exits();
   stats.watchdog_events = watchdog_events_;
+  if (stm_) stats.stm = stm_->stats();
+  stats.stm_escalations = stm_escalations_;
+  stats.stm_gil_fallbacks = stm_gil_fallbacks_;
   if (fault_) stats.faults = fault_->stats();
   stats.results = results_;
   stats.output = stdout_;
@@ -368,9 +385,20 @@ RunStats Engine::run() {
     m.gc.sweep_quantum_cycles = stats.gc.sweep_quantum_cycles;
     m.gc.max_pause = stats.gc.max_pause;
     m.gc.pause_hist = stats.gc.pause_hist;
+    m.stm.begins = stats.stm.begins;
+    m.stm.commits = stats.stm.commits;
+    m.stm.aborts_by_cause = stats.stm.aborts_by_cause;
+    m.stm.escalations = stats.stm_escalations;
+    m.stm.gil_fallbacks = stats.stm_gil_fallbacks;
+    m.stm.validated_entries = stats.stm.validated_entries;
+    m.stm.committed_writes = stats.stm.committed_writes;
+    m.stm.zombie_kills = stats.stm.zombie_kills;
+    m.stm.max_read_lines = stats.stm.max_read_lines;
+    m.stm.max_write_entries = stats.stm.max_write_entries;
     m.cycles.begin_end = stats.breakdown.begin_end;
     m.cycles.tx_success = stats.breakdown.tx_success;
     m.cycles.tx_aborted = stats.breakdown.tx_aborted;
+    m.cycles.stm_work = stats.breakdown.stm_work;
     m.cycles.gil_held = stats.breakdown.gil_held;
     m.cycles.gil_wait = stats.breakdown.gil_wait;
     m.cycles.blocked_io = stats.breakdown.blocked_io;
@@ -618,8 +646,8 @@ void Engine::step_htm_mode(SchedThread& st, int& fuel) {
     transaction_begin(st, yp);
     return;
   }
-  GILFREE_CHECK_MSG(st.in_tx || st.holds_gil,
-                    "HTM-mode thread stepping outside tx and GIL");
+  GILFREE_CHECK_MSG(st.in_tx || st.in_stm || st.holds_gil,
+                    "HTM-mode thread stepping outside tx, STM, and GIL");
 
   // Quarantined GIL slice (docs/ROBUSTNESS.md): run like the stock GIL
   // interpreter — original yield points only, released after a fixed count
@@ -671,7 +699,7 @@ void Engine::step_htm_mode(SchedThread& st, int& fuel) {
       handle_abort(st, ab.reason);
       return;
     }
-    if (!(st.in_tx || st.holds_gil)) return;  // begin parked / queued
+    if (!(st.in_tx || st.in_stm || st.holds_gil)) return;  // parked / queued
   }
   // The span executes the current instruction unconditionally: its yield
   // point was handled (or skipped) above, so the skip flag is spent.
@@ -680,6 +708,13 @@ void Engine::step_htm_mode(SchedThread& st, int& fuel) {
 }
 
 void Engine::transaction_yield(SchedThread& st, i32 yp) {
+  // Software transactions keep their own engine-side slice counter: the TCB
+  // yield-counter line stays out of the STM read/write sets, so unrelated
+  // threads' counter decrements cannot invalidate the transaction.
+  if (st.in_stm) {
+    stm_yield(st, yp);
+    return;
+  }
   // Fig. 2 lines 8-16.
   if (count_live_threads() <= 1) return;
   u64* counter = heap_->tcb_slot(st.vm->tid(), vm::kTcbYieldCounter);
@@ -719,6 +754,13 @@ void Engine::transaction_begin(SchedThread& st, i32 yp) {
   // keeps aborting at minimum length is routed straight to the GIL for a
   // long slice; recovery probes re-try HTM on an exponential backoff.
   const tle::Route route = length_table_->begin_route(yp);
+  if (route == tle::Route::kStm) {
+    // Quarantined with the STM tier on: run the slice as a software
+    // transaction instead of serializing on the GIL (docs/TIERS.md).
+    st.stm_retry_counter = static_cast<i32>(config_.stm.commit_retry_max);
+    stm_begin(st, yp, /*entering=*/true);
+    return;
+  }
   if (route == tle::Route::kGil) {
     ensure_cpu_tx_free(st.cpu, st.vm->tid());
     // The slice deadline is armed once the GIL actually arrives (the
@@ -840,6 +882,13 @@ void Engine::transaction_end(SchedThread& st) {
 }
 
 void Engine::handle_abort(SchedThread& st, AbortReason reason) {
+  // A TxAbort thrown while running a *software* transaction (StmEngine's
+  // abort paths reuse the exception type so the interpreter unwinds the
+  // same way) belongs to the STM handler, keyed on the richer StmAbortCause.
+  if (st.in_stm) {
+    handle_stm_abort(st, stm_->last_cause(st.vm->tid()));
+    return;
+  }
   // One abort event per HtmStats abort: every facility-level abort path
   // (eager begin refusal, doomed commit, TxAbort mid-bytecode, context
   // switch) funnels through exactly one handle_abort call.
@@ -918,8 +967,15 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
     return;
   }
 
-  // Fig. 1 lines 28-29.
+  // Fig. 1 lines 28-29 — except that with the STM tier enabled, a
+  // persistent abort escalates to a software transaction first
+  // (HTM → STM → GIL, docs/TIERS.md).
   if (htm::is_persistent(reason)) {
+    if (stm_) {
+      st.stm_retry_counter = static_cast<i32>(config_.stm.commit_retry_max);
+      stm_begin(st, st.tx_yp, /*entering=*/true);
+      return;
+    }
     (void)gil_try_acquire_or_enqueue(st);
     return;
   }
@@ -948,6 +1004,183 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
     (void)attempt_tx(st);
     return;
   }
+  // Transient retries exhausted: same escalation as the persistent path.
+  if (stm_) {
+    st.stm_retry_counter = static_cast<i32>(config_.stm.commit_retry_max);
+    stm_begin(st, st.tx_yp, /*entering=*/true);
+    return;
+  }
+  (void)gil_try_acquire_or_enqueue(st);
+}
+
+// ---------------------------------------------------------------------------
+// STM tier (tier 2, docs/TIERS.md)
+// ---------------------------------------------------------------------------
+
+void Engine::stm_begin(SchedThread& st, i32 yp, bool entering) {
+  st.skip_yield_once = true;
+
+  // A GIL hand-off can land while the escalation was in flight; execution
+  // then simply proceeds under the GIL (tier 3 wins).
+  if (st.holds_gil) return;
+
+  // Single-threaded execution keeps the GIL — nothing to speculate against.
+  if (count_live_threads() <= 1) {
+    if (!gil_try_acquire_or_enqueue(st)) st.pending_begin_yp = yp;
+    return;
+  }
+
+  if (entering) {
+    ++stm_escalations_;
+    if (obs_) {
+      obs_->on_tier(now_of(st.cpu), st.vm->tid(), st.cpu, yp,
+                    obs::TierTransition::kHtmToStm);
+    }
+  }
+
+  // Eager subscription reads the GIL word up front, like Fig. 1 lines
+  // 14-15: begin under a held GIL is pointless (the acquisition listener
+  // would doom us immediately), so serialize right away. Lazy subscription
+  // skips this check and validates the word at commit instead.
+  if (config_.stm.subscription == stm::GilSubscription::kEager &&
+      gil_->is_acquired()) {
+    stm_to_gil(st);
+    return;
+  }
+
+  st.tx_yp = yp;
+  charge_bucket(st, Bucket::kBeginEnd, config_.stm.begin_cost);
+  stm_->begin(st.vm->tid());
+  st.in_stm = true;
+  st.tx_snapshot = st.vm->regs();
+  st.stm_pending_cycles = 0;
+  st.stm_yields_left = config_.stm.slice_yields;
+  GILFREE_CHECK(!st.vm->finished());
+  if (obs_) {
+    obs_->on_stm_begin(now_of(st.cpu), st.vm->tid(), st.cpu, yp);
+  }
+  sync_fastpath();  // in_stm: charges now land in stm_pending_cycles
+}
+
+void Engine::stm_yield(SchedThread& st, i32 yp) {
+  if (st.stm_yields_left > 1 && count_live_threads() > 1) {
+    --st.stm_yields_left;
+    if (config_.stm.yield_validation) {
+      // Incremental validation bounds zombie execution to one slice gap:
+      // a transaction whose read set was overwritten keeps running on torn
+      // state only until its next yield point.
+      const u32 tid = st.vm->tid();
+      charge_bucket(st, Bucket::kStmWork,
+                    config_.stm.validate_per_entry *
+                        (stm_->read_marker_count(tid) +
+                         stm_->write_marker_count(tid)));
+      if (!stm_->validate(tid)) {
+        handle_stm_abort(st, stm_->last_cause(tid));
+      }
+    }
+    return;
+  }
+  // Slice over: commit, then hand routing back to the escalation entry
+  // point — quarantine may keep the yield point on the STM tier, a due
+  // probe re-tries HTM.
+  stm_end(st);
+  if (st.in_stm || st.holds_gil) return;  // commit failed → abort path ran
+  if (obs_ && !length_table_->quarantined(yp)) {
+    obs_->on_tier(now_of(st.cpu), st.vm->tid(), st.cpu, yp,
+                  obs::TierTransition::kStmToHtm);
+  }
+  transaction_begin(st, yp);
+}
+
+void Engine::stm_end(SchedThread& st) {
+  GILFREE_CHECK(st.in_stm);
+  const u32 tid = st.vm->tid();
+  charge_bucket(st, Bucket::kBeginEnd,
+                config_.stm.commit_base_cost +
+                    config_.stm.validate_per_entry *
+                        (stm_->read_marker_count(tid) +
+                         stm_->write_marker_count(tid)) +
+                    config_.stm.publish_per_entry *
+                        stm_->write_entry_count(tid));
+  const stm::StmAbortCause outcome = stm_->commit(tid, st.cpu);
+  if (outcome != stm::StmAbortCause::kNone) {
+    handle_stm_abort(st, outcome);
+    return;
+  }
+  st.in_stm = false;
+  st.breakdown.stm_work += st.stm_pending_cycles;
+  st.stm_pending_cycles = 0;
+  st.watchdog_abort_streak = 0;
+  if (obs_) {
+    obs_->on_stm_commit(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp);
+  }
+  // Deliberately NOT length_table_->on_commit: an STM commit is not
+  // evidence that HTM works here — only a committed *probe* may reset the
+  // quarantine state.
+  sync_fastpath();
+}
+
+void Engine::handle_stm_abort(SchedThread& st, stm::StmAbortCause cause) {
+  if (obs_) {
+    obs_->on_stm_abort(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
+                       cause);
+  }
+  // Roll the interpreter back to the stm_begin snapshot; the StmEngine has
+  // already discarded the write buffer.
+  if (st.in_stm) {
+    st.vm->regs() = st.tx_snapshot;
+    if (st.vm->finished()) st.vm->clear_finished();
+    st.in_stm = false;
+  }
+  st.skip_yield_once = true;
+  st.breakdown.tx_aborted +=
+      st.stm_pending_cycles + config_.stm.abort_penalty;
+  machine_->advance(st.cpu, config_.stm.abort_penalty);
+  st.stm_pending_cycles = 0;
+  sync_fastpath();
+
+  // The cross-tier starvation watchdog also covers STM abort loops.
+  if (config_.watchdog.enabled &&
+      ++st.watchdog_abort_streak >= config_.watchdog.abort_streak_budget) {
+    st.watchdog_abort_streak = 0;
+    report_watchdog(st, obs::WatchdogKind::kAbortLoop);
+    st.force_gil = false;
+    stm_to_gil(st);
+    return;
+  }
+
+  // require_nontx and capacity overflows cannot succeed on a retry at this
+  // tier; only the GIL can run them.
+  if (st.force_gil || cause == stm::StmAbortCause::kUnsupported ||
+      cause == stm::StmAbortCause::kOverflowRead ||
+      cause == stm::StmAbortCause::kOverflowWrite) {
+    st.force_gil = false;
+    stm_to_gil(st);
+    return;
+  }
+
+  // Eager subscription: a GIL acquisition doomed us and the holder is still
+  // running — retrying before it releases would just be doomed again.
+  if (cause == stm::StmAbortCause::kGilSubscription &&
+      config_.stm.subscription == stm::GilSubscription::kEager) {
+    stm_to_gil(st);
+    return;
+  }
+
+  --st.stm_retry_counter;
+  if (st.stm_retry_counter > 0) {
+    stm_begin(st, st.tx_yp, /*entering=*/false);
+    return;
+  }
+  stm_to_gil(st);
+}
+
+void Engine::stm_to_gil(SchedThread& st) {
+  ++stm_gil_fallbacks_;
+  if (obs_) {
+    obs_->on_tier(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
+                  obs::TierTransition::kStmToGil);
+  }
   (void)gil_try_acquire_or_enqueue(st);
 }
 
@@ -974,7 +1207,7 @@ void Engine::execute_span(SchedThread& st, int& fuel, vm::YieldStop stop) {
     // Rewind to re-execute the blocking instruction after waking; its yield
     // point was already consumed on the way in. (Blocking instructions are
     // sends, never fused heads, so a one-instruction rewind is exact.)
-    GILFREE_CHECK(!st.in_tx);
+    GILFREE_CHECK(!st.in_tx && !st.in_stm);
     st.vm->regs().pc -= 1;
     st.skip_yield_once = true;
     if (pr.wake_on_thread_exit >= 0 &&
@@ -996,6 +1229,10 @@ void Engine::execute_span(SchedThread& st, int& fuel, vm::YieldStop stop) {
 }
 
 void Engine::on_finished(SchedThread& st) {
+  if (st.in_stm) {
+    stm_end(st);
+    if (st.in_stm || !st.vm->finished()) return;  // commit failed, re-run
+  }
   if (st.in_tx) {
     transaction_end(st);
     if (st.in_tx || !st.vm->finished()) return;  // commit failed, re-run
@@ -1051,13 +1288,15 @@ void Engine::sync_fastpath() {
   fast.busy_self = machine_->busy_flag(st.cpu);
   fast.busy_sib = machine_->sibling_busy_flag(st.cpu);
   fast.bucket = st.in_tx       ? &st.tx_pending_cycles
+                : st.in_stm    ? &st.stm_pending_cycles
                 : st.holds_gil ? &st.breakdown.gil_held
                                : &st.breakdown.other;
   fast.defer_clock = defer_clock_;
   // In-transaction accesses must flow through tx_load/tx_store (footprint
   // growth, conflict detection, interrupt-model clock sampling); outside
-  // transactions a thread-private line can never conflict.
-  fast.direct_private_mem = (htm_ == nullptr) || !st.in_tx;
+  // transactions a thread-private line can never conflict. Software
+  // transactions must buffer even private stores for rollback.
+  fast.direct_private_mem = (htm_ == nullptr) || (!st.in_tx && !st.in_stm);
 }
 
 void Engine::charge_bucket(SchedThread& st, Bucket b, Cycles c) {
@@ -1065,6 +1304,9 @@ void Engine::charge_bucket(SchedThread& st, Bucket b, Cycles c) {
   switch (b) {
     case Bucket::kTxWork:
       st.tx_pending_cycles += charged;
+      break;
+    case Bucket::kStmWork:
+      st.stm_pending_cycles += charged;
       break;
     case Bucket::kBeginEnd:
       st.breakdown.begin_end += charged;
@@ -1088,6 +1330,8 @@ void Engine::charge(Cycles c) {
   SchedThread& st = cur();
   if (st.in_tx) {
     charge_bucket(st, Bucket::kTxWork, c);
+  } else if (st.in_stm) {
+    charge_bucket(st, Bucket::kStmWork, c);
   } else if (st.holds_gil) {
     charge_bucket(st, Bucket::kGilHeld, c);
   } else {
@@ -1099,6 +1343,10 @@ u64 Engine::mem_load(const u64* p, bool shared) {
   charge(config_.profile.machine.cost.mem_access);
   SchedThread& st = cur();
   if (htm_ && st.in_tx) return htm_->tx_load(st.cpu, p, shared);
+  if (stm_ && st.in_stm) {
+    charge(config_.stm.read_overhead);
+    return stm_->load(st.vm->tid(), st.cpu, p, shared);
+  }
   if (htm_) return htm_->nontx_load(st.cpu, p);
   return *p;
 }
@@ -1108,6 +1356,11 @@ void Engine::mem_store(u64* p, u64 v, bool shared) {
   SchedThread& st = cur();
   if (htm_ && st.in_tx) {
     htm_->tx_store(st.cpu, p, v, shared);
+    return;
+  }
+  if (stm_ && st.in_stm) {
+    charge(config_.stm.write_overhead);
+    stm_->store(st.vm->tid(), st.cpu, p, v, shared);
     return;
   }
   if (htm_) {
@@ -1120,6 +1373,13 @@ void Engine::mem_store(u64* p, u64 v, bool shared) {
 void Engine::require_nontx(const char* why) {
   (void)why;
   SchedThread& st = cur();
+  if (stm_ && st.in_stm) {
+    // Same contract as the HTM path below, one tier down: only the GIL can
+    // run restricted operations.
+    st.force_gil = true;
+    stm_->abort(st.vm->tid(), stm::StmAbortCause::kUnsupported);
+    return;  // unreachable: abort throws
+  }
   if (!st.in_tx) return;
   // Restricted operation inside a transaction: persistent abort, and the
   // retry must go straight to the GIL (a transactional retry would hit the
@@ -1131,11 +1391,12 @@ void Engine::require_nontx(const char* why) {
 
 void Engine::full_gc() {
   SchedThread& self = cur();
-  GILFREE_CHECK(!self.in_tx);
+  GILFREE_CHECK(!self.in_tx && !self.in_stm);
   // Stop the world: every in-flight transaction is doomed before the
   // collector mutates memory (a GIL acquisition would have doomed them via
   // the GIL-word conflict; a GIL-less trigger must do it explicitly).
   if (htm_) htm_->doom_all(kInvalidCpu, AbortReason::kConflict);
+  if (stm_) stm_->doom_all(stm::StmAbortCause::kGc);
   const Cycles cost = heap_->run_gc(collect_roots());
   charge(cost);
   (void)self;
@@ -1147,7 +1408,8 @@ vm::Heap::RootSet Engine::collect_roots() {
     // For threads rolled back on their next step, the consistent stack
     // extent is the TBEGIN snapshot (speculative writes never reached
     // memory).
-    const u64 sp = t.in_tx ? t.tx_snapshot.sp : t.vm->regs().sp;
+    const u64 sp =
+        (t.in_tx || t.in_stm) ? t.tx_snapshot.sp : t.vm->regs().sp;
     roots.ranges.emplace_back(t.vm->stack_base(),
                               static_cast<std::size_t>(sp));
     roots.values.push_back(t.vm->thread_object);
@@ -1163,7 +1425,7 @@ vm::Heap::RootSet Engine::collect_roots() {
 vm::Value Engine::spawn_thread(vm::Value proc_val,
                                std::vector<vm::Value> args) {
   SchedThread& creator = cur();
-  GILFREE_CHECK(!creator.in_tx);
+  GILFREE_CHECK(!creator.in_tx && !creator.in_stm);
   // The child's clock is initialized from the creator's, and advance_to is
   // a max(): batched cycles must land first.
   flush_fastpath();

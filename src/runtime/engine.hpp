@@ -23,6 +23,7 @@
 #include "runtime/options.hpp"
 #include "runtime/run_stats.hpp"
 #include "sim/machine.hpp"
+#include "stm/stm.hpp"
 #include "tle/length_table.hpp"
 #include "vm/class_registry.hpp"
 #include "vm/compiler.hpp"
@@ -93,6 +94,7 @@ class Engine final : public vm::Host, public fault::FaultListener {
   fault::FaultInjector* fault_injector() {
     return fault_ ? fault_.get() : nullptr;
   }
+  stm::StmEngine* stm() { return stm_ ? stm_.get() : nullptr; }
 
   // --- fault::FaultListener ------------------------------------------------
   /// Forwards every injected fault into the observability layer as a
@@ -131,7 +133,7 @@ class Engine final : public vm::Host, public fault::FaultListener {
   };
 
   /// Which cycle bucket charges currently land in.
-  enum class Bucket : u8 { kOther, kTxWork, kGilHeld, kBeginEnd };
+  enum class Bucket : u8 { kOther, kTxWork, kStmWork, kGilHeld, kBeginEnd };
 
   struct SchedThread {
     std::unique_ptr<vm::VmThread> vm;
@@ -178,6 +180,14 @@ class Engine final : public vm::Host, public fault::FaultListener {
                                    ///< Fig. 2's retry label is after the
                                    ///< yield logic.
 
+    // Tier-2 software-transaction state (docs/TIERS.md). A software
+    // transaction reuses tx_snapshot/tx_yp for rollback; unlike hardware
+    // transactions it survives context switches and interrupts, so there is
+    // no stm analogue of tx_vanished.
+    bool in_stm = false;
+    u32 stm_yields_left = 0;     ///< Yield points left in the current slice.
+    i32 stm_retry_counter = 0;   ///< STM attempts left before tier 3 (GIL).
+
     // Starvation watchdog streaks (reset on any completed transaction or
     // GIL slice).
     u32 watchdog_abort_streak = 0;
@@ -185,6 +195,7 @@ class Engine final : public vm::Host, public fault::FaultListener {
 
     CycleBreakdown breakdown;
     Cycles tx_pending_cycles = 0;  ///< Work since TBEGIN, bucketed at commit.
+    Cycles stm_pending_cycles = 0;  ///< Work since stm begin, ditto.
   };
 
   // Scheduling loop. `fuel` is the remaining instruction budget of the
@@ -211,6 +222,15 @@ class Engine final : public vm::Host, public fault::FaultListener {
   void transaction_end(SchedThread& st);
   void transaction_yield(SchedThread& st, i32 yp);
   void handle_abort(SchedThread& st, htm::AbortReason reason);
+
+  // Tier-2 software-transaction fallback (docs/TIERS.md). `entering` marks
+  // a fresh HTM → STM escalation (tier event + counter) as opposed to an
+  // STM-internal retry.
+  void stm_begin(SchedThread& st, i32 yp, bool entering);
+  void stm_end(SchedThread& st);
+  void stm_yield(SchedThread& st, i32 yp);
+  void handle_stm_abort(SchedThread& st, stm::StmAbortCause cause);
+  void stm_to_gil(SchedThread& st);
   void park(SchedThread& st, Cycles delay, bool is_io);
   void unpark(SchedThread& st);
 
@@ -254,6 +274,9 @@ class Engine final : public vm::Host, public fault::FaultListener {
   std::unique_ptr<vm::Heap> heap_;
   std::unique_ptr<vm::Interp> interp_;
   std::unique_ptr<gil::Gil> gil_;
+  /// Tier-2 software-transaction engine; created only in HTM mode when
+  /// config_.stm.enabled (docs/TIERS.md).
+  std::unique_ptr<stm::StmEngine> stm_;
   std::unique_ptr<tle::LengthTable> length_table_;
   /// Flight recorder + metrics aggregator; null unless config_.obs_sink is
   /// set. Fed at every transaction begin/commit/abort, GIL fallback, and
@@ -287,6 +310,8 @@ class Engine final : public vm::Host, public fault::FaultListener {
   u64 transactions_started_ = 0;
   u64 ctx_switch_aborts_ = 0;
   u64 gil_fallbacks_ = 0;
+  u64 stm_escalations_ = 0;    ///< Tier transitions HTM → STM.
+  u64 stm_gil_fallbacks_ = 0;  ///< Tier transitions STM → GIL.
   u64 watchdog_events_ = 0;
   u64 live_peak_ = 0;
 

@@ -4,6 +4,7 @@
 
 #include "fault/fault_config.hpp"
 #include "htm/profile.hpp"
+#include "stm/stm_config.hpp"
 #include "tle/tle_config.hpp"
 #include "vm/heap.hpp"
 #include "vm/options.hpp"
@@ -59,6 +60,11 @@ struct EngineConfig {
   /// Fault-injection campaign (HTM mode only). Disabled by default; the
   /// engine constructs an injector only when some knob is set.
   fault::FaultConfig fault;
+  /// Tier-2 software-transaction fallback (HTM mode only, docs/TIERS.md).
+  /// Disabled by default; the engine constructs the StmEngine — and reroutes
+  /// its escalation paths HTM → STM → GIL — only when stm.enabled is set,
+  /// so default-configuration runs are byte-identical to an STM-less build.
+  stm::StmConfig stm;
   WatchdogConfig watchdog;
   u64 seed = 0x6112024;
 

@@ -10,6 +10,7 @@
 #include "fault/fault_injector.hpp"
 #include "gil/gil.hpp"
 #include "htm/htm.hpp"
+#include "stm/stm.hpp"
 #include "vm/heap.hpp"
 #include "vm/interp.hpp"
 
@@ -20,19 +21,22 @@ struct CycleBreakdown {
   Cycles begin_end = 0;     ///< TBEGIN/TEND instructions + surrounding code.
   Cycles tx_success = 0;    ///< Work inside committed transactions.
   Cycles tx_aborted = 0;    ///< Work discarded by aborts (incl. penalty).
+  Cycles stm_work = 0;      ///< Work inside committed software transactions
+                            ///< (tier 2, docs/TIERS.md).
   Cycles gil_held = 0;      ///< Execution with the GIL acquired.
   Cycles gil_wait = 0;      ///< Waiting/spinning for the GIL.
   Cycles blocked_io = 0;    ///< Parked in blocking operations.
   Cycles other = 0;         ///< Boot, non-classified.
 
   Cycles total() const {
-    return begin_end + tx_success + tx_aborted + gil_held + gil_wait +
-           blocked_io + other;
+    return begin_end + tx_success + tx_aborted + stm_work + gil_held +
+           gil_wait + blocked_io + other;
   }
   void merge(const CycleBreakdown& o) {
     begin_end += o.begin_end;
     tx_success += o.tx_success;
     tx_aborted += o.tx_aborted;
+    stm_work += o.stm_work;
     gil_held += o.gil_held;
     gil_wait += o.gil_wait;
     blocked_io += o.blocked_io;
@@ -57,6 +61,11 @@ struct RunStats {
   u64 gil_fallbacks = 0;         ///< Times execution reverted to the GIL.
   u64 length_adjustments = 0;
   double fraction_length_one = 0.0;
+
+  // Tier-2 software transactions (docs/TIERS.md).
+  stm::StmStats stm;
+  u64 stm_escalations = 0;    ///< Spans escalated HTM → STM.
+  u64 stm_gil_fallbacks = 0;  ///< Spans the STM tier handed on to the GIL.
 
   // Robustness (docs/ROBUSTNESS.md).
   u64 quarantine_enters = 0;   ///< Yield-point circuit-breaker trips.

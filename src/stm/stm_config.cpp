@@ -1,0 +1,41 @@
+#include "stm/stm_config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace gilfree::stm {
+
+namespace {
+
+u32 positive_u32(const CliFlags& flags, const std::string& name, u32 def) {
+  const long v = flags.get_int(name, static_cast<long>(def));
+  if (v <= 0)
+    throw std::invalid_argument("--" + name + " must be positive");
+  return static_cast<u32>(v);
+}
+
+}  // namespace
+
+StmConfig StmConfig::from_flags(const CliFlags& flags) {
+  StmConfig c;
+  c.enabled = flags.get_bool("stm", c.enabled);
+  const std::string sub = flags.get("gil-subscription", "eager");
+  if (sub == "eager") {
+    c.subscription = GilSubscription::kEager;
+  } else if (sub == "lazy") {
+    c.subscription = GilSubscription::kLazy;
+  } else {
+    throw std::invalid_argument("--gil-subscription must be eager or lazy");
+  }
+  c.commit_retry_max = positive_u32(flags, "stm-commit-retry",
+                                    c.commit_retry_max);
+  c.slice_yields = positive_u32(flags, "stm-slice-yields", c.slice_yields);
+  c.max_read_lines = positive_u32(flags, "stm-max-read", c.max_read_lines);
+  c.max_write_entries =
+      positive_u32(flags, "stm-max-write", c.max_write_entries);
+  c.yield_validation =
+      flags.get_bool("stm-yield-validation", c.yield_validation);
+  return c;
+}
+
+}  // namespace gilfree::stm

@@ -112,7 +112,7 @@ Route LengthTable::begin_route(i32 yp) {
   if (!quarantined_[i]) return Route::kHtm;
   if (probe_wait_[i] > 0) {
     --probe_wait_[i];
-    return Route::kGil;
+    return config_.stm_tier ? Route::kStm : Route::kGil;
   }
   probing_[i] = 1;
   ++quarantine_probes_;

@@ -31,6 +31,8 @@ namespace gilfree::tle {
 enum class Route : u8 {
   kHtm,    ///< Normal transactional attempt.
   kGil,    ///< Quarantined: take the GIL for one slice, no TBEGIN.
+  kStm,    ///< Quarantined with the STM tier enabled: run the slice as a
+           ///< software transaction instead of serializing (docs/TIERS.md).
   kProbe,  ///< Quarantined, probe due: one minimum-length HTM attempt.
 };
 
@@ -60,8 +62,9 @@ class LengthTable {
   AdjustOutcome adjust_transaction_length(i32 yp);
 
   /// Consulted before every transaction begin: kHtm for healthy yield
-  /// points; quarantined ones alternate kGil slices with kProbe attempts on
-  /// the exponential-backoff schedule.
+  /// points; quarantined ones alternate kGil (or, with the STM tier
+  /// enabled, kStm) slices with kProbe attempts on the exponential-backoff
+  /// schedule.
   Route begin_route(i32 yp);
 
   /// Called on every successful commit at `yp`. Resets the abort streak;

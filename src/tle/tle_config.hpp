@@ -44,6 +44,12 @@ struct TleConfig {
   /// per failed probe up to `probe_max`.
   u32 quarantine_probe_initial = 4;
   u32 quarantine_probe_max = 64;
+  /// Route quarantined slices to the tier-2 software-transaction engine
+  /// instead of the GIL (docs/TIERS.md). Stamped by the runtime from
+  /// StmConfig::enabled; recovery probes still go to HTM on the same
+  /// backoff schedule either way.
+  bool stm_tier = false;
+
   /// Original-yield-point checks per GIL slice while quarantined.
   /// Quarantined slices run like the stock GIL interpreter — original yield
   /// points only — so the fallback does not pay the per-yield-point counter

@@ -62,6 +62,14 @@ struct RunAccum {
   std::map<std::string, u64> faults_by_kind;
   std::map<std::string, u64> watchdog_by_kind;
 
+  // Tier-2 software-transaction events (docs/TIERS.md): per yield point,
+  // plus abort causes and tier-boundary crossings by name.
+  std::map<i64, u64> stm_begins;
+  std::map<i64, u64> stm_commits;
+  std::map<i64, u64> stm_aborts;
+  std::map<std::string, u64> stm_abort_causes;
+  std::map<std::string, u64> tier_transitions;
+
   u64 total(const std::map<i64, u64>& m) const {
     u64 t = 0;
     for (const auto& [k, v] : m) {
@@ -204,6 +212,42 @@ void print_run(u32 run_id, const RunAccum& acc, bool csv, long top) {
     if (watchdogs > 0) {
       std::cout << "watchdog events: " << watchdogs;
       for (const auto& [k, n] : acc.watchdog_by_kind)
+        std::cout << "  " << k << "=" << n;
+      std::cout << "\n";
+    }
+  }
+
+  // STM-tier summary (docs/TIERS.md): only printed when the run escalated,
+  // so STM-less traces keep the original report shape.
+  const u64 stm_events = acc.total(acc.stm_begins) +
+                         acc.total(acc.stm_commits) +
+                         acc.total(acc.stm_aborts) +
+                         acc.total_s(acc.tier_transitions);
+  if (stm_events > 0) {
+    std::cout << "-- stm tier --\n";
+    TablePrinter s({"yp", "stm_begins", "stm_commits", "stm_aborts"});
+    std::map<i64, std::array<u64, 3>> rows;
+    for (const auto& [yp, n] : acc.stm_begins) rows[yp][0] = n;
+    for (const auto& [yp, n] : acc.stm_commits) rows[yp][1] = n;
+    for (const auto& [yp, n] : acc.stm_aborts) rows[yp][2] = n;
+    for (const auto& [yp, r] : rows) {
+      s.add_row({yp < 0 ? "entry" : std::to_string(yp), std::to_string(r[0]),
+                 std::to_string(r[1]), std::to_string(r[2])});
+    }
+    if (csv) {
+      std::cout << s.to_csv();
+    } else {
+      std::cout << s.to_string();
+    }
+    if (!acc.stm_abort_causes.empty()) {
+      std::cout << "stm abort causes:";
+      for (const auto& [k, n] : acc.stm_abort_causes)
+        std::cout << "  " << k << "=" << n;
+      std::cout << "\n";
+    }
+    if (!acc.tier_transitions.empty()) {
+      std::cout << "tier transitions:";
+      for (const auto& [k, n] : acc.tier_transitions)
         std::cout << "  " << k << "=" << n;
       std::cout << "\n";
     }
@@ -365,6 +409,15 @@ int main(int argc, char** argv) {
       ++acc.faults_by_kind[v.at("kind").as_string()];
     } else if (ev == "watchdog") {
       ++acc.watchdog_by_kind[v.at("kind").as_string()];
+    } else if (ev == "stm_begin") {
+      ++acc.stm_begins[v.at("yp").as_i64()];
+    } else if (ev == "stm_commit") {
+      ++acc.stm_commits[v.at("yp").as_i64()];
+    } else if (ev == "stm_abort") {
+      ++acc.stm_aborts[v.at("yp").as_i64()];
+      ++acc.stm_abort_causes[v.at("cause").as_string()];
+    } else if (ev == "tier") {
+      ++acc.tier_transitions[v.at("transition").as_string()];
     } else {
       std::cerr << "trace_report: " << path << ":" << lineno
                 << ": unknown event kind \"" << ev << "\"\n";
