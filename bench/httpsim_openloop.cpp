@@ -19,8 +19,9 @@ namespace {
 
 void add_result_row(TablePrinter& table, const std::string& name,
                     const httpsim::ServerRunResult& r) {
-  table.add_row({name, std::to_string(r.completed + r.dropped),
+  table.add_row({name, std::to_string(r.completed + r.dropped + r.shed),
                  std::to_string(r.completed), std::to_string(r.dropped),
+                 std::to_string(r.shed), std::to_string(r.retries),
                  TablePrinter::num(r.throughput_rps, 1),
                  TablePrinter::num(r.latency_hist.percentile(50.0), 0),
                  TablePrinter::num(r.latency_hist.percentile(90.0), 0),
@@ -102,15 +103,19 @@ int main(int argc, char** argv) {
             << " rps=" << driver_cfg.rps << " shards=" << shard_opts.shards
             << " router=" << httpsim::router_name(shard_opts.router)
             << " (latencies in cycles) ==\n";
-  TablePrinter table({"shard", "scheduled", "completed", "dropped", "rps",
-                      "p50", "p90", "p99", "p99.9", "queue_mean",
-                      "queue_p99"});
+  TablePrinter table({"shard", "scheduled", "completed", "dropped", "shed",
+                      "retries", "rps", "p50", "p90", "p99", "p99.9",
+                      "queue_mean", "queue_p99"});
   for (std::size_t s = 0; s < result.shards.size(); ++s) {
     add_result_row(table, std::to_string(s), result.shards[s]);
   }
-  table.add_row({"all", std::to_string(result.completed + result.dropped),
+  table.add_row({"all",
+                 std::to_string(result.completed + result.dropped +
+                                result.shed),
                  std::to_string(result.completed),
                  std::to_string(result.dropped),
+                 std::to_string(result.shed),
+                 std::to_string(result.retries),
                  TablePrinter::num(result.throughput_rps, 1),
                  TablePrinter::num(result.latency_hist.percentile(50.0), 0),
                  TablePrinter::num(result.latency_hist.percentile(90.0), 0),
@@ -124,5 +129,13 @@ int main(int argc, char** argv) {
                                    0),
                  TablePrinter::num(result.queue_hist.percentile(99.0), 0)});
   emit(table, csv);
+  if (shard_opts.breaker.enabled) {
+    std::cout << "breaker: spilled=" << result.spilled << " transitions="
+              << result.breaker_transitions.size() << "\n";
+    for (const auto& tr : result.breaker_transitions) {
+      std::cout << "  epoch=" << tr.epoch << " shard=" << tr.shard << " "
+                << tr.state << "\n";
+    }
+  }
   return 0;
 }

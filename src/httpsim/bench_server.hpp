@@ -21,6 +21,8 @@ struct ServerRunResult {
   double throughput_rps = 0.0;  ///< Requests per virtual second.
   u32 completed = 0;
   u32 dropped = 0;  ///< Tail-dropped by the bounded admission queue.
+  u32 shed = 0;     ///< Deadline sheds + CoDel drops (docs/ROBUSTNESS.md).
+  u32 retries = 0;  ///< Retry re-admissions consumed by retry budgets.
   double latency_mean_cycles = 0.0;  ///< Mean arrival→response latency.
   double latency_max_cycles = 0.0;
   double queue_mean_cycles = 0.0;  ///< Mean arrival→accept queueing delay.
@@ -36,14 +38,43 @@ struct ServerRunResult {
   double latency_p(double p) const { return latency_hist.percentile(p); }
 };
 
-/// Multi-engine sharding of one logical server run (--shards=, --router=).
+/// Per-shard circuit breakers with brown-out routing (docs/ROBUSTNESS.md).
+/// The sharded run is sliced into `epochs` contiguous schedule windows; after
+/// each window every shard's health (drop+shed ratio, optionally an epoch-p99
+/// latency budget) feeds its tle::BreakerCore. An open (browned-out) shard's
+/// keys deterministically spill to the next healthy shard until a recovery
+/// probe epoch succeeds. Open-loop arrivals only.
+struct BreakerOptions {
+  bool enabled = false;
+  u32 epochs = 8;        ///< Schedule windows per run (health granularity).
+  u32 trip_streak = 2;   ///< Consecutive unhealthy epochs that trip a shard.
+  u32 probe_initial = 1; ///< Epochs browned-out before the first probe.
+  u32 probe_max = 8;     ///< Backoff cap between failed probes, in epochs.
+  double shed_ratio = 0.25;   ///< Unhealthy when (dropped+shed)/slice exceeds.
+  Cycles latency_budget = 0;  ///< Unhealthy when epoch p99 exceeds; 0 = off.
+  i32 fault_shard = -1;  ///< >= 0: confine --fault-* injection to this shard
+                         ///< (asymmetric brown-out demonstration).
+};
+
+/// Multi-engine sharding of one logical server run (--shards=, --router=,
+/// --breaker-*).
 struct ShardOptions {
   u32 shards = 1;
   Router router = Router::kHash;
+  BreakerOptions breaker;
 
-  /// Reads --shards= and --router=; throws std::invalid_argument on
-  /// semantic errors (strict-CLI convention).
+  /// Reads --shards=, --router=, and the --breaker-* family; throws
+  /// std::invalid_argument on semantic errors (strict-CLI convention).
   static ShardOptions from_flags(const CliFlags& flags);
+};
+
+/// One circuit-breaker state transition during a sharded breaker run, in
+/// (epoch, shard) order. `state` is "open", "probe", "probe-failed", or
+/// "closed" — the same strings the trace JSONL carries.
+struct BreakerTransition {
+  u32 epoch = 0;
+  u32 shard = 0;
+  std::string state;
 };
 
 /// A sharded run's merged view plus the per-shard results.
@@ -53,9 +84,17 @@ struct ShardedRunResult {
   obs::LatencyHistogram queue_hist;
   u64 completed = 0;
   u64 dropped = 0;
+  u64 shed = 0;     ///< Deadline sheds + CoDel drops across shards.
+  u64 retries = 0;  ///< Retry re-admissions across shards.
   Cycles makespan = 0;  ///< Latest response across shards (shared t=0 epoch).
   double throughput_rps = 0.0;  ///< completed / makespan.
   std::string request_log;  ///< Global-id-ordered merge of the shard logs.
+  /// Breaker mode only: every brown-out / probe / recovery transition, in
+  /// deterministic (epoch, shard) order.
+  std::vector<BreakerTransition> breaker_transitions;
+  /// Breaker mode only: requests served off their preferred (router-chosen)
+  /// shard because it was browned out.
+  u64 spilled = 0;
 };
 
 /// Runs `program_source` (webrick_source()/rails_source()) against the load

@@ -62,6 +62,12 @@ DriverConfig DriverConfig::from_flags(const CliFlags& flags) {
   if (d.churn < 0.0 || d.churn > 1.0)
     throw std::invalid_argument("--churn must be in [0,1]");
   d.seed = static_cast<u64>(flags.get_int("load-seed", static_cast<long>(d.seed)));
+  d.overload = OverloadConfig::from_flags(flags);
+  if (d.overload.enabled() && d.arrival == Arrival::kClosed) {
+    throw std::invalid_argument(
+        "--deadline/--shed require an open-loop arrival "
+        "(--arrival=poisson or mmpp)");
+  }
   return d;
 }
 
@@ -195,7 +201,7 @@ std::string format_request_log(const std::vector<RequestRecord>& records,
     out << r.id << '\t' << r.arrival << '\t' << r.accepted << '\t'
         << r.responded << '\t' << paths.at(r.path) << '\t'
         << (r.close ? "close" : "keep") << '\t'
-        << (r.dropped ? "drop" : "ok") << '\n';
+        << request_outcome_name(r.outcome) << '\n';
   }
   return out.str();
 }
@@ -278,6 +284,10 @@ OpenLoopDriver::OpenLoopDriver(DriverConfig config,
     r.arrival = s.at;
     r.path = s.path;
     r.close = s.close;
+    // Keyed on (id, attempt=0, seed), so a request's deadline is identical
+    // whether it is served sharded or unsharded.
+    r.deadline =
+        request_deadline(config_.overload, s.id, 0, s.at, config_.seed);
     records_.push_back(r);
     ids_.push_back(s.id);
   }
@@ -291,29 +301,138 @@ RequestRecord& OpenLoopDriver::locate(i64 request_id) {
   return records_[static_cast<std::size_t>(it - ids_.begin())];
 }
 
-void OpenLoopDriver::drain_arrivals(Cycles now) {
-  while (next_arrival_ < records_.size() &&
-         records_[next_arrival_].arrival <= now) {
-    RequestRecord& r = records_[next_arrival_];
-    if (queue_.size() >= config_.queue_limit) {
+void OpenLoopDriver::finish_or_retry(std::size_t idx, RequestOutcome outcome,
+                                     Cycles now) {
+  RequestRecord& r = records_[idx];
+  // CoDel drops are final by design: re-offering load the controller just
+  // shed is exactly the lemming behavior retries must avoid.
+  const bool retryable = outcome != RequestOutcome::kCodel &&
+                         r.attempts < config_.overload.retry_budget;
+  if (retryable) {
+    ++r.attempts;
+    ++retries_;
+    const Cycles backoff = retry_backoff_cycles(config_.overload, r.id,
+                                                r.attempts, config_.seed);
+    const Cycles at = now + backoff;
+    r.accepted = 0;
+    r.responded = 0;
+    r.deadline =
+        request_deadline(config_.overload, r.id, r.attempts, at, config_.seed);
+    retry_heap_.push(PendingRetry{at, idx});
+    return;
+  }
+  r.outcome = outcome;
+  switch (outcome) {
+    case RequestOutcome::kDropped:
       r.dropped = true;
       ++dropped_;
-    } else {
-      queue_.push_back(next_arrival_);
-      ++issued_;
-    }
-    ++next_arrival_;
+      break;
+    case RequestOutcome::kShedAdmission: ++shed_admission_; break;
+    case RequestOutcome::kShedDispatch: ++shed_dispatch_; break;
+    case RequestOutcome::kShedService: ++shed_service_; break;
+    case RequestOutcome::kCodel: ++codel_drops_; break;
+    case RequestOutcome::kOk: break;  // unreachable
   }
+}
+
+void OpenLoopDriver::admit(std::size_t idx, Cycles at, Cycles now) {
+  RequestRecord& r = records_[idx];
+  // Shed at admission: the deadline passed while the request sat in the
+  // (simulated) network waiting for the accept loop to drain it.
+  if (r.deadline != 0 && now > r.deadline) {
+    finish_or_retry(idx, RequestOutcome::kShedAdmission, now);
+    return;
+  }
+  if (queue_.size() >= config_.queue_limit) {
+    finish_or_retry(idx, RequestOutcome::kDropped, now);
+    return;
+  }
+  queue_.push_back(QueueEntry{idx, at});
+  if (r.attempts == 0) ++issued_;
+}
+
+void OpenLoopDriver::drain_arrivals(Cycles now) {
+  // Merge the (ascending) schedule with the retry heap in (time, id) order
+  // so admission order is deterministic regardless of retry timing.
+  for (;;) {
+    const bool have_sched = next_arrival_ < records_.size() &&
+                            records_[next_arrival_].arrival <= now;
+    const bool have_retry =
+        !retry_heap_.empty() && retry_heap_.top().at <= now;
+    if (!have_sched && !have_retry) return;
+    bool take_sched = have_sched;
+    if (have_sched && have_retry) {
+      const Cycles sa = records_[next_arrival_].arrival;
+      const PendingRetry& pr = retry_heap_.top();
+      take_sched = sa < pr.at ||
+                   (sa == pr.at &&
+                    records_[next_arrival_].id <= records_[pr.idx].id);
+    }
+    if (take_sched) {
+      const std::size_t idx = next_arrival_++;
+      admit(idx, records_[idx].arrival, now);
+    } else {
+      const PendingRetry pr = retry_heap_.top();
+      retry_heap_.pop();
+      admit(pr.idx, pr.at, now);
+    }
+  }
+}
+
+bool OpenLoopDriver::codel_drop(const QueueEntry& e, Cycles now) {
+  const OverloadConfig& o = config_.overload;
+  const Cycles sojourn = now > e.at ? now - e.at : 0;
+  if (sojourn < o.codel_target) {
+    // Queue recovered below target: leave the dropping state entirely.
+    codel_first_above_ = 0;
+    codel_dropping_ = false;
+    return false;
+  }
+  if (codel_first_above_ == 0) {
+    codel_first_above_ = now + o.codel_interval;
+    return false;
+  }
+  if (now < codel_first_above_) return false;
+  const auto gap = [&]() {
+    return static_cast<Cycles>(std::max(
+        1.0, static_cast<double>(o.codel_interval) /
+                 std::sqrt(static_cast<double>(std::max<u32>(1, codel_count_)))));
+  };
+  if (!codel_dropping_) {
+    codel_dropping_ = true;
+    // Resume near the previous drop rate (CoDel's count hysteresis).
+    codel_count_ = codel_count_ > 2 ? codel_count_ - 2 : 1;
+    codel_drop_next_ = now + gap();
+    return true;
+  }
+  if (now >= codel_drop_next_) {
+    ++codel_count_;
+    codel_drop_next_ += gap();
+    return true;
+  }
+  return false;
 }
 
 i64 OpenLoopDriver::accept(Cycles now) {
   drain_arrivals(now);
-  if (queue_.empty()) return -1;
-  RequestRecord& r = records_[queue_.front()];
-  queue_.pop_front();
-  r.accepted = now;
-  ++in_flight_;
-  return r.id;
+  while (!queue_.empty()) {
+    const QueueEntry e = queue_.front();
+    queue_.pop_front();
+    RequestRecord& r = records_[e.idx];
+    // Shed at dispatch: expired while waiting in the admission queue.
+    if (r.deadline != 0 && now > r.deadline) {
+      finish_or_retry(e.idx, RequestOutcome::kShedDispatch, now);
+      continue;
+    }
+    if (config_.overload.codel && codel_drop(e, now)) {
+      finish_or_retry(e.idx, RequestOutcome::kCodel, now);
+      continue;
+    }
+    r.accepted = now;
+    ++in_flight_;
+    return r.id;
+  }
+  return -1;
 }
 
 std::string OpenLoopDriver::payload(i64 request_id) {
@@ -327,13 +446,34 @@ void OpenLoopDriver::respond(i64 request_id, std::string_view body,
 
 bool OpenLoopDriver::shutdown(Cycles now) {
   drain_arrivals(now);
-  return next_arrival_ >= records_.size() && queue_.empty() && in_flight_ == 0;
+  return next_arrival_ >= records_.size() && retry_heap_.empty() &&
+         queue_.empty() && in_flight_ == 0;
+}
+
+bool OpenLoopDriver::deadline_shedding() const {
+  return config_.overload.deadline != 0;
+}
+
+bool OpenLoopDriver::request_expired(i64 request_id, Cycles now) {
+  const RequestRecord& r = locate(request_id);
+  return r.deadline != 0 && r.responded == 0 && now > r.deadline;
+}
+
+void OpenLoopDriver::shed_inflight(i64 request_id, Cycles now) {
+  RequestRecord& r = locate(request_id);
+  GILFREE_CHECK(in_flight_ > 0);
+  --in_flight_;
+  finish_or_retry(static_cast<std::size_t>(&r - records_.data()),
+                  RequestOutcome::kShedService, now);
 }
 
 void OpenLoopDriver::annotate_request_metrics(obs::RequestMetrics& m) const {
   m.arrival = std::string(arrival_name(config_.arrival));
   m.offered_rps = config_.rps;
   m.dropped = dropped_;
+  m.shed = shed_admission_ + shed_dispatch_ + shed_service_;
+  m.codel_dropped = codel_drops_;
+  m.retries = retries_;
 }
 
 }  // namespace gilfree::httpsim

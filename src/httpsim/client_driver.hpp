@@ -24,6 +24,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "httpsim/overload.hpp"
 #include "obs/latency_hist.hpp"
 #include "runtime/engine.hpp"
 
@@ -98,11 +99,17 @@ struct DriverConfig {
   /// First global request id issued by this driver; sharded closed-loop
   /// runs partition the id space so merged logs stay globally unique.
   i64 first_id = 0;
+  /// Overload protection (docs/ROBUSTNESS.md): deadlines, retries, CoDel
+  /// shedding. Disabled by default, which keeps every artifact byte-
+  /// identical to the pre-overload driver. Open-loop only.
+  OverloadConfig overload;
 
   /// Reads the uniform httpsim load flags: --arrival=, --rps=, --clients=,
   /// --requests=, --turnaround=, --burst-factor=, --burst-on=, --burst-off=,
-  /// --queue-limit=, --churn=, --load-seed=. Semantic errors throw
-  /// std::invalid_argument (strict-CLI convention: callers exit 2).
+  /// --queue-limit=, --churn=, --load-seed=, plus the overload group
+  /// (--deadline-*, --shed-*; see OverloadConfig::from_flags). Semantic
+  /// errors throw std::invalid_argument (strict-CLI convention: callers
+  /// exit 2).
   static DriverConfig from_flags(const CliFlags& flags);
 };
 
@@ -131,6 +138,30 @@ struct RequestRecord;
 std::string format_request_log(const std::vector<RequestRecord>& records,
                                const std::vector<std::string>& paths);
 
+/// Final disposition of one request (the status token of the request log).
+/// With overload protection off only kOk and kDropped can occur, keeping
+/// the log bytes identical to the pre-overload driver.
+enum class RequestOutcome : u8 {
+  kOk = 0,         ///< Completed (or still pending mid-run).
+  kDropped,        ///< Tail-dropped by the bounded admission queue.
+  kShedAdmission,  ///< Deadline expired before the arrival was admitted.
+  kShedDispatch,   ///< Deadline expired waiting in the admission queue.
+  kShedService,    ///< Killed mid-service at a yield point (engine shed).
+  kCodel,          ///< Dropped by the CoDel admission controller.
+};
+
+constexpr std::string_view request_outcome_name(RequestOutcome o) {
+  switch (o) {
+    case RequestOutcome::kOk: return "ok";
+    case RequestOutcome::kDropped: return "drop";
+    case RequestOutcome::kShedAdmission: return "shed-adm";
+    case RequestOutcome::kShedDispatch: return "shed-disp";
+    case RequestOutcome::kShedService: return "shed-mid";
+    case RequestOutcome::kCodel: return "codel";
+  }
+  return "?";
+}
+
 /// Per-request log entry. The log is the differential-testing ground truth:
 /// byte-identical across same-seed runs and across shard-execution orders.
 struct RequestRecord {
@@ -141,6 +172,10 @@ struct RequestRecord {
   u32 path = 0;
   bool close = false;
   bool dropped = false;  ///< Rejected by the bounded admission queue.
+  RequestOutcome outcome = RequestOutcome::kOk;  ///< Kept in sync with
+                                                 ///< `dropped` for kDropped.
+  Cycles deadline = 0;   ///< Effective deadline; 0 = none.
+  u8 attempts = 0;       ///< Retry re-admissions consumed so far.
 };
 
 /// Shared driver bookkeeping: request records, latency / queue-delay
@@ -150,6 +185,16 @@ class HttpDriver : public runtime::ServerPort {
   u32 completed() const { return completed_; }
   u32 dropped() const { return dropped_; }
   u32 issued() const { return issued_; }
+  /// Requests whose final disposition was a deadline/CoDel shed (admission,
+  /// dispatch, mid-service, or controller drop). 0 for closed-loop drivers.
+  u32 shed_total() const {
+    return shed_admission_ + shed_dispatch_ + shed_service_ + codel_drops_;
+  }
+  u32 shed_admission() const { return shed_admission_; }
+  u32 shed_dispatch() const { return shed_dispatch_; }
+  u32 shed_service() const { return shed_service_; }
+  u32 codel_drops() const { return codel_drops_; }
+  u32 retries() const { return retries_; }
   Cycles first_issue_time() const { return first_issue_; }
   Cycles last_response_time() const { return last_response_; }
   u64 response_bytes() const { return response_bytes_; }
@@ -194,6 +239,11 @@ class HttpDriver : public runtime::ServerPort {
   u32 issued_ = 0;
   u32 completed_ = 0;
   u32 dropped_ = 0;
+  u32 shed_admission_ = 0;
+  u32 shed_dispatch_ = 0;
+  u32 shed_service_ = 0;
+  u32 codel_drops_ = 0;
+  u32 retries_ = 0;
   u32 in_flight_ = 0;
   Cycles first_issue_ = 0;
   Cycles last_response_ = 0;
@@ -239,6 +289,11 @@ class OpenLoopDriver : public HttpDriver {
   void respond(i64 request_id, std::string_view body, Cycles now) override;
   bool shutdown(Cycles now) override;
   void annotate_request_metrics(obs::RequestMetrics& m) const override;
+  // Overload protection (docs/ROBUSTNESS.md): the engine consults the
+  // deadline at yield points and kills expired in-flight requests.
+  bool deadline_shedding() const override;
+  bool request_expired(i64 request_id, Cycles now) override;
+  void shed_inflight(i64 request_id, Cycles now) override;
 
   u32 scheduled() const { return static_cast<u32>(records_.size()); }
 
@@ -246,12 +301,40 @@ class OpenLoopDriver : public HttpDriver {
   RequestRecord& locate(i64 request_id) override;
 
  private:
-  /// Admits every arrival with time <= now, tail-dropping past the bound.
+  struct QueueEntry {
+    std::size_t idx;  ///< Index into records_.
+    Cycles at;        ///< When this attempt entered the admission queue.
+  };
+  struct PendingRetry {
+    Cycles at;        ///< Re-admission time.
+    std::size_t idx;  ///< Index into records_.
+    bool operator>(const PendingRetry& o) const {
+      return at != o.at ? at > o.at : idx > o.idx;
+    }
+  };
+
+  /// Admits every arrival (scheduled or retry) with time <= now in
+  /// (time, id) order, tail-dropping past the bound and shedding arrivals
+  /// whose deadline already passed.
   void drain_arrivals(Cycles now);
+  void admit(std::size_t idx, Cycles at, Cycles now);
+  /// Final disposition or retry re-admission of a shed/dropped attempt.
+  void finish_or_retry(std::size_t idx, RequestOutcome outcome, Cycles now);
+  /// CoDel control law on the queue sojourn of the entry being dequeued.
+  bool codel_drop(const QueueEntry& e, Cycles now);
 
   std::vector<i64> ids_;            ///< Schedule order → global id.
   std::size_t next_arrival_ = 0;    ///< First schedule entry not yet admitted.
-  std::deque<std::size_t> queue_;   ///< Admitted, not yet accepted (indices).
+  std::deque<QueueEntry> queue_;    ///< Admitted, not yet accepted.
+  std::priority_queue<PendingRetry, std::vector<PendingRetry>,
+                      std::greater<PendingRetry>>
+      retry_heap_;
+
+  // CoDel controller state (virtual time, deterministic).
+  Cycles codel_first_above_ = 0;  ///< When sojourn first exceeded target + interval.
+  Cycles codel_drop_next_ = 0;    ///< Next drop time while in dropping state.
+  u32 codel_count_ = 0;           ///< Drops in the current dropping episode.
+  bool codel_dropping_ = false;
 };
 
 }  // namespace gilfree::httpsim

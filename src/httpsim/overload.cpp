@@ -1,0 +1,88 @@
+#include "httpsim/overload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+
+namespace gilfree::httpsim {
+
+namespace {
+
+/// Uniform [0,1) keyed on one request attempt; the two stream constants keep
+/// deadline jitter and backoff jitter independent.
+double keyed_unit(u64 seed, i64 id, u32 attempt, u64 stream) {
+  const u64 h = mix64(static_cast<u64>(id) * 0x9e3779b97f4a7c15ULL ^ seed ^
+                      (static_cast<u64>(attempt) << 32) ^ stream);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+OverloadConfig OverloadConfig::from_flags(const CliFlags& flags) {
+  OverloadConfig o;
+  const long deadline =
+      flags.get_int("deadline", static_cast<long>(o.deadline));
+  if (deadline < 0) throw std::invalid_argument("--deadline must be >= 0");
+  o.deadline = static_cast<Cycles>(deadline);
+  o.deadline_jitter = flags.get_double("deadline-jitter", o.deadline_jitter);
+  if (o.deadline_jitter < 0.0 || o.deadline_jitter >= 1.0)
+    throw std::invalid_argument("--deadline-jitter must be in [0,1)");
+  const long retries =
+      flags.get_int("deadline-retries", static_cast<long>(o.retry_budget));
+  if (retries < 0 || retries > 16)
+    throw std::invalid_argument("--deadline-retries must be in [0,16]");
+  o.retry_budget = static_cast<u32>(retries);
+  const long backoff =
+      flags.get_int("deadline-backoff", static_cast<long>(o.retry_backoff));
+  if (backoff < 1)
+    throw std::invalid_argument("--deadline-backoff must be >= 1 cycles");
+  o.retry_backoff = static_cast<Cycles>(backoff);
+
+  const std::string shed = flags.get("shed", o.codel ? "codel" : "off");
+  if (shed == "codel") {
+    o.codel = true;
+  } else if (shed == "off") {
+    o.codel = false;
+  } else {
+    throw std::invalid_argument("--shed must be off or codel (got \"" + shed +
+                                "\")");
+  }
+  const long target =
+      flags.get_int("shed-target", static_cast<long>(o.codel_target));
+  if (target < 1)
+    throw std::invalid_argument("--shed-target must be >= 1 cycles");
+  o.codel_target = static_cast<Cycles>(target);
+  const long interval =
+      flags.get_int("shed-interval", static_cast<long>(o.codel_interval));
+  if (interval < 1)
+    throw std::invalid_argument("--shed-interval must be >= 1 cycles");
+  o.codel_interval = static_cast<Cycles>(interval);
+  return o;
+}
+
+Cycles request_deadline(const OverloadConfig& cfg, i64 id, u32 attempt,
+                        Cycles from, u64 seed) {
+  if (cfg.deadline == 0) return 0;
+  double factor = 1.0;
+  if (cfg.deadline_jitter > 0.0) {
+    const double u = keyed_unit(seed, id, attempt, 0x646561646c696eULL);
+    factor = 1.0 - cfg.deadline_jitter + 2.0 * cfg.deadline_jitter * u;
+  }
+  const auto budget = static_cast<Cycles>(
+      std::max(1.0, static_cast<double>(cfg.deadline) * factor));
+  return from + budget;
+}
+
+Cycles retry_backoff_cycles(const OverloadConfig& cfg, i64 id, u32 attempt,
+                            u64 seed) {
+  const u32 shift = std::min<u32>(attempt > 0 ? attempt - 1 : 0, 16);
+  const double u = keyed_unit(seed, id, attempt, 0x7265747279ULL);
+  const double jitter = 0.5 + u;
+  return static_cast<Cycles>(std::max(
+      1.0, static_cast<double>(cfg.retry_backoff << shift) * jitter));
+}
+
+}  // namespace gilfree::httpsim

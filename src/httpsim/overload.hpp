@@ -1,0 +1,62 @@
+// Overload protection for the open-loop serving path (docs/ROBUSTNESS.md):
+// per-request deadlines with a bounded retry budget, and a CoDel-style
+// adaptive admission controller that sheds early under sustained queueing
+// instead of letting the tail collapse.
+//
+// Everything is deterministic: per-request deadline jitter and retry backoff
+// jitter are pure functions of (request id, attempt, load seed), so the same
+// seed reproduces every shed decision byte-for-byte — sharded or not.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gilfree {
+class CliFlags;
+}
+
+namespace gilfree::httpsim {
+
+struct OverloadConfig {
+  /// Base request deadline in virtual cycles from arrival; 0 disables
+  /// deadlines entirely (and with them admission/dispatch/mid-service
+  /// shedding and retries).
+  Cycles deadline = 0;
+  /// Per-request multiplicative deadline jitter in [0,1): the effective
+  /// deadline is deadline * U[1-j, 1+j), keyed on (id, attempt, seed).
+  double deadline_jitter = 0.0;
+  /// Re-admissions allowed per request after a shed or tail-drop; 0 = shed
+  /// is final. The retry re-enters the arrival stream after an exponential
+  /// backoff and re-arms its deadline.
+  u32 retry_budget = 0;
+  /// Base retry backoff in cycles; attempt k waits backoff << (k-1), with
+  /// seeded jitter in [0.5, 1.5) so retries cannot lemming a shard.
+  Cycles retry_backoff = 50'000;
+
+  /// CoDel-style admission control at dequeue: when the queue sojourn stays
+  /// above `codel_target` for a full `codel_interval`, requests are dropped
+  /// on the interval/sqrt(count) schedule until the sojourn recovers.
+  bool codel = false;
+  Cycles codel_target = 500'000;
+  Cycles codel_interval = 2'000'000;
+
+  bool enabled() const { return deadline != 0 || codel; }
+
+  /// Reads the uniform overload flags: --deadline=, --deadline-jitter=,
+  /// --deadline-retries=, --deadline-backoff=, --shed=off|codel,
+  /// --shed-target=, --shed-interval=. Semantic errors throw
+  /// std::invalid_argument (strict-CLI convention: callers exit 2).
+  static OverloadConfig from_flags(const CliFlags& flags);
+};
+
+/// The effective deadline of one request attempt: `from` (arrival or retry
+/// re-admission time) plus the jittered base. Pure function of
+/// (id, attempt, seed) so shard execution order cannot move it.
+Cycles request_deadline(const OverloadConfig& cfg, i64 id, u32 attempt,
+                        Cycles from, u64 seed);
+
+/// The backoff before retry `attempt` (1-based) of request `id`:
+/// retry_backoff << (attempt-1), scaled by seeded jitter in [0.5, 1.5).
+Cycles retry_backoff_cycles(const OverloadConfig& cfg, i64 id, u32 attempt,
+                            u64 seed);
+
+}  // namespace gilfree::httpsim

@@ -120,6 +120,16 @@ void append_requests(std::string& out, const RequestMetrics& r) {
   json_append_string(out, r.arrival);
   out += ",\"offered_rps\":";
   json_append_number(out, r.offered_rps);
+  // Overload-protection accounting only appears once a run actually shed,
+  // CoDel-dropped, or retried something: default runs keep their bytes.
+  if (r.shed + r.codel_dropped + r.retries != 0) {
+    out += ",\"shed\":";
+    json_append_number(out, r.shed);
+    out += ",\"codel_dropped\":";
+    json_append_number(out, r.codel_dropped);
+    out += ",\"retries\":";
+    json_append_number(out, r.retries);
+  }
   out += ",\"latency_hist\":";
   json_append_string(out, r.latency_hist.to_sparse_string());
   out.push_back('}');
@@ -428,6 +438,9 @@ void RequestMetrics::merge(const RequestMetrics& o) {
   }
   completed += o.completed;
   dropped += o.dropped;
+  shed += o.shed;
+  codel_dropped += o.codel_dropped;
+  retries += o.retries;
   latency_sum += o.latency_sum;
   queue_sum += o.queue_sum;
   if (o.queue_max > queue_max) queue_max = o.queue_max;

@@ -50,6 +50,9 @@ struct YieldPointMetrics {
 struct RequestMetrics {
   u64 completed = 0;
   u64 dropped = 0;  ///< Admission-queue rejections (open-loop drivers only).
+  u64 shed = 0;     ///< Deadline sheds (admission + dispatch + mid-service).
+  u64 codel_dropped = 0;  ///< CoDel adaptive-admission drops.
+  u64 retries = 0;        ///< Retry re-admissions consumed by retry budgets.
   Cycles latency_min = 0;
   Cycles latency_max = 0;
   Cycles latency_sum = 0;

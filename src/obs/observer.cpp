@@ -126,6 +126,16 @@ void RunObserver::on_tier(Cycles t, u32 tid, CpuId cpu, i32 yp,
   recorder_.record(e);
 }
 
+void RunObserver::on_shed(Cycles t, u32 tid, CpuId cpu, i64 req_id) {
+  TraceEvent e;
+  e.kind = EventKind::kShed;
+  e.t = t;
+  e.tid = tid;
+  e.cpu = cpu;
+  e.req = req_id;
+  recorder_.record(e);
+}
+
 void RunObserver::on_quarantine_enter(Cycles t, u32 tid, CpuId cpu, i32 yp) {
   ++metrics_.quarantine_enters;
   ++yp_metrics(yp).quarantine_enters;

@@ -44,6 +44,12 @@ class RunObserver {
                     stm::StmAbortCause cause);
   void on_tier(Cycles t, u32 tid, CpuId cpu, i32 yp, TierTransition tr);
 
+  /// A request past its deadline was shed mid-service. Trace-only: the
+  /// serving port owns the shed/retry counters and stamps them into the
+  /// metrics via ServerPort::annotate_request_metrics, so counting here too
+  /// would double-report.
+  void on_shed(Cycles t, u32 tid, CpuId cpu, i64 req_id);
+
   void on_quarantine_enter(Cycles t, u32 tid, CpuId cpu, i32 yp);
   void on_quarantine_probe(Cycles t, u32 tid, CpuId cpu, i32 yp);
   void on_quarantine_exit(Cycles t, u32 tid, CpuId cpu, i32 yp);

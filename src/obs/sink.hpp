@@ -55,6 +55,12 @@ class Sink {
   /// run id and appends the events to the trace file.
   void finish_run(RunMetrics metrics, std::vector<TraceEvent> events);
 
+  /// Appends one raw JSONL line to the trace stream — for harness-level
+  /// events (e.g. circuit-breaker transitions) that happen between engine
+  /// runs and so cannot flow through a FlightRecorder. No-op when the trace
+  /// is disabled. The caller supplies a complete JSON object, no newline.
+  void write_raw(const std::string& line) { write_trace_line(line); }
+
   /// Writes/overwrites the metrics document and flushes the trace stream.
   /// Idempotent; also called by the destructor.
   void flush();

@@ -87,6 +87,10 @@ std::string trace_event_to_jsonl(const TraceEvent& e, u32 run) {
       json_append_string(
           out, tier_transition_name(static_cast<TierTransition>(e.detail)));
       break;
+    case EventKind::kShed:
+      out += ",\"req\":";
+      json_append_number(out, e.req);
+      break;
   }
   out.push_back('}');
   return out;
@@ -126,6 +130,7 @@ bool FlightRecorder::sample_decision(const TraceEvent& e) {
     case EventKind::kQuarantineExit:
     case EventKind::kWatchdog:
     case EventKind::kTier:
+    case EventKind::kShed:
       return true;  // rare state transitions: always keep
     case EventKind::kFault:
       return rng_.next_double() < sample_;

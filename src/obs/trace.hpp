@@ -40,6 +40,9 @@ enum class EventKind : u8 {
   kStmCommit,        ///< The software transaction validated and published.
   kStmAbort,         ///< The software transaction died: detail says why.
   kTier,             ///< Escalation-tier transition (detail = TierTransition).
+  kShed,             ///< A request past its deadline was shed mid-service:
+                     ///< the engine abandoned the serving thread at a yield
+                     ///< point (docs/ROBUSTNESS.md).
 };
 
 constexpr std::string_view event_kind_name(EventKind k) {
@@ -58,6 +61,7 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kStmCommit: return "stm_commit";
     case EventKind::kStmAbort: return "stm_abort";
     case EventKind::kTier: return "tier";
+    case EventKind::kShed: return "shed";
   }
   return "?";
 }

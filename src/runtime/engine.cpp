@@ -269,6 +269,7 @@ void Engine::park(SchedThread& st, Cycles delay, bool is_io) {
 RunStats Engine::run() {
   GILFREE_CHECK(loaded_ && !running_);
   running_ = true;
+  shed_requests_ = server_ != nullptr && server_->deadline_shedding();
 
   const bool trace = std::getenv("GILFREE_TRACE") != nullptr;
   u64 iterations = 0;
@@ -456,6 +457,7 @@ void Engine::step_gil_mode(SchedThread& st, int& fuel) {
   // Original yield points only: back-branches and leave (§3.2). The
   // extended set exists only in the HTM build (§5.1).
   if (in.yp >= 0 && !vm::is_extended_yield_op(in.op)) {
+    if (maybe_shed_request(st)) return;
     // Timer thread: every quantum, flag the running thread (§3.2). The
     // deadline is checked where the flag is consumed — at yield points —
     // so spans between yield points need no per-instruction clock reads.
@@ -663,6 +665,7 @@ void Engine::step_htm_mode(SchedThread& st, int& fuel) {
     st.skip_yield_once = false;
     const vm::Insn& qin = interp_->current_insn(*st.vm);
     if (qin.yp >= 0 && !vm::is_extended_yield_op(qin.op)) {
+      if (maybe_shed_request(st)) return;
       charge(config_.profile.machine.cost.yield_check);
       if (--st.gil_slice_yields_left == 0) {
         // Slice over: hand the GIL off and re-route (quarantine keeps the
@@ -691,6 +694,7 @@ void Engine::step_htm_mode(SchedThread& st, int& fuel) {
     is_yield_point = false;
   }
   if (is_yield_point) {
+    if (maybe_shed_request(st)) return;
     charge(config_.profile.machine.cost.yield_check +
            config_.profile.machine.cost.tls_access);
     try {
@@ -1263,6 +1267,36 @@ void Engine::on_finished(SchedThread& st) {
   }
 }
 
+bool Engine::maybe_shed_request(SchedThread& st) {
+  if (!shed_requests_ || st.serving_request < 0) return false;
+  if (!server_->request_expired(st.serving_request, now_of(st.cpu)))
+    return false;
+  // Commit (not roll back) any open transaction first: the work done so far
+  // is real and other threads may already depend on its stores. A failed
+  // commit takes the normal abort path, which reschedules the thread — the
+  // shed then re-fires at its next yield point.
+  if (st.in_stm || st.in_tx) {
+    if (st.in_stm) {
+      stm_end(st);
+    } else {
+      transaction_end(st);
+    }
+    if (st.in_stm || st.in_tx || st.status != ThreadStatus::kRunnable ||
+        st.pending_begin_yp >= -1) {
+      return true;
+    }
+  }
+  const i64 req = st.serving_request;
+  st.serving_request = -1;
+  if (obs_) obs_->on_shed(now_of(st.cpu), st.vm->tid(), st.cpu, req);
+  server_->shed_inflight(req, now_of(st.cpu));
+  // Abandon the rest of the handler: the worker thread finishes with nil,
+  // exactly as if the program had returned early. Joins on it still work.
+  st.vm->finish(vm::Value::nil());
+  on_finished(st);
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // vm::Host implementation
 // ---------------------------------------------------------------------------
@@ -1500,6 +1534,7 @@ i64 Engine::accept_request() {
 
 std::string Engine::take_request_payload(i64 request_id) {
   if (!server_) return vm::Host::take_request_payload(request_id);
+  cur().serving_request = request_id;
   return server_->payload(request_id);
 }
 
@@ -1515,6 +1550,7 @@ void Engine::respond(i64 request_id, std::string_view payload) {
                      now > issued ? now - issued : 0, queue);
   }
   server_->respond(request_id, payload, now);
+  threads_[current_tid_].serving_request = -1;
 }
 
 bool Engine::server_shutdown() {

@@ -62,6 +62,21 @@ class ServerPort {
   virtual void annotate_request_metrics(obs::RequestMetrics& m) const {
     (void)m;
   }
+  /// True when the port issues request deadlines and wants the engine to
+  /// shed expired in-flight requests at yield points (docs/ROBUSTNESS.md).
+  virtual bool deadline_shedding() const { return false; }
+  /// True when the request's deadline has passed and it is still unanswered.
+  virtual bool request_expired(i64 request_id, Cycles now) {
+    (void)request_id;
+    (void)now;
+    return false;
+  }
+  /// The engine killed the serving thread of an expired request; the port
+  /// accounts the shed (and may schedule a retry).
+  virtual void shed_inflight(i64 request_id, Cycles now) {
+    (void)request_id;
+    (void)now;
+  }
 };
 
 // `final` closes the virtual-dispatch seam: the compiler can devirtualize
@@ -196,6 +211,11 @@ class Engine final : public vm::Host, public fault::FaultListener {
     CycleBreakdown breakdown;
     Cycles tx_pending_cycles = 0;  ///< Work since TBEGIN, bucketed at commit.
     Cycles stm_pending_cycles = 0;  ///< Work since stm begin, ditto.
+
+    /// Request id this thread is serving (tagged by take_request_payload,
+    /// cleared by respond); -1 when not serving. Lets the engine shed the
+    /// thread mid-service when the request's deadline expires.
+    i64 serving_request = -1;
   };
 
   // Scheduling loop. `fuel` is the remaining instruction budget of the
@@ -236,6 +256,12 @@ class Engine final : public vm::Host, public fault::FaultListener {
 
   /// Counts + reports one starvation-watchdog event for this thread.
   void report_watchdog(SchedThread& st, obs::WatchdogKind kind);
+
+  /// Mid-service deadline shedding: at a yield point, if this thread serves
+  /// a request whose deadline expired, abandon the work (aborting any open
+  /// transaction) and finish the thread. Returns true when the thread was
+  /// shed (or rescheduled by a failed commit) and stepping must stop.
+  bool maybe_shed_request(SchedThread& st);
 
   void charge_bucket(SchedThread& st, Bucket b, Cycles c);
   SchedThread& cur() { return threads_[current_tid_]; }
@@ -301,6 +327,7 @@ class Engine final : public vm::Host, public fault::FaultListener {
   Bucket current_bucket_ = Bucket::kOther;
   bool loaded_ = false;
   bool running_ = false;
+  bool shed_requests_ = false;  ///< server_->deadline_shedding() at run().
   bool fastpath_on_ = false;  ///< Set by init_fastpath(); off during boot.
   bool defer_clock_ = false;  ///< Batched clock charging (GIL / free modes).
 

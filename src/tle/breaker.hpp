@@ -1,0 +1,111 @@
+// BreakerCore: the circuit-breaker state machine shared by the per-yield-
+// point quarantine of tle::LengthTable and the per-shard brown-out breakers
+// of the httpsim serving path (docs/ROBUSTNESS.md).
+//
+// The protocol, identical at both granularities:
+//
+//   * closed  — traffic flows normally. Consecutive *eligible* failures
+//     (aborts at the floor transaction length / failed serving epochs)
+//     extend a streak; any success resets it. A streak of `trip_streak`
+//     trips the breaker.
+//   * open    — traffic is routed around (GIL/STM slices for a yield point,
+//     key spill to healthy shards for a serving shard) for `wait` routing
+//     units, counted down one per route() call.
+//   * probing — when the wait expires, one probe is admitted. A failed
+//     probe doubles the backoff (clamped to `probe_max`) and re-opens; a
+//     successful probe closes the breaker.
+//
+// The state is plain (non-transactional) memory and every transition is a
+// pure function of the call sequence, so the same deterministic inputs give
+// the same transitions — the property the chaos campaign's same-seed gate
+// relies on.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace gilfree::tle {
+
+/// Tunables of one breaker population (shared across entries).
+struct BreakerParams {
+  u32 trip_streak = 24;   ///< Consecutive eligible failures that trip.
+  u32 probe_initial = 4;  ///< First backoff, in routing units.
+  u32 probe_max = 64;     ///< Backoff clamp.
+};
+
+/// What route() chose for the next unit of traffic.
+enum class BreakerRoute : u8 {
+  kClosed,  ///< Healthy: traffic flows.
+  kOpen,    ///< Browned out: route around, wait decremented.
+  kProbe,   ///< Recovery probe admitted; report via on_failure/on_success.
+};
+
+/// What on_failure observed beyond extending the streak.
+struct BreakerOutcome {
+  bool tripped = false;       ///< This failure opened the breaker.
+  bool probe_failed = false;  ///< A recovery probe failed; backoff doubled.
+};
+
+struct BreakerCore {
+  u8 open = 0;
+  u8 probing = 0;  ///< A recovery probe is in flight.
+  u32 streak = 0;  ///< Consecutive eligible failures while closed.
+  u32 backoff = 0; ///< Current probe backoff (routing units).
+  u32 wait = 0;    ///< Routing units left before the next probe.
+
+  /// Advances the breaker on one failure. `eligible` marks failures that
+  /// may extend the trip streak (the length table only counts aborts at the
+  /// floor length; shard breakers count every failed epoch).
+  BreakerOutcome on_failure(const BreakerParams& p, bool eligible) {
+    BreakerOutcome out;
+    if (probing) {
+      // The recovery probe failed: double the backoff and stay open.
+      probing = 0;
+      backoff = std::min(p.probe_max, std::max<u32>(1, backoff * 2));
+      wait = backoff;
+      out.probe_failed = true;
+      return out;
+    }
+    if (open) return out;  // routed-around traffic; nothing to learn
+    if (eligible) {
+      if (++streak >= p.trip_streak) {
+        open = 1;
+        streak = 0;
+        backoff = std::max<u32>(1, p.probe_initial);
+        wait = backoff;
+        out.tripped = true;
+      }
+    } else {
+      streak = 0;
+    }
+    return out;
+  }
+
+  /// Consulted once per routing unit (transaction begin / serving epoch).
+  BreakerRoute route() {
+    if (!open) return BreakerRoute::kClosed;
+    if (wait > 0) {
+      --wait;
+      return BreakerRoute::kOpen;
+    }
+    probing = 1;
+    return BreakerRoute::kProbe;
+  }
+
+  /// Advances the breaker on one success. Returns true when a successful
+  /// recovery probe closed it.
+  bool on_success() {
+    streak = 0;
+    if (!probing) return false;
+    probing = 0;
+    open = 0;
+    backoff = 0;
+    wait = 0;
+    return true;
+  }
+
+  void reset() { *this = BreakerCore{}; }
+};
+
+}  // namespace gilfree::tle

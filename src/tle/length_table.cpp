@@ -13,11 +13,10 @@ LengthTable::LengthTable(u32 num_yield_points, const TleConfig& config)
   transaction_counter_.assign(n_, 0);
   abort_counter_.assign(n_, 0);
   adjustments_at_.assign(n_, 0);
-  quarantined_.assign(n_, 0);
-  probing_.assign(n_, 0);
-  floor_streak_.assign(n_, 0);
-  probe_backoff_.assign(n_, 0);
-  probe_wait_.assign(n_, 0);
+  breaker_params_ = {config_.quarantine_abort_streak,
+                     config_.quarantine_probe_initial,
+                     config_.quarantine_probe_max};
+  breaker_.assign(n_, BreakerCore{});
   enters_at_.assign(n_, 0);
   exits_at_.assign(n_, 0);
 }
@@ -45,35 +44,24 @@ AdjustOutcome LengthTable::adjust_transaction_length(i32 yp) {
   const u32 i = index(yp);
 
   if (config_.quarantine_enabled) {
-    if (probing_[i]) {
-      // The recovery probe aborted: double the backoff and stay quarantined.
-      probing_[i] = 0;
-      probe_backoff_[i] = std::min(config_.quarantine_probe_max,
-                                   std::max<u32>(1, probe_backoff_[i] * 2));
-      probe_wait_[i] = probe_backoff_[i];
-      out.probe_failed = true;
-      return out;
-    }
-    if (quarantined_[i]) return out;  // GIL-slice path; nothing to learn
-    // The breaker's input: consecutive aborted transactions (on_commit
+    // The breaker's trip input: consecutive aborted transactions (on_commit
     // resets the streak) while the length can shrink no further. Fixed-mode
     // configurations have no shrink at all, so every abort is at the floor.
     const bool at_floor = config_.fixed_length > 0 ||
                           (transaction_length_[i] != 0 &&
                            transaction_length_[i] <= config_.min_length);
-    if (at_floor) {
-      if (++floor_streak_[i] >= config_.quarantine_abort_streak) {
-        quarantined_[i] = 1;
-        floor_streak_[i] = 0;
-        probe_backoff_[i] = std::max<u32>(1, config_.quarantine_probe_initial);
-        probe_wait_[i] = probe_backoff_[i];
-        ++enters_at_[i];
-        ++quarantine_enters_;
-        out.entered_quarantine = true;
-        return out;
-      }
-    } else {
-      floor_streak_[i] = 0;
+    const bool was_open = breaker_[i].open != 0 || breaker_[i].probing != 0;
+    const BreakerOutcome bo = breaker_[i].on_failure(breaker_params_, at_floor);
+    if (bo.probe_failed) {
+      out.probe_failed = true;
+      return out;
+    }
+    if (was_open) return out;  // GIL-slice path; nothing to learn
+    if (bo.tripped) {
+      ++enters_at_[i];
+      ++quarantine_enters_;
+      out.entered_quarantine = true;
+      return out;
     }
   }
 
@@ -109,26 +97,23 @@ AdjustOutcome LengthTable::adjust_transaction_length(i32 yp) {
 Route LengthTable::begin_route(i32 yp) {
   if (!config_.quarantine_enabled) return Route::kHtm;
   const u32 i = index(yp);
-  if (!quarantined_[i]) return Route::kHtm;
-  if (probe_wait_[i] > 0) {
-    --probe_wait_[i];
-    return config_.stm_tier ? Route::kStm : Route::kGil;
+  switch (breaker_[i].route()) {
+    case BreakerRoute::kClosed:
+      return Route::kHtm;
+    case BreakerRoute::kOpen:
+      return config_.stm_tier ? Route::kStm : Route::kGil;
+    case BreakerRoute::kProbe:
+      ++quarantine_probes_;
+      return Route::kProbe;
   }
-  probing_[i] = 1;
-  ++quarantine_probes_;
-  return Route::kProbe;
+  return Route::kHtm;
 }
 
 bool LengthTable::on_commit(i32 yp) {
   const u32 i = index(yp);
-  floor_streak_[i] = 0;
-  if (!probing_[i]) return false;
+  if (!breaker_[i].on_success()) return false;
   // A recovery probe committed: leave quarantine, and drop the Fig. 3 entry
   // so the length re-learns from INITIAL_TRANSACTION_LENGTH.
-  probing_[i] = 0;
-  quarantined_[i] = 0;
-  probe_backoff_[i] = 0;
-  probe_wait_[i] = 0;
   transaction_length_[i] = 0;
   transaction_counter_[i] = 0;
   abort_counter_[i] = 0;
@@ -138,7 +123,7 @@ bool LengthTable::on_commit(i32 yp) {
 }
 
 bool LengthTable::quarantined(i32 yp) const {
-  return quarantined_[index(yp)] != 0;
+  return breaker_[index(yp)].open != 0;
 }
 
 u64 LengthTable::quarantine_enters_at(i32 yp) const {
@@ -189,11 +174,7 @@ void LengthTable::reset() {
   std::fill(abort_counter_.begin(), abort_counter_.end(), 0);
   std::fill(adjustments_at_.begin(), adjustments_at_.end(), 0);
   adjustments_ = 0;
-  std::fill(quarantined_.begin(), quarantined_.end(), 0);
-  std::fill(probing_.begin(), probing_.end(), 0);
-  std::fill(floor_streak_.begin(), floor_streak_.end(), 0);
-  std::fill(probe_backoff_.begin(), probe_backoff_.end(), 0);
-  std::fill(probe_wait_.begin(), probe_wait_.end(), 0);
+  for (BreakerCore& b : breaker_) b.reset();
   std::fill(enters_at_.begin(), enters_at_.end(), 0);
   std::fill(exits_at_.begin(), exits_at_.end(), 0);
   quarantine_enters_ = 0;

@@ -23,6 +23,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "tle/breaker.hpp"
 #include "tle/tle_config.hpp"
 
 namespace gilfree::tle {
@@ -108,12 +109,10 @@ class LengthTable {
   std::vector<u32> adjustments_at_;
   u64 adjustments_ = 0;
 
-  // Quarantine state (all per yield point).
-  std::vector<u8> quarantined_;
-  std::vector<u8> probing_;        ///< A recovery probe is in flight.
-  std::vector<u32> floor_streak_;  ///< Consecutive floor-length aborts.
-  std::vector<u32> probe_backoff_; ///< Current backoff (GIL slices).
-  std::vector<u32> probe_wait_;    ///< Slices left before the next probe.
+  // Quarantine state: one BreakerCore per yield point, plus the counters
+  // the observability layer exports (the core itself is counter-free).
+  BreakerParams breaker_params_;
+  std::vector<BreakerCore> breaker_;
   std::vector<u32> enters_at_;
   std::vector<u32> exits_at_;
   u64 quarantine_enters_ = 0;

@@ -15,6 +15,7 @@
 #include "httpsim/client_driver.hpp"
 #include "httpsim/server_programs.hpp"
 #include "runtime/engine.hpp"
+#include "testutil_cli.hpp"
 
 namespace gilfree {
 namespace {
@@ -164,20 +165,13 @@ TEST(OpenLoop, BoundedAdmissionQueueDropsUnderOverloadAndAccountsExactly) {
 
 // --- strict-CLI rejection ---------------------------------------------------
 
-/// Builds throwing CliFlags from a single --flag=value argument and runs
-/// both from_flags parsers over it.
+/// Runs both open-loop from_flags parsers over one --flag=value argument
+/// via the shared strict-CLI helper (tests/testutil_cli.hpp).
 void expect_rejected(const std::string& flag) {
-  std::string arg = flag;
-  std::vector<char*> argv = {const_cast<char*>("test"), arg.data()};
-  CliFlags flags(static_cast<int>(argv.size()), argv.data(),
-                 /*throw_errors=*/true);
-  EXPECT_THROW(
-      {
-        httpsim::DriverConfig::from_flags(flags);
-        httpsim::ShardOptions::from_flags(flags);
-      },
-      std::invalid_argument)
-      << flag;
+  testutil::expect_rejected(flag, [](const CliFlags& f) {
+    httpsim::DriverConfig::from_flags(f);
+    httpsim::ShardOptions::from_flags(f);
+  });
 }
 
 TEST(OpenLoopCli, EveryNewFlagRejectsBadValues) {

@@ -1,0 +1,303 @@
+// Overload-protection correctness (docs/ROBUSTNESS.md): strict-CLI
+// rejection for the --deadline-*/--shed-*/--breaker-* families, exact
+// disposition accounting under overload and connection churn at 1 and 4
+// shards, deterministic deadline/backoff keying, and byte-identical breaker
+// brown-out runs for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "htm/profile.hpp"
+#include "httpsim/bench_server.hpp"
+#include "httpsim/client_driver.hpp"
+#include "httpsim/overload.hpp"
+#include "httpsim/server_programs.hpp"
+#include "runtime/engine.hpp"
+#include "testutil_cli.hpp"
+
+namespace gilfree {
+namespace {
+
+using httpsim::Arrival;
+using httpsim::DriverConfig;
+using httpsim::OverloadConfig;
+using httpsim::RequestOutcome;
+using httpsim::ShardOptions;
+using testutil::expect_rejected;
+using testutil::make_flags;
+
+void reject_overload_flag(const std::string& flag) {
+  expect_rejected(flag, [](const CliFlags& f) {
+    DriverConfig::from_flags(f);
+    ShardOptions::from_flags(f);
+  });
+}
+
+TEST(OverloadCli, EveryOverloadFlagRejectsBadValues) {
+  reject_overload_flag("--deadline=-1");
+  reject_overload_flag("--deadline=soon");
+  reject_overload_flag("--deadline-jitter=1.0");
+  reject_overload_flag("--deadline-jitter=-0.1");
+  reject_overload_flag("--deadline-retries=17");
+  reject_overload_flag("--deadline-retries=-1");
+  reject_overload_flag("--deadline-backoff=0");
+  reject_overload_flag("--shed=sometimes");
+  reject_overload_flag("--shed-target=0");
+  reject_overload_flag("--shed-interval=0");
+}
+
+TEST(OverloadCli, EveryBreakerFlagRejectsBadValues) {
+  reject_overload_flag("--breaker=maybe");
+  reject_overload_flag("--breaker-epochs=1");
+  reject_overload_flag("--breaker-epochs=257");
+  reject_overload_flag("--breaker-streak=0");
+  reject_overload_flag("--breaker-probe=0");
+  reject_overload_flag("--breaker-probe-max=0");
+  reject_overload_flag("--breaker-shed-ratio=0");
+  reject_overload_flag("--breaker-shed-ratio=1.5");
+  reject_overload_flag("--breaker-latency=-1");
+  reject_overload_flag("--breaker-fault-shard=-2");
+}
+
+TEST(OverloadCli, BreakerRequiresShardsAndOpenLoopConstraintsHold) {
+  // --breaker=on with the default single shard is a semantic error.
+  {
+    CliFlags f = make_flags({"--breaker=on"});
+    EXPECT_THROW(ShardOptions::from_flags(f), std::invalid_argument);
+  }
+  // Deadlines belong to the open-loop driver only.
+  {
+    CliFlags f = make_flags({"--arrival=closed", "--deadline=1000000"});
+    EXPECT_THROW(DriverConfig::from_flags(f), std::invalid_argument);
+  }
+  // --breaker-fault-shard must name a shard below --shards.
+  {
+    CliFlags f =
+        make_flags({"--shards=4", "--breaker=on", "--breaker-fault-shard=4"});
+    EXPECT_THROW(ShardOptions::from_flags(f), std::invalid_argument);
+  }
+}
+
+TEST(OverloadCli, GoodValuesParseIntoTheConfig) {
+  CliFlags f = make_flags(
+      {"--arrival=poisson", "--deadline=1500000", "--deadline-jitter=0.25",
+       "--deadline-retries=3", "--deadline-backoff=40000", "--shed=codel",
+       "--shed-target=300000", "--shed-interval=1000000", "--shards=4",
+       "--breaker=on", "--breaker-epochs=10", "--breaker-streak=3",
+       "--breaker-probe=2", "--breaker-probe-max=16",
+       "--breaker-shed-ratio=0.5", "--breaker-latency=400000",
+       "--breaker-fault-shard=1"});
+  const DriverConfig d = DriverConfig::from_flags(f);
+  const ShardOptions so = ShardOptions::from_flags(f);
+  f.reject_unknown();  // every flag above must be consumed
+  EXPECT_EQ(d.overload.deadline, 1'500'000u);
+  EXPECT_DOUBLE_EQ(d.overload.deadline_jitter, 0.25);
+  EXPECT_EQ(d.overload.retry_budget, 3u);
+  EXPECT_EQ(d.overload.retry_backoff, 40'000u);
+  EXPECT_TRUE(d.overload.codel);
+  EXPECT_EQ(d.overload.codel_target, 300'000u);
+  EXPECT_EQ(d.overload.codel_interval, 1'000'000u);
+  EXPECT_TRUE(so.breaker.enabled);
+  EXPECT_EQ(so.breaker.epochs, 10u);
+  EXPECT_EQ(so.breaker.trip_streak, 3u);
+  EXPECT_EQ(so.breaker.probe_initial, 2u);
+  EXPECT_EQ(so.breaker.probe_max, 16u);
+  EXPECT_DOUBLE_EQ(so.breaker.shed_ratio, 0.5);
+  EXPECT_EQ(so.breaker.latency_budget, 400'000u);
+  EXPECT_EQ(so.breaker.fault_shard, 1);
+}
+
+// --- deterministic keying ---------------------------------------------------
+
+TEST(Overload, DeadlineAndBackoffArePureFunctionsOfIdAttemptSeed) {
+  OverloadConfig o;
+  o.deadline = 1'000'000;
+  o.deadline_jitter = 0.3;
+  o.retry_budget = 4;
+  const Cycles d1 = httpsim::request_deadline(o, 42, 0, 500, 7);
+  EXPECT_EQ(d1, httpsim::request_deadline(o, 42, 0, 500, 7));
+  EXPECT_NE(d1, httpsim::request_deadline(o, 43, 0, 500, 7));
+  EXPECT_NE(d1, httpsim::request_deadline(o, 42, 1, 500, 7));
+  // Jitter is bounded: deadline * [1-j, 1+j) past `from`.
+  for (i64 id = 0; id < 200; ++id) {
+    const Cycles d = httpsim::request_deadline(o, id, 0, 0, 7);
+    EXPECT_GE(d, static_cast<Cycles>(700'000));
+    EXPECT_LT(d, static_cast<Cycles>(1'300'000));
+  }
+  const Cycles b1 = httpsim::retry_backoff_cycles(o, 42, 1, 7);
+  EXPECT_EQ(b1, httpsim::retry_backoff_cycles(o, 42, 1, 7));
+  // Exponential growth: attempt 3's floor (0.5 * base << 2) sits above
+  // attempt 1's ceiling (1.5 * base).
+  EXPECT_GT(httpsim::retry_backoff_cycles(o, 42, 3, 7),
+            httpsim::retry_backoff_cycles(o, 42, 1, 7));
+}
+
+// --- disposition accounting under churn, 1 and 4 shards ---------------------
+
+DriverConfig overload_config() {
+  DriverConfig d;
+  d.arrival = Arrival::kPoisson;
+  d.total_requests = 200;
+  d.rps = 3'000'000.0;  // far past the service rate: drops + sheds happen
+  d.queue_limit = 8;
+  d.churn = 0.3;
+  d.overload.deadline = 1'000'000;
+  d.overload.deadline_jitter = 0.2;
+  d.overload.retry_budget = 2;
+  d.overload.codel = true;
+  return d;
+}
+
+void check_accounting(const std::vector<httpsim::RequestRecord>& records,
+                      u32 scheduled, u64 completed, u64 dropped, u64 shed,
+                      u64 retries) {
+  // Every scheduled request ends in exactly one final disposition; retries
+  // are re-admissions of the same request, not extra dispositions.
+  EXPECT_EQ(completed + dropped + shed, scheduled);
+  u64 ok = 0, drop = 0, shed_in_log = 0, attempts = 0;
+  for (const auto& r : records) {
+    attempts += r.attempts;
+    switch (r.outcome) {
+      case RequestOutcome::kOk:
+        ++ok;
+        EXPECT_GT(r.responded, 0u) << r.id;
+        break;
+      case RequestOutcome::kDropped:
+        ++drop;
+        EXPECT_TRUE(r.dropped) << r.id;
+        EXPECT_EQ(r.responded, 0u) << r.id;
+        break;
+      default:
+        ++shed_in_log;
+        EXPECT_EQ(r.responded, 0u) << r.id;
+        break;
+    }
+  }
+  // The per-request log reconciles with the counters exactly.
+  EXPECT_EQ(ok, completed);
+  EXPECT_EQ(drop, dropped);
+  EXPECT_EQ(shed_in_log, shed);
+  EXPECT_EQ(attempts, retries);
+}
+
+TEST(Overload, AccountingReconcilesUnderChurnSingleShard) {
+  const auto base = runtime::EngineConfig::gil(htm::SystemProfile::zec12());
+  const DriverConfig d = overload_config();
+  const auto r =
+      httpsim::run_server(base, httpsim::webrick_source(), d);
+  EXPECT_GT(r.dropped + r.shed, 0u) << "overload must drop or shed";
+  EXPECT_GT(r.retries, 0u) << "retry budget must be exercised";
+  check_accounting(r.records, d.total_requests, r.completed, r.dropped,
+                   r.shed, r.retries);
+  // Histograms sample completions only.
+  EXPECT_EQ(r.latency_hist.total(), r.completed);
+  EXPECT_EQ(r.queue_hist.total(), r.completed);
+}
+
+TEST(Overload, AccountingReconcilesUnderChurnFourShards) {
+  const auto base = runtime::EngineConfig::gil(htm::SystemProfile::zec12());
+  DriverConfig d = overload_config();
+  d.rps = 12'000'000.0;  // 4-way sharding splits the load: stay past capacity
+  ShardOptions so;
+  so.shards = 4;
+  const auto r =
+      httpsim::run_sharded(base, httpsim::webrick_source(), d, so);
+  ASSERT_EQ(r.shards.size(), 4u);
+  EXPECT_GT(r.dropped + r.shed, 0u);
+  u64 scheduled = 0;
+  std::vector<httpsim::RequestRecord> merged;
+  for (const auto& s : r.shards) {
+    scheduled += s.records.size();
+    merged.insert(merged.end(), s.records.begin(), s.records.end());
+    // Each shard reconciles independently too.
+    EXPECT_EQ(s.completed + s.dropped + s.shed,
+              static_cast<u32>(s.records.size()));
+  }
+  EXPECT_EQ(scheduled, d.total_requests);
+  check_accounting(merged, d.total_requests, r.completed, r.dropped, r.shed,
+                   r.retries);
+  EXPECT_EQ(r.latency_hist.total(), r.completed);
+  EXPECT_EQ(r.queue_hist.total(), r.completed);
+}
+
+// --- flags-off byte identity ------------------------------------------------
+
+TEST(Overload, DisabledOverloadKeepsRequestLogBytesIdentical) {
+  const auto base = runtime::EngineConfig::gil(htm::SystemProfile::zec12());
+  DriverConfig d;
+  d.arrival = Arrival::kPoisson;
+  d.total_requests = 150;
+  d.rps = 2'000'000.0;
+  d.queue_limit = 16;
+  const auto off = httpsim::run_server(base, httpsim::webrick_source(), d);
+  // A default-constructed OverloadConfig is the disabled state; parsing an
+  // empty command line must produce the same bytes.
+  DriverConfig parsed = d;
+  parsed.overload = OverloadConfig::from_flags(make_flags({}));
+  const auto off2 =
+      httpsim::run_server(base, httpsim::webrick_source(), parsed);
+  EXPECT_FALSE(parsed.overload.enabled());
+  EXPECT_EQ(off.request_log, off2.request_log);
+  // With overload off, only ok/drop can appear in the log.
+  for (const auto& rec : off.records) {
+    EXPECT_TRUE(rec.outcome == RequestOutcome::kOk ||
+                rec.outcome == RequestOutcome::kDropped);
+    EXPECT_EQ(rec.deadline, 0u);
+    EXPECT_EQ(rec.attempts, 0u);
+  }
+}
+
+// --- breaker determinism ----------------------------------------------------
+
+TEST(Overload, BreakerBrownOutIsByteDeterministicForAFixedSeed) {
+  const auto base =
+      runtime::EngineConfig::htm_dynamic(htm::SystemProfile::zec12());
+  // Mirrors the chaos campaign's worst-fault httpsim phase, where this
+  // load deterministically browns out the faulted shard.
+  DriverConfig d;
+  d.arrival = Arrival::kPoisson;
+  d.total_requests = 240;
+  d.rps = 2'400'000.0;
+  d.overload.deadline = 2'000'000;
+  d.overload.retry_budget = 1;
+  d.overload.codel = true;
+  ShardOptions so;
+  so.shards = 4;
+  so.breaker.enabled = true;
+  so.breaker.epochs = 8;
+  so.breaker.trip_streak = 2;
+  so.breaker.latency_budget = 400'000;
+  so.breaker.fault_shard = 1;
+  auto cfg = base;
+  cfg.fault.persistent_all_yps = true;
+  cfg.fault.gil_handoff_delay_cycles = 150'000;
+  cfg.fault.seed = 7;
+
+  const auto a =
+      httpsim::run_sharded(cfg, httpsim::webrick_source(), d, so);
+  const auto b =
+      httpsim::run_sharded(cfg, httpsim::webrick_source(), d, so);
+  EXPECT_EQ(a.request_log, b.request_log);
+  EXPECT_EQ(a.spilled, b.spilled);
+  ASSERT_EQ(a.breaker_transitions.size(), b.breaker_transitions.size());
+  for (std::size_t i = 0; i < a.breaker_transitions.size(); ++i) {
+    EXPECT_EQ(a.breaker_transitions[i].epoch, b.breaker_transitions[i].epoch);
+    EXPECT_EQ(a.breaker_transitions[i].shard, b.breaker_transitions[i].shard);
+    EXPECT_EQ(a.breaker_transitions[i].state, b.breaker_transitions[i].state);
+  }
+  // The faulted shard's brown-out must actually engage under this load.
+  EXPECT_GE(a.breaker_transitions.size(), 1u);
+  // Transitions arrive in deterministic (epoch, shard) order.
+  for (std::size_t i = 1; i < a.breaker_transitions.size(); ++i) {
+    EXPECT_GE(a.breaker_transitions[i].epoch,
+              a.breaker_transitions[i - 1].epoch);
+  }
+  // Accounting holds across the epoch-sliced breaker path as well.
+  EXPECT_EQ(a.completed + a.dropped + a.shed, d.total_requests);
+}
+
+}  // namespace
+}  // namespace gilfree

@@ -55,7 +55,9 @@ struct RunAccum {
   u64 events = 0;
 
   // Robustness events (docs/ROBUSTNESS.md): quarantine transitions per
-  // yield point, injected faults by kind, watchdog reports by kind.
+  // yield point, injected faults by kind, watchdog reports by kind, and
+  // requests shed mid-service past their deadline.
+  u64 sheds = 0;
   std::map<i64, u64> quarantine_enters;
   std::map<i64, u64> quarantine_probes;
   std::map<i64, u64> quarantine_exits;
@@ -184,8 +186,10 @@ void print_run(u32 run_id, const RunAccum& acc, bool csv, long top) {
                           acc.total(acc.quarantine_probes) +
                           acc.total(acc.quarantine_exits);
   const u64 watchdogs = acc.total_s(acc.watchdog_by_kind);
-  if (faults + quarantines + watchdogs > 0) {
+  if (faults + quarantines + watchdogs + acc.sheds > 0) {
     std::cout << "-- robustness --\n";
+    if (acc.sheds > 0)
+      std::cout << "requests shed mid-service: " << acc.sheds << "\n";
     if (faults > 0) {
       std::cout << "faults injected: " << faults;
       for (const auto& [k, n] : acc.faults_by_kind)
@@ -272,57 +276,108 @@ bool print_interp_metrics(const std::string& path, long only_run) {
     std::cerr << "trace_report: " << path << ": " << e.what() << "\n";
     return false;
   }
-  std::cout << "== interpreter (" << path << ") ==\n";
-  TablePrinter table({"run", "mode", "machine", "dispatch", "fused_insns",
-                      "insns", "ic_method_hit", "ic_ivar_hit"});
-  for (const obs::JsonValue& run : doc.at("runs").as_array()) {
-    const u32 id = static_cast<u32>(run.at("run").as_u64());
-    if (only_run >= 0 && id != static_cast<u32>(only_run)) continue;
-    // Absent on documents written before the interp block existed.
-    const bool has_interp = run.has("interp");
-    const obs::JsonValue* interp = has_interp ? &run.at("interp") : nullptr;
-    table.add_row(
-        {std::to_string(id), run.at("mode").as_string(),
-         run.at("machine").as_string(),
-         has_interp ? interp->at("dispatch_mode").as_string() : "-",
-         has_interp ? std::to_string(interp->at("fused_instructions").as_u64())
-                    : "-",
-         std::to_string(run.at("insns_retired").as_u64()),
-         has_interp
-             ? TablePrinter::num(
-                   100.0 * interp->at("ic_method_hit_rate").as_number(), 2)
-             : "-",
-         has_interp ? TablePrinter::num(
-                          100.0 * interp->at("ic_ivar_hit_rate").as_number(), 2)
-                    : "-"});
+  if (!doc.has("runs")) {
+    std::cerr << "trace_report: " << path
+              << ": not a gilfree.metrics document (no \"runs\" section)\n";
+    return false;
   }
-  std::cout << table.to_string() << "\n";
-
-  std::cout << "== gc (" << path << ") ==\n";
-  TablePrinter gc_table({"run", "collections", "swept", "arena_refills",
-                         "seg_min", "seg_max", "sweep_quanta", "pause_max",
-                         "pause_p99"});
-  for (const obs::JsonValue& run : doc.at("runs").as_array()) {
-    const u32 id = static_cast<u32>(run.at("run").as_u64());
-    if (only_run >= 0 && id != static_cast<u32>(only_run)) continue;
-    // Absent on documents written before the gc block existed.
-    if (!run.has("gc")) {
-      gc_table.add_row({std::to_string(id), "-", "-", "-", "-", "-", "-", "-",
-                        "-"});
-      continue;
+  // Every lookup below is guarded so a document from an older build — with
+  // whole sections (interp/gc/requests) absent — degrades to "-" cells or a
+  // skipped table, never a crash or a silently empty report.
+  try {
+    std::cout << "== interpreter (" << path << ") ==\n";
+    TablePrinter table({"run", "mode", "machine", "dispatch", "fused_insns",
+                        "insns", "ic_method_hit", "ic_ivar_hit"});
+    for (const obs::JsonValue& run : doc.at("runs").as_array()) {
+      const u32 id = static_cast<u32>(run.at("run").as_u64());
+      if (only_run >= 0 && id != static_cast<u32>(only_run)) continue;
+      // Absent on documents written before the interp block existed.
+      const bool has_interp = run.has("interp");
+      const obs::JsonValue* interp = has_interp ? &run.at("interp") : nullptr;
+      table.add_row(
+          {std::to_string(id),
+           run.has("mode") ? run.at("mode").as_string() : "-",
+           run.has("machine") ? run.at("machine").as_string() : "-",
+           has_interp ? interp->at("dispatch_mode").as_string() : "-",
+           has_interp
+               ? std::to_string(interp->at("fused_instructions").as_u64())
+               : "-",
+           run.has("insns_retired")
+               ? std::to_string(run.at("insns_retired").as_u64())
+               : "-",
+           has_interp
+               ? TablePrinter::num(
+                     100.0 * interp->at("ic_method_hit_rate").as_number(), 2)
+               : "-",
+           has_interp
+               ? TablePrinter::num(
+                     100.0 * interp->at("ic_ivar_hit_rate").as_number(), 2)
+               : "-"});
     }
-    const obs::JsonValue& gc = run.at("gc");
-    gc_table.add_row({std::to_string(id),
-                      std::to_string(gc.at("collections").as_u64()),
-                      std::to_string(gc.at("total_swept").as_u64()),
-                      std::to_string(gc.at("arena_refills").as_u64()),
-                      std::to_string(gc.at("segment_slots_min").as_u64()),
-                      std::to_string(gc.at("segment_slots_max").as_u64()),
-                      std::to_string(gc.at("sweep_quanta").as_u64()),
-                      std::to_string(gc.at("pause_max").as_u64()),
-                      std::to_string(gc.at("pause_p99").as_u64())});
+    std::cout << table.to_string() << "\n";
+
+    std::cout << "== gc (" << path << ") ==\n";
+    TablePrinter gc_table({"run", "collections", "swept", "arena_refills",
+                           "seg_min", "seg_max", "sweep_quanta", "pause_max",
+                           "pause_p99"});
+    for (const obs::JsonValue& run : doc.at("runs").as_array()) {
+      const u32 id = static_cast<u32>(run.at("run").as_u64());
+      if (only_run >= 0 && id != static_cast<u32>(only_run)) continue;
+      // Absent on documents written before the gc block existed.
+      if (!run.has("gc")) {
+        gc_table.add_row({std::to_string(id), "-", "-", "-", "-", "-", "-",
+                          "-", "-"});
+        continue;
+      }
+      const obs::JsonValue& gc = run.at("gc");
+      gc_table.add_row({std::to_string(id),
+                        std::to_string(gc.at("collections").as_u64()),
+                        std::to_string(gc.at("total_swept").as_u64()),
+                        std::to_string(gc.at("arena_refills").as_u64()),
+                        std::to_string(gc.at("segment_slots_min").as_u64()),
+                        std::to_string(gc.at("segment_slots_max").as_u64()),
+                        std::to_string(gc.at("sweep_quanta").as_u64()),
+                        std::to_string(gc.at("pause_max").as_u64()),
+                        std::to_string(gc.at("pause_p99").as_u64())});
+    }
+    std::cout << gc_table.to_string() << "\n";
+
+    // Per-run overload accounting (requests section); printed only when a
+    // run actually shed/dropped/retried, so older documents and fault-free
+    // runs add no output.
+    bool any_overload = false;
+    for (const obs::JsonValue& run : doc.at("runs").as_array()) {
+      if (!run.has("requests")) continue;
+      const obs::JsonValue& rq = run.at("requests");
+      if (rq.has("shed") || rq.has("codel_dropped") || rq.has("retries"))
+        any_overload = true;
+    }
+    if (any_overload) {
+      std::cout << "== overload (" << path << ") ==\n";
+      TablePrinter ov({"run", "completed", "dropped", "shed", "codel",
+                       "retries"});
+      for (const obs::JsonValue& run : doc.at("runs").as_array()) {
+        const u32 id = static_cast<u32>(run.at("run").as_u64());
+        if (only_run >= 0 && id != static_cast<u32>(only_run)) continue;
+        if (!run.has("requests")) {
+          ov.add_row({std::to_string(id), "-", "-", "-", "-", "-"});
+          continue;
+        }
+        const obs::JsonValue& rq = run.at("requests");
+        const auto cell = [&rq](const char* key) {
+          return rq.has(key) ? std::to_string(rq.at(key).as_u64())
+                             : std::string("0");
+        };
+        ov.add_row({std::to_string(id), cell("completed"), cell("dropped"),
+                    cell("shed"), cell("codel_dropped"), cell("retries")});
+      }
+      std::cout << ov.to_string() << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "trace_report: " << path
+              << ": malformed metrics document: " << e.what() << "\n";
+    return false;
   }
-  std::cout << gc_table.to_string() << "\n";
   return true;
 }
 
@@ -351,6 +406,7 @@ int main(int argc, char** argv) {
   }
 
   std::map<u32, RunAccum> runs;
+  std::map<std::string, u64> breaker_by_state;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -365,6 +421,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     const std::string ev = v.at("ev").as_string();
+    // Harness-level breaker lines carry no run id (they happen between
+    // engine runs); collect them before touching per-run fields.
+    if (ev == "breaker") {
+      ++breaker_by_state[v.at("state").as_string()];
+      continue;
+    }
     const u32 run = static_cast<u32>(v.at("run").as_u64());
     if (only_run >= 0 && run != static_cast<u32>(only_run)) continue;
     RunAccum& acc = runs[run];
@@ -418,6 +480,8 @@ int main(int argc, char** argv) {
       ++acc.stm_abort_causes[v.at("cause").as_string()];
     } else if (ev == "tier") {
       ++acc.tier_transitions[v.at("transition").as_string()];
+    } else if (ev == "shed") {
+      ++acc.sheds;
     } else {
       std::cerr << "trace_report: " << path << ":" << lineno
                 << ": unknown event kind \"" << ev << "\"\n";
@@ -425,11 +489,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (runs.empty()) {
+  if (runs.empty() && breaker_by_state.empty()) {
     std::cout << "(no events" << (only_run >= 0 ? " for that run" : "")
               << " in " << path << ")\n";
     return 0;
   }
   for (const auto& [run_id, acc] : runs) print_run(run_id, acc, csv, top);
+  if (!breaker_by_state.empty()) {
+    std::cout << "== circuit breakers ==\n";
+    for (const auto& [state, n] : breaker_by_state)
+      std::cout << state << ": " << n << "\n";
+  }
   return 0;
 }
