@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -28,7 +30,7 @@ int main(int argc, char** argv) {
   for (const auto& w : workloads::npb_workloads()) {
     if (!only.empty() && only.find(w.name) == std::string::npos) continue;
     const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg), w, 1, scale);
+        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), w, 1, scale);
     auto speedup = [&](runtime::EngineConfig cfg, const char* variant) {
       observe(cfg, sink,
               {{"figure", "ablation_conflict_removal"},
@@ -41,7 +43,7 @@ int main(int argc, char** argv) {
       return TablePrinter::num(base.elapsed_us / p.elapsed_us, 2);
     };
 
-    auto all = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
+    auto all = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
 
     auto no_tls = all;
     no_tls.vm.thread_local_current_thread = false;

@@ -16,15 +16,17 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
   const auto& w = workloads::npb(bench_name);
   const auto base = workloads::run_workload(
-      make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg), w, 1, scale);
+      make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), w, 1, scale);
 
   auto run_with = [&](const char* variant, auto mutate) {
-    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
+    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
     mutate(cfg);
     observe(cfg, sink,
             {{"figure", "ablation_dynlen_params"},

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -26,9 +28,9 @@ int main(int argc, char** argv) {
 
   for (const auto& w : workloads::npb_workloads()) {
     const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg), w, 1, scale);
+        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), w, 1, scale);
 
-    auto with_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
+    auto with_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
     observe(with_cfg, sink,
             {{"figure", "ablation_yield_points"},
              {"machine", profile.machine.name},
@@ -38,7 +40,7 @@ int main(int argc, char** argv) {
     const auto with_yp =
         workloads::run_workload(std::move(with_cfg), w, threads, scale);
 
-    auto without_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
+    auto without_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
     without_cfg.vm.extended_yield_points = false;
     observe(without_cfg, sink,
             {{"figure", "ablation_yield_points"},

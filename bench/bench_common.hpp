@@ -39,19 +39,36 @@ inline std::vector<NamedConfig> paper_configs() {
           {"HTM-dynamic", -1}};
 }
 
+/// Uniform allocator/GC wiring: every harness accepts the --gc-* flags via
+/// runtime::apply_gc_flags (per-thread arenas, lazy sweeping, sweep-deal
+/// policy, nursery, mark quantum, stash stealing). Semantic errors exit
+/// with a clear message like the flag parser. Applies in place — absent
+/// flags leave the config's existing (profile-derived) values untouched.
+inline void parse_gc_flags(const CliFlags& flags, vm::HeapConfig& heap) {
+  try {
+    runtime::apply_gc_flags(flags, heap);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
 inline runtime::EngineConfig make_config(const htm::SystemProfile& profile,
                                          const NamedConfig& nc,
                                          const fault::FaultConfig& fault = {},
-                                         const stm::StmConfig& stm = {}) {
+                                         const stm::StmConfig& stm = {},
+                                         const CliFlags* gc_flags = nullptr) {
   runtime::EngineConfig cfg =
       nc.fixed_length == 0 ? runtime::EngineConfig::gil(profile)
       : nc.fixed_length < 0
           ? runtime::EngineConfig::htm_dynamic(profile)
           : runtime::EngineConfig::htm_fixed(profile, nc.fixed_length);
   // The campaign and the STM tier only bite in HTM mode; stamping them
-  // everywhere keeps the call sites uniform.
+  // everywhere keeps the call sites uniform. --gc-* flags apply to every
+  // engine (the GIL baseline allocates through the same heap).
   cfg.fault = fault;
   cfg.stm = stm;
+  if (gc_flags) parse_gc_flags(*gc_flags, cfg.heap);
   return cfg;
 }
 
@@ -91,18 +108,6 @@ inline void observe(runtime::EngineConfig& cfg, obs::Sink& sink,
 inline fault::FaultConfig parse_fault_flags(const CliFlags& flags) {
   try {
     return fault::FaultConfig::from_flags(flags);
-  } catch (const std::invalid_argument& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    std::exit(2);
-  }
-}
-
-/// Uniform allocator/GC wiring: every harness accepts the --gc-* flags via
-/// runtime::apply_gc_flags (per-thread arenas, lazy sweeping, sweep-deal
-/// policy). Semantic errors exit with a clear message like the flag parser.
-inline void parse_gc_flags(const CliFlags& flags, vm::HeapConfig& heap) {
-  try {
-    runtime::apply_gc_flags(flags, heap);
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     std::exit(2);

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
     TablePrinter table({"threads", "GIL", "HTM-1", "HTM-16", "HTM-dynamic"});
 
     const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg), *w, 1, scale);
+        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), *w, 1, scale);
     const double base_elapsed = base.elapsed_us;
 
     for (unsigned threads : thread_counts(profile, quick)) {
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
       for (const NamedConfig& nc :
            {NamedConfig{"GIL", 0}, NamedConfig{"HTM-1", 1},
             NamedConfig{"HTM-16", 16}, NamedConfig{"HTM-dynamic", -1}}) {
-        auto cfg = make_config(profile, nc, fault_cfg, stm_cfg);
+        auto cfg = make_config(profile, nc, fault_cfg, stm_cfg, &flags);
         observe(cfg, sink,
                 {{"figure", "fig4_micro"},
                  {"machine", profile.machine.name},

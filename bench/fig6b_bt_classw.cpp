@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::xeon_e3();
@@ -28,12 +30,12 @@ int main(int argc, char** argv) {
   TablePrinter table(headers);
 
   const auto base =
-      workloads::run_workload(make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg), w, 1, scale);
+      workloads::run_workload(make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), w, 1, scale);
 
   for (unsigned threads : thread_counts(profile, quick)) {
     std::vector<std::string> row = {std::to_string(threads)};
     for (const auto& nc : paper_configs()) {
-      auto cfg = make_config(profile, nc, fault_cfg, stm_cfg);
+      auto cfg = make_config(profile, nc, fault_cfg, stm_cfg, &flags);
       observe(cfg, sink,
               {{"figure", "fig6b_bt_classw"},
                {"machine", profile.machine.name},

@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   for (const char* machine : {"zec12", "xeon"}) {
@@ -28,7 +30,7 @@ int main(int argc, char** argv) {
       if (threads == 1) continue;  // single-threaded runs use the GIL
       std::vector<std::string> row = {std::to_string(threads)};
       for (const auto& w : workloads::npb_workloads()) {
-        auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
+        auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
         observe(cfg, sink,
                 {{"figure", "fig8_abort_ratios"},
                  {"machine", profile.machine.name},

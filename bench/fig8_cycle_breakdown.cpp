@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -26,7 +28,7 @@ int main(int argc, char** argv) {
                       "blocked_io", "other"});
 
   for (const auto& w : workloads::npb_workloads()) {
-    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
+    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
     observe(cfg, sink,
             {{"figure", "fig8_cycle_breakdown"},
              {"machine", profile.machine.name},

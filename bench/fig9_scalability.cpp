@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
       auto bcfg = kind.make(profile);
       bcfg.fault = fault_cfg;
       bcfg.stm = stm_cfg;
+      parse_gc_flags(flags, bcfg.heap);
       base.push_back(
           workloads::run_workload(std::move(bcfg), w, 1, scale).elapsed_us);
     }
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
         auto cfg = kind.make(profile);
         cfg.fault = fault_cfg;
         cfg.stm = stm_cfg;
+        parse_gc_flags(flags, cfg.heap);
         observe(cfg, sink,
                 {{"figure", "fig9_scalability"},
                  {"machine", profile.machine.name},

@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   htm::SystemProfile profile = htm::SystemProfile::zec12();
@@ -83,7 +85,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto cfg = make_config(profile, *nc, fault_cfg, stm_cfg);
+  auto cfg = make_config(profile, *nc, fault_cfg, stm_cfg, &flags);
   cfg.seed = seed;
 
   std::map<std::string, std::string> labels = {

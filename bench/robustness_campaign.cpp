@@ -134,7 +134,8 @@ void append_httpsim_json(std::ostringstream& os, const char* key,
 
 int run_chaos(const htm::SystemProfile& profile, bool csv, bool quick,
               unsigned scale, unsigned threads, u64 fault_seed,
-              const std::string& json_path, obs::Sink& sink) {
+              const std::string& json_path, obs::Sink& sink,
+              const CliFlags& flags) {
   const auto faults = chaos_faults(fault_seed);
   const std::vector<const workloads::Workload*> kernels = {
       &workloads::micro_while(), &workloads::npb("BT"),
@@ -147,7 +148,7 @@ int run_chaos(const htm::SystemProfile& profile, bool csv, bool quick,
     double base_us = 0.0;
     double base_verify = 0.0;
     for (const ChaosFault& f : faults) {
-      auto cfg = make_config(profile, {"HTM-dynamic", -1}, f.fc, f.stm);
+      auto cfg = make_config(profile, {"HTM-dynamic", -1}, f.fc, f.stm, &flags);
       observe(cfg, sink,
               {{"figure", "chaos_campaign"},
                {"machine", profile.machine.name},
@@ -216,7 +217,7 @@ int run_chaos(const htm::SystemProfile& profile, bool csv, bool quick,
 
   auto run_httpsim = [&](const std::string& phase,
                          const fault::FaultConfig& fc) {
-    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fc, {});
+    auto cfg = make_config(profile, {"HTM-dynamic", -1}, fc, {}, &flags);
     std::map<std::string, std::string> labels = {
         {"figure", "chaos_campaign"},
         {"machine", profile.machine.name},
@@ -350,6 +351,8 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig custom = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
   if (!json_path.empty() && !chaos) {
     std::cerr << "error: --json requires --chaos\n";
@@ -359,12 +362,12 @@ int main(int argc, char** argv) {
   const auto profile = htm::SystemProfile::by_name(machine);
   if (chaos)
     return run_chaos(profile, csv, quick, scale, threads, custom.seed,
-                     json_path, sink);
+                     json_path, sink, flags);
   const workloads::Workload& w = workloads::micro_while();
 
   auto run_phase = [&](const std::string& name, const NamedConfig& nc,
                        const fault::FaultConfig& fc) {
-    auto cfg = make_config(profile, nc, fc, stm_cfg);
+    auto cfg = make_config(profile, nc, fc, stm_cfg, &flags);
     observe(cfg, sink,
             {{"figure", "robustness_campaign"},
              {"machine", profile.machine.name},

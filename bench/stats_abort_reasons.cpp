@@ -59,11 +59,13 @@ int main(int argc, char** argv) {
   obs::Sink sink(obs::ObsConfig::from_flags(flags));
   const fault::FaultConfig fault_cfg = parse_fault_flags(flags);
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   // NPB on zEC12 with HTM-dynamic.
   for (const auto& w : workloads::npb_workloads()) {
-    auto cfg = make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
+    auto cfg = make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
     observe(cfg, sink,
             {{"figure", "stats_abort_reasons"},
              {"machine", "zEC12"},
@@ -80,7 +82,7 @@ int main(int argc, char** argv) {
 
   // Rails on the Xeon (87% overflow aborts in the paper).
   {
-    auto cfg = make_config(htm::SystemProfile::xeon_e3(), {"HTM-dynamic", -1}, fault_cfg, stm_cfg);
+    auto cfg = make_config(htm::SystemProfile::xeon_e3(), {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
     httpsim::DriverConfig d;
     d.clients = 4;
     d.total_requests = 600;

@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
   // --stm-commit-retry= etc. tune the STM phases; --stm / --gil-subscription
   // themselves are implied by the phase matrix below.
   const stm::StmConfig stm_overrides = parse_stm_flags(flags);
+  vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
+  parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -66,7 +68,7 @@ int main(int argc, char** argv) {
   auto run_phase = [&](const std::string& name, const NamedConfig& nc,
                        const fault::FaultConfig& fc, bool stm_on,
                        stm::GilSubscription sub) {
-    auto cfg = make_config(profile, nc, fc);
+    auto cfg = make_config(profile, nc, fc, {}, &flags);
     cfg.stm = stm_overrides;
     cfg.stm.enabled = stm_on;
     cfg.stm.subscription = sub;

@@ -228,6 +228,24 @@ void append_gc(std::string& out, const GcMetrics& g) {
   json_append_number(out, g.sweep_quanta);
   out += ",\"sweep_quantum_cycles\":";
   json_append_number(out, g.sweep_quantum_cycles);
+  if (g.minor_collections + g.mark_quanta + g.arena_steals != 0) {
+    // Conditional so non-generational runs keep the pre-nursery document
+    // bytes (same discipline as cycles.stm_work above).
+    out += ",\"minor_collections\":";
+    json_append_number(out, g.minor_collections);
+    out += ",\"nursery_promoted\":";
+    json_append_number(out, g.nursery_promoted);
+    out += ",\"nursery_freed\":";
+    json_append_number(out, g.nursery_freed);
+    out += ",\"mark_quanta\":";
+    json_append_number(out, g.mark_quanta);
+    out += ",\"mark_quantum_cycles\":";
+    json_append_number(out, g.mark_quantum_cycles);
+    out += ",\"arena_steals\":";
+    json_append_number(out, g.arena_steals);
+    out += ",\"stolen_segments\":";
+    json_append_number(out, g.stolen_segments);
+  }
   out += ",\"pause_max\":";
   json_append_number(out, g.max_pause);
   out += ",\"pause_p50\":";
@@ -426,6 +444,13 @@ void GcMetrics::merge(const GcMetrics& o) {
   arena_refills += o.arena_refills;
   sweep_quanta += o.sweep_quanta;
   sweep_quantum_cycles += o.sweep_quantum_cycles;
+  minor_collections += o.minor_collections;
+  nursery_promoted += o.nursery_promoted;
+  nursery_freed += o.nursery_freed;
+  mark_quanta += o.mark_quanta;
+  mark_quantum_cycles += o.mark_quantum_cycles;
+  arena_steals += o.arena_steals;
+  stolen_segments += o.stolen_segments;
   if (o.max_pause > max_pause) max_pause = o.max_pause;
   pause_hist.merge(o.pause_hist);
 }

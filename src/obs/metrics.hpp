@@ -143,6 +143,16 @@ struct GcMetrics {
   u32 segment_slots_max = 0;
   u64 sweep_quanta = 0;
   Cycles sweep_quantum_cycles = 0;
+  // Generational / incremental extensions; all zero on non-generational
+  // configs, which keeps their JSON block byte-identical to the pre-nursery
+  // document (the emitter gates the new fields on any() of these).
+  u64 minor_collections = 0;
+  u64 nursery_promoted = 0;
+  u64 nursery_freed = 0;
+  u64 mark_quanta = 0;
+  Cycles mark_quantum_cycles = 0;
+  u64 arena_steals = 0;
+  u64 stolen_segments = 0;
   Cycles max_pause = 0;
   LatencyHistogram pause_hist;  ///< Stop-the-world pause per collection.
 

@@ -130,6 +130,7 @@ void Engine::load_program(const std::vector<std::string>& sources) {
 
   vm::HeapConfig hc = config_.heap;
   hc.max_threads = std::max<u32>(hc.max_threads, 64);
+  hc.steal_seed = config_.seed;  // deterministic stash-steal victim order
   heap_ = std::make_unique<vm::Heap>(hc);
   // Register every compiled global / constant name as a slot.
   for (std::size_t i = 0; i < program_->global_names.size(); ++i)
@@ -384,6 +385,13 @@ RunStats Engine::run() {
     m.gc.segment_slots_max = stats.gc.segment_slots_max;
     m.gc.sweep_quanta = stats.gc.sweep_quanta;
     m.gc.sweep_quantum_cycles = stats.gc.sweep_quantum_cycles;
+    m.gc.minor_collections = stats.gc.minor_collections;
+    m.gc.nursery_promoted = stats.gc.nursery_promoted;
+    m.gc.nursery_freed = stats.gc.nursery_freed;
+    m.gc.mark_quanta = stats.gc.mark_quanta;
+    m.gc.mark_quantum_cycles = stats.gc.mark_quantum_cycles;
+    m.gc.arena_steals = stats.gc.arena_steals;
+    m.gc.stolen_segments = stats.gc.stolen_segments;
     m.gc.max_pause = stats.gc.max_pause;
     m.gc.pause_hist = stats.gc.pause_hist;
     m.stm.begins = stats.stm.begins;
@@ -1434,6 +1442,25 @@ void Engine::full_gc() {
   const Cycles cost = heap_->run_gc(collect_roots());
   charge(cost);
   (void)self;
+}
+
+void Engine::minor_gc() {
+  SchedThread& self = cur();
+  GILFREE_CHECK(!self.in_tx && !self.in_stm);
+  // Minor collections stop the world like full ones — the young-set scan
+  // reads other threads' stacks and relinks freed slots.
+  if (htm_) htm_->doom_all(kInvalidCpu, AbortReason::kConflict);
+  if (stm_) stm_->doom_all(stm::StmAbortCause::kGc);
+  const Cycles cost = heap_->run_minor_gc(*this, collect_roots());
+  charge(cost);
+  (void)self;
+}
+
+void Engine::collect_gc_roots(vm::GcRootSet& roots) { roots = collect_roots(); }
+
+bool Engine::in_speculation() {
+  const SchedThread& st = cur();
+  return st.in_tx || st.in_stm;
 }
 
 vm::Heap::RootSet Engine::collect_roots() {

@@ -122,6 +122,9 @@ class Engine final : public vm::Host, public fault::FaultListener {
   void charge(Cycles c) override;
   void require_nontx(const char* why) override;
   void full_gc() override;
+  void minor_gc() override;
+  void collect_gc_roots(vm::GcRootSet& roots) override;
+  bool in_speculation() override;
   u32 current_tid() override { return current_tid_; }
   vm::Value spawn_thread(vm::Value proc_val,
                          std::vector<vm::Value> args) override;

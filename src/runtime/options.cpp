@@ -52,11 +52,29 @@ void apply_gc_flags(const CliFlags& flags, vm::HeapConfig& heap) {
         "\")");
   }
 
+  heap.nursery = flags.get_bool("gc-nursery", heap.nursery);
+  heap.nursery_slots =
+      positive_u32(flags, "gc-nursery-slots", heap.nursery_slots);
+  const long mark_quantum = flags.get_int(
+      "gc-mark-quantum", static_cast<long>(heap.mark_quantum));
+  if (mark_quantum < 0)
+    throw std::invalid_argument("--gc-mark-quantum must be >= 0");
+  heap.mark_quantum = static_cast<u32>(mark_quantum);
+  heap.arena_steal = flags.get_bool("gc-steal", heap.arena_steal);
+
   // Mirror the Heap constructor's GILFREE_CHECKs as user-facing errors so a
   // bad sweep script fails with a message instead of an assertion.
   if (heap.per_thread_arenas && !heap.thread_local_free_lists)
     throw std::invalid_argument(
         "--gc-arena requires thread-local free lists to be enabled");
+  if (heap.nursery && !heap.per_thread_arenas)
+    throw std::invalid_argument(
+        "--gc-nursery requires --gc-arena (the young space is carved from "
+        "the thread's arena)");
+  if (heap.nursery && heap.nursery_slots < 64)
+    throw std::invalid_argument("--gc-nursery-slots must be >= 64");
+  if (heap.arena_steal && !heap.per_thread_arenas)
+    throw std::invalid_argument("--gc-steal requires --gc-arena");
   constexpr u32 kObjsPerLine = 4;  // 256 B line / 64 B RVALUE
   if (heap.arena_min_segment % kObjsPerLine != 0 ||
       heap.arena_max_segment % kObjsPerLine != 0)

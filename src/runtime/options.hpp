@@ -119,6 +119,10 @@ struct EngineConfig {
 ///   --gc-sweep-quantum=N         blocks swept per slow-path quantum
 ///   --gc-sweep-deal=N            per-thread sweep dealing to N threads
 ///   --gc-sweep-policy=linemate|rr  how dealt frees are placed
+///   --gc-nursery[=bool]          generational nursery (needs --gc-arena)
+///   --gc-nursery-slots=N         young allocations between minor GCs
+///   --gc-mark-quantum=N          incremental-mark objects per quantum (0=off)
+///   --gc-steal[=bool]            cross-thread arena-stash stealing
 /// Values are validated strictly; violations throw std::invalid_argument
 /// (CliFlags' own exit-2 / throw behaviour covers malformed numbers and
 /// unknown flags via reject_unknown()).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 #include "common/check.hpp"
 
@@ -50,12 +51,34 @@ Heap::Heap(const HeapConfig& config) : config_(config) {
     GILFREE_CHECK(config_.arena_max_segment >= config_.arena_min_segment &&
                   config_.arena_max_segment % kObjsPerLine == 0);
   }
+  if (config_.nursery) {
+    GILFREE_CHECK_MSG(config_.per_thread_arenas,
+                      "nursery requires per_thread_arenas (the young space "
+                      "is carved from the thread's arena)");
+    GILFREE_CHECK(config_.nursery_slots >= 64);
+  }
+  if (config_.arena_steal)
+    GILFREE_CHECK_MSG(config_.per_thread_arenas,
+                      "arena_steal requires per_thread_arenas");
+  barrier_on_ = config_.nursery || config_.mark_quantum > 0;
   track_line_owners_ =
       config_.per_thread_arenas ||
       (config_.thread_local_sweep && config_.sweep_deal_threads > 0 &&
        config_.sweep_deal_policy == HeapConfig::SweepDeal::kLineMate);
   arena_seg_size_.assign(config_.max_threads, config_.arena_min_segment);
   arena_last_refill_.assign(config_.max_threads, kNeverRefilled);
+  if (config_.arena_steal) {
+    // Seeded Fisher-Yates permutation over the thread ids: the victim probe
+    // order is deterministic for a given seed, so steals (and the traces
+    // they produce) replay byte-identically.
+    steal_order_.resize(config_.max_threads);
+    for (u32 i = 0; i < config_.max_threads; ++i) steal_order_[i] = i;
+    u64 s = config_.steal_seed * 0x9e3779b97f4a7c15ull + 0xda3e39cb94b95bdbull;
+    for (u32 i = config_.max_threads - 1; i > 0; --i) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      std::swap(steal_order_[i], steal_order_[(s >> 33) % (i + 1)]);
+    }
+  }
 
   // ---- control storage layout ----
   const u32 tcb_core_stride =
@@ -182,6 +205,10 @@ RBasic* Heap::alloc_rvalue(Host& host, ObjType type, ClassId klass) {
   // conflicts provide the atomicity.
   host.internal_allocator_lock(30);
   const u32 tid = host.current_tid();
+  // Minor-GC trigger sits before the object is carved, so a collection here
+  // sees exactly the same roots a full GC at this point would (the object
+  // being allocated does not exist yet).
+  if (config_.nursery) maybe_minor_gc(host);
   RBasic* obj = nullptr;
 
   if (config_.per_thread_arenas) {
@@ -246,7 +273,16 @@ RBasic* Heap::alloc_rvalue(Host& host, ObjType type, ClassId klass) {
   }
 
   if (track_line_owners_) note_line_owner(obj, tid);
-  host.mem_store(&obj->slots[0], RBasic::make_header(type, klass), true);
+  u64 hdr = RBasic::make_header(type, klass);
+  if (config_.nursery) {
+    // Young tagging folds into the header store the allocation already
+    // pays; the C++-side push is a hint re-checked against the header bit
+    // (a transaction abort rolls the bit back but not the push).
+    hdr |= kHdrYoung;
+    young_.push_back(obj);
+    ++young_since_minor_;
+  }
+  host.mem_store(&obj->slots[0], hdr, true);
   host.charge(8);  // allocation bookkeeping beyond the memory traffic
   return obj;
 }
@@ -287,6 +323,7 @@ bool Heap::splice_global_to_local(Host& host, u32 tid) {
 
 void Heap::refill_thread_free_list(Host& host, u32 tid) {
   host.internal_allocator_lock(60 + 3 * config_.free_list_refill);
+  if (config_.mark_quantum > 0) maybe_mark_quantum(host);
   u64* head_slot = tcb_slot(tid, kTcbFreeListHead);
   if (splice_global_to_local(host, tid)) return;
   // Lazy sweeping: pending quanta may replenish the global list (or deal
@@ -296,6 +333,14 @@ void Heap::refill_thread_free_list(Host& host, u32 tid) {
     if (host.mem_load(head_slot, true) != 0) return;
     if (splice_global_to_local(host, tid)) return;
   }
+  // With sweep dealing on, "my list is dry but siblings are flush" is the
+  // common case for a thread outside the deal-target set (or one the deal
+  // skewed against). Rebalance from the fullest sibling list *before*
+  // forcing a collection — collecting here both pays a full stop-the-world
+  // pause and (once the heap has grown to cover the skew) makes every
+  // later mark phase walk the larger heap, which is exactly the eager-deal
+  // pause regression BENCH_gc.json used to show. We hold the GIL here.
+  if (rebalance_dealt_lists(host, tid)) return;
   collect_for_allocation(host);
   // With the thread-local-sweep extension, the collector may have dealt
   // objects straight onto this thread's list.
@@ -309,13 +354,54 @@ void Heap::refill_thread_free_list(Host& host, u32 tid) {
     }
   }
   if (splice_global_to_local(host, tid)) return;
+  if (rebalance_dealt_lists(host, tid)) return;
   // Everything went to other threads' lists: grow (we hold the GIL).
   add_arena_block(config_.block_slots);
   GILFREE_CHECK(splice_global_to_local(host, tid));
 }
 
+bool Heap::rebalance_dealt_lists(Host& host, u32 tid) {
+  if (!(config_.thread_local_sweep && config_.thread_local_free_lists &&
+        config_.sweep_deal_threads > 0))
+    return false;
+  // Pick the fullest dealt-to list (need at least 2 objects to split).
+  u32 victim = config_.max_threads;
+  u64 best = 1;
+  for (u32 t = 0; t < config_.sweep_deal_threads && t < config_.max_threads;
+       ++t) {
+    if (t == tid) continue;
+    const u64 n = host.mem_load(tcb_slot(t, kTcbFreeListCount), true);
+    if (n > best) {
+      best = n;
+      victim = t;
+    }
+  }
+  if (victim == config_.max_threads) return false;
+  const u64 take = best - best / 2;
+  // Walk to the split point reading next pointers, then cut with three
+  // stores — same tiny-write-set discipline as splice_global_to_local.
+  u64* vhead = tcb_slot(victim, kTcbFreeListHead);
+  u64* vcount = tcb_slot(victim, kTcbFreeListCount);
+  const u64 head = host.mem_load(vhead, true);
+  u64 tail = head;
+  for (u64 moved = 1; moved < take; ++moved)
+    tail = host.mem_load(&reinterpret_cast<RBasic*>(tail)->slots[1], true);
+  const u64 rest =
+      host.mem_load(&reinterpret_cast<RBasic*>(tail)->slots[1], true);
+  host.mem_store(vhead, rest, true);
+  host.mem_store(vcount, best - take, true);
+  u64* thead = tcb_slot(tid, kTcbFreeListHead);
+  u64* tcount = tcb_slot(tid, kTcbFreeListCount);
+  host.mem_store(&reinterpret_cast<RBasic*>(tail)->slots[1],
+                 host.mem_load(thead, true), true);
+  host.mem_store(thead, head, true);
+  host.mem_store(tcount, host.mem_load(tcount, true) + take, true);
+  return true;
+}
+
 void Heap::refill_thread_arena(Host& host, u32 tid) {
   host.internal_allocator_lock(40);
+  if (config_.mark_quantum > 0) maybe_mark_quantum(host);
   for (int attempt = 0;; ++attempt) {
     GILFREE_CHECK_MSG(attempt < 8, "arena refill made no progress");
     if (carve_segment(host, tid)) return;
@@ -334,6 +420,10 @@ void Heap::refill_thread_arena(Host& host, u32 tid) {
     // Residual fragments on the global list (when dealing is off): splice
     // them onto the local list via the §4.4(b) path.
     if (splice_global_to_local(host, tid)) return;
+    // Pool + stash dry: steal half of a victim's stash chain before forcing
+    // an early collection (skewed allocation otherwise lets one hoarding
+    // thread trigger GC after GC while segments idle in its stash).
+    if (config_.arena_steal && attempt == 0 && steal_stash(host, tid)) return;
     if (attempt == 0) {
       collect_for_allocation(host);
       continue;
@@ -755,17 +845,17 @@ void Heap::mark_value(Value v, std::vector<RBasic*>& stack) {
   stack.push_back(o);
 }
 
-void Heap::mark_object(RBasic* o, std::vector<RBasic*>& stack) {
-  // Direct reads: GC is stop-the-world under the GIL.
+template <typename Fn>
+void Heap::visit_children(const RBasic* o, Fn&& fn) {
+  // Direct reads: callers run stop-the-world under the GIL or on committed
+  // state outside transactions.
   switch (o->type()) {
     case ObjType::kObject: {
-      for (u32 i = 1; i <= kInlineIvars; ++i)
-        mark_value(Value::from_bits(o->slots[i]), stack);
+      for (u32 i = 1; i <= kInlineIvars; ++i) fn(Value::from_bits(o->slots[i]));
       if (const u64 spill = o->slots[7]) {
         const u32 cap = spill_capacity_slots(spill);
         const u64* data = spill_ptr(spill);
-        for (u32 i = 0; i < cap; ++i)
-          mark_value(Value::from_bits(data[i]), stack);
+        for (u32 i = 0; i < cap; ++i) fn(Value::from_bits(data[i]));
       }
       break;
     }
@@ -773,8 +863,7 @@ void Heap::mark_object(RBasic* o, std::vector<RBasic*>& stack) {
       const u64 spill = o->slots[3];
       const u64 len = o->slots[1];
       const u64* data = spill_ptr(spill);
-      for (u64 i = 0; i < len; ++i)
-        mark_value(Value::from_bits(data[i]), stack);
+      for (u64 i = 0; i < len; ++i) fn(Value::from_bits(data[i]));
       break;
     }
     case ObjType::kHash: {
@@ -784,30 +873,34 @@ void Heap::mark_object(RBasic* o, std::vector<RBasic*>& stack) {
       for (u64 i = 0; i < cap * 2; i += 2) {
         Value key = Value::from_bits(data[i]);
         if (key.is_undef()) continue;
-        mark_value(key, stack);
-        mark_value(Value::from_bits(data[i + 1]), stack);
+        fn(key);
+        fn(Value::from_bits(data[i + 1]));
       }
       break;
     }
     case ObjType::kRange:
-      mark_value(Value::from_bits(o->slots[1]), stack);
-      mark_value(Value::from_bits(o->slots[2]), stack);
+      fn(Value::from_bits(o->slots[1]));
+      fn(Value::from_bits(o->slots[2]));
       break;
     case ObjType::kProc:
-      mark_value(Value::from_bits(o->slots[2]), stack);
+      fn(Value::from_bits(o->slots[2]));
       break;
     case ObjType::kClass: {
       if (const u64 spill = o->slots[2]) {
         const u64 count = o->slots[3];
         const u64* data = spill_ptr(spill);
         for (u64 i = 0; i < count * 2; i += 2)
-          mark_value(Value::from_bits(data[i + 1]), stack);
+          fn(Value::from_bits(data[i + 1]));
       }
       break;
     }
     default:
       break;  // Float, String, Mutex, CondVar, Thread: no Value children.
   }
+}
+
+void Heap::mark_object(RBasic* o, std::vector<RBasic*>& stack) {
+  visit_children(o, [&](Value v) { mark_value(v, stack); });
 }
 
 u64 Heap::sweep_block(ArenaBlock& b, Host* host) {
@@ -1018,6 +1111,294 @@ u32 Heap::arena_segment_size(u32 tid) const {
   return arena_seg_size_[tid];
 }
 
+// ---------------------------------------------------------------------------
+// Generational nursery
+// ---------------------------------------------------------------------------
+
+void Heap::maybe_minor_gc(Host& host) {
+  if (young_since_minor_ < config_.nursery_slots || in_gc_) return;
+  // Minor GC runs under the GIL like a full one: inside a transaction this
+  // aborts with a persistent reason and the retry re-reaches this point.
+  host.require_nontx("minor-gc");
+  host.minor_gc();
+  // Minor boundaries also drive the background machinery. With the nursery
+  // recycling slots locally, refill slow paths (the usual quantum hooks)
+  // can become arbitrarily rare; without this, lazy sweeps stay pending,
+  // the mark epoch never starts, and the next major pays a full STW mark.
+  // The thread is GIL-held and non-speculative here (require_nontx above).
+  if (config_.lazy_sweep && lazy_blocks_pending_ > 0) {
+    while (lazy_blocks_pending_ > 0) host.charge(sweep_quantum(host));
+  } else if (config_.mark_quantum > 0) {
+    // Work-proportional marking: a minor boundary stands in for the
+    // nursery_slots allocations since the last one, so trace ~2 objects per
+    // allocation (quantized by --gc-mark-quantum). One quantum per boundary
+    // cannot keep up — the live set outgrows the tracing and the next major
+    // degenerates to a full STW mark.
+    maybe_mark_quantum(host);  // may start the epoch
+    u64 traced_budget = 2 * u64{config_.nursery_slots};
+    while (mark_epoch_active_ && !grey_.empty() &&
+           traced_budget >= config_.mark_quantum) {
+      host.charge(mark_quantum_step());
+      traced_budget -= config_.mark_quantum;
+    }
+  }
+}
+
+void Heap::ref_barrier_slow(Host& host, RBasic* owner, Value v) {
+  if (!v.is_object()) return;
+  RBasic* child = v.obj();
+  ArenaBlock* cb = block_of(child);
+  if (cb == nullptr) return;
+  // The header load goes through the host: inside a transaction a freshly
+  // allocated child's header (and its young bit) lives in the redo buffer.
+  const u64 child_hdr = host.mem_load(&child->slots[0], true);
+  if (RBasic::header_type(child_hdr) == ObjType::kFree) return;
+  if (config_.nursery && (child_hdr & kHdrYoung) != 0) {
+    // Old→young store: remember the owner so minor collections can find
+    // the young child without scanning the old generation.
+    const u64 owner_hdr = host.mem_load(&owner->slots[0], true);
+    if ((owner_hdr & (kHdrYoung | kHdrRemembered)) == 0) {
+      host.mem_store(&owner->slots[0], owner_hdr | kHdrRemembered, true);
+      remembered_.push_back(owner);
+    }
+  }
+  if (mark_epoch_active_) {
+    // Incremental-update barrier: a reference stored during a mark epoch
+    // re-greys the child, so rewiring a pointer out of an already-traced
+    // object can never hide it from the epoch. An aborted transaction
+    // leaves the grey entry behind — the object floats one cycle, which
+    // is safe (conservative marking already floats).
+    const auto idx = static_cast<std::size_t>(child - cb->base);
+    if (!cb->mark[idx]) {
+      cb->mark[idx] = true;
+      grey_.push_back(child);
+    }
+  }
+}
+
+Cycles Heap::run_minor_gc(Host& host, const RootSet& roots) {
+  GILFREE_CHECK(!in_gc_);
+  GILFREE_CHECK(config_.nursery);
+  in_gc_ = true;
+  ++gc_stats_.minor_collections;
+
+  // Mark the live young closure: conservative roots, globals/constants,
+  // and the remembered set of old→young stores. The mark state is a local
+  // set — the per-block mark bits belong to sweeps and mark epochs.
+  std::unordered_set<RBasic*> live_young;
+  std::vector<RBasic*> stack;
+  auto mark_young = [&](Value v) {
+    if (!v.is_object()) return;
+    RBasic* o = v.obj();
+    if (block_of(o) == nullptr) return;  // conservative scan noise
+    if ((o->slots[0] & kHdrYoung) == 0) return;  // old: not collected here
+    if (!live_young.insert(o).second) return;
+    stack.push_back(o);
+  };
+
+  u64 root_slots = 0;
+  for (const auto& [base, len] : roots.ranges) {
+    root_slots += len;
+    for (std::size_t i = 0; i < len; ++i)
+      mark_young(Value::from_bits(base[i]));
+  }
+  for (Value v : roots.values) mark_young(v);
+  for (u32 i = 0; i < num_global_vars_; ++i)
+    mark_young(Value::from_bits(global_vars_[i]));
+  for (u32 i = 0; i < num_constants_; ++i)
+    mark_young(Value::from_bits(constants_[i]));
+  u64 remembered_scanned = 0;
+  for (RBasic* o : remembered_) {
+    // Entries are hints: skip ones whose remembered bit was rolled back by
+    // an aborted transaction. The bit is sticky until the next major GC:
+    // clearing it here would make every worker's next old→young store into
+    // a shared parent re-write that parent's header — a transactional
+    // write-write conflict on a hot line once per minor cycle. Re-scanning
+    // a few stale parents per minor is far cheaper than those aborts.
+    if ((o->slots[0] & kHdrRemembered) == 0) continue;
+    ++remembered_scanned;
+    visit_children(o, mark_young);
+  }
+  u64 marked = 0;
+  while (!stack.empty()) {
+    RBasic* o = stack.back();
+    stack.pop_back();
+    ++marked;
+    visit_children(o, mark_young);
+  }
+
+  // Promote survivors in place (the conservative scan pins addresses) and
+  // recycle dead young slots onto their owning thread's local list through
+  // the host seam, so the frees are conflict-visible like lazy sweep's.
+  u64 promoted = 0;
+  u64 freed = 0;
+  for (RBasic* o : young_) {
+    const u64 hdr = o->slots[0];
+    // Rolled-back or duplicate entries lost their young bit: skip.
+    if ((hdr & kHdrYoung) == 0) continue;
+    if (live_young.count(o) != 0) {
+      host.mem_store(&o->slots[0], hdr & ~kHdrYoung, true);
+      ++promoted;
+      continue;
+    }
+    ArenaBlock* b = block_of(o);
+    const auto idx = static_cast<std::size_t>(o - b->base);
+    // Young objects only come from already-swept blocks (segments are
+    // pooled by the sweep); a pending-sweep block here would double-free.
+    GILFREE_CHECK(!b->needs_sweep);
+    // Clear a stale epoch mark so the slot is not treated as live later.
+    b->mark[idx] = false;
+    switch (RBasic::header_type(hdr)) {
+      case ObjType::kObject:
+        if (o->slots[7]) free_spill(host, o->slots[7]);
+        break;
+      case ObjType::kString:
+      case ObjType::kArray:
+      case ObjType::kHash:
+        if (o->slots[3]) free_spill(host, o->slots[3]);
+        break;
+      case ObjType::kClass:
+        if (o->slots[2]) free_spill(host, o->slots[2]);
+        break;
+      default:
+        break;
+    }
+    const i16 line_owner =
+        b->line_owner.empty() ? i16{-1} : b->line_owner[idx / kObjsPerLine];
+    const u32 target = line_owner >= 0 ? static_cast<u32>(line_owner) : 0;
+    u64* head = tcb_slot(target, kTcbFreeListHead);
+    u64* count = tcb_slot(target, kTcbFreeListCount);
+    host.mem_store(&o->slots[0], RBasic::make_header(ObjType::kFree, 0), true);
+    host.mem_store(&o->slots[1], host.mem_load(head, true), true);
+    host.mem_store(head, reinterpret_cast<u64>(o), true);
+    host.mem_store(count, host.mem_load(count, true) + 1, true);
+    ++freed;
+  }
+
+  const u64 young_scanned = young_.size();
+  young_.clear();
+  young_since_minor_ = 0;
+  gc_stats_.nursery_promoted += promoted;
+  gc_stats_.nursery_freed += freed;
+  in_gc_ = false;
+
+  // Scan cost: tracing plus the root scan and the linear walk over the
+  // young and remembered lists (relink stores charge through the host).
+  const Cycles pause =
+      14 * marked + root_slots + 3 * young_scanned + remembered_scanned;
+  gc_stats_.last_pause = pause;
+  if (pause > gc_stats_.max_pause) gc_stats_.max_pause = pause;
+  gc_stats_.pause_hist.add(pause);
+  return pause;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental marking
+// ---------------------------------------------------------------------------
+
+void Heap::maybe_mark_quantum(Host& host) {
+  if (in_gc_) return;
+  // Quanta mutate C++-side mark state a rollback could not undo, so they
+  // only run outside speculation (normally GIL-held on the slow path).
+  if (host.in_speculation()) return;
+  if (!mark_epoch_active_) {
+    // Start an epoch only once the heap is filling up (so a collection is
+    // imminent) and no lazy sweep is pending — sweeping consumes the same
+    // per-block mark bits the epoch populates.
+    if (lazy_blocks_pending_ > 0) return;
+    if (free_objects() * 2 > total_objects_) return;
+    start_mark_epoch(host);
+    return;
+  }
+  if (!grey_.empty()) host.charge(mark_quantum_step());
+}
+
+void Heap::start_mark_epoch(Host& host) {
+  GcRootSet roots;
+  host.collect_gc_roots(roots);
+  u64 root_slots = 0;
+  for (const auto& [base, len] : roots.ranges) {
+    root_slots += len;
+    for (std::size_t i = 0; i < len; ++i)
+      mark_value(Value::from_bits(base[i]), grey_);
+  }
+  for (Value v : roots.values) mark_value(v, grey_);
+  for (u32 i = 0; i < num_global_vars_; ++i)
+    mark_value(Value::from_bits(global_vars_[i]), grey_);
+  for (u32 i = 0; i < num_constants_; ++i)
+    mark_value(Value::from_bits(constants_[i]), grey_);
+  mark_epoch_active_ = true;
+  mark_epoch_processed_ = 0;
+  host.charge(root_slots);
+}
+
+Cycles Heap::mark_quantum_step() {
+  u32 budget = config_.mark_quantum;
+  u64 traced = 0;
+  while (budget > 0 && !grey_.empty()) {
+    RBasic* o = grey_.back();
+    grey_.pop_back();
+    --budget;
+    // A minor GC may have freed a greyed young object since it was pushed.
+    if (o->type() == ObjType::kFree) continue;
+    visit_children(o, [&](Value v) { mark_value(v, grey_); });
+    ++traced;
+  }
+  mark_epoch_processed_ += traced;
+  ++gc_stats_.mark_quanta;
+  const Cycles cost = 14 * traced;
+  gc_stats_.mark_quantum_cycles += cost;
+  return cost;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread stash stealing
+// ---------------------------------------------------------------------------
+
+bool Heap::steal_stash(Host& host, u32 thief) {
+  const u32 n = config_.max_threads;
+  for (u32 probe = 0; probe < n; ++probe) {
+    const u32 victim = steal_order_[(steal_cursor_ + probe) % n];
+    if (victim == thief) continue;
+    u64* vstash = tcb_slot(victim, kTcbArenaStash);
+    const u64 head = host.mem_load(vstash, true);
+    if (head == 0) continue;
+    // Count the chain, then cut its first half over to the thief. All
+    // loads/stores go through the host: the victim's TCB line joins the
+    // thief's footprint, so a racing victim transaction conflicts and
+    // retries — exactly the visibility a real HTM would give the steal.
+    u64 segs = 1;
+    for (RBasic* c = reinterpret_cast<RBasic*>(head);;) {
+      const u64 next = host.mem_load(&c->slots[1], true);
+      if (next == 0) break;
+      c = reinterpret_cast<RBasic*>(next);
+      ++segs;
+    }
+    const u64 take = segs - segs / 2;
+    RBasic* split = reinterpret_cast<RBasic*>(head);
+    for (u64 i = 1; i < take; ++i) {
+      // Record the stolen ranges while walking: describe_address reports
+      // them as arena-steal until the next major GC re-pools everything.
+      stolen_ranges_.emplace_back(split, host.mem_load(&split->slots[2], true));
+      note_line_owner_range(split, stolen_ranges_.back().second, thief);
+      split = reinterpret_cast<RBasic*>(host.mem_load(&split->slots[1], true));
+    }
+    stolen_ranges_.emplace_back(split, host.mem_load(&split->slots[2], true));
+    note_line_owner_range(split, stolen_ranges_.back().second, thief);
+    const u64 rest = host.mem_load(&split->slots[1], true);
+    host.mem_store(vstash, rest, true);
+    u64* tstash = tcb_slot(thief, kTcbArenaStash);
+    host.mem_store(&split->slots[1], host.mem_load(tstash, true), true);
+    host.mem_store(tstash, head, true);
+    steal_cursor_ = (steal_cursor_ + probe + 1) % n;
+    ++gc_stats_.arena_steals;
+    gc_stats_.stolen_segments += take;
+    host.charge(30);
+    return true;
+  }
+  return false;
+}
+
 Cycles Heap::run_gc(const RootSet& roots) {
   GILFREE_CHECK(!in_gc_);
   in_gc_ = true;
@@ -1031,6 +1412,20 @@ Cycles Heap::run_gc(const RootSet& roots) {
     lazy_blocks_pending_ = 0;
   }
   lazy_cursor_ = 0;
+
+  // A major collection promotes the whole surviving young set: reset the
+  // young/remembered tagging (direct stores — stop-the-world) so minor
+  // bookkeeping restarts empty.
+  if (config_.nursery) {
+    for (RBasic* o : young_) o->slots[0] &= ~kHdrYoung;
+    for (RBasic* o : remembered_) o->slots[0] &= ~kHdrRemembered;
+    young_.clear();
+    remembered_.clear();
+    young_since_minor_ = 0;
+  }
+  // The sweep re-pools every stash segment; stolen-range diagnostics from
+  // the ending cycle no longer describe anything.
+  stolen_ranges_.clear();
 
   // Thread-local free lists (and arena segments) contain objects that the
   // sweep below will re-link; flush them first (§4.4's design keeps this
@@ -1052,8 +1447,13 @@ Cycles Heap::run_gc(const RootSet& roots) {
   deal_run_ = 0;
   deal_line_ = ~0ull;
 
-  // Mark.
+  // Mark. When a mark epoch is active, its quanta already traced part of
+  // the live set into the shared per-block mark bits; this stop-the-world
+  // phase is a finalize — rescan the roots (the incremental-update barrier
+  // covered mutation in between) and drain the leftover grey set.
+  const bool finalize_epoch = mark_epoch_active_;
   std::vector<RBasic*> stack;
+  if (finalize_epoch) stack = std::move(grey_);
   u64 root_slots = 0;
   for (const auto& [base, len] : roots.ranges) {
     root_slots += len;
@@ -1071,12 +1471,24 @@ Cycles Heap::run_gc(const RootSet& roots) {
   while (!stack.empty()) {
     RBasic* o = stack.back();
     stack.pop_back();
+    // Stale grey entries: a minor GC can free a greyed young object.
+    if (o->type() == ObjType::kFree) continue;
     ++marked;
     mark_object(o, stack);
   }
 
-  gc_stats_.last_marked = marked;
-  gc_stats_.total_marked += marked;
+  // `marked` is the stop-the-world share (it bounds the pause below); the
+  // live total also includes what the epoch's quanta already traced.
+  u64 live_marked = marked;
+  if (finalize_epoch) {
+    live_marked += mark_epoch_processed_;
+    grey_.clear();
+    mark_epoch_active_ = false;
+    mark_epoch_processed_ = 0;
+  }
+
+  gc_stats_.last_marked = live_marked;
+  gc_stats_.total_marked += live_marked;
 
   Cycles pause;
   if (config_.lazy_sweep) {
@@ -1090,7 +1502,7 @@ Cycles Heap::run_gc(const RootSet& roots) {
 
     // Grow on the mark result — the free lists are empty until quanta run,
     // so the eager free_objects() trigger would grow on every collection.
-    if (total_objects_ - marked <
+    if (total_objects_ - live_marked <
         static_cast<u64>(config_.growth_trigger *
                          static_cast<double>(total_objects_))) {
       add_arena_block(config_.block_slots);
@@ -1141,13 +1553,20 @@ std::string Heap::describe_address(const void* addr) const {
   if (within(constants_, config_.global_table_slots)) return "constants";
   if (within(ic_base_, config_.ic_table_slots)) return "inline-caches";
   if (const ArenaBlock* b = block_of(addr); b != nullptr) {
+    const auto* o = static_cast<const RBasic*>(addr);
+    // Stolen stash segments stay classified as arena-steal until the next
+    // major GC re-pools them, so conflict histograms show steal traffic.
+    for (const auto& [start, count] : stolen_ranges_) {
+      if (o >= start && o < start + count) return "arena-steal";
+    }
+    const std::size_t idx = static_cast<std::size_t>(o - b->base);
     // With per-thread arenas (or line-mate dealing) on, attribute the line
     // to the thread whose segment it belongs to so conflict histograms
     // separate private-segment traffic from shared-arena traffic.
     if (!b->line_owner.empty()) {
-      const auto* o = static_cast<const RBasic*>(addr);
-      const i16 owner =
-          b->line_owner[static_cast<std::size_t>(o - b->base) / kObjsPerLine];
+      const i16 owner = b->line_owner[idx / kObjsPerLine];
+      if (config_.nursery && (b->base[idx].slots[0] & kHdrYoung) != 0)
+        return owner >= 0 ? "nursery-t" + std::to_string(owner) : "nursery";
       if (owner >= 0) return "arena-t" + std::to_string(owner);
     }
     return "arena";

@@ -94,6 +94,31 @@ struct HeapConfig {
   bool lazy_sweep = false;
   u32 sweep_quantum_blocks = 1;  ///< Blocks swept per slow-path quantum.
 
+  /// Generational nursery (requires per_thread_arenas). Freshly allocated
+  /// objects carry the young header flag; after nursery_slots young
+  /// allocations a minor collection scans only the young set plus the
+  /// remembered set of old→young stores, promotes survivors in place, and
+  /// recycles dead young slots onto their owning thread's local free list —
+  /// most request objects die young, so major collections become rare.
+  bool nursery = false;
+  u32 nursery_slots = 8192;  ///< Young allocations between minor GCs.
+
+  /// Incremental marking: when > 0, allocation slow paths (outside
+  /// speculation, normally GIL-held) advance a background mark epoch by
+  /// this many objects per quantum, mirroring lazy sweep's quantum
+  /// machinery. The next collection only rescans roots and drains the
+  /// leftover grey set, so the stop-the-world mark pause is bounded by
+  /// what the quanta did not reach instead of the whole live set. 0 = off.
+  u32 mark_quantum = 0;
+
+  /// Cross-thread arena-stash stealing (requires per_thread_arenas): a
+  /// thread whose segment-pool carve fails steals half of a victim's
+  /// private kTcbArenaStash chain (seeded deterministic victim order)
+  /// before forcing an early collection, so pool exhaustion under skewed
+  /// allocation cannot trigger premature GCs.
+  bool arena_steal = false;
+  u64 steal_seed = 0;  ///< Victim-order seed; engines stamp their run seed.
+
   /// Thread-local spill (malloc) caches — HEAPPOOLS on z/OS, default on
   /// Linux. Refill granularity models how much of malloc remains shared.
   bool thread_local_malloc = true;
@@ -144,6 +169,19 @@ struct GcStats {
   // Lazy incremental sweeping (zero while the feature is off).
   u64 sweep_quanta = 0;            ///< Per-block quanta performed on slow paths.
   Cycles sweep_quantum_cycles = 0; ///< Cycles those quanta charged.
+
+  // Generational nursery (zero while the feature is off).
+  u64 minor_collections = 0;
+  u64 nursery_promoted = 0;        ///< Young survivors promoted in place.
+  u64 nursery_freed = 0;           ///< Dead young objects recycled by minor GCs.
+
+  // Incremental marking (zero while the feature is off).
+  u64 mark_quanta = 0;             ///< Mark quanta run on slow paths.
+  Cycles mark_quantum_cycles = 0;  ///< Cycles those quanta charged.
+
+  // Cross-thread stash stealing (zero while the feature is off).
+  u64 arena_steals = 0;            ///< Successful steals (early GCs averted).
+  u64 stolen_segments = 0;         ///< Segments moved between stash chains.
 
   // Stop-the-world pause per collection (mark+sweep when eager, mark only
   // when lazy). The histogram feeds the metrics document's percentiles.
@@ -259,15 +297,36 @@ class Heap {
 
   /// Ranges of slots to scan conservatively for roots (thread stacks) plus
   /// individual root values (thread receivers, pending results...).
-  struct RootSet {
-    std::vector<std::pair<const u64*, std::size_t>> ranges;
-    std::vector<Value> values;
-  };
+  /// Shared with the Host interface so engines can hand roots over without
+  /// depending on heap internals.
+  using RootSet = GcRootSet;
 
   /// Stop-the-world mark & sweep. Caller must guarantee no transaction is
   /// active (GC runs under the GIL). Thread-local free lists are flushed.
   /// Returns the cycle cost the engine should charge.
   Cycles run_gc(const RootSet& roots);
+
+  /// Minor (nursery-only) collection: scans roots + the remembered set for
+  /// live young objects, promotes survivors in place, recycles dead young
+  /// slots onto their owning thread's local list through the host-mediated
+  /// conflict-visible store seam. Same precondition as run_gc. Returns the
+  /// scan cost to charge (relink stores charge through the host on top).
+  Cycles run_minor_gc(Host& host, const RootSet& roots);
+
+  /// Write barrier for every heap ref store (old→young remembered set +
+  /// incremental-mark re-greying). One predictable branch when both
+  /// features are off.
+  void ref_barrier(Host& host, RBasic* owner, Value v) {
+    if (!barrier_on_) return;
+    ref_barrier_slow(host, owner, v);
+  }
+
+  /// Incremental-mark epoch state (tests/diagnostics).
+  bool mark_epoch_active() const { return mark_epoch_active_; }
+  u64 mark_grey_size() const { return grey_.size(); }
+
+  /// Young objects tracked since the last (minor or major) collection.
+  u64 young_tracked() const { return young_.size(); }
 
   const GcStats& gc_stats() const { return gc_stats_; }
 
@@ -330,6 +389,25 @@ class Heap {
   void grow_spill_region(Host& host, u32 needed_slots);
   void mark_value(Value v, std::vector<RBasic*>& stack);
   void mark_object(RBasic* o, std::vector<RBasic*>& stack);
+  /// Enumerates every Value-bearing slot of `o` (direct reads — GC and
+  /// barrier slow paths run outside transactions or on committed state).
+  template <typename Fn>
+  void visit_children(const RBasic* o, Fn&& fn);
+  void ref_barrier_slow(Host& host, RBasic* owner, Value v);
+  /// Triggers a minor collection when the young counter crosses the budget.
+  void maybe_minor_gc(Host& host);
+  /// Advances (or starts) the incremental-mark epoch by one quantum when
+  /// the caller is outside speculation and the heap is filling up.
+  void maybe_mark_quantum(Host& host);
+  void start_mark_epoch(Host& host);
+  Cycles mark_quantum_step();
+  /// Steals half of a victim's stash chain for `thief` (seeded victim
+  /// order); false when every other stash is empty.
+  bool steal_stash(Host& host, u32 thief);
+  /// Splices half of the fullest sibling dealt-to list onto `tid`'s list
+  /// before the slow path resorts to growing the heap; false when no
+  /// sibling has objects to spare. Dealt-list mode only.
+  bool rebalance_dealt_lists(Host& host, u32 tid);
   ArenaBlock* block_of(const void* addr);
   const ArenaBlock* block_of(const void* addr) const;
   u64 alloc_spill_direct(u32 size_class);
@@ -382,6 +460,26 @@ class Heap {
   u32 deal_next_ = 0;
   u32 deal_run_ = 0;
   u64 deal_line_ = ~0ull;
+
+  // Generational-nursery bookkeeping. The C++-side vectors are hints: a
+  // transaction abort rolls back the simulated header bits but not these
+  // pushes, so every entry is re-checked against its header flag before use.
+  bool barrier_on_ = false;
+  std::vector<RBasic*> young_;       ///< Objects allocated young this epoch.
+  std::vector<RBasic*> remembered_;  ///< Old objects with young children.
+  u64 young_since_minor_ = 0;
+
+  // Incremental-mark epoch (grey stack shares the per-block mark bits with
+  // stop-the-world marking; quanta never touch simulated memory).
+  bool mark_epoch_active_ = false;
+  std::vector<RBasic*> grey_;
+  u64 mark_epoch_processed_ = 0;  ///< Objects traced by quanta this epoch.
+
+  // Stash stealing: seeded deterministic victim permutation + stolen-range
+  // metadata for describe_address (cleared at each major GC).
+  std::vector<u32> steal_order_;
+  u32 steal_cursor_ = 0;
+  std::vector<std::pair<const RBasic*, u64>> stolen_ranges_;
 };
 
 }  // namespace gilfree::vm

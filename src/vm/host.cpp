@@ -20,4 +20,10 @@ bool Host::server_shutdown() { return true; }
 
 void Host::internal_allocator_lock(Cycles) {}
 
+void Host::minor_gc() { full_gc(); }
+
+void Host::collect_gc_roots(GcRootSet&) {}
+
+bool Host::in_speculation() { return false; }
+
 }  // namespace gilfree::vm

@@ -4,8 +4,10 @@
 // through the transactional facility (and may throw htm::TxAbort).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -14,6 +16,15 @@
 namespace gilfree::vm {
 
 struct RBasic;
+
+/// Roots for a garbage collection: conservatively scanned slot ranges (VM
+/// stacks) plus individually rooted values (class objects, literals,
+/// temporaries). Defined here rather than in heap.hpp so hosts can hand
+/// roots to the heap without depending on it.
+struct GcRootSet {
+  std::vector<std::pair<const u64*, std::size_t>> ranges;
+  std::vector<Value> values;
+};
 
 /// Thrown by blocking builtins (Mutex contention, ConditionVariable waits,
 /// Thread#join polls, simulated I/O). The engine catches it, rewinds the pc
@@ -78,6 +89,19 @@ class Host {
   /// Run a stop-the-world GC. Precondition: the caller is not in a
   /// transaction (call require_nontx first). The engine supplies the roots.
   virtual void full_gc() = 0;
+
+  /// Run a minor (nursery-only) collection. Same precondition as full_gc.
+  /// Default: falls back to a full collection, so hosts that predate the
+  /// nursery stay correct if the feature is ever enabled against them.
+  virtual void minor_gc();
+
+  /// Appends the engine's GC roots without collecting — used by incremental
+  /// marking to seed a mark epoch. Default: no roots (mock hosts).
+  virtual void collect_gc_roots(GcRootSet& roots);
+
+  /// True while the calling thread is inside a hardware or software
+  /// transaction. Incremental-mark quanta only run outside speculation.
+  virtual bool in_speculation();
 
   /// Index of the VM thread currently executing on this host.
   virtual u32 current_tid() = 0;

@@ -495,6 +495,7 @@ void Interp::do_setivar(VmThread& t, const Insn& in) {
   const Value v = pop(t);
   const u32 index = ivar_resolve(t, in, self, /*create=*/true);
   RBasic* o = self.obj();
+  heap_->ref_barrier(*host_, o, v);
   if (index < kInlineIvars) {
     obj_store(*host_, o, 1 + index, v.bits());
     return;
@@ -560,11 +561,14 @@ void Interp::do_cvar(VmThread& t, const Insn& in, bool set) {
   if (set) {
     const Value v = pop(t);
     if (found) {
+      // The slot belongs to class `c`'s cvar table (possibly a superclass).
+      heap_->ref_barrier(*host_, classes_->class_object(c).obj(), v);
       host_->mem_store(reinterpret_cast<u64*>(value_addr), v.bits(), true);
       return;
     }
     // Append to this class's cvar table (growing its spill).
     RBasic* cobj = classes_->class_object(cls).obj();
+    heap_->ref_barrier(*host_, cobj, v);
     u64 spill = obj_load(*host_, cobj, 2);
     const u64 count = obj_load(*host_, cobj, 3);
     const u32 cap_pairs =

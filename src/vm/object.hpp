@@ -64,6 +64,11 @@ enum class ObjType : u8 {
 constexpr u32 kRValueSlots = 8;
 constexpr u32 kInlineIvars = 6;  ///< Ivar indexes 0..5 are inline.
 
+/// Header flag bits (byte 1 of the header: [type:8][flags:8][pad:16][class:32]).
+/// Invisible to header_type/header_class; used by the generational nursery.
+constexpr u64 kHdrYoung = 1ull << 8;       ///< Allocated since the last minor GC.
+constexpr u64 kHdrRemembered = 1ull << 9;  ///< Old object holding young refs.
+
 /// The header slot packs type and class: [type:8][flags:8][pad:16][class:32].
 struct RBasic {
   u64 slots[kRValueSlots];

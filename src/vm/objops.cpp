@@ -58,6 +58,7 @@ void array_set(Host& h, Heap& heap, RBasic* a, i64 idx, Value v) {
     h.mem_store(&a->slots[2], Heap::spill_capacity_slots(obj_load(h, a, 3)),
                 true);
   }
+  heap.ref_barrier(h, a, v);
   u64* data = spill_ptr(obj_load(h, a, 3));
   h.mem_store(&data[idx], v.bits(), true);
   if (idx >= len) h.mem_store(&a->slots[1], static_cast<u64>(idx) + 1, true);
@@ -244,6 +245,8 @@ void hash_set(Host& h, Heap& heap, RBasic* hash, Value key, Value v) {
     h.mem_store(&hash->slots[2], new_cap, true);
     cap = new_cap;
   }
+  heap.ref_barrier(h, hash, key);
+  heap.ref_barrier(h, hash, v);
   u64* data = spill_ptr(obj_load(h, hash, 3));
   u64 idx = value_hash(h, key) & (cap - 1);
   for (;;) {

@@ -1,10 +1,13 @@
 // Heap, allocator, and GC unit tests: free-list bulk splice, spill size
 // classes, mark & sweep reachability, heap growth, region classification,
 // per-thread arena carving/conservation, sweep-deal line invariants, lazy
-// incremental sweeping, and a trace-differential test pinning the default
-// configuration to the seed allocator's behaviour.
+// incremental sweeping, the generational nursery (promotion, conservation,
+// write barrier), incremental marking, stash stealing, and a
+// trace-differential test pinning the default configuration to the seed
+// allocator's behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -31,6 +34,12 @@ class DirectHost : public Host {
     ++gc_calls;
     if (heap != nullptr) heap->run_gc(roots);
   }
+  void minor_gc() override {
+    ++minor_calls;
+    if (heap != nullptr) heap->run_minor_gc(*this, roots);
+  }
+  void collect_gc_roots(GcRootSet& r) override { r = roots; }
+  bool in_speculation() override { return speculating; }
   u32 current_tid() override { return tid; }
   Value spawn_thread(Value, std::vector<Value>) override {
     return Value::nil();
@@ -45,6 +54,8 @@ class DirectHost : public Host {
   Heap::RootSet roots;
   u32 tid = 0;
   u64 gc_calls = 0;
+  u64 minor_calls = 0;
+  bool speculating = false;
   Cycles charged = 0;
   Cycles now = 0;
 };
@@ -378,10 +389,217 @@ TEST(HeapLazySweep, ShrinksPauseAndSweepsOnSlowPaths) {
 }
 
 // ---------------------------------------------------------------------------
+// Generational nursery, incremental marking, and stash stealing
+// ---------------------------------------------------------------------------
+
+HeapConfig nursery_config() {
+  HeapConfig c = arena_config();
+  c.nursery = true;
+  c.nursery_slots = 64;
+  return c;
+}
+
+TEST(HeapNursery, MinorGcPromotesSurvivorsAndRecyclesDead) {
+  Heap heap(nursery_config());
+  DirectHost host;
+  host.heap = &heap;
+  const Value kept = heap.new_float(host, 3.5);
+  host.roots.values.push_back(kept);
+  EXPECT_EQ(heap.describe_address(kept.obj()), "nursery-t0");
+  for (int i = 0; i < 80; ++i) (void)heap.new_float(host, i);  // garbage
+  ASSERT_GE(host.minor_calls, 1u);
+  EXPECT_EQ(host.gc_calls, 0u) << "minor collections must not need a major";
+  EXPECT_GE(heap.gc_stats().minor_collections, 1u);
+  EXPECT_GE(heap.gc_stats().nursery_promoted, 1u);
+  EXPECT_GT(heap.gc_stats().nursery_freed, 0u);
+  // Promotion clears the young bit in place: the survivor's address did not
+  // move and the slot now classifies as plain arena space.
+  EXPECT_EQ(heap.describe_address(kept.obj()), "arena-t0");
+  EXPECT_DOUBLE_EQ(objops::value_to_double(host, kept), 3.5);
+  // Minor pauses land in the same histogram as major ones.
+  EXPECT_EQ(heap.gc_stats().pause_hist.total(),
+            heap.gc_stats().minor_collections);
+}
+
+/// Property: with the nursery on, minor collections never lose or duplicate
+/// an RVALUE slot — after a major GC frees everything, exactly
+/// total_objects() rooted allocations succeed, all distinct, without
+/// another major collection.
+void check_nursery_conservation(bool lazy) {
+  HeapConfig cfg = nursery_config();
+  cfg.lazy_sweep = lazy;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+
+  for (int i = 0; i < 600; ++i) {
+    host.tid = static_cast<u32>(i) % cfg.max_threads;
+    (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+  }
+  heap.run_gc(host.roots);  // no roots: everything is garbage
+
+  const u64 total = heap.total_objects();
+  host.tid = 0;
+  const u64 gc_before = host.gc_calls;
+  std::set<const RBasic*> seen;
+  for (u64 i = 0; i < total; ++i) {
+    // Root every allocation so the interleaved minor collections promote
+    // instead of recycling (recycling would legitimately reuse slots and
+    // break the distinctness check).
+    const Value v = heap.new_float(host, static_cast<double>(i));
+    host.roots.values.push_back(v);
+    ASSERT_TRUE(heap.is_heap_object(v.obj()));
+    ASSERT_TRUE(seen.insert(v.obj()).second)
+        << "slot handed out twice at allocation " << i;
+  }
+  EXPECT_EQ(host.gc_calls, gc_before)
+      << "re-allocating every freed slot must not need a major GC";
+  EXPECT_GT(host.minor_calls, 0u);
+  EXPECT_EQ(heap.free_objects(), 0u);
+  EXPECT_EQ(heap.lazy_blocks_pending(), 0u);
+}
+
+TEST(HeapNursery, ConservesSlotsAcrossMinorGcs) {
+  check_nursery_conservation(/*lazy=*/false);
+}
+
+TEST(HeapNursery, ConservesSlotsAcrossMinorGcsWithLazySweep) {
+  check_nursery_conservation(/*lazy=*/true);
+}
+
+TEST(HeapNursery, WriteBarrierKeepsOldToYoungEdgeAlive) {
+  Heap heap(nursery_config());
+  DirectHost host;
+  host.heap = &heap;
+  const Value arr = heap.new_array(host, 4);
+  host.roots.values.push_back(arr);
+  for (int i = 0; i < 80; ++i) (void)heap.new_float(host, i);
+  ASSERT_GE(host.minor_calls, 1u);
+  ASSERT_EQ(heap.describe_address(arr.obj()), "arena-t0") << "not promoted";
+
+  // Store a young float into the now-old array. It is reachable through
+  // nothing else, so only the remembered set can carry it across the next
+  // minor collection.
+  const Value young = heap.new_float(host, 7.5);
+  objops::array_set(host, heap, arr.obj(), 0, young);
+  const u64 freed_before = heap.gc_stats().nursery_freed;
+  const u64 minors_before = heap.gc_stats().minor_collections;
+  for (int i = 0; i < 80; ++i) (void)heap.new_float(host, i);  // garbage
+  ASSERT_GT(heap.gc_stats().minor_collections, minors_before);
+  EXPECT_GT(heap.gc_stats().nursery_freed, freed_before)
+      << "the garbage floats must still be recycled";
+  EXPECT_EQ(young.obj()->type(), ObjType::kFloat)
+      << "old→young edge lost: the child was swept";
+  EXPECT_DOUBLE_EQ(
+      objops::value_to_double(host, objops::array_get(host, arr.obj(), 0)),
+      7.5);
+}
+
+TEST(HeapIncrementalMark, BarrierRegreysStoresIntoTracedObjects) {
+  HeapConfig cfg = arena_config();
+  cfg.mark_quantum = 1;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+  const Value arr = heap.new_array(host, 4);
+  host.roots.values.push_back(arr);
+
+  // Fill past half the heap so a refill slow path starts the epoch, then
+  // keep allocating until the grey stack drains (arr is black now).
+  int guard = 0;
+  while (!(heap.mark_epoch_active() && heap.mark_grey_size() == 0)) {
+    (void)heap.new_float(host, guard);
+    ASSERT_LT(++guard, 4000) << "mark epoch never started or never drained";
+    ASSERT_EQ(host.gc_calls, 0u);
+  }
+  ASSERT_GT(heap.gc_stats().mark_quanta, 0u);
+
+  // A store into the already-traced array must re-grey the child: the
+  // finalize below skips black roots, so without the barrier the child
+  // would stay unmarked and the sweep would free it.
+  const Value child = heap.new_float(host, 7.5);
+  objops::array_set(host, heap, arr.obj(), 0, child);
+  EXPECT_GT(heap.mark_grey_size(), 0u);
+
+  heap.run_gc(host.roots);
+  EXPECT_FALSE(heap.mark_epoch_active());
+  EXPECT_EQ(child.obj()->type(), ObjType::kFloat)
+      << "re-greyed child was swept by the finalizing collection";
+  EXPECT_DOUBLE_EQ(
+      objops::value_to_double(host, objops::array_get(host, arr.obj(), 0)),
+      7.5);
+}
+
+TEST(HeapArenaSteal, StealsBeforeForcingGcAndIsSeedDeterministic) {
+  // Heap base addresses differ between instances, so the determinism
+  // comparison uses the per-allocation region labels (which capture the
+  // steal points and the post-steal line ownership) plus the steal stats.
+  auto run = [](u64 seed) {
+    HeapConfig cfg = arena_config();
+    cfg.arena_steal = true;
+    cfg.steal_seed = seed;
+    Heap heap(cfg);
+    DirectHost host;
+    host.heap = &heap;
+    std::vector<std::string> labels;
+    // Fragment the pool first: on a fresh heap the pool is two whole-block
+    // segments and oversized carves split them without ever stashing. A
+    // collection with every 8th object surviving re-pools the heap as many
+    // small runs, so subsequent batch carves stash their surplus segments.
+    for (int i = 0; i < 1600; ++i) {
+      host.tid = static_cast<u32>(i) % cfg.max_threads;
+      const Value v = heap.new_float(host, i);
+      // Every thread keeps alternating 4-object (one line) runs of its own
+      // bump-adjacent objects: the freed runs are exactly line-sized, so
+      // the sweep re-pools all of them (none leak to the global fragment
+      // list, which would feed the drained thread before the steal path).
+      if ((i / static_cast<int>(cfg.max_threads)) % 8 < 4)
+        host.roots.values.push_back(v);
+    }
+    heap.run_gc(host.roots);
+    const u64 gc_baseline = host.gc_calls;
+
+    // Spread allocation over every thread until the shared pool is fully
+    // carved into per-thread segments (surplus lands in the stashes)...
+    int guard = 0;
+    while (*heap.arena_pool_head() != 0 && guard < 2100) {
+      host.tid = static_cast<u32>(guard) % cfg.max_threads;
+      labels.push_back(heap.describe_address(
+          heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat)));
+      ++guard;
+    }
+    EXPECT_LT(guard, 2100) << "pool never drained";
+    // ...then drain thread 0: once its own stash and bump window run out it
+    // must steal from a sibling's stash instead of forcing a collection.
+    host.tid = 0;
+    bool saw_stolen = false;
+    for (int i = 0; i < 400 && !saw_stolen; ++i) {
+      labels.push_back(heap.describe_address(
+          heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat)));
+      saw_stolen = labels.back() == "arena-steal";
+    }
+    EXPECT_GE(heap.gc_stats().arena_steals, 1u);
+    EXPECT_GT(heap.gc_stats().stolen_segments, 0u);
+    EXPECT_TRUE(saw_stolen)
+        << "allocations from a stolen segment must classify as arena-steal";
+    EXPECT_EQ(host.gc_calls, gc_baseline)
+        << "stealing must pre-empt the forced GC";
+    return std::pair<std::vector<std::string>, u64>(
+        labels, heap.gc_stats().stolen_segments);
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a.first, b.first)
+      << "same seed must give the same victim order and allocation regions";
+  EXPECT_EQ(a.second, b.second);
+}
+
+// ---------------------------------------------------------------------------
 // Differential: with the new allocator features disabled (the default
 // configuration), whole-engine simulated traces are byte-identical to the
-// seed allocator's explicit configuration, on both HTM profiles. This pins
-// "flags off == seed path" at the level the paper's experiments run at.
+// seed allocator's explicit configuration, on both HTM profiles × both
+// engines (HTM-dynamic and GIL). This pins "flags off == seed path" at the
+// level the paper's experiments run at.
 // ---------------------------------------------------------------------------
 
 struct TraceRun {
@@ -391,7 +609,11 @@ struct TraceRun {
 
 TraceRun run_traced(runtime::EngineConfig cfg, const std::string& src) {
   obs::ObsConfig oc;
-  oc.trace_path = ::testing::TempDir() + "heap_gc_diff_trace.jsonl";
+  // Keyed by test name so concurrent ctest processes can't race on it.
+  oc.trace_path =
+      ::testing::TempDir() + "heap_gc_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      "_diff_trace.jsonl";
   TraceRun out;
   {
     obs::Sink sink(oc);
@@ -424,31 +646,37 @@ end
 __record("f", f)
 )RUBY";
   u64 seed = 11;
-  for (const htm::SystemProfile& profile :
-       {htm::SystemProfile::zec12(), htm::SystemProfile::xeon_e3()}) {
-    const std::string src = testutil::random_program(seed++) + alloc_coda;
-    auto base = runtime::EngineConfig::htm_dynamic(profile);
+  for (const bool gil_engine : {false, true}) {
+    for (const htm::SystemProfile& profile :
+         {htm::SystemProfile::zec12(), htm::SystemProfile::xeon_e3()}) {
+      const std::string src = testutil::random_program(seed++) + alloc_coda;
+      auto base = gil_engine ? runtime::EngineConfig::gil(profile)
+                             : runtime::EngineConfig::htm_dynamic(profile);
+      const std::string label = std::string(profile.machine.name) +
+                                (gil_engine ? "/GIL" : "/HTM");
 
-    // Seed allocator, spelled out: no dealing, no arenas, eager sweep.
-    auto seed_cfg = base;
-    seed_cfg.heap.thread_local_sweep = false;
-    seed_cfg.heap.sweep_deal_policy = HeapConfig::SweepDeal::kRoundRobin;
-    seed_cfg.heap.per_thread_arenas = false;
-    seed_cfg.heap.lazy_sweep = false;
-    const TraceRun expect = run_traced(seed_cfg, src);
-    ASSERT_FALSE(expect.trace.empty());
-    ASSERT_GT(expect.stats.gc.collections, 0u)
-        << "differential must exercise the collector";
+      // Seed allocator, spelled out: no dealing, no arenas, eager sweep,
+      // no nursery / incremental marking / stealing.
+      auto seed_cfg = base;
+      seed_cfg.heap.thread_local_sweep = false;
+      seed_cfg.heap.sweep_deal_policy = HeapConfig::SweepDeal::kRoundRobin;
+      seed_cfg.heap.per_thread_arenas = false;
+      seed_cfg.heap.lazy_sweep = false;
+      seed_cfg.heap.nursery = false;
+      seed_cfg.heap.mark_quantum = 0;
+      seed_cfg.heap.arena_steal = false;
+      const TraceRun expect = run_traced(seed_cfg, src);
+      ASSERT_FALSE(expect.trace.empty());
+      ASSERT_GT(expect.stats.gc.collections, 0u)
+          << "differential must exercise the collector";
 
-    // Default configuration: the new features exist but are off.
-    const TraceRun got = run_traced(base, src);
-    EXPECT_EQ(got.trace, expect.trace)
-        << profile.machine.name
-        << ": default heap config diverged from the seed allocator";
-    EXPECT_EQ(got.stats.total_cycles, expect.stats.total_cycles)
-        << profile.machine.name;
-    EXPECT_EQ(got.stats.results, expect.stats.results)
-        << profile.machine.name;
+      // Default configuration: the new features exist but are off.
+      const TraceRun got = run_traced(base, src);
+      EXPECT_EQ(got.trace, expect.trace)
+          << label << ": default heap config diverged from the seed allocator";
+      EXPECT_EQ(got.stats.total_cycles, expect.stats.total_cycles) << label;
+      EXPECT_EQ(got.stats.results, expect.stats.results) << label;
+    }
   }
 }
 

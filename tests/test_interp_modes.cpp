@@ -78,7 +78,12 @@ std::string normalized_metrics(obs::RunMetrics m) {
 Observed run_mode(const EngineConfig& base, const ModeConfig& mc,
                   const std::string& src) {
   obs::ObsConfig oc;
-  oc.trace_path = ::testing::TempDir() + "interp_modes_trace.jsonl";
+  // Keyed by test name: ctest -j runs this suite's tests as concurrent
+  // processes, and a shared path races (write / read-back / remove).
+  oc.trace_path =
+      ::testing::TempDir() + "interp_modes_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      "_trace.jsonl";
   Observed o;
   {
     obs::Sink sink(oc);

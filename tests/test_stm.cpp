@@ -234,7 +234,12 @@ struct Observed {
 
 Observed run_config(EngineConfig cfg, const std::string& src) {
   obs::ObsConfig oc;
-  oc.trace_path = ::testing::TempDir() + "stm_trace.jsonl";
+  // Keyed by test name: ctest -j runs this suite's tests as concurrent
+  // processes, and a shared path races (write / read-back / remove).
+  oc.trace_path =
+      ::testing::TempDir() + "stm_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      "_trace.jsonl";
   Observed o;
   {
     obs::Sink sink(oc);

@@ -317,8 +317,9 @@ bool print_interp_metrics(const std::string& path, long only_run) {
     std::cout << table.to_string() << "\n";
 
     std::cout << "== gc (" << path << ") ==\n";
-    TablePrinter gc_table({"run", "collections", "swept", "arena_refills",
-                           "seg_min", "seg_max", "sweep_quanta", "pause_max",
+    TablePrinter gc_table({"run", "collections", "minor", "swept",
+                           "arena_refills", "seg_min", "seg_max",
+                           "sweep_quanta", "steals", "pause_max",
                            "pause_p99"});
     for (const obs::JsonValue& run : doc.at("runs").as_array()) {
       const u32 id = static_cast<u32>(run.at("run").as_u64());
@@ -326,17 +327,26 @@ bool print_interp_metrics(const std::string& path, long only_run) {
       // Absent on documents written before the gc block existed.
       if (!run.has("gc")) {
         gc_table.add_row({std::to_string(id), "-", "-", "-", "-", "-", "-",
-                          "-", "-"});
+                          "-", "-", "-", "-"});
         continue;
       }
       const obs::JsonValue& gc = run.at("gc");
+      // minor_collections / arena_steals are emitted only by generational
+      // configs; "-" keeps older documents readable.
       gc_table.add_row({std::to_string(id),
                         std::to_string(gc.at("collections").as_u64()),
+                        gc.has("minor_collections")
+                            ? std::to_string(
+                                  gc.at("minor_collections").as_u64())
+                            : "-",
                         std::to_string(gc.at("total_swept").as_u64()),
                         std::to_string(gc.at("arena_refills").as_u64()),
                         std::to_string(gc.at("segment_slots_min").as_u64()),
                         std::to_string(gc.at("segment_slots_max").as_u64()),
                         std::to_string(gc.at("sweep_quanta").as_u64()),
+                        gc.has("arena_steals")
+                            ? std::to_string(gc.at("arena_steals").as_u64())
+                            : "-",
                         std::to_string(gc.at("pause_max").as_u64()),
                         std::to_string(gc.at("pause_p99").as_u64())});
     }
