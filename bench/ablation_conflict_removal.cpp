@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -29,9 +30,13 @@ int main(int argc, char** argv) {
 
   for (const auto& w : workloads::npb_workloads()) {
     if (!only.empty() && only.find(w.name) == std::string::npos) continue;
-    const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), w, 1, scale);
+    auto base_cfg = make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags);
+    record.wire(base_cfg, w.name, "GIL", 1, scale);
+    const auto base = workloads::run_workload(std::move(base_cfg), w, 1, scale);
     auto speedup = [&](runtime::EngineConfig cfg, const char* variant) {
+      // Variant configs mutate engine knobs a record header cannot carry, so
+      // they get the address mode but never a record stream.
+      record.wire(cfg, w.name, variant, threads, scale);
       observe(cfg, sink,
               {{"figure", "ablation_conflict_removal"},
                {"machine", profile.machine.name},

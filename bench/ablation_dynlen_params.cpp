@@ -18,16 +18,21 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
   const auto& w = workloads::npb(bench_name);
-  const auto base = workloads::run_workload(
-      make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), w, 1, scale);
+  auto base_cfg = make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags);
+  record.wire(base_cfg, w.name, "GIL", 1, scale);
+  const auto base = workloads::run_workload(std::move(base_cfg), w, 1, scale);
 
   auto run_with = [&](const char* variant, auto mutate) {
     auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
     mutate(cfg);
+    // Variants mutate tuning constants a record header cannot carry, so they
+    // get the address mode but never a record stream.
+    record.wire(cfg, w.name, variant, threads, scale);
     observe(cfg, sink,
             {{"figure", "ablation_dynlen_params"},
              {"machine", profile.machine.name},

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -27,10 +28,12 @@ int main(int argc, char** argv) {
                       "abort_ratio_without_pct"});
 
   for (const auto& w : workloads::npb_workloads()) {
-    const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), w, 1, scale);
+    auto base_cfg = make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags);
+    record.wire(base_cfg, w.name, "GIL", 1, scale);
+    const auto base = workloads::run_workload(std::move(base_cfg), w, 1, scale);
 
     auto with_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
+    record.wire(with_cfg, w.name, "HTM-dynamic", threads, scale);
     observe(with_cfg, sink,
             {{"figure", "ablation_yield_points"},
              {"machine", profile.machine.name},
@@ -42,6 +45,9 @@ int main(int argc, char** argv) {
 
     auto without_cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
     without_cfg.vm.extended_yield_points = false;
+    // The yield-point mutation is not carried by a record header, so this
+    // variant gets the address mode but no record stream.
+    record.wire(without_cfg, w.name, "without_extended_yp", threads, scale);
     observe(without_cfg, sink,
             {{"figure", "ablation_yield_points"},
              {"machine", profile.machine.name},

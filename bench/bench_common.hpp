@@ -10,17 +10,21 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/strutil.hpp"
 #include "common/table.hpp"
 #include "fault/fault_config.hpp"
 #include "htm/profile.hpp"
+#include "obs/record.hpp"
 #include "obs/sink.hpp"
 #include "runtime/engine.hpp"
 #include "stm/stm_config.hpp"
+#include "workloads/replay.hpp"
 #include "workloads/runner.hpp"
 
 namespace gilfree::bench {
@@ -99,6 +103,61 @@ inline void observe(runtime::EngineConfig& cfg, obs::Sink& sink,
   sink.next_labels(std::move(labels));
   cfg.obs_sink = &sink;
 }
+
+/// Uniform record/replay + addressing wiring (docs/DEBUGGING.md): every
+/// harness accepts
+///   --addr-mode=guest|host   line-space selection (default guest),
+///   --record-out=FILE        write the decision stream of every replayable
+///                            workload run to FILE (schema gilfree.record/1),
+///   --record-limit=N         events kept per run before truncation.
+/// Construct one per harness (before CliFlags::reject_unknown — parsing
+/// consumes the flags; semantic errors exit 2 like the flag parser), then
+/// call wire() on each engine configuration right before the run. Recording
+/// headers are only stamped for replayable runs: registry workloads on
+/// GIL/HTM-* configurations (httpsim phases and non-registry programs get
+/// the address mode but no record stream).
+class RecordWiring {
+ public:
+  explicit RecordWiring(const CliFlags& flags) : cli_(&flags) {
+    try {
+      runtime::EngineConfig probe;
+      runtime::apply_addr_flags(flags, probe);
+      addr_mode_ = probe.addr_mode;
+      config_ = obs::RecordConfig::from_flags(flags);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      std::exit(2);
+    }
+    if (config_.enabled())
+      recorder_ = std::make_unique<obs::RunRecorder>(config_);
+  }
+
+  runtime::AddrMode addr_mode() const { return addr_mode_; }
+  obs::RunRecorder* recorder() { return recorder_.get(); }
+
+  /// Applies --addr-mode and, when recording a replayable run, stamps the
+  /// recorder + header into the configuration. `config_name` must be the
+  /// NamedConfig name ("GIL", "HTM-16", "HTM-dynamic", ...).
+  void wire(runtime::EngineConfig& cfg, const std::string& workload,
+            const std::string& config_name, unsigned threads,
+            unsigned scale) {
+    cfg.addr_mode = addr_mode_;
+    if (recorder_ == nullptr) return;
+    if (workloads::by_name(workload) == nullptr) return;
+    if (config_name != "GIL" && !starts_with(config_name, "HTM-")) return;
+    cfg.recorder = recorder_.get();
+    recorder_->begin_run(
+        workloads::make_scenario(workload, cfg.profile.machine.name,
+                                 config_name, threads, scale, cfg.seed),
+        workloads::replay_flags(cfg.fault, cfg.stm, cli_));
+  }
+
+ private:
+  const CliFlags* cli_;
+  runtime::AddrMode addr_mode_ = runtime::AddrMode::kGuest;
+  obs::RecordConfig config_;
+  std::unique_ptr<obs::RunRecorder> recorder_;
+};
 
 /// Uniform fault-campaign wiring (docs/ROBUSTNESS.md): every harness
 /// accepts the --fault-* flags via fault::FaultConfig::from_flags and

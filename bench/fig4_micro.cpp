@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -28,8 +29,10 @@ int main(int argc, char** argv) {
               << " (throughput normalized to 1-thread GIL) ==\n";
     TablePrinter table({"threads", "GIL", "HTM-1", "HTM-16", "HTM-dynamic"});
 
-    const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), *w, 1, scale);
+    auto base_cfg = make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags);
+    record.wire(base_cfg, w->name, "GIL", 1, scale);
+    const auto base =
+        workloads::run_workload(std::move(base_cfg), *w, 1, scale);
     const double base_elapsed = base.elapsed_us;
 
     for (unsigned threads : thread_counts(profile, quick)) {
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
            {NamedConfig{"GIL", 0}, NamedConfig{"HTM-1", 1},
             NamedConfig{"HTM-16", 16}, NamedConfig{"HTM-dynamic", -1}}) {
         auto cfg = make_config(profile, nc, fault_cfg, stm_cfg, &flags);
+        record.wire(cfg, w->name, nc.name, threads, scale);
         observe(cfg, sink,
                 {{"figure", "fig4_micro"},
                  {"machine", profile.machine.name},

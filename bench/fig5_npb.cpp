@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -36,13 +37,15 @@ int main(int argc, char** argv) {
     for (const auto& nc : paper_configs()) headers.push_back(nc.name);
     TablePrinter table(headers);
 
-    const auto base = workloads::run_workload(
-        make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags), w, 1, scale);
+    auto base_cfg = make_config(profile, {"GIL", 0}, fault_cfg, stm_cfg, &flags);
+    record.wire(base_cfg, w.name, "GIL", 1, scale);
+    const auto base = workloads::run_workload(std::move(base_cfg), w, 1, scale);
 
     for (unsigned threads : thread_counts(profile, quick)) {
       std::vector<std::string> row = {std::to_string(threads)};
       for (const auto& nc : paper_configs()) {
         auto cfg = make_config(profile, nc, fault_cfg, stm_cfg, &flags);
+        record.wire(cfg, w.name, nc.name, threads, scale);
         observe(cfg, sink,
                 {{"figure", "fig5_npb"},
                  {"machine", profile.machine.name},

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "fault/fault_injector.hpp"
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
+  // This probe has no Engine (raw HtmFacility, host buffer), so there is no
+  // guest space to rebase and nothing replayable; the wiring exists for the
+  // uniform strict --addr-mode/--record-* CLI.
+  const bench::RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::xeon_e3();

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   for (const char* machine : {"zec12", "xeon"}) {
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> row = {std::to_string(threads)};
       for (const auto& w : workloads::npb_workloads()) {
         auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
+        record.wire(cfg, w.name, "HTM-dynamic", threads, scale);
         observe(cfg, sink,
                 {{"figure", "fig8_abort_ratios"},
                  {"machine", profile.machine.name},

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
 
   for (const auto& w : workloads::npb_workloads()) {
     auto cfg = make_config(profile, {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
+    record.wire(cfg, w.name, "HTM-dynamic", threads, scale);
     observe(cfg, sink,
             {{"figure", "fig8_cycle_breakdown"},
              {"machine", profile.machine.name},

@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  // HTM-dynamic runs are replayable; the FineGrained/Unsynced engines have
+  // no record-header spelling and get the address mode only.
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
       bcfg.fault = fault_cfg;
       bcfg.stm = stm_cfg;
       parse_gc_flags(flags, bcfg.heap);
+      record.wire(bcfg, w.name, kind.name, 1, scale);
       base.push_back(
           workloads::run_workload(std::move(bcfg), w, 1, scale).elapsed_us);
     }
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
         cfg.fault = fault_cfg;
         cfg.stm = stm_cfg;
         parse_gc_flags(flags, cfg.heap);
+        record.wire(cfg, w.name, kind.name, threads, scale);
         observe(cfg, sink,
                 {{"figure", "fig9_scalability"},
                  {"machine", profile.machine.name},

@@ -77,6 +77,9 @@ int main(int argc, char** argv) {
   // (segment sizes, adaptation windows, sweep quantum).
   vm::HeapConfig gc_overrides;
   parse_gc_flags(flags, gc_overrides);
+  // Every variant mutates the heap beyond what a record header carries, so
+  // this harness takes --addr-mode (strict CLI) but never records.
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::zec12();
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
             << ", HTM-16, zEC12, GC-pressured heap ==\n";
 
   auto pressured = [&](runtime::EngineConfig cfg) {
+    cfg.addr_mode = record.addr_mode();
     cfg.heap.initial_slots = 90'000;  // force several GCs
     cfg.heap.arena_min_segment = gc_overrides.arena_min_segment;
     cfg.heap.arena_max_segment = gc_overrides.arena_max_segment;
@@ -144,9 +148,8 @@ int main(int argc, char** argv) {
       std::map<std::string, u64> by_region;
       u64 total_sites = 0;
       for (const auto& [line, n] : engine.htm()->conflict_lines()) {
-        const std::string region = engine.heap().describe_address(
-            reinterpret_cast<void*>(line *
-                                    engine.config().profile.htm.line_bytes));
+        const std::string region = engine.heap().describe_line(
+            line, engine.config().profile.htm.line_bytes);
         if (region == "gil-word") continue;  // the GIL itself, not allocator
         by_region[region] += n;
         total_sites += n;

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   }
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   htm::SystemProfile profile = htm::SystemProfile::zec12();
@@ -87,6 +88,8 @@ int main(int argc, char** argv) {
 
   auto cfg = make_config(profile, *nc, fault_cfg, stm_cfg, &flags);
   cfg.seed = seed;
+  // httpsim phases are not replayable; this applies the address mode only.
+  record.wire(cfg, program_name, nc->name, shard_opts.shards, 1);
 
   std::map<std::string, std::string> labels = {
       {"figure", "httpsim_openloop"},

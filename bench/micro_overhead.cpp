@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -76,11 +77,12 @@ std::string while_program(long iters) {
 }
 
 BenchResult run_config(const BenchConfig& bc, const std::string& src,
-                       long repeats) {
+                       long repeats, runtime::AddrMode addr_mode) {
   BenchResult r;
   for (long rep = 0; rep < repeats; ++rep) {
     runtime::EngineConfig cfg =
         runtime::EngineConfig::gil(htm::SystemProfile::xeon_e3());
+    cfg.addr_mode = addr_mode;
     cfg.vm.dispatch = bc.dispatch;
     cfg.vm.fuse_superinsns = bc.fuse;
     cfg.vm.batched_charging = bc.batched;
@@ -142,12 +144,15 @@ int main(int argc, char** argv) {
   const long iters = flags.get_int("iters", quick ? 5000 : 20000);
   const long repeats = flags.get_int("repeats", quick ? 3 : 5);
   const std::string json_path = flags.get("json", "BENCH_interp.json");
+  // Host-time runs are not replayable (record headers carry no dispatch
+  // variant), but the harness still takes --addr-mode for the strict CLI.
+  const bench::RecordWiring record(flags);
   flags.reject_unknown();
 
   const std::string src = while_program(iters);
   std::vector<BenchResult> results;
   for (const BenchConfig& bc : kConfigs) {
-    results.push_back(run_config(bc, src, repeats));
+    results.push_back(run_config(bc, src, repeats, record.addr_mode()));
     std::cerr << "measured " << bc.name << "\n";
   }
 

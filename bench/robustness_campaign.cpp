@@ -135,7 +135,7 @@ void append_httpsim_json(std::ostringstream& os, const char* key,
 int run_chaos(const htm::SystemProfile& profile, bool csv, bool quick,
               unsigned scale, unsigned threads, u64 fault_seed,
               const std::string& json_path, obs::Sink& sink,
-              const CliFlags& flags) {
+              const CliFlags& flags, RecordWiring& record) {
   const auto faults = chaos_faults(fault_seed);
   const std::vector<const workloads::Workload*> kernels = {
       &workloads::micro_while(), &workloads::npb("BT"),
@@ -149,6 +149,7 @@ int run_chaos(const htm::SystemProfile& profile, bool csv, bool quick,
     double base_verify = 0.0;
     for (const ChaosFault& f : faults) {
       auto cfg = make_config(profile, {"HTM-dynamic", -1}, f.fc, f.stm, &flags);
+      record.wire(cfg, w->name, "HTM-dynamic", threads, scale);
       observe(cfg, sink,
               {{"figure", "chaos_campaign"},
                {"machine", profile.machine.name},
@@ -218,6 +219,8 @@ int run_chaos(const htm::SystemProfile& profile, bool csv, bool quick,
   auto run_httpsim = [&](const std::string& phase,
                          const fault::FaultConfig& fc) {
     auto cfg = make_config(profile, {"HTM-dynamic", -1}, fc, {}, &flags);
+    // httpsim phases are not replayable; this applies the address mode only.
+    record.wire(cfg, "webrick", "HTM-dynamic", sopt.shards, scale);
     std::map<std::string, std::string> labels = {
         {"figure", "chaos_campaign"},
         {"machine", profile.machine.name},
@@ -353,6 +356,7 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
   if (!json_path.empty() && !chaos) {
     std::cerr << "error: --json requires --chaos\n";
@@ -362,12 +366,13 @@ int main(int argc, char** argv) {
   const auto profile = htm::SystemProfile::by_name(machine);
   if (chaos)
     return run_chaos(profile, csv, quick, scale, threads, custom.seed,
-                     json_path, sink, flags);
+                     json_path, sink, flags, record);
   const workloads::Workload& w = workloads::micro_while();
 
   auto run_phase = [&](const std::string& name, const NamedConfig& nc,
                        const fault::FaultConfig& fc) {
     auto cfg = make_config(profile, nc, fc, stm_cfg, &flags);
+    record.wire(cfg, w.name, nc.name, threads, scale);
     observe(cfg, sink,
             {{"figure", "robustness_campaign"},
              {"machine", profile.machine.name},

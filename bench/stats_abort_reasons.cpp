@@ -31,8 +31,8 @@ void report(const char* name, runtime::Engine& engine,
   std::map<std::string, u64> by_region;
   u64 total_conflict_sites = 0;
   for (const auto& [line, n] : engine.htm()->conflict_lines()) {
-    by_region[engine.heap().describe_address(reinterpret_cast<void*>(
-        line * engine.config().profile.htm.line_bytes))] += n;
+    by_region[engine.heap().describe_line(
+        line, engine.config().profile.htm.line_bytes)] += n;
     total_conflict_sites += n;
   }
   for (const auto& [region, n] : by_region) {
@@ -61,11 +61,13 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_cfg = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   // NPB on zEC12 with HTM-dynamic.
   for (const auto& w : workloads::npb_workloads()) {
     auto cfg = make_config(htm::SystemProfile::zec12(), {"HTM-dynamic", -1}, fault_cfg, stm_cfg, &flags);
+    record.wire(cfg, w.name, "HTM-dynamic", threads, scale);
     observe(cfg, sink,
             {{"figure", "stats_abort_reasons"},
              {"machine", "zEC12"},
@@ -87,6 +89,8 @@ int main(int argc, char** argv) {
     d.clients = 4;
     d.total_requests = 600;
     cfg.heap.max_threads = d.total_requests + 8;
+    // httpsim phases are not replayable; this applies the address mode only.
+    record.wire(cfg, "Rails", "HTM-dynamic", d.clients, scale);
     observe(cfg, sink,
             {{"figure", "stats_abort_reasons"},
              {"machine", "XeonE3-1275v3"},

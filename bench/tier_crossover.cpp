@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   const stm::StmConfig stm_overrides = parse_stm_flags(flags);
   vm::HeapConfig gc_probe;   // registers --gc-* for strict CLI;
   parse_gc_flags(flags, gc_probe);  // applied per engine via make_config
+  RecordWiring record(flags);
   flags.reject_unknown();
 
   const auto profile = htm::SystemProfile::by_name(machine);
@@ -72,6 +73,9 @@ int main(int argc, char** argv) {
     cfg.stm = stm_overrides;
     cfg.stm.enabled = stm_on;
     cfg.stm.subscription = sub;
+    // Wired after the STM mutation so the record header carries the phase's
+    // actual fault + tier state (both round-trip through to_flags).
+    record.wire(cfg, w.name, nc.name, threads, scale);
     observe(cfg, sink,
             {{"figure", "tier_crossover"},
              {"machine", profile.machine.name},

@@ -21,6 +21,7 @@ CliFlags::CliFlags(int argc, char** argv, bool throw_errors)
       if (name.empty())
         fail("malformed flag '" + arg + "': empty flag name");
       flags_[name] = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+      raw_args_.push_back(arg);
     } else if (arg.size() > 1 && arg[0] == '-' &&
                !std::isdigit(static_cast<unsigned char>(arg[1])) &&
                arg[1] != '.') {

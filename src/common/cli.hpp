@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace gilfree {
 
@@ -29,6 +30,11 @@ class CliFlags {
 
   const std::set<std::string>& positional() const { return positional_; }
 
+  /// The --flag arguments exactly as passed, in argv order (positionals
+  /// excluded). Record-file headers stash these so tools/replay can rebuild
+  /// the same CliFlags in another process.
+  const std::vector<std::string>& raw_args() const { return raw_args_; }
+
   /// Call after all get()s: errors if the user passed a flag nobody read.
   void reject_unknown() const;
 
@@ -37,6 +43,7 @@ class CliFlags {
 
   std::map<std::string, std::string> flags_;
   std::set<std::string> positional_;
+  std::vector<std::string> raw_args_;
   mutable std::set<std::string> consumed_;
   bool throw_errors_ = false;
 };

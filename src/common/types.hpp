@@ -28,5 +28,6 @@ using CpuId = std::uint32_t;
 using LineId = std::uint64_t;
 
 inline constexpr CpuId kInvalidCpu = ~CpuId{0};
+inline constexpr LineId kInvalidLine = ~LineId{0};
 
 }  // namespace gilfree

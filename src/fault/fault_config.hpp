@@ -10,6 +10,7 @@
 // example binary accepts.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -93,6 +94,12 @@ struct FaultConfig {
   /// --fault-capacity-from/until=, --fault-handoff-delay=,
   /// --fault-handoff-from/until=. Call before CliFlags::reject_unknown().
   static FaultConfig from_flags(const CliFlags& flags);
+
+  /// The inverse of from_flags: every non-default field as a canonical
+  /// `--fault-*=value` string, so from_flags(to_flags(c)) == c. Used by the
+  /// record stream so programmatically built campaigns (chaos cells) can be
+  /// reconstructed by tools/replay in another process.
+  std::vector<std::string> to_flags() const;
 };
 
 }  // namespace gilfree::fault

@@ -58,6 +58,53 @@ FaultConfig FaultConfig::from_flags(const CliFlags& flags) {
   return c;
 }
 
+namespace {
+
+void window_to_flags(std::vector<std::string>& out, const std::string& stem,
+                     const FaultWindow& w) {
+  if (w.from != 0)
+    out.push_back("--fault-" + stem + "-from=" + std::to_string(w.from));
+  if (w.until != 0)
+    out.push_back("--fault-" + stem + "-until=" + std::to_string(w.until));
+}
+
+}  // namespace
+
+std::vector<std::string> FaultConfig::to_flags() const {
+  const FaultConfig def;
+  std::vector<std::string> out;
+  // The raw default seed exceeds LONG_MAX (from_flags masks it on read), so
+  // it is never emitted; every seed that came through from_flags fits.
+  if (seed != def.seed) out.push_back("--fault-seed=" + std::to_string(seed));
+  if (spurious_mean_cycles != 0)
+    out.push_back("--fault-spurious-mean=" +
+                  std::to_string(spurious_mean_cycles));
+  window_to_flags(out, "spurious", spurious_window);
+  if (persistent_all_yps) {
+    out.push_back("--fault-persistent-yps=all");
+  } else if (!persistent_yps.empty()) {
+    std::string v = "--fault-persistent-yps=";
+    for (std::size_t i = 0; i < persistent_yps.size(); ++i) {
+      if (i != 0) v.push_back(',');
+      v += std::to_string(persistent_yps[i]);
+    }
+    out.push_back(std::move(v));
+  }
+  window_to_flags(out, "persistent", persistent_window);
+  if (interrupt_storm_mean_cycles != 0)
+    out.push_back("--fault-interrupt-mean=" +
+                  std::to_string(interrupt_storm_mean_cycles));
+  window_to_flags(out, "interrupt", interrupt_window);
+  if (capacity_factor != 1.0)
+    out.push_back(strprintf("--fault-capacity-factor=%.17g", capacity_factor));
+  window_to_flags(out, "capacity", capacity_window);
+  if (gil_handoff_delay_cycles != 0)
+    out.push_back("--fault-handoff-delay=" +
+                  std::to_string(gil_handoff_delay_cycles));
+  window_to_flags(out, "handoff", handoff_window);
+  return out;
+}
+
 FaultInjector::FaultInjector(const FaultConfig& config, u32 num_cpus)
     : config_(config), num_cpus_(num_cpus) {
   GILFREE_CHECK(num_cpus_ > 0);

@@ -22,6 +22,7 @@ HtmFacility::HtmFacility(const HtmConfig& config, sim::Machine* machine)
   GILFREE_CHECK(config_.line_bytes == machine_->config().line_bytes);
   tx_.resize(machine_->num_cpus());
   stats_.resize(machine_->num_cpus());
+  last_conflict_line_.assign(machine_->num_cpus(), kInvalidLine);
   seed_rngs();
   if (config_.learning) {
     learning_.emplace(machine_->num_cpus(), config_.learning_up,
@@ -73,6 +74,7 @@ AbortReason HtmFacility::tx_begin(CpuId cpu, i32 yp) {
   t.read_lines.clear();
   t.write_lines.clear();
   t.redo.clear();
+  last_conflict_line_.at(cpu) = kInvalidLine;
 
   const Cycles now = machine_->clock(cpu);
   if (t.next_interrupt <= now) {
@@ -149,7 +151,7 @@ u64 HtmFacility::tx_load(CpuId cpu, const u64* addr, bool shared) {
       const u64 victims = table_.add_reader(line, cpu);
       if (victims) {
         if (collect_conflicts_) ++conflict_lines_[line];
-        doom_mask(victims, AbortReason::kConflict);
+        doom_mask(victims, AbortReason::kConflict, line);
       }
     }
   }
@@ -175,7 +177,7 @@ void HtmFacility::tx_store(CpuId cpu, u64* addr, u64 value, bool shared) {
       const u64 victims = table_.add_writer(line, cpu);
       if (victims) {
         if (collect_conflicts_) ++conflict_lines_[line];
-        doom_mask(victims, AbortReason::kConflict);
+        doom_mask(victims, AbortReason::kConflict, line);
       }
     }
   }
@@ -184,20 +186,22 @@ void HtmFacility::tx_store(CpuId cpu, u64* addr, u64 value, bool shared) {
 
 u64 HtmFacility::nontx_load(CpuId cpu, const u64* addr) {
   GILFREE_CHECK(!tx_.at(cpu).active);
-  const u64 writers = table_.writer_excluding(line_of(addr), cpu);
+  const LineId line = line_of(addr);
+  const u64 writers = table_.writer_excluding(line, cpu);
   if (writers) {
-    if (collect_conflicts_) ++conflict_lines_[line_of(addr)];
-    doom_mask(writers, AbortReason::kConflict);
+    if (collect_conflicts_) ++conflict_lines_[line];
+    doom_mask(writers, AbortReason::kConflict, line);
   }
   return *addr;
 }
 
 void HtmFacility::nontx_store(CpuId cpu, u64* addr, u64 value) {
   GILFREE_CHECK(!tx_.at(cpu).active);
-  const u64 holders = table_.holders_excluding(line_of(addr), cpu);
+  const LineId line = line_of(addr);
+  const u64 holders = table_.holders_excluding(line, cpu);
   if (holders) {
-    if (collect_conflicts_) ++conflict_lines_[line_of(addr)];
-    doom_mask(holders, AbortReason::kConflict);
+    if (collect_conflicts_) ++conflict_lines_[line];
+    doom_mask(holders, AbortReason::kConflict, line);
   }
   *addr = value;
   if (write_listener_ != nullptr) write_listener_->on_nontx_write(addr);
@@ -234,13 +238,14 @@ HtmStats HtmFacility::total_stats() const {
   return total;
 }
 
-void HtmFacility::doom_mask(u64 mask, AbortReason reason) {
+void HtmFacility::doom_mask(u64 mask, AbortReason reason, LineId line) {
   while (mask) {
     const CpuId victim = static_cast<CpuId>(__builtin_ctzll(mask));
     mask &= mask - 1;
     TxState& t = tx_.at(victim);
     if (!t.active || t.doom != AbortReason::kNone) continue;
     t.doom = reason;
+    last_conflict_line_.at(victim) = line;
     // Detach immediately: the coherency request has invalidated the victim's
     // speculative lines, so they no longer participate in detection. The
     // victim notices the doom at its next access / commit.
@@ -301,6 +306,7 @@ void HtmFacility::reset() {
   for (auto& s : stats_) s = HtmStats{};
   table_ = ConflictTable{};
   conflict_lines_.clear();
+  last_conflict_line_.assign(last_conflict_line_.size(), kInvalidLine);
   seed_rngs();
   if (learning_) learning_->reset();
   if (injector_) injector_->reset();

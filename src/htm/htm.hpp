@@ -33,6 +33,7 @@
 #include "htm/htm_config.hpp"
 #include "htm/conflict_table.hpp"
 #include "htm/tsx_learning.hpp"
+#include "sim/guest_space.hpp"
 #include "sim/machine.hpp"
 
 namespace gilfree::htm {
@@ -139,8 +140,24 @@ class HtmFacility {
     return conflict_lines_;
   }
 
+  /// With a guest space attached, lines are guest-relative (stable across
+  /// OS processes); otherwise they derive from the host address as before.
   LineId line_of(const void* addr) const {
+    if (guest_ != nullptr) return guest_->line_of(addr, config_.line_bytes);
     return reinterpret_cast<std::uintptr_t>(addr) / config_.line_bytes;
+  }
+
+  /// Attaches the guest address space (not owned; null reverts to host
+  /// addressing). Must be set before any transactional activity — switching
+  /// line spaces mid-run would orphan conflict-table entries.
+  void set_guest_space(const sim::GuestSpace* guest) { guest_ = guest; }
+  const sim::GuestSpace* guest_space() const { return guest_; }
+
+  /// The line whose coherency request doomed this CPU's last conflict abort
+  /// (kInvalidLine for spurious/injected conflicts, which have no line).
+  /// Valid until the CPU's next tx_begin.
+  LineId last_conflict_line(CpuId cpu) const {
+    return last_conflict_line_.at(cpu);
   }
 
   /// Attaches a memory-write listener (not owned; null detaches). Called
@@ -174,7 +191,7 @@ class HtmFacility {
     Cycles next_interrupt = 0;
   };
 
-  void doom_mask(u64 mask, AbortReason reason);
+  void doom_mask(u64 mask, AbortReason reason, LineId line);
   void detach(CpuId cpu);
   void rollback(CpuId cpu, AbortReason reason);
   void maybe_interrupt(CpuId cpu);
@@ -194,8 +211,10 @@ class HtmFacility {
   std::optional<TsxLearningModel> learning_;
   fault::FaultInjector* injector_ = nullptr;
   MemWriteListener* write_listener_ = nullptr;
+  const sim::GuestSpace* guest_ = nullptr;
   bool collect_conflicts_ = false;
   std::unordered_map<LineId, u64> conflict_lines_;
+  std::vector<LineId> last_conflict_line_;  ///< Per CPU; set at doom time.
 };
 
 }  // namespace gilfree::htm

@@ -34,7 +34,8 @@ void RunObserver::on_tx_commit(Cycles t, u32 tid, CpuId cpu, i32 yp,
 }
 
 void RunObserver::on_tx_abort(Cycles t, u32 tid, CpuId cpu, i32 yp,
-                              u32 length, htm::AbortReason reason) {
+                              u32 length, htm::AbortReason reason, u64 gaddr,
+                              u16 src_line) {
   YieldPointMetrics& m = yp_metrics(yp);
   const auto r = static_cast<std::size_t>(reason);
   ++m.aborts_by_reason[r];
@@ -47,6 +48,8 @@ void RunObserver::on_tx_abort(Cycles t, u32 tid, CpuId cpu, i32 yp,
   e.yp = yp;
   e.length = length;
   e.reason = reason;
+  e.gaddr = gaddr;
+  e.src_line = src_line;
   recorder_.record(e);
 }
 
@@ -103,7 +106,7 @@ void RunObserver::on_stm_commit(Cycles t, u32 tid, CpuId cpu, i32 yp) {
 }
 
 void RunObserver::on_stm_abort(Cycles t, u32 tid, CpuId cpu, i32 yp,
-                               stm::StmAbortCause cause) {
+                               stm::StmAbortCause cause, u16 src_line) {
   TraceEvent e;
   e.kind = EventKind::kStmAbort;
   e.t = t;
@@ -111,6 +114,7 @@ void RunObserver::on_stm_abort(Cycles t, u32 tid, CpuId cpu, i32 yp,
   e.cpu = cpu;
   e.yp = yp;
   e.detail = static_cast<u8>(cause);
+  e.src_line = src_line;
   recorder_.record(e);
 }
 

@@ -25,8 +25,11 @@ class RunObserver {
 
   void on_tx_begin(Cycles t, u32 tid, CpuId cpu, i32 yp, u32 length);
   void on_tx_commit(Cycles t, u32 tid, CpuId cpu, i32 yp, u32 length);
+  /// `gaddr` is the guest address of the conflicting line (0 = none, e.g.
+  /// spurious conflicts or host addressing); `src_line` the MiniRuby source
+  /// line executing at the abort (0 = unknown).
   void on_tx_abort(Cycles t, u32 tid, CpuId cpu, i32 yp, u32 length,
-                   htm::AbortReason reason);
+                   htm::AbortReason reason, u64 gaddr = 0, u16 src_line = 0);
   void on_gil_fallback(Cycles t, u32 tid, CpuId cpu, i32 yp);
   /// `queue` is the arrival→accept component of `latency`; ports that do
   /// not track accept times pass 0.
@@ -41,7 +44,7 @@ class RunObserver {
   void on_stm_begin(Cycles t, u32 tid, CpuId cpu, i32 yp);
   void on_stm_commit(Cycles t, u32 tid, CpuId cpu, i32 yp);
   void on_stm_abort(Cycles t, u32 tid, CpuId cpu, i32 yp,
-                    stm::StmAbortCause cause);
+                    stm::StmAbortCause cause, u16 src_line = 0);
   void on_tier(Cycles t, u32 tid, CpuId cpu, i32 yp, TierTransition tr);
 
   /// A request past its deadline was shed mid-service. Trace-only: the

@@ -37,6 +37,16 @@ std::string trace_event_to_jsonl(const TraceEvent& e, u32 run) {
       json_append_number(out, static_cast<u64>(e.length));
       out += ",\"reason\":";
       json_append_string(out, htm::abort_reason_name(e.reason));
+      // Guest addresses are process-independent, so they may appear in
+      // byte-compared traces; host addresses never could.
+      if (e.gaddr != 0) {
+        out += ",\"gaddr\":";
+        json_append_number(out, e.gaddr);
+      }
+      if (e.src_line != 0) {
+        out += ",\"line\":";
+        json_append_number(out, static_cast<u64>(e.src_line));
+      }
       break;
     case EventKind::kGilFallback:
       out += ",\"yp\":";
@@ -79,6 +89,10 @@ std::string trace_event_to_jsonl(const TraceEvent& e, u32 run) {
       out += ",\"cause\":";
       json_append_string(out, stm::stm_abort_cause_name(
                                   static_cast<stm::StmAbortCause>(e.detail)));
+      if (e.src_line != 0) {
+        out += ",\"line\":";
+        json_append_number(out, static_cast<u64>(e.src_line));
+      }
       break;
     case EventKind::kTier:
       out += ",\"yp\":";

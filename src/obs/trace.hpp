@@ -122,6 +122,12 @@ struct TraceEvent {
   u8 detail = 0;        ///< fault::FaultKind (kFault) / WatchdogKind
                         ///< (kWatchdog) / stm::StmAbortCause (kStmAbort) /
                         ///< TierTransition (kTier); 0 otherwise.
+  u64 gaddr = 0;        ///< Guest address of the conflicting line (kTxAbort
+                        ///< with reason kConflict only; 0 = none/unknown).
+                        ///< Guest addresses are process-independent, so this
+                        ///< field may appear in byte-compared traces.
+  u16 src_line = 0;     ///< MiniRuby source line executing at the abort
+                        ///< (kTxAbort/kStmAbort; 0 = unknown).
 };
 
 /// Encodes one event as a single JSON Lines record (no trailing newline).

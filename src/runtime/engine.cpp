@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "htm/abort_reason.hpp"
+#include "obs/record.hpp"
 #include "obs/sink.hpp"
 #include "vm/builtins.hpp"
 #include "vm/prelude.hpp"
@@ -86,6 +87,10 @@ Engine::Engine(EngineConfig config)
   if (config_.mode == SyncMode::kHtm) {
     htm_ = std::make_unique<htm::HtmFacility>(config_.profile.htm,
                                               machine_.get());
+    // Guest addressing: the HTM (and through it the STM) line space keys on
+    // process-stable segment:offset addresses instead of host pointers.
+    if (config_.addr_mode == AddrMode::kGuest)
+      htm_->set_guest_space(&gspace_);
     if (config_.fault.enabled()) {
       fault_ = std::make_unique<fault::FaultInjector>(config_.fault,
                                                       machine_->num_cpus());
@@ -105,6 +110,8 @@ Engine::Engine(EngineConfig config)
 
 void Engine::on_fault_injected(fault::FaultKind kind, CpuId cpu, Cycles t) {
   if (obs_) obs_->on_fault(t, current_tid_, cpu, kind);
+  if (config_.recorder != nullptr)
+    config_.recorder->on_fault(t, current_tid_, static_cast<u8>(kind));
 }
 
 void Engine::report_watchdog(SchedThread& st, obs::WatchdogKind kind) {
@@ -131,6 +138,10 @@ void Engine::load_program(const std::vector<std::string>& sources) {
   vm::HeapConfig hc = config_.heap;
   hc.max_threads = std::max<u32>(hc.max_threads, 64);
   hc.steal_seed = config_.seed;  // deterministic stash-steal victim order
+  // The heap registers its slabs (control words, arena blocks, spill blocks)
+  // as guest segments in construction/growth order — deterministic for a
+  // given (program, config, seed), so guest addresses match across runs.
+  if (config_.addr_mode == AddrMode::kGuest) hc.guest_space = &gspace_;
   heap_ = std::make_unique<vm::Heap>(hc);
   // Register every compiled global / constant name as a slot.
   for (std::size_t i = 0; i < program_->global_names.size(); ++i)
@@ -162,6 +173,9 @@ void Engine::load_program(const std::vector<std::string>& sources) {
   live_count_ = 1;
   SchedThread& main = threads_.front();
   main.vm = std::make_unique<vm::VmThread>(0, config_.stack_slots);
+  if (config_.addr_mode == AddrMode::kGuest)
+    gspace_.add_segment("stack-t0", main.vm->stack_base(),
+                        u64{main.vm->stack_slots()} * 8);
   main.cpu = 0;
   current_tid_ = 0;
 
@@ -282,6 +296,10 @@ RunStats Engine::run() {
   // between yield-point checks instead of one dispatch-loop trip per insn.
   constexpr int kBurst = 12;
   while (count_live_threads() > 0) {
+    // Time-travel stop: the recorder reached its --until event during the
+    // previous burst; stop at this scheduling boundary with VM state intact.
+    if (config_.recorder != nullptr && config_.recorder->stop_requested())
+      break;
     const i32 tid = pick_next();
     if (trace && ++iterations % 1'000'000 == 0) {
       flush_fastpath();
@@ -304,6 +322,11 @@ RunStats Engine::run() {
       }
     }
     if (tid < 0) continue;
+    if (config_.recorder != nullptr) {
+      config_.recorder->on_sched(
+          machine_->clock(threads_[static_cast<u32>(tid)].cpu),
+          static_cast<u32>(tid));
+    }
     int fuel = kBurst;
     while (fuel > 0) {
       step_thread(static_cast<u32>(tid), fuel);
@@ -344,6 +367,21 @@ RunStats Engine::run() {
   if (fault_) stats.faults = fault_->stats();
   stats.results = results_;
   stats.output = stdout_;
+
+  if (config_.recorder != nullptr) {
+    // The trailer's summary doubles as a replay checksum: a replayed run
+    // must reproduce these counters exactly, not just the event stream.
+    std::map<std::string, u64> summary;
+    summary["insns"] = stats.insns_retired;
+    summary["cycles"] = stats.total_cycles;
+    summary["tx_begins"] = stats.htm.begins;
+    summary["tx_commits"] = stats.htm.commits;
+    summary["tx_aborts"] = stats.htm.total_aborts();
+    summary["gil_fallbacks"] = stats.gil_fallbacks;
+    summary["stm_escalations"] = stats.stm_escalations;
+    config_.recorder->end_run(summary);
+    config_.recorder->flush();
+  }
 
   if (obs_ && config_.obs_sink != nullptr) {
     obs::RunMetrics m = obs_->finalize();
@@ -893,6 +931,20 @@ void Engine::transaction_end(SchedThread& st) {
   sync_fastpath();
 }
 
+u16 Engine::abort_source_line(const SchedThread& st) const {
+  const auto line_at = [this](const vm::ThreadRegs& r) -> i32 {
+    if (r.iseq < 0 ||
+        static_cast<std::size_t>(r.iseq) >= program_->iseqs.size())
+      return -1;
+    const auto& insns = program_->iseq(r.iseq).insns;
+    if (r.pc >= insns.size()) return -1;
+    return insns[r.pc].line;
+  };
+  i32 line = st.vm->finished() ? -1 : line_at(st.vm->regs());
+  if (line < 0 && (st.in_tx || st.in_stm)) line = line_at(st.tx_snapshot);
+  return line < 0 ? u16{0} : static_cast<u16>(line);
+}
+
 void Engine::handle_abort(SchedThread& st, AbortReason reason) {
   // A TxAbort thrown while running a *software* transaction (StmEngine's
   // abort paths reuse the exception type so the interpreter unwinds the
@@ -904,9 +956,26 @@ void Engine::handle_abort(SchedThread& st, AbortReason reason) {
   // One abort event per HtmStats abort: every facility-level abort path
   // (eager begin refusal, doomed commit, TxAbort mid-bytecode, context
   // switch) funnels through exactly one handle_abort call.
+  //
+  // Diagnostics captured before the rollback below rewinds the registers:
+  // the MiniRuby source line where the abort surfaced, and — for conflicts —
+  // the guest address of the line the winner doomed us on (process-stable,
+  // so traces and record streams compare byte-for-byte across processes).
+  const u16 src_line = abort_source_line(st);
+  u64 gaddr = 0;
+  if (config_.addr_mode == AddrMode::kGuest && htm_ != nullptr) {
+    const LineId line = htm_->last_conflict_line(st.cpu);
+    if (line != kInvalidLine && line < sim::GuestSpace::kHostLineTag)
+      gaddr = line * config_.profile.htm.line_bytes;
+  }
   if (obs_) {
     obs_->on_tx_abort(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
-                      st.tx_length, reason);
+                      st.tx_length, reason, gaddr, src_line);
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->on_abort(now_of(st.cpu), st.vm->tid(), st.tx_yp,
+                               st.tx_length, static_cast<u8>(reason), gaddr,
+                               src_line);
   }
   // Roll the interpreter back to the TBEGIN snapshot; the HTM facility has
   // already discarded the speculative stores.
@@ -1133,9 +1202,14 @@ void Engine::stm_end(SchedThread& st) {
 }
 
 void Engine::handle_stm_abort(SchedThread& st, stm::StmAbortCause cause) {
+  const u16 src_line = abort_source_line(st);
   if (obs_) {
     obs_->on_stm_abort(now_of(st.cpu), st.vm->tid(), st.cpu, st.tx_yp,
-                       cause);
+                       cause, src_line);
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->on_stm_abort(now_of(st.cpu), st.vm->tid(), st.tx_yp,
+                                   static_cast<u8>(cause), src_line);
   }
   // Roll the interpreter back to the stm_begin snapshot; the StmEngine has
   // already discarded the write buffer.
@@ -1500,6 +1574,9 @@ vm::Value Engine::spawn_thread(vm::Value proc_val,
   ++live_count_;
   SchedThread& st = threads_.back();
   st.vm = std::make_unique<vm::VmThread>(tid, config_.stack_slots);
+  if (config_.addr_mode == AddrMode::kGuest)
+    gspace_.add_segment("stack-t" + std::to_string(tid), st.vm->stack_base(),
+                        u64{st.vm->stack_slots()} * 8);
   st.cpu = chosen_cpu;
 
   // Allocate the Thread object while `proc_val` is still rooted on the

@@ -22,6 +22,7 @@
 #include "obs/observer.hpp"
 #include "runtime/options.hpp"
 #include "runtime/run_stats.hpp"
+#include "sim/guest_space.hpp"
 #include "sim/machine.hpp"
 #include "stm/stm.hpp"
 #include "tle/length_table.hpp"
@@ -102,6 +103,7 @@ class Engine final : public vm::Host, public fault::FaultListener {
   htm::HtmFacility* htm() { return htm_ ? htm_.get() : nullptr; }
   vm::Interp& interp() { return *interp_; }
   vm::Heap& heap() { return *heap_; }
+  const sim::GuestSpace& guest_space() const { return gspace_; }
   vm::Program& program() { return *program_; }
   tle::LengthTable* length_table() {
     return length_table_ ? length_table_.get() : nullptr;
@@ -260,6 +262,11 @@ class Engine final : public vm::Host, public fault::FaultListener {
   /// Counts + reports one starvation-watchdog event for this thread.
   void report_watchdog(SchedThread& st, obs::WatchdogKind kind);
 
+  /// MiniRuby source line for abort diagnostics. Aborts surface from inside
+  /// instruction execution, where pc can transiently point past the end of
+  /// the iseq; falls back to the rollback snapshot, then to 0 (unknown).
+  u16 abort_source_line(const SchedThread& st) const;
+
   /// Mid-service deadline shedding: at a yield point, if this thread serves
   /// a request whose deadline expired, abandon the work (aborting any open
   /// transaction) and finish the thread. Returns true when the thread was
@@ -293,6 +300,11 @@ class Engine final : public vm::Host, public fault::FaultListener {
   vm::Heap::RootSet collect_roots();
 
   EngineConfig config_;
+  /// Guest address space: every simulated slab (heap control words, arena
+  /// blocks, spill blocks, VM stacks) registers a segment here in creation
+  /// order, which is deterministic for a given (program, config, seed).
+  /// Declared before htm_ so the facility's pointer outlives its user.
+  sim::GuestSpace gspace_;
   std::unique_ptr<sim::Machine> machine_;
   std::unique_ptr<htm::HtmFacility> htm_;
   /// Fault-injection campaign; created only in HTM mode when

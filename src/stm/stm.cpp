@@ -165,7 +165,27 @@ StmAbortCause StmEngine::commit(u32 tid, CpuId cpu) {
   --active_count_;
   ++stats_.commits;
   stats_.committed_writes += t.writes.size();
-  for (const auto& [addr, w] : t.writes) {
+  // Publish in guest-address order, not buffer-hash order: the doom each
+  // shared publish inflicts on a conflicting hardware transaction records
+  // the published line as the victim's conflict line, so the iteration
+  // order here is visible in traces and record streams. Host-pointer order
+  // varies with ASLR; guest order is process-stable.
+  std::vector<std::pair<u64*, BufferedWrite>> publish(t.writes.begin(),
+                                                      t.writes.end());
+  const sim::GuestSpace* gspace =
+      htm_ != nullptr ? htm_->guest_space() : nullptr;
+  const auto guest_key = [gspace](const u64* addr) {
+    if (gspace != nullptr) {
+      const sim::GuestAddr g = gspace->translate(addr);
+      if (g != sim::kInvalidGuestAddr) return g;
+    }
+    return reinterpret_cast<sim::GuestAddr>(addr);
+  };
+  std::sort(publish.begin(), publish.end(),
+            [&guest_key](const auto& a, const auto& b) {
+              return guest_key(a.first) < guest_key(b.first);
+            });
+  for (const auto& [addr, w] : publish) {
     if (w.shared) {
       if (htm_ != nullptr) {
         // Dooms conflicting hardware transactions and re-enters this

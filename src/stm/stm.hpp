@@ -142,7 +142,11 @@ class StmEngine : public htm::MemWriteListener, public gil::AcquireListener {
 
   Tx& tx_at(u32 tid);
   const Tx* tx_of(u32 tid) const;
+  /// Both tiers must share one line space, so with an HTM facility
+  /// attached the mapping is delegated to it (guest-relative when the
+  /// engine wired a guest address space, host-derived otherwise).
   LineId line_of(const void* addr) const {
+    if (htm_ != nullptr) return htm_->line_of(addr);
     return reinterpret_cast<std::uintptr_t>(addr) / config_.line_bytes;
   }
   u64 version_of(LineId line) const;

@@ -38,4 +38,24 @@ StmConfig StmConfig::from_flags(const CliFlags& flags) {
   return c;
 }
 
+std::vector<std::string> StmConfig::to_flags() const {
+  const StmConfig def;
+  std::vector<std::string> out;
+  if (enabled) out.push_back("--stm=true");
+  if (subscription != def.subscription)
+    out.push_back(std::string("--gil-subscription=") +
+                  gil_subscription_name(subscription));
+  if (commit_retry_max != def.commit_retry_max)
+    out.push_back("--stm-commit-retry=" + std::to_string(commit_retry_max));
+  if (slice_yields != def.slice_yields)
+    out.push_back("--stm-slice-yields=" + std::to_string(slice_yields));
+  if (max_read_lines != def.max_read_lines)
+    out.push_back("--stm-max-read=" + std::to_string(max_read_lines));
+  if (max_write_entries != def.max_write_entries)
+    out.push_back("--stm-max-write=" + std::to_string(max_write_entries));
+  if (yield_validation != def.yield_validation)
+    out.push_back("--stm-yield-validation=false");
+  return out;
+}
+
 }  // namespace gilfree::stm

@@ -67,6 +67,12 @@ struct StmConfig {
   /// Parses the --stm-* / --gil-subscription flags. Strict: any
   /// out-of-range or malformed value throws std::invalid_argument.
   static StmConfig from_flags(const CliFlags& flags);
+
+  /// The inverse of from_flags: every non-default CLI-exposed field as a
+  /// canonical flag string (cost-model fields and line_bytes are not CLI
+  /// surface — the engine stamps line_bytes from the machine profile).
+  /// Used by the record stream so tools/replay can rebuild the config.
+  std::vector<std::string> to_flags() const;
 };
 
 }  // namespace gilfree::stm

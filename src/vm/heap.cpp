@@ -94,6 +94,11 @@ Heap::Heap(const HeapConfig& config) : config_(config) {
   control_storage_ = std::make_unique<u64[]>(total + kLineAlign / 8);
   std::memset(control_storage_.get(), 0, (total + kLineAlign / 8) * 8);
   u64* p = align_up(control_storage_.get(), kLineAlign);
+  if (config_.guest_space != nullptr) {
+    const u64 usable =
+        static_cast<u64>(control_storage_.get() + total + kLineAlign / 8 - p);
+    config_.guest_space->add_segment("heap-control", p, usable * 8);
+  }
 
   // Dedicated lines: GIL word, global free head/count, current-thread
   // global, spill class heads (one line each so they never false-share).
@@ -136,6 +141,11 @@ Heap::Heap(const HeapConfig& config) : config_(config) {
   spill_blocks_.push_back(std::make_unique<u64[]>(first_spill_slots + 32));
   spill_bump_ = align_up(spill_blocks_.back().get(), kLineAlign);
   spill_end_ = spill_blocks_.back().get() + first_spill_slots;
+  if (config_.guest_space != nullptr) {
+    config_.guest_space->add_segment(
+        "spill-0", spill_bump_,
+        static_cast<u64>(spill_end_ - spill_bump_) * 8);
+  }
 }
 
 Heap::~Heap() = default;
@@ -153,6 +163,13 @@ void Heap::add_arena_block(u32 rvalues) {
   block.base = reinterpret_cast<RBasic*>(base);
   block.count = rvalues;
   block.mark.assign(rvalues, false);
+  if (config_.guest_space != nullptr) {
+    // Blocks are added at construction and at deterministic GC growth
+    // points, so the block index is a stable guest segment number.
+    config_.guest_space->add_segment("arena-" + std::to_string(blocks_.size()),
+                                     block.base,
+                                     u64{rvalues} * sizeof(RBasic));
+  }
   if (track_line_owners_)
     block.line_owner.assign((rvalues + kObjsPerLine - 1) / kObjsPerLine, -1);
 
@@ -747,6 +764,11 @@ void Heap::grow_spill_region(Host& host, u32 needed_slots) {
   spill_blocks_.push_back(std::make_unique<u64[]>(slots + 32));
   spill_bump_ = align_up(spill_blocks_.back().get(), kLineAlign);
   spill_end_ = spill_blocks_.back().get() + slots;
+  if (config_.guest_space != nullptr) {
+    config_.guest_space->add_segment(
+        "spill-" + std::to_string(spill_blocks_.size() - 1), spill_bump_,
+        static_cast<u64>(spill_end_ - spill_bump_) * 8);
+  }
 }
 
 void Heap::free_spill(Host& host, u64 payload_addr) {
@@ -1575,6 +1597,25 @@ std::string Heap::describe_address(const void* addr) const {
     if (p >= blk.get() && p < blk.get() + (4ull << 20) + 32) return "spill";
   }
   return "other";
+}
+
+std::string Heap::describe_line(LineId line, u64 line_bytes) const {
+  if (config_.guest_space != nullptr) {
+    if (line >= sim::GuestSpace::kHostLineTag) return "unregistered";
+    const sim::GuestAddr guest = line * line_bytes;
+    const void* host = config_.guest_space->to_host(guest);
+    if (host == nullptr) return "other";
+    std::string label = describe_address(host);
+    if (label == "other") {
+      // A registered segment the heap does not own (a VM stack): report
+      // the segment's own deterministic name instead.
+      if (const auto* seg = config_.guest_space->segment_of(guest))
+        return seg->name;
+    }
+    return label;
+  }
+  return describe_address(reinterpret_cast<const void*>(
+      static_cast<std::uintptr_t>(line * line_bytes)));
 }
 
 u64 Heap::free_objects() const {

@@ -28,6 +28,7 @@
 
 #include "common/types.hpp"
 #include "obs/latency_hist.hpp"
+#include "sim/guest_space.hpp"
 #include "vm/host.hpp"
 #include "vm/object.hpp"
 
@@ -134,6 +135,14 @@ struct HeapConfig {
   /// Capacity of the globals / constants / inline-cache tables (slots).
   u32 global_table_slots = 4096;
   u32 ic_table_slots = 65'536;
+
+  /// Guest address space to register every heap slab with (not owned; null
+  /// keeps the legacy host-address line space). The engine wires its own
+  /// space here before constructing the heap; registration order (control
+  /// slab, then arena blocks, then spill blocks, growth in demand order) is
+  /// deterministic, which is what makes guest addresses stable across OS
+  /// processes.
+  sim::GuestSpace* guest_space = nullptr;
 };
 
 /// Named fields of a thread control block (slot indexes).
@@ -344,6 +353,14 @@ class Heap {
   /// Diagnostic: which memory region an address belongs to ("gil-word",
   /// "free-list-head", "tcb", "ic", "arena", "spill", ...).
   std::string describe_address(const void* addr) const;
+
+  /// Same classification for a conflict-line id as produced by
+  /// HtmFacility::line_of. With a guest space wired, the line is a guest
+  /// line and is mapped back to its host slab first; without one it is
+  /// interpreted as a host-derived line (the legacy back-cast). Lines that
+  /// fall outside every registered segment (e.g. a VM-stack line, which the
+  /// heap does not own) fall back to the guest segment name itself.
+  std::string describe_line(LineId line, u64 line_bytes) const;
 
  private:
   struct ArenaBlock {

@@ -108,6 +108,15 @@ __record("verify", v)
   return kIter;
 }
 
+const Workload* by_name(const std::string& name) {
+  if (name == micro_while().name) return &micro_while();
+  if (name == micro_iterator().name) return &micro_iterator();
+  for (const Workload& w : npb_workloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
 std::vector<std::string> sources_for(const Workload& w, unsigned threads,
                                      unsigned scale) {
   std::string params = strprintf("$threads = %u\n$scale = %u\n", threads,

@@ -32,6 +32,11 @@ const Workload& npb(const std::string& name);
 const Workload& micro_while();
 const Workload& micro_iterator();
 
+/// Looks up any registered workload ("While", "Iterator", or an NPB kernel
+/// name) — the reverse mapping used by tools/replay to reconstruct a run
+/// from a record-file header. Returns nullptr for unknown names.
+const Workload* by_name(const std::string& name);
+
 /// Helper: the sources to pass to Engine::load_program for a workload at
 /// the given thread count and scale.
 std::vector<std::string> sources_for(const Workload& w, unsigned threads,

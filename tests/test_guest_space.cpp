@@ -1,0 +1,135 @@
+// Guest address space unit tests (src/sim/guest_space.hpp): stable
+// segment:offset addresses, round-trips, overlap rejection, the tagged
+// fallback for unregistered host memory, and the line-grouping invariant
+// the HTM/STM rebase relies on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "sim/guest_space.hpp"
+
+using namespace gilfree;
+using sim::GuestAddr;
+using sim::GuestSpace;
+using sim::kInvalidGuestAddr;
+
+namespace {
+
+// 256-aligned backing store, like every registered slab in the simulator.
+struct alignas(256) Slab {
+  std::array<std::byte, 4096> bytes{};
+};
+
+TEST(GuestSpace, TranslateIsSegmentBiasedOffset) {
+  Slab a, b;
+  GuestSpace gs;
+  EXPECT_EQ(gs.add_segment("heap-control", a.bytes.data(), a.bytes.size()),
+            0u);
+  EXPECT_EQ(gs.add_segment("stack-t0", b.bytes.data(), b.bytes.size()), 1u);
+
+  EXPECT_EQ(gs.translate(a.bytes.data()), GuestAddr{1} << 32);
+  EXPECT_EQ(gs.translate(a.bytes.data() + 8), (GuestAddr{1} << 32) | 8);
+  EXPECT_EQ(gs.translate(b.bytes.data() + 100), (GuestAddr{2} << 32) | 100);
+}
+
+TEST(GuestSpace, GuestAddressesDependOnRegistrationOrderNotHostOrder) {
+  Slab a, b;
+  // Register in the opposite of host-address order: guest addresses must
+  // track registration order only.
+  GuestSpace gs;
+  std::byte* lo = a.bytes.data() < b.bytes.data() ? a.bytes.data()
+                                                  : b.bytes.data();
+  std::byte* hi = a.bytes.data() < b.bytes.data() ? b.bytes.data()
+                                                  : a.bytes.data();
+  gs.add_segment("second-in-memory", hi, 4096);
+  gs.add_segment("first-in-memory", lo, 4096);
+  EXPECT_EQ(gs.translate(hi), GuestAddr{1} << 32);
+  EXPECT_EQ(gs.translate(lo), GuestAddr{2} << 32);
+}
+
+TEST(GuestSpace, ToHostRoundTrips) {
+  Slab a;
+  GuestSpace gs;
+  gs.add_segment("arena-0", a.bytes.data(), a.bytes.size());
+  for (u64 off : {u64{0}, u64{8}, u64{4088}}) {
+    const GuestAddr g = gs.translate(a.bytes.data() + off);
+    ASSERT_NE(g, kInvalidGuestAddr);
+    EXPECT_EQ(gs.to_host(g), a.bytes.data() + off);
+  }
+  // One-past-the-end and out-of-range guests resolve to nothing.
+  EXPECT_EQ(gs.to_host((GuestAddr{1} << 32) | 4096), nullptr);
+  EXPECT_EQ(gs.to_host(GuestAddr{2} << 32), nullptr);
+  EXPECT_EQ(gs.to_host(0), nullptr);
+  EXPECT_EQ(gs.to_host(kInvalidGuestAddr), nullptr);
+}
+
+TEST(GuestSpace, UnregisteredHostMemoryIsInvalidAndCounted) {
+  Slab a;
+  u64 outside = 0;
+  GuestSpace gs;
+  gs.add_segment("arena-0", a.bytes.data(), a.bytes.size());
+  EXPECT_EQ(gs.translate(&outside), kInvalidGuestAddr);
+  EXPECT_EQ(gs.unregistered_accesses(), 0u);  // translate doesn't count
+  const LineId line = gs.line_of(&outside, 256);
+  EXPECT_GE(line, GuestSpace::kHostLineTag);
+  EXPECT_EQ(gs.unregistered_accesses(), 1u);
+}
+
+TEST(GuestSpace, OverlappingSegmentsAreRejected) {
+  Slab a;
+  GuestSpace gs;
+  gs.add_segment("arena-0", a.bytes.data(), a.bytes.size());
+  EXPECT_THROW(gs.add_segment("overlap", a.bytes.data() + 256, 256),
+               CheckFailure);
+  EXPECT_THROW(gs.add_segment("empty", a.bytes.data() + 8192, 0),
+               CheckFailure);
+}
+
+TEST(GuestSpace, LineGroupingMatchesHostGrouping) {
+  // The rebase-safety invariant: for a 256-aligned slab, two host addresses
+  // share a host line of size L (any power of two up to 256) iff their
+  // guest addresses share a guest line. Segment windows are 2^32-aligned,
+  // so this reduces to offset arithmetic — checked here explicitly.
+  Slab a;
+  GuestSpace gs;
+  gs.add_segment("arena-0", a.bytes.data(), a.bytes.size());
+  for (u64 line_bytes : {u64{64}, u64{256}}) {
+    for (u64 off = 0; off + 8 <= a.bytes.size(); off += 8) {
+      const LineId host_line =
+          reinterpret_cast<std::uintptr_t>(a.bytes.data() + off) / line_bytes;
+      const LineId host_line0 =
+          reinterpret_cast<std::uintptr_t>(a.bytes.data()) / line_bytes;
+      const LineId guest_line = gs.line_of(a.bytes.data() + off, line_bytes);
+      const LineId guest_line0 = gs.line_of(a.bytes.data(), line_bytes);
+      EXPECT_EQ(guest_line - guest_line0, host_line - host_line0)
+          << "offset " << off << " line_bytes " << line_bytes;
+    }
+  }
+}
+
+TEST(GuestSpace, DescribeNamesSegmentAndOffset) {
+  Slab a;
+  GuestSpace gs;
+  gs.add_segment("nursery-t3", a.bytes.data(), a.bytes.size());
+  EXPECT_EQ(gs.describe(gs.translate(a.bytes.data() + 0x2a8)),
+            "nursery-t3+0x2a8");
+  EXPECT_EQ(gs.describe(kInvalidGuestAddr), "unregistered");
+  EXPECT_EQ(gs.describe(0), "unregistered");
+}
+
+TEST(GuestSpace, MruCacheSurvivesInterleavedLookups) {
+  Slab a, b, c;
+  GuestSpace gs;
+  gs.add_segment("s0", a.bytes.data(), a.bytes.size());
+  gs.add_segment("s1", b.bytes.data(), b.bytes.size());
+  gs.add_segment("s2", c.bytes.data(), c.bytes.size());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gs.translate(a.bytes.data() + 8u * (i % 16)) >> 32, 1u);
+    EXPECT_EQ(gs.translate(c.bytes.data() + 8u * (i % 16)) >> 32, 3u);
+    EXPECT_EQ(gs.translate(b.bytes.data() + 8u * (i % 16)) >> 32, 2u);
+  }
+}
+
+}  // namespace

@@ -595,6 +595,93 @@ TEST(HeapArenaSteal, StealsBeforeForcingGcAndIsSeedDeterministic) {
 }
 
 // ---------------------------------------------------------------------------
+// Guest-address rebase: describe_line takes guest lines now, and the
+// generational labels (nursery-t<N>, arena-steal) must still come out of the
+// guest line -> host pointer -> region chain exactly as they do for raw host
+// pointers.
+// ---------------------------------------------------------------------------
+
+TEST(HeapGuestRebase, NurseryLabelsResolveThroughGuestLines) {
+  sim::GuestSpace gs;
+  HeapConfig cfg = nursery_config();
+  cfg.guest_space = &gs;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+  const u64 lb = 256;
+
+  // A full line's worth of rooted young objects: bump allocation packs them
+  // contiguously, so at least one sits at a line start and its line label
+  // reflects the young generation.
+  std::vector<Value> kept;
+  for (int i = 0; i < 16; ++i) {
+    kept.push_back(heap.new_float(host, i));
+    host.roots.values.push_back(kept.back());
+  }
+  bool young_line = false;
+  for (const Value& v : kept) {
+    ASSERT_EQ(heap.describe_address(v.obj()), "nursery-t0");
+    const std::string label = heap.describe_line(gs.line_of(v.obj(), lb), lb);
+    EXPECT_TRUE(label == "nursery-t0" || label == "arena-t0") << label;
+    if (label == "nursery-t0") young_line = true;
+  }
+  EXPECT_TRUE(young_line) << "no guest line classified as nursery space";
+
+  // Promotion clears the young bit in place; the same guest lines now
+  // classify as plain per-thread arena space.
+  for (int i = 0; i < 80; ++i) (void)heap.new_float(host, i);  // garbage
+  ASSERT_GE(host.minor_calls, 1u);
+  for (const Value& v : kept) {
+    ASSERT_EQ(heap.describe_address(v.obj()), "arena-t0");
+    EXPECT_EQ(heap.describe_line(gs.line_of(v.obj(), lb), lb), "arena-t0");
+  }
+}
+
+TEST(HeapGuestRebase, ArenaStealLabelsResolveThroughGuestLines) {
+  sim::GuestSpace gs;
+  HeapConfig cfg = arena_config();
+  cfg.arena_steal = true;
+  cfg.guest_space = &gs;
+  Heap heap(cfg);
+  DirectHost host;
+  host.heap = &heap;
+
+  // Same fragmentation + drain recipe as HeapArenaSteal above.
+  for (int i = 0; i < 1600; ++i) {
+    host.tid = static_cast<u32>(i) % cfg.max_threads;
+    const Value v = heap.new_float(host, i);
+    if ((i / static_cast<int>(cfg.max_threads)) % 8 < 4)
+      host.roots.values.push_back(v);
+  }
+  heap.run_gc(host.roots);
+  int guard = 0;
+  while (*heap.arena_pool_head() != 0 && guard < 2100) {
+    host.tid = static_cast<u32>(guard) % cfg.max_threads;
+    (void)heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+    ++guard;
+  }
+  ASSERT_LT(guard, 2100) << "pool never drained";
+  host.tid = 0;
+  const RBasic* stolen = nullptr;
+  for (int i = 0; i < 400 && stolen == nullptr; ++i) {
+    RBasic* o = heap.alloc_rvalue(host, ObjType::kFloat, kClassFloat);
+    if (heap.describe_address(o) == "arena-steal") stolen = o;
+  }
+  ASSERT_NE(stolen, nullptr) << "drain never hit a stolen segment";
+
+  // Stolen stash segments are line-granular, so the stolen object's whole
+  // guest line classifies as steal traffic.
+  const u64 lb = 256;
+  EXPECT_EQ(heap.describe_line(gs.line_of(stolen, lb), lb), "arena-steal");
+
+  // Unregistered host memory surfaces as the tagged fallback, not a bogus
+  // region label.
+  int local = 0;
+  EXPECT_EQ(heap.describe_line(gs.line_of(&local, lb), lb), "unregistered");
+  EXPECT_GT(gs.unregistered_accesses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Differential: with the new allocator features disabled (the default
 // configuration), whole-engine simulated traces are byte-identical to the
 // seed allocator's explicit configuration, on both HTM profiles × both
