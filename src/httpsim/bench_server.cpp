@@ -127,6 +127,28 @@ ServerRunResult run_server(runtime::EngineConfig cfg,
   return run_one(std::move(cfg), program_source, driver, driver.scheduled());
 }
 
+ServerRunResult run_open_loop_slice(runtime::EngineConfig cfg,
+                                    const std::string& program_source,
+                                    const DriverConfig& driver_config,
+                                    std::vector<ScheduledRequest> slice,
+                                    std::size_t schedule_total) {
+  GILFREE_CHECK(driver_config.arrival != Arrival::kClosed);
+  GILFREE_CHECK(schedule_total >= slice.size());
+  DriverConfig dcfg = driver_config;
+  // A slice's offered rate is its share of the global schedule, so
+  // per-slice metrics annotations sum back to the configured --rps.
+  if (schedule_total > 0) {
+    dcfg.rps = driver_config.rps * static_cast<double>(slice.size()) /
+               static_cast<double>(schedule_total);
+  }
+  cfg.heap.max_threads =
+      static_cast<u32>(slice.size()) *
+          (1 + driver_config.overload.retry_budget) +
+      8;
+  OpenLoopDriver driver(dcfg, std::move(slice));
+  return run_one(std::move(cfg), program_source, driver, driver.scheduled());
+}
+
 namespace {
 
 /// Records one breaker transition and mirrors it into the trace stream so
@@ -188,8 +210,8 @@ ShardedRunResult run_sharded_breaker(
     std::vector<std::vector<ScheduledRequest>> slice(options.shards);
     for (std::size_t i = lo; i < hi; ++i) {
       const ScheduledRequest& r = schedule[i];
-      u32 target = route_request(options.router, r.id, options.shards,
-                                 driver_config.seed);
+      u32 target = route_key(options.router, r.id, r.key, options.shards,
+                             driver_config.seed);
       if (route[target] == tle::BreakerRoute::kOpen) {
         for (u32 step = 1; step < options.shards; ++step) {
           const u32 cand = (target + step) % options.shards;
@@ -221,17 +243,8 @@ ShardedRunResult run_sharded_breaker(
         sink->next_labels(std::move(run_labels));
         cfg.obs_sink = sink;
       }
-      DriverConfig dcfg = driver_config;
-      dcfg.rps = driver_config.rps *
-                 static_cast<double>(slice[s].size()) /
-                 static_cast<double>(hi - lo);
-      cfg.heap.max_threads =
-          static_cast<u32>(slice[s].size()) *
-              (1 + driver_config.overload.retry_budget) +
-          8;
-      OpenLoopDriver driver(dcfg, slice[s]);
-      ServerRunResult r =
-          run_one(std::move(cfg), program_source, driver, driver.scheduled());
+      ServerRunResult r = run_open_loop_slice(
+          std::move(cfg), program_source, driver_config, slice[s], hi - lo);
 
       const double bad =
           static_cast<double>(r.dropped + r.shed) /
@@ -327,6 +340,7 @@ ShardedRunResult run_sharded(const runtime::EngineConfig& base,
   // partition depends only on (driver seed, router, shard count).
   std::vector<DriverConfig> shard_cfg(options.shards, driver_config);
   std::vector<std::vector<ScheduledRequest>> shard_sched(options.shards);
+  std::size_t schedule_total = 0;
   if (driver_config.arrival == Arrival::kClosed) {
     GILFREE_CHECK_MSG(driver_config.clients >= options.shards,
                       "closed-loop sharding needs >= 1 client per shard");
@@ -342,17 +356,11 @@ ShardedRunResult run_sharded(const runtime::EngineConfig& base,
     }
   } else {
     const auto schedule = make_schedule(driver_config, ghz);
+    schedule_total = schedule.size();
     for (const ScheduledRequest& r : schedule) {
-      shard_sched[route_request(options.router, r.id, options.shards,
-                                driver_config.seed)]
+      shard_sched[route_key(options.router, r.id, r.key, options.shards,
+                            driver_config.seed)]
           .push_back(r);
-    }
-    // A shard's offered rate is its share of the global schedule, so the
-    // per-shard metrics annotations sum back to the configured --rps.
-    for (u32 s = 0; s < options.shards; ++s) {
-      shard_cfg[s].rps = driver_config.rps *
-                         static_cast<double>(shard_sched[s].size()) /
-                         static_cast<double>(schedule.size());
     }
   }
 
@@ -376,12 +384,8 @@ ShardedRunResult run_sharded(const runtime::EngineConfig& base,
       r = run_one(std::move(cfg), program_source, driver,
                   shard_cfg[s].total_requests);
     } else {
-      cfg.heap.max_threads =
-          static_cast<u32>(shard_sched[s].size()) *
-              (1 + driver_config.overload.retry_budget) +
-          8;
-      OpenLoopDriver driver(shard_cfg[s], shard_sched[s]);
-      r = run_one(std::move(cfg), program_source, driver, driver.scheduled());
+      r = run_open_loop_slice(std::move(cfg), program_source, driver_config,
+                              shard_sched[s], schedule_total);
     }
     out.latency_hist.merge(r.latency_hist);
     out.queue_hist.merge(r.queue_hist);

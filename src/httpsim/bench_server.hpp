@@ -104,6 +104,19 @@ ServerRunResult run_server(runtime::EngineConfig cfg,
                            const std::string& program_source,
                            const DriverConfig& driver_config);
 
+/// Runs one open-loop schedule slice on a fresh engine. `cfg` must already
+/// carry shard_id/shard_count (and obs_sink/labels if tracing); this helper
+/// owns the slice-dependent sizing — the rps share
+/// (rps * slice/schedule_total) and the VM thread budget
+/// (slice * (1 + retry_budget) + 8). Those formulas living in exactly one
+/// place is what keeps the in-process sharded runner and the multi-process
+/// cluster worker byte-identical on the same slice.
+ServerRunResult run_open_loop_slice(runtime::EngineConfig cfg,
+                                    const std::string& program_source,
+                                    const DriverConfig& driver_config,
+                                    std::vector<ScheduledRequest> slice,
+                                    std::size_t schedule_total);
+
 /// Runs one logical server workload split across `options.shards`
 /// independent engines. Every shard engine is cloned from `base` (with
 /// shard_id/shard_count set), shares the t=0 virtual epoch, and executes its

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,8 +18,9 @@ Arrival parse_arrival(const std::string& s) {
   if (s == "closed") return Arrival::kClosed;
   if (s == "poisson") return Arrival::kPoisson;
   if (s == "mmpp") return Arrival::kMmpp;
-  throw std::invalid_argument("--arrival must be closed, poisson, or mmpp (got \"" +
-                              s + "\")");
+  if (s == "trace") return Arrival::kTrace;
+  throw std::invalid_argument(
+      "--arrival must be closed, poisson, mmpp, or trace (got \"" + s + "\")");
 }
 
 Router parse_router(const std::string& s) {
@@ -62,19 +65,94 @@ DriverConfig DriverConfig::from_flags(const CliFlags& flags) {
   if (d.churn < 0.0 || d.churn > 1.0)
     throw std::invalid_argument("--churn must be in [0,1]");
   d.seed = static_cast<u64>(flags.get_int("load-seed", static_cast<long>(d.seed)));
+  const long keys = flags.get_int("keys", d.key_space);
+  if (keys < 0) throw std::invalid_argument("--keys must be >= 0");
+  d.key_space = static_cast<u32>(keys);
+  d.zipf = flags.get_double("zipf", d.zipf);
+  if (d.zipf < 0.0) throw std::invalid_argument("--zipf must be >= 0");
+  if (d.zipf > 0.0 && d.key_space == 0)
+    throw std::invalid_argument("--zipf requires --keys > 0");
+  d.arrival_file = flags.get("arrival-file", d.arrival_file);
+  d.arrival_dump = flags.get("arrival-dump", d.arrival_dump);
+  if (d.arrival == Arrival::kTrace && d.arrival_file.empty())
+    throw std::invalid_argument("--arrival=trace requires --arrival-file=");
   d.overload = OverloadConfig::from_flags(flags);
   if (d.overload.enabled() && d.arrival == Arrival::kClosed) {
     throw std::invalid_argument(
         "--deadline/--shed require an open-loop arrival "
-        "(--arrival=poisson or mmpp)");
+        "(--arrival=poisson, mmpp, or trace)");
   }
   return d;
 }
+
+std::vector<std::string> DriverConfig::to_flags() const {
+  const DriverConfig def;
+  std::vector<std::string> out;
+  const auto fmt = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  if (arrival != def.arrival)
+    out.push_back(std::string("--arrival=") + std::string(arrival_name(arrival)));
+  if (clients != def.clients)
+    out.push_back("--clients=" + std::to_string(clients));
+  if (total_requests != def.total_requests)
+    out.push_back("--requests=" + std::to_string(total_requests));
+  if (client_turnaround != def.client_turnaround)
+    out.push_back("--turnaround=" + std::to_string(client_turnaround));
+  if (rps != def.rps) out.push_back("--rps=" + fmt(rps));
+  if (burst_factor != def.burst_factor)
+    out.push_back("--burst-factor=" + fmt(burst_factor));
+  if (burst_on != def.burst_on)
+    out.push_back("--burst-on=" + std::to_string(burst_on));
+  if (burst_off != def.burst_off)
+    out.push_back("--burst-off=" + std::to_string(burst_off));
+  if (queue_limit != def.queue_limit)
+    out.push_back("--queue-limit=" + std::to_string(queue_limit));
+  if (churn != def.churn) out.push_back("--churn=" + fmt(churn));
+  if (seed != def.seed) out.push_back("--load-seed=" + std::to_string(seed));
+  if (key_space != def.key_space)
+    out.push_back("--keys=" + std::to_string(key_space));
+  if (zipf != def.zipf) out.push_back("--zipf=" + fmt(zipf));
+  if (arrival_file != def.arrival_file)
+    out.push_back("--arrival-file=" + arrival_file);
+  for (std::string& f : overload.to_flags()) out.push_back(std::move(f));
+  return out;
+}
+
+namespace {
+
+/// Writes `text` to `path` atomically enough for our purposes; throws
+/// std::invalid_argument when the file cannot be created.
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::invalid_argument("cannot write " + path);
+  out << text;
+  out.flush();
+  if (!out) throw std::invalid_argument("short write to " + path);
+}
+
+}  // namespace
 
 std::vector<ScheduledRequest> make_schedule(const DriverConfig& config,
                                             double ghz) {
   GILFREE_CHECK_MSG(config.arrival != Arrival::kClosed,
                     "closed-loop load has no pre-generated schedule");
+  if (config.arrival == Arrival::kTrace) {
+    GILFREE_CHECK_MSG(!config.arrival_file.empty(),
+                      "--arrival=trace requires --arrival-file=");
+    std::vector<ScheduledRequest> schedule = load_schedule(config.arrival_file);
+    for (const ScheduledRequest& r : schedule) {
+      if (r.path >= config.paths.size())
+        throw std::invalid_argument("arrival trace path index " +
+                                    std::to_string(r.path) +
+                                    " is out of range");
+    }
+    if (!config.arrival_dump.empty())
+      write_text_file(config.arrival_dump, dump_schedule(schedule));
+    return schedule;
+  }
   GILFREE_CHECK(config.rps > 0.0);
   GILFREE_CHECK(!config.paths.empty());
   const double cycles_per_second = ghz * 1e9;
@@ -91,6 +169,19 @@ std::vector<ScheduledRequest> make_schedule(const DriverConfig& config,
   const double burst_gap = quiet_gap / config.burst_factor;
 
   Rng rng(mix64(config.seed ^ 0x6f70656e6c6f6f70ULL));  // "openloop"
+  // Zipf(theta) CDF over ranks 0..key_space-1; theta = 0 degenerates to
+  // uniform. Built once; sampled by binary search so the draw cost is
+  // O(log keys) regardless of skew.
+  std::vector<double> key_cdf;
+  if (config.key_space > 0) {
+    key_cdf.reserve(config.key_space);
+    double acc = 0.0;
+    for (u32 k = 0; k < config.key_space; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), config.zipf);
+      key_cdf.push_back(acc);
+    }
+    for (double& c : key_cdf) c /= acc;
+  }
   std::vector<ScheduledRequest> schedule;
   schedule.reserve(config.total_requests);
   Cycles t = 0;
@@ -125,9 +216,92 @@ std::vector<ScheduledRequest> make_schedule(const DriverConfig& config,
     r.at = t;
     r.path = i % static_cast<u32>(config.paths.size());
     r.close = rng.next_bool(config.churn);
+    if (config.key_space > 0) {
+      // Extra draw only in keyed mode, so keyless schedules keep their
+      // historical byte-identical RNG stream.
+      const double u = rng.next_double();
+      const auto it = std::upper_bound(key_cdf.begin(), key_cdf.end(), u);
+      const u64 rank = static_cast<u64>(
+          std::min<std::ptrdiff_t>(it - key_cdf.begin(),
+                                   static_cast<std::ptrdiff_t>(
+                                       config.key_space - 1)));
+      r.key = (rank + 1) << 32;
+    }
     schedule.push_back(r);
   }
+  if (!config.arrival_dump.empty())
+    write_text_file(config.arrival_dump, dump_schedule(schedule));
   return schedule;
+}
+
+std::string dump_schedule(const std::vector<ScheduledRequest>& schedule) {
+  std::string out = "# gilfree.arrivals/1\n";
+  for (const ScheduledRequest& r : schedule) {
+    out += std::to_string(r.id);
+    out.push_back(' ');
+    out += std::to_string(r.at);
+    out.push_back(' ');
+    out += std::to_string(r.path);
+    out.push_back(' ');
+    out.push_back(r.close ? '1' : '0');
+    out.push_back(' ');
+    out += std::to_string(r.key);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<ScheduledRequest> parse_schedule(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "# gilfree.arrivals/1")
+    throw std::invalid_argument(
+        "arrival trace must start with \"# gilfree.arrivals/1\"");
+  std::vector<ScheduledRequest> schedule;
+  Cycles prev = 0;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    ScheduledRequest r;
+    long long id = 0;
+    unsigned long long at = 0, key = 0;
+    unsigned long path = 0;
+    int close = 0;
+    if (!(fields >> id >> at >> path >> close >> key) ||
+        (close != 0 && close != 1)) {
+      throw std::invalid_argument("arrival trace line " +
+                                  std::to_string(lineno) + " is malformed");
+    }
+    std::string rest;
+    if (fields >> rest)
+      throw std::invalid_argument("arrival trace line " +
+                                  std::to_string(lineno) +
+                                  " has trailing fields");
+    r.id = static_cast<i64>(id);
+    r.at = static_cast<Cycles>(at);
+    r.path = static_cast<u32>(path);
+    r.close = close == 1;
+    r.key = static_cast<u64>(key);
+    if (r.at < prev)
+      throw std::invalid_argument("arrival trace line " +
+                                  std::to_string(lineno) +
+                                  " is out of time order");
+    prev = r.at;
+    schedule.push_back(r);
+  }
+  if (schedule.empty())
+    throw std::invalid_argument("arrival trace has no requests");
+  return schedule;
+}
+
+std::vector<ScheduledRequest> load_schedule(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot open arrival trace " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_schedule(buf.str());
 }
 
 u32 route_request(Router router, i64 id, u32 shards, u64 seed) {
@@ -138,6 +312,21 @@ u32 route_request(Router router, i64 id, u32 shards, u64 seed) {
       return static_cast<u32>(uid % shards);
     case Router::kHash:
       return static_cast<u32>(mix64(uid * 0x9e3779b97f4a7c15ULL ^ seed) %
+                              shards);
+  }
+  return 0;
+}
+
+u32 route_key(Router router, i64 id, u64 key, u32 shards, u64 seed) {
+  if (key == 0) return route_request(router, id, shards, seed);
+  GILFREE_CHECK(shards >= 1);
+  switch (router) {
+    case Router::kRoundRobin:
+      // Rank-based striping: hot ranks land on fixed shards, which is the
+      // skew the steal protocol exists to rebalance.
+      return static_cast<u32>((key >> 32) % shards);
+    case Router::kHash:
+      return static_cast<u32>(mix64(key * 0x9e3779b97f4a7c15ULL ^ seed) %
                               shards);
   }
   return 0;

@@ -39,6 +39,7 @@ enum class Arrival : u8 {
   kClosed,   ///< Closed loop: next request only after the previous response.
   kPoisson,  ///< Open loop, exponential inter-arrivals at --rps.
   kMmpp,     ///< Open loop, 2-state Markov-modulated Poisson (bursty).
+  kTrace,    ///< Open loop, replayed verbatim from --arrival-file=.
 };
 
 constexpr std::string_view arrival_name(Arrival a) {
@@ -46,11 +47,13 @@ constexpr std::string_view arrival_name(Arrival a) {
     case Arrival::kClosed: return "closed";
     case Arrival::kPoisson: return "poisson";
     case Arrival::kMmpp: return "mmpp";
+    case Arrival::kTrace: return "trace";
   }
   return "?";
 }
 
-/// Parses "closed"/"poisson"/"mmpp"; throws std::invalid_argument otherwise.
+/// Parses "closed"/"poisson"/"mmpp"/"trace"; throws std::invalid_argument
+/// otherwise.
 Arrival parse_arrival(const std::string& s);
 
 /// Request → shard assignment policy of a sharded run (--router=).
@@ -99,6 +102,21 @@ struct DriverConfig {
   /// First global request id issued by this driver; sharded closed-loop
   /// runs partition the id space so merged logs stay globally unique.
   i64 first_id = 0;
+  /// Keyed routing (--keys=): size of the logical key space. 0 keeps the
+  /// key generator off entirely — no extra RNG draws, so every pre-existing
+  /// schedule stays byte-identical. Keys are guest-segment-style handles
+  /// ((rank + 1) << 32), never raw ranks, so they survive cross-process
+  /// transport like any other guest address.
+  u32 key_space = 0;
+  /// Zipf skew exponent of the key popularity distribution (--zipf=);
+  /// 0 = uniform over the key space. Requires key_space > 0 to matter.
+  double zipf = 0.0;
+  /// --arrival=trace input: path of a schedule dump to replay verbatim.
+  std::string arrival_file;
+  /// When non-empty, the generated schedule is also written here in the
+  /// dump_schedule() text form (--arrival-dump=), closing the record loop:
+  /// a later run replays it with --arrival=trace --arrival-file=.
+  std::string arrival_dump;
   /// Overload protection (docs/ROBUSTNESS.md): deadlines, retries, CoDel
   /// shedding. Disabled by default, which keeps every artifact byte-
   /// identical to the pre-overload driver. Open-loop only.
@@ -106,11 +124,17 @@ struct DriverConfig {
 
   /// Reads the uniform httpsim load flags: --arrival=, --rps=, --clients=,
   /// --requests=, --turnaround=, --burst-factor=, --burst-on=, --burst-off=,
-  /// --queue-limit=, --churn=, --load-seed=, plus the overload group
+  /// --queue-limit=, --churn=, --load-seed=, --keys=, --zipf=,
+  /// --arrival-file=, --arrival-dump=, plus the overload group
   /// (--deadline-*, --shed-*; see OverloadConfig::from_flags). Semantic
   /// errors throw std::invalid_argument (strict-CLI convention: callers
   /// exit 2).
   static DriverConfig from_flags(const CliFlags& flags);
+
+  /// Canonical non-default flags, so from_flags(to_flags(c)) == c (modulo
+  /// first_id/paths, which are harness-internal). Used by the cluster Init
+  /// frame and the httpsim record header.
+  std::vector<std::string> to_flags() const;
 };
 
 /// One entry of a pre-generated open-loop arrival schedule.
@@ -119,16 +143,34 @@ struct ScheduledRequest {
   Cycles at = 0;    ///< Arrival time on the shared t=0 virtual epoch.
   u32 path = 0;     ///< Index into DriverConfig::paths.
   bool close = false;  ///< Connection churn: this request closes its conn.
+  /// Routing key, guest-segment style ((rank + 1) << 32); 0 when keyed
+  /// routing is off, in which case routing falls back to the request id.
+  u64 key = 0;
 };
 
 /// Generates the deterministic open-loop schedule for config.total_requests
 /// arrivals: seeded only by config.seed, ascending in time. `ghz` converts
-/// the rps rate into virtual cycles. Requires arrival != kClosed.
+/// the rps rate into virtual cycles. Requires arrival != kClosed. For
+/// arrival == kTrace the schedule is loaded from config.arrival_file
+/// instead of generated.
 std::vector<ScheduledRequest> make_schedule(const DriverConfig& config,
                                             double ghz);
 
+/// Canonical text form of a schedule, one line per request:
+/// `id at path close key`. load_schedule() parses it back (throwing
+/// std::invalid_argument on malformed input), so
+/// load_schedule(dump_schedule(s)) == s — the --arrival=trace round trip.
+std::string dump_schedule(const std::vector<ScheduledRequest>& schedule);
+std::vector<ScheduledRequest> parse_schedule(const std::string& text);
+std::vector<ScheduledRequest> load_schedule(const std::string& path);
+
 /// Deterministic request → shard assignment of the sharded harness.
 u32 route_request(Router router, i64 id, u32 shards, u64 seed);
+
+/// Keyed routing: routes by `key` when nonzero (so one hot key always lands
+/// on one shard — the skew the steal protocol rebalances), by `id` otherwise
+/// (byte-identical to route_request for keyless schedules).
+u32 route_key(Router router, i64 id, u64 key, u32 shards, u64 seed);
 
 struct RequestRecord;
 

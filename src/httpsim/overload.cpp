@@ -1,6 +1,7 @@
 #include "httpsim/overload.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -61,6 +62,28 @@ OverloadConfig OverloadConfig::from_flags(const CliFlags& flags) {
     throw std::invalid_argument("--shed-interval must be >= 1 cycles");
   o.codel_interval = static_cast<Cycles>(interval);
   return o;
+}
+
+std::vector<std::string> OverloadConfig::to_flags() const {
+  const OverloadConfig def;
+  std::vector<std::string> out;
+  if (deadline != def.deadline)
+    out.push_back("--deadline=" + std::to_string(deadline));
+  if (deadline_jitter != def.deadline_jitter) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", deadline_jitter);
+    out.push_back(std::string("--deadline-jitter=") + buf);
+  }
+  if (retry_budget != def.retry_budget)
+    out.push_back("--deadline-retries=" + std::to_string(retry_budget));
+  if (retry_backoff != def.retry_backoff)
+    out.push_back("--deadline-backoff=" + std::to_string(retry_backoff));
+  if (codel != def.codel) out.push_back("--shed=codel");
+  if (codel_target != def.codel_target)
+    out.push_back("--shed-target=" + std::to_string(codel_target));
+  if (codel_interval != def.codel_interval)
+    out.push_back("--shed-interval=" + std::to_string(codel_interval));
+  return out;
 }
 
 Cycles request_deadline(const OverloadConfig& cfg, i64 id, u32 attempt,

@@ -8,6 +8,9 @@
 // seed reproduces every shed decision byte-for-byte — sharded or not.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "common/types.hpp"
 
 namespace gilfree {
@@ -46,6 +49,10 @@ struct OverloadConfig {
   /// --shed-target=, --shed-interval=. Semantic errors throw
   /// std::invalid_argument (strict-CLI convention: callers exit 2).
   static OverloadConfig from_flags(const CliFlags& flags);
+
+  /// Canonical non-default flags, so from_flags(to_flags(c)) == c. Used by
+  /// the cluster Init frame and the httpsim record header.
+  std::vector<std::string> to_flags() const;
 };
 
 /// The effective deadline of one request attempt: `from` (arrival or retry

@@ -83,4 +83,64 @@ std::string LatencyHistogram::to_sparse_string() const {
   return out;
 }
 
+std::string LatencyHistogram::serialize() const {
+  std::string out = std::to_string(total_);
+  out.push_back(' ');
+  out += std::to_string(sum_);
+  out.push_back(' ');
+  out += std::to_string(min_);
+  out.push_back(' ');
+  out += std::to_string(max_);
+  out.push_back(' ');
+  out += to_sparse_string();
+  return out;
+}
+
+LatencyHistogram LatencyHistogram::deserialize(const std::string& s) {
+  LatencyHistogram h;
+  std::size_t pos = 0;
+  const auto next_u64 = [&](char delim) {
+    const std::size_t end = s.find(delim, pos);
+    if (end == std::string::npos || end == pos)
+      throw std::invalid_argument("latency histogram: truncated encoding");
+    u64 v = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      const char c = s[i];
+      if (c < '0' || c > '9')
+        throw std::invalid_argument("latency histogram: non-numeric field");
+      v = v * 10 + static_cast<u64>(c - '0');
+    }
+    pos = end + 1;
+    return v;
+  };
+  h.total_ = next_u64(' ');
+  h.sum_ = next_u64(' ');
+  h.min_ = next_u64(' ');
+  h.max_ = next_u64(' ');
+  u64 counted = 0;
+  while (pos < s.size()) {
+    const u64 lo = next_u64(':');
+    const std::size_t end = s.find(',', pos);
+    const std::size_t stop = end == std::string::npos ? s.size() : end;
+    u64 count = 0;
+    for (std::size_t i = pos; i < stop; ++i) {
+      const char c = s[i];
+      if (c < '0' || c > '9')
+        throw std::invalid_argument("latency histogram: non-numeric count");
+      count = count * 10 + static_cast<u64>(c - '0');
+    }
+    pos = end == std::string::npos ? s.size() : end + 1;
+    const u32 bucket = bucket_of(lo);
+    if (bucket_lo(bucket) != lo)
+      throw std::invalid_argument("latency histogram: not a bucket edge");
+    h.counts_[bucket] += count;
+    counted += count;
+  }
+  if (counted != h.total_)
+    throw std::invalid_argument("latency histogram: counts do not sum");
+  if (h.total_ > 0 && h.min_ > h.max_)
+    throw std::invalid_argument("latency histogram: min exceeds max");
+  return h;
+}
+
 }  // namespace gilfree::obs

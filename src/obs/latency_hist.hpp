@@ -56,6 +56,15 @@ class LatencyHistogram {
   /// the metrics document so merged documents stay byte-deterministic.
   std::string to_sparse_string() const;
 
+  /// Exact wire encoding for cross-process merging (httpsim cluster
+  /// protocol): "total sum min max lo:count,lo:count,...". Unlike the sparse
+  /// string alone this round-trips the exact sum/extrema, so a deserialized
+  /// histogram merges and reports identically to the original.
+  std::string serialize() const;
+  /// Inverse of serialize(); throws std::invalid_argument on malformed
+  /// input (counts not summing to total, non-bucket-edge keys, ...).
+  static LatencyHistogram deserialize(const std::string& s);
+
  private:
   std::array<u64, kNumBuckets> counts_{};
   u64 total_ = 0;

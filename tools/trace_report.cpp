@@ -259,9 +259,22 @@ void print_run(u32 run_id, const RunAccum& acc, bool csv, long top) {
   std::cout << "\n";
 }
 
+/// Fleet-level accumulator over every --metrics= document (one per shard
+/// process of a cluster run): summed request dispositions across files.
+struct FleetAccum {
+  u64 files = 0;
+  u64 runs = 0;
+  u64 completed = 0;
+  u64 dropped = 0;
+  u64 shed = 0;
+  u64 codel = 0;
+  u64 retries = 0;
+};
+
 /// Prints the per-run interpreter block of a "gilfree.metrics/1" document.
 /// Returns false (after a diagnostic) when the file cannot be parsed.
-bool print_interp_metrics(const std::string& path, long only_run) {
+bool print_interp_metrics(const std::string& path, long only_run,
+                          FleetAccum* fleet) {
   std::ifstream in(path);
   if (!in.good()) {
     std::cerr << "trace_report: cannot open " << path << "\n";
@@ -383,6 +396,25 @@ bool print_interp_metrics(const std::string& path, long only_run) {
       }
       std::cout << ov.to_string() << "\n";
     }
+
+    if (fleet != nullptr) {
+      ++fleet->files;
+      for (const obs::JsonValue& run : doc.at("runs").as_array()) {
+        const u32 id = static_cast<u32>(run.at("run").as_u64());
+        if (only_run >= 0 && id != static_cast<u32>(only_run)) continue;
+        ++fleet->runs;
+        if (!run.has("requests")) continue;
+        const obs::JsonValue& rq = run.at("requests");
+        const auto n = [&rq](const char* key) {
+          return rq.has(key) ? rq.at(key).as_u64() : 0;
+        };
+        fleet->completed += n("completed");
+        fleet->dropped += n("dropped");
+        fleet->shed += n("shed");
+        fleet->codel += n("codel_dropped");
+        fleet->retries += n("retries");
+      }
+    }
   } catch (const std::exception& e) {
     std::cerr << "trace_report: " << path
               << ": malformed metrics document: " << e.what() << "\n";
@@ -403,11 +435,36 @@ int main(int argc, char** argv) {
 
   if (flags.positional().size() != 1) {
     std::cerr << "usage: trace_report <trace.jsonl> [--csv] [--run=N] "
-                 "[--top=N] [--metrics=metrics.json]\n";
+                 "[--top=N] [--metrics=a.json[,b.json,...]]\n";
     return 2;
   }
-  if (!metrics_path.empty() && !print_interp_metrics(metrics_path, only_run))
-    return 1;
+  // --metrics= takes a comma-separated list — a cluster run writes one
+  // metrics document per shard process; the fleet summary merges them.
+  if (!metrics_path.empty()) {
+    std::vector<std::string> metric_files;
+    std::size_t start = 0;
+    while (start <= metrics_path.size()) {
+      const std::size_t comma = metrics_path.find(',', start);
+      const std::string one =
+          metrics_path.substr(start, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - start);
+      if (!one.empty()) metric_files.push_back(one);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    FleetAccum fleet;
+    for (const std::string& one : metric_files) {
+      if (!print_interp_metrics(one, only_run, &fleet)) return 1;
+    }
+    if (metric_files.size() > 1) {
+      std::cout << "== fleet (" << fleet.files << " metrics files, "
+                << fleet.runs << " runs) ==\n"
+                << "completed " << fleet.completed << ", dropped "
+                << fleet.dropped << ", shed " << fleet.shed << ", codel "
+                << fleet.codel << ", retries " << fleet.retries << "\n\n";
+    }
+  }
   const std::string path = *flags.positional().begin();
   std::ifstream in(path);
   if (!in.good()) {
@@ -417,6 +474,10 @@ int main(int argc, char** argv) {
 
   std::map<u32, RunAccum> runs;
   std::map<std::string, u64> breaker_by_state;
+  u64 steal_ops = 0;
+  u64 steal_moved = 0;
+  u64 scale_ups = 0;
+  u64 scale_downs = 0;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -435,6 +496,21 @@ int main(int argc, char** argv) {
     // engine runs); collect them before touching per-run fields.
     if (ev == "breaker") {
       ++breaker_by_state[v.at("state").as_string()];
+      continue;
+    }
+    // Cluster supervisor lines (work stealing / autoscaling) also carry no
+    // run id; they happen between worker epochs.
+    if (ev == "steal") {
+      ++steal_ops;
+      steal_moved += v.at("moved").as_u64();
+      continue;
+    }
+    if (ev == "scale") {
+      if (v.at("dir").as_string() == "up") {
+        ++scale_ups;
+      } else {
+        ++scale_downs;
+      }
       continue;
     }
     const u32 run = static_cast<u32>(v.at("run").as_u64());
@@ -499,7 +575,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (runs.empty() && breaker_by_state.empty()) {
+  if (runs.empty() && breaker_by_state.empty() && steal_ops == 0 &&
+      scale_ups + scale_downs == 0) {
     std::cout << "(no events" << (only_run >= 0 ? " for that run" : "")
               << " in " << path << ")\n";
     return 0;
@@ -509,6 +586,15 @@ int main(int argc, char** argv) {
     std::cout << "== circuit breakers ==\n";
     for (const auto& [state, n] : breaker_by_state)
       std::cout << state << ": " << n << "\n";
+  }
+  if (steal_ops + scale_ups + scale_downs > 0) {
+    std::cout << "== cluster ==\n";
+    if (steal_ops > 0)
+      std::cout << "steals: " << steal_ops << " (" << steal_moved
+                << " requests moved)\n";
+    if (scale_ups + scale_downs > 0)
+      std::cout << "scale events: up " << scale_ups << ", down "
+                << scale_downs << "\n";
   }
   return 0;
 }
